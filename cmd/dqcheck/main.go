@@ -1,0 +1,158 @@
+// Command dqcheck validates a CSV stream against a JSON expectation
+// suite — the data-quality-tool side of the benchmark loop: pollute with
+// icewafl, then measure with dqcheck.
+//
+// Usage:
+//
+//	dqcheck -schema schema.json -suite suite.json -in data.csv [-window 4h]
+//
+// Without -window the whole stream is validated at once (batch mode);
+// with -window the stream is validated per tumbling event-time window
+// (continuous monitoring mode) and one line per window is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"icewafl/internal/core"
+	"icewafl/internal/csvio"
+	"icewafl/internal/dq"
+	"icewafl/internal/groundtruth"
+	"icewafl/internal/schemafile"
+	"icewafl/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dqcheck: ")
+	schemaPath := flag.String("schema", "", "path to the JSON schema file (required)")
+	suitePath := flag.String("suite", "", "path to the JSON expectation suite (required unless -profile)")
+	inPath := flag.String("in", "", "input CSV (required; '-' for stdin)")
+	window := flag.Duration("window", 0, "validate per tumbling window of this width instead of in one batch")
+	profileOut := flag.String("profile", "", "profile the input (assumed clean) into an expectation suite at this path instead of validating")
+	truthPath := flag.String("truth", "", "optional pollution log (JSON lines from icewafl -log) to score detections against; requires -meta input")
+	metaIn := flag.Bool("meta", false, "input carries icewafl's _id/_substream metadata columns")
+	flag.Parse()
+
+	if *schemaPath == "" || *inPath == "" || (*suitePath == "" && *profileOut == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	schema, err := schemafile.Load(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := os.Stdin
+	if *inPath != "-" {
+		in, err = os.Open(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer in.Close()
+	}
+	var src stream.Source
+	if *metaIn {
+		// The metadata format already carries icewafl's tuple IDs, so
+		// detections can be joined against a pollution log.
+		mr, err := csvio.NewMetaReader(in, schema)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = mr
+	} else {
+		reader, err := csvio.NewReader(in, schema)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Prepare assigns IDs and arrival times so windows and
+		// unexpected-ID reporting work on raw CSV input.
+		src = stream.NewPrepare(reader, 1)
+	}
+
+	if *profileOut != "" {
+		tuples, err := stream.Drain(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite := dq.Profile("profiled", tuples, 0.1)
+		out, err := os.Create(*profileOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dq.SaveSuite(out, suite); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("profiled %d tuples into %d expectations at %s",
+			len(tuples), len(suite.Expectations), *profileOut)
+		return
+	}
+
+	sf, err := os.Open(*suitePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := dq.LoadSuite(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *window > 0 {
+		validator := dq.NewStreamingValidator(suite, *window)
+		windows, err := validator.Run(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %8s %10s\n", "window start", "tuples", "unexpected")
+		for _, w := range windows {
+			fmt.Printf("%-20s %8d %10d\n", w.Start.Format("2006-01-02 15:04"), w.Tuples, w.Unexpected())
+		}
+		if worst := dq.WorstWindow(windows); worst >= 0 {
+			fmt.Printf("worst window: %s with %d unexpected rows\n",
+				windows[worst].Start.Format("2006-01-02 15:04"), windows[worst].Unexpected())
+		}
+		return
+	}
+
+	tuples, err := stream.Drain(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := suite.Validate(tuples)
+	failures := 0
+	var flagged []uint64
+	fmt.Printf("%-55s %9s %10s %8s\n", "expectation", "evaluated", "unexpected", "success")
+	for _, r := range results {
+		fmt.Printf("%-55s %9d %10d %8v\n", r.Expectation, r.Evaluated, r.Unexpected, r.Success)
+		flagged = append(flagged, r.UnexpectedIDs...)
+		if !r.Success {
+			failures++
+		}
+	}
+	if *truthPath != "" {
+		tf, err := os.Open(*truthPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plog, err := core.ReadLogJSON(tf)
+		tf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		score := groundtruth.Evaluate(flagged, plog.PollutedTuples())
+		fmt.Printf("vs ground truth (%d polluted tuples): precision %.2f, recall %.2f, F1 %.2f\n",
+			len(plog.PollutedTuples()), score.Precision(), score.Recall(), score.F1())
+	}
+	if failures > 0 {
+		fmt.Printf("%d of %d expectations failed\n", failures, len(results))
+		os.Exit(1)
+	}
+	fmt.Println("all expectations passed")
+}

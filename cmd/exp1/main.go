@@ -1,0 +1,67 @@
+// Command exp1 reproduces Experiment 1 of the paper (§3.1): evaluating a
+// data-quality tool with Icewafl-polluted wearable-device streams. It
+// regenerates the Figure 4 series (random temporal errors), Table 1 (the
+// software-update composite scenario), and the §3.1.3 bad-network
+// numbers.
+//
+// Usage:
+//
+//	exp1 [-scenario random|update|network|all] [-reps 50] [-seed 20160226]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"icewafl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("exp1: ")
+	scenario := flag.String("scenario", "all", "scenario to run: random, update, network, or all")
+	reps := flag.Int("reps", 50, "number of pollution repetitions")
+	seed := flag.Int64("seed", experiments.DefaultDataSeed, "dataset seed")
+	flag.Parse()
+
+	runRandom := func() {
+		r, err := experiments.RunExp1Random(*seed, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintExp1Random(os.Stdout, r)
+	}
+	runUpdate := func() {
+		r, err := experiments.RunExp1Update(*seed, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintExp1Update(os.Stdout, r)
+	}
+	runNetwork := func() {
+		r, err := experiments.RunExp1Network(*seed, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintExp1Network(os.Stdout, r)
+	}
+
+	switch *scenario {
+	case "random":
+		runRandom()
+	case "update":
+		runUpdate()
+	case "network":
+		runNetwork()
+	case "all":
+		runRandom()
+		fmt.Println()
+		runUpdate()
+		fmt.Println()
+		runNetwork()
+	default:
+		log.Fatalf("unknown scenario %q (want random, update, network, or all)", *scenario)
+	}
+}

@@ -1,0 +1,109 @@
+// Command exp2 reproduces Experiment 2 of the paper (§3.2): the
+// robustness of ARIMA, ARIMAX and Holt-Winters against temporally
+// increasing noise (Figure 6) and temporally increasing scale errors
+// (Figure 7) on the air-quality streams of three regions.
+//
+// Usage:
+//
+//	exp2 [-region Wanshouxigong|all] [-scenario noise|scale|eval|all]
+//	     [-reps 10] [-seed 20160226] [-grid] [-print-splits]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"icewafl/internal/dataset"
+	"icewafl/internal/experiments"
+	"icewafl/internal/timeseries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("exp2: ")
+	region := flag.String("region", "all", "region: Gucheng, Wanshouxigong, Wanliu, or all")
+	scenario := flag.String("scenario", "all", "scenario: eval, noise, scale, or all")
+	reps := flag.Int("reps", 10, "polluted replicates per scenario")
+	seed := flag.Int64("seed", experiments.DefaultDataSeed, "dataset seed")
+	grid := flag.Bool("grid", false, "run the §3.2.2 grid search instead of the evaluation")
+	printSplits := flag.Bool("print-splits", false, "print the Table 2 data splits and exit")
+	withSARIMA := flag.Bool("with-sarima", false, "add a seasonal ARIMA as a fourth method (extension)")
+	withBaselines := flag.Bool("with-baselines", false, "add naive and seasonal-naive reference forecasters")
+	flag.Parse()
+
+	cfg := experiments.DefaultExp2Config()
+	cfg.DataSeed = *seed
+	cfg.Reps = *reps
+	cfg.IncludeSARIMA = *withSARIMA
+	cfg.IncludeBaselines = *withBaselines
+
+	regions := dataset.Regions()
+	if *region != "all" {
+		regions = []string{*region}
+	}
+
+	if *printSplits {
+		for _, reg := range regions {
+			printTable2(cfg, reg)
+		}
+		return
+	}
+
+	if *grid {
+		for _, reg := range regions {
+			fmt.Printf("grid search (5-fold time-series CV) for region %s:\n", reg)
+			winners, err := experiments.RunExp2GridSearch(cfg, reg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, family := range experiments.ModelNames {
+				w := winners[family]
+				fmt.Printf("  %-14s best: %-32s CV-MAE %.2f\n", family, w.Label, w.MAE)
+			}
+		}
+		return
+	}
+
+	scenarios := []string{experiments.ScenarioEval, experiments.ScenarioNoise, experiments.ScenarioScale}
+	if *scenario != "all" {
+		scenarios = []string{*scenario}
+	}
+	for _, reg := range regions {
+		for _, sc := range scenarios {
+			r, err := experiments.RunExp2(cfg, reg, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.PrintExp2(os.Stdout, r)
+			for _, s := range r.Summarise() {
+				fmt.Printf("  %-14s early MAE %.2f -> late MAE %.2f (%+.0f%%)\n",
+					s.Model, s.EarlyMAE, s.LateMAE, s.DegradationPercent)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func printTable2(cfg experiments.Exp2Config, region string) {
+	tuples := dataset.AirQuality(region, cfg.DataSeed, dataset.AirQualityOptions{})
+	s, err := timeseries.FromTuples(tuples, "NO2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.FFill()
+	splits, err := timeseries.Split(s, time.Duration(cfg.Horizon)*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Table 2 — data splits for region %s (%d tuples total):\n", region, len(tuples))
+	fmt.Printf("  D_train: %6d tuples  [%s .. %s)\n", splits.Train.Len(),
+		splits.Train.Times[0].Format("2006-01-02 15:04"), splits.TrainEnd.Format("2006-01-02 15:04"))
+	fmt.Printf("  D_valid: %6d tuples  [%s .. %s)\n", splits.Valid.Len(),
+		splits.TrainEnd.Format("2006-01-02 15:04"), splits.ValidEnd.Format("2006-01-02 15:04"))
+	fmt.Printf("  D_eval:  %6d tuples  [%s .. ]\n", splits.Eval.Len(),
+		splits.EvalStart.Format("2006-01-02 15:04"))
+	fmt.Printf("  D_noise, D_scale: polluted variants of D_eval (see -scenario)\n")
+}

@@ -1,0 +1,42 @@
+// Command exp3 reproduces Experiment 3 of the paper (§3.3): the runtime
+// overhead of the three §3.1 pollution scenarios relative to an
+// unpolluted load-and-write pipeline, reported as Figure 8 box-plot
+// statistics.
+//
+// Usage:
+//
+//	exp3 [-runs 50] [-replicas 100] [-seed 20160226]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"icewafl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("exp3: ")
+	runs := flag.Int("runs", 50, "timed executions per scenario")
+	replicas := flag.Int("replicas", 100, "stream replications to lengthen the workload")
+	seed := flag.Int64("seed", experiments.DefaultDataSeed, "dataset seed")
+	disk := flag.Bool("disk", false, "run the pipelines against real files (heavier, paper-like baseline)")
+	flag.Parse()
+
+	cfg := experiments.Exp3Config{DataSeed: *seed, Runs: *runs, Replicas: *replicas}
+	if *disk {
+		dir, err := os.MkdirTemp("", "icewafl-exp3-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.DiskDir = dir
+	}
+	r, err := experiments.RunExp3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintExp3(os.Stdout, r)
+}

@@ -1,0 +1,32 @@
+// Command exp4 runs the synthesis study sketched in the paper's future
+// work (§5, item 4): whether time-series synthesis approaches preserve
+// or remove the temporal error patterns Icewafl injects. A block
+// bootstrap replays error patterns; a seasonal AR model generates clean
+// data.
+//
+// Usage:
+//
+//	exp4 [-len 2120] [-seed 20160226]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"icewafl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("exp4: ")
+	length := flag.Int("len", 0, "synthetic stream length (default 2x the source)")
+	seed := flag.Int64("seed", experiments.DefaultDataSeed, "dataset seed")
+	flag.Parse()
+
+	r, err := experiments.RunExp4(*seed, *length)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintExp4(os.Stdout, r)
+}

@@ -1,0 +1,31 @@
+// Command exp5 runs the detector × error-type matrix (an extension of
+// the paper's evaluation): one error type is injected at a time and a
+// panel of statistical online detectors is scored against the pollution
+// ground truth.
+//
+// Usage:
+//
+//	exp5 [-tuples 6000] [-seed 20160226]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"icewafl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("exp5: ")
+	tuples := flag.Int("tuples", 6000, "length of the hourly evaluation stream")
+	seed := flag.Int64("seed", experiments.DefaultDataSeed, "dataset seed")
+	flag.Parse()
+
+	r, err := experiments.RunExp5(*seed, *tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintExp5(os.Stdout, r)
+}

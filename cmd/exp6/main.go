@@ -1,0 +1,31 @@
+// Command exp6 runs the cleaning benchmark (an extension of the paper's
+// evaluation): one error type is injected at a time and a panel of
+// stream-cleaning algorithms is scored by the RMSE of the repaired
+// attribute against the retained clean stream.
+//
+// Usage:
+//
+//	exp6 [-tuples 6000] [-seed 20160226]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"icewafl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("exp6: ")
+	tuples := flag.Int("tuples", 6000, "length of the hourly evaluation stream")
+	seed := flag.Int64("seed", experiments.DefaultDataSeed, "dataset seed")
+	flag.Parse()
+
+	r, err := experiments.RunExp6(*seed, *tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintExp6(os.Stdout, r)
+}

@@ -1,0 +1,76 @@
+// Command gendata materialises the synthetic benchmark datasets as CSV
+// files plus matching schema documents, so the streams the experiments
+// use can be fed to external tools (or back into icewafl/dqcheck).
+//
+// Usage:
+//
+//	gendata -dataset wearable -out wearable.csv [-schema-out wearable.schema.json]
+//	gendata -dataset airquality -region Wanshouxigong -tuples 8760 -out aq.csv
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"icewafl/internal/csvio"
+	"icewafl/internal/dataset"
+	"icewafl/internal/schemafile"
+	"icewafl/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gendata: ")
+	which := flag.String("dataset", "wearable", "dataset to generate: wearable or airquality")
+	region := flag.String("region", dataset.RegionWanshouxigong, "air-quality region")
+	tuples := flag.Int("tuples", 0, "air-quality stream length (default: the full 35,064)")
+	seed := flag.Int64("seed", 20160226, "generator seed")
+	outPath := flag.String("out", "", "output CSV (required; '-' for stdout)")
+	schemaOut := flag.String("schema-out", "", "optional schema JSON output")
+	flag.Parse()
+
+	if *outPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var schema *stream.Schema
+	var data []stream.Tuple
+	switch *which {
+	case "wearable":
+		schema = dataset.WearableSchema()
+		data = dataset.Wearable(*seed)
+	case "airquality":
+		schema = dataset.AirQualitySchema()
+		data = dataset.AirQuality(*region, *seed, dataset.AirQualityOptions{Tuples: *tuples})
+	default:
+		log.Fatalf("unknown dataset %q (want wearable or airquality)", *which)
+	}
+
+	out := os.Stdout
+	var err error
+	if *outPath != "-" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+	}
+	if err := csvio.WriteAll(out, schema, data); err != nil {
+		log.Fatal(err)
+	}
+	if *schemaOut != "" {
+		sf, err := os.Create(*schemaOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := schemafile.Write(sf, schema); err != nil {
+			log.Fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("wrote %d tuples of %s", len(data), *which)
+}

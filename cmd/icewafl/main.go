@@ -1,0 +1,200 @@
+// Command icewafl is the end-to-end polluter CLI: it reads a CSV stream,
+// applies a JSON pollution configuration, and writes the polluted stream,
+// the clean (prepared) stream, and the pollution log — the full workflow
+// of Figure 2.
+//
+// Usage:
+//
+//	icewafl -schema schema.json -config pollution.json \
+//	        -in clean.csv -out dirty.csv [-clean-out clean_out.csv] [-log log.jsonl]
+//
+// The schema file lists attributes in CSV column order, e.g.:
+//
+//	{"timestamp": "Time",
+//	 "fields": [{"name": "Time", "kind": "time"},
+//	            {"name": "BPM", "kind": "float"}]}
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"icewafl/internal/config"
+	"icewafl/internal/core"
+	"icewafl/internal/csvio"
+	"icewafl/internal/report"
+	"icewafl/internal/schemafile"
+	"icewafl/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("icewafl: ")
+	schemaPath := flag.String("schema", "", "path to the JSON schema file (required)")
+	configPath := flag.String("config", "", "path to the JSON pollution configuration (required)")
+	inPath := flag.String("in", "", "input CSV (required; '-' for stdin)")
+	outPath := flag.String("out", "", "polluted output CSV (required; '-' for stdout)")
+	cleanOut := flag.String("clean-out", "", "optional output CSV for the prepared clean stream")
+	logOut := flag.String("log", "", "optional pollution log output (JSON lines)")
+	meta := flag.Bool("meta", false, "emit Algorithm 1's (_id, _substream, …) columns in the outputs")
+	reportOut := flag.String("report", "", "optional Markdown report output documenting the run")
+	streaming := flag.Bool("stream", false, "tuple-wise constant-memory execution for unbounded inputs (no -clean-out/-report; bounded reordering)")
+	reorder := flag.Int("reorder", 64, "streaming mode: bounded reordering window in tuples")
+	flag.Parse()
+
+	if *schemaPath == "" || *configPath == "" || *inPath == "" || *outPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	schema, err := schemafile.Load(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cf, err := os.Open(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc, err := config.Load(cf)
+	cf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc.KeepClean = *cleanOut != ""
+	if err := proc.ValidateAttrs(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	in := os.Stdin
+	if *inPath != "-" {
+		in, err = os.Open(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer in.Close()
+	}
+	reader, err := csvio.NewReader(in, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *streaming {
+		if *cleanOut != "" || *reportOut != "" {
+			log.Fatal("-stream cannot materialise -clean-out or -report; drop those flags")
+		}
+		runStreaming(proc, reader, schema, *outPath, *logOut, *meta, *reorder)
+		return
+	}
+
+	result, err := proc.Run(reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := os.Stdout
+	if *outPath != "-" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+	}
+	writeAll := csvio.WriteAll
+	if *meta {
+		writeAll = csvio.WriteAllMeta
+	}
+	if err := writeAll(out, schema, result.Polluted); err != nil {
+		log.Fatal(err)
+	}
+
+	if *cleanOut != "" {
+		cf, err := os.Create(*cleanOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeAll(cf, schema, result.Clean); err != nil {
+			log.Fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *logOut != "" {
+		lf, err := os.Create(*logOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := result.Log.WriteJSON(lf); err != nil {
+			log.Fatal(err)
+		}
+		if err := lf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *reportOut != "" {
+		rf, err := os.Create(*reportOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = report.Write(rf, report.Input{
+			Title:       "Icewafl pollution run: " + *configPath,
+			Process:     proc,
+			Result:      result,
+			GeneratedAt: time.Now(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("wrote %d tuples (%d errors injected, %d dropped)",
+		len(result.Polluted), result.Log.Len(), result.DroppedTuples)
+}
+
+// runStreaming executes the constant-memory tuple-wise path: tuples are
+// polluted and written as they arrive, with only the bounded reordering
+// window buffered.
+func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schema, outPath, logOut string, meta bool, reorder int) {
+	src, plog, err := proc.RunStreamMulti(reader, reorder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if outPath != "-" {
+		out, err = os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+	}
+	var sink stream.Sink = csvio.NewWriter(out, schema)
+	if meta {
+		sink = csvio.NewMetaWriter(out, schema)
+	}
+	n, err := stream.Copy(sink, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if logOut != "" && plog != nil {
+		lf, err := os.Create(logOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plog.WriteJSON(lf); err != nil {
+			log.Fatal(err)
+		}
+		if err := lf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	errs := 0
+	if plog != nil {
+		errs = plog.Len()
+	}
+	log.Printf("streamed %d tuples (%d errors injected)", n, errs)
+}

@@ -1,0 +1,105 @@
+// Burst errors: the stateful pollution extensions (the paper's §5 future
+// work). A fleet of sensors streams readings; each sensor has its own
+// two-state Markov error chain (Gilbert-Elliott), so errors arrive in
+// per-sensor bursts — consecutive tuples' error indicators are dependent
+// random variables, which per-tuple conditions cannot express. A
+// windowed DQ monitor then shows the bursts as error spikes.
+//
+// Run with: go run ./examples/bursterrors
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/dq"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+var schema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "sensor", Kind: stream.KindString},
+	stream.Field{Name: "reading", Kind: stream.KindFloat},
+)
+
+func main() {
+	const seed = 99
+	start := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	sensors := []string{"S1", "S2", "S3"}
+
+	src := stream.NewGeneratorSource(schema, 3*24*60, func(i int) stream.Tuple {
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(start.Add(time.Duration(i/3) * time.Minute)),
+			stream.Str(sensors[i%3]),
+			stream.Float(100),
+		})
+	})
+
+	// One Markov chain per sensor: bursts start rarely (p=0.005/tuple)
+	// and last 1/0.1 = 10 tuples on average. The keyed polluter keeps
+	// the chains independent and deterministic per (seed, sensor).
+	keyed := core.NewKeyedPolluter("bursty-dropouts", "sensor", func(key string) core.Polluter {
+		chain := core.NewMarkovCondition(0.005, 0.1, rng.Derive(seed, "burst/"+key))
+		return core.NewStandard("dropout-"+key, core.MissingValue{}, chain, "reading")
+	})
+
+	res, err := core.NewProcess(core.NewPipeline(keyed)).Run(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuples: %d, errors injected: %d across sensors %v\n",
+		len(res.Polluted), res.Log.Len(), keyed.Keys())
+
+	// Burst structure: count maximal runs of consecutive nulls per sensor.
+	runs := map[string][]int{}
+	cur := map[string]int{}
+	for _, t := range res.Polluted {
+		sensor, _ := t.MustGet("sensor").AsString()
+		if t.MustGet("reading").IsNull() {
+			cur[sensor]++
+			continue
+		}
+		if cur[sensor] > 0 {
+			runs[sensor] = append(runs[sensor], cur[sensor])
+			cur[sensor] = 0
+		}
+	}
+	for _, s := range sensors {
+		total, longest := 0, 0
+		for _, r := range runs[s] {
+			total += r
+			if r > longest {
+				longest = r
+			}
+		}
+		avg := 0.0
+		if len(runs[s]) > 0 {
+			avg = float64(total) / float64(len(runs[s]))
+		}
+		fmt.Printf("  %s: %d bursts, avg length %.1f, longest %d\n",
+			s, len(runs[s]), avg, longest)
+	}
+
+	// A streaming DQ monitor sees the bursts as spiky windows.
+	monitor := dq.NewStreamingValidator(
+		dq.NewSuite("monitor", dq.NotBeNull{Column: "reading"}),
+		4*time.Hour)
+	windows, err := monitor.Run(stream.NewSliceSource(schema, res.Polluted))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("windowed monitoring (4h windows):")
+	for _, w := range windows {
+		bar := ""
+		for i := 0; i < w.Unexpected()/4; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %s  %3d errors %s\n", w.Start.Format("15:04"), w.Unexpected(), bar)
+	}
+	worst := dq.WorstWindow(windows)
+	fmt.Printf("worst window starts at %s with %d errors\n",
+		windows[worst].Start.Format("15:04"), windows[worst].Unexpected())
+}

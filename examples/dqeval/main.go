@@ -1,0 +1,44 @@
+// DQ evaluation: Experiment 1 in miniature. Pollutes the wearable-device
+// stream with the software-update scenario, validates the result with the
+// Great-Expectations-style suite, and scores the detections against the
+// pollution ground truth.
+//
+// Run with: go run ./examples/dqeval
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icewafl/internal/experiments"
+	"icewafl/internal/groundtruth"
+)
+
+func main() {
+	const seed = 20160226
+	proc := experiments.SoftwareUpdateProcess(seed)
+	result, err := proc.Run(experiments.WearableSource(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream: %d tuples, %d errors injected\n",
+		len(result.Polluted), result.Log.Len())
+
+	suite := experiments.SoftwareUpdateSuite()
+	truth := result.Log.PollutedTuples()
+	fmt.Printf("%-55s %9s %10s %10s %6s\n", "expectation", "violations", "precision", "recall", "F1")
+	for _, res := range suite.Validate(result.Polluted) {
+		score := groundtruth.Evaluate(res.UnexpectedIDs, truth)
+		fmt.Printf("%-55s %9d %10.2f %10.2f %6.2f\n",
+			res.Expectation, res.Unexpected, score.Precision(), score.Recall(), score.F1())
+	}
+
+	// Combining all expectations recovers most polluted tuples.
+	var flagged []uint64
+	for _, res := range suite.Validate(result.Polluted) {
+		flagged = append(flagged, res.UnexpectedIDs...)
+	}
+	combined := groundtruth.Evaluate(flagged, truth)
+	fmt.Printf("%-55s %9s %10.2f %10.2f %6.2f\n", "combined suite", "-",
+		combined.Precision(), combined.Recall(), combined.F1())
+}

@@ -1,0 +1,162 @@
+// Sensor fusion: the paper's motivating scenario (Figure 1). Four
+// weather sensors report temperatures; S1 and S2 share a confounding
+// disturbance (a drifting cloud), the same disturbance reaches S4 after a
+// delay, and S3 is a logical sensor derived from S1 and S2, inheriting
+// their errors. A downstream rule classifies the weather from the mean
+// temperature — showing how dependent errors propagate into analysis
+// results.
+//
+// Run with: go run ./examples/sensorfusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+var schema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "sensor", Kind: stream.KindString},
+	stream.Field{Name: "temp", Kind: stream.KindFloat},
+)
+
+func main() {
+	start := time.Date(2026, 7, 6, 6, 0, 0, 0, time.UTC)
+	sensors := []string{"S1", "S2", "S4"}
+
+	// Physical sensors: one reading each per minute, warm summer day.
+	src := stream.NewGeneratorSource(schema, 3*12*60, func(i int) stream.Tuple {
+		ts := start.Add(time.Duration(i/3) * time.Minute)
+		sensor := sensors[i%3]
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(ts), stream.Str(sensor), stream.Float(24 + 4*float64(i/3)/720),
+		})
+	})
+
+	// The cloud passes between 10:00 and 12:00: an intermediate change
+	// pattern scaling a negative temperature offset. S1 and S2 see it
+	// directly; S4 sees it an hour later (the drift delay).
+	cloud := core.IntermediatePattern{
+		From:       start.Add(4 * time.Hour),
+		To:         start.Add(6 * time.Hour),
+		Triangular: true,
+	}
+	cloudLater := core.IntermediatePattern{
+		From:       start.Add(5 * time.Hour),
+		To:         start.Add(7 * time.Hour),
+		Triangular: true,
+	}
+	seed := int64(42)
+
+	// Sub-pipeline per sensor group (stream-specific error patterns,
+	// §2.2.2): route by the sensor attribute is not directly usable here
+	// because S1/S2 share a pipeline, so a custom route sends S1 and S2
+	// to sub-stream 0 and S4 to sub-stream 1.
+	route := func(t stream.Tuple, m int) []int {
+		s, _ := t.MustGet("sensor").AsString()
+		if s == "S4" {
+			return []int{1}
+		}
+		return []int{0}
+	}
+	proc := &core.Process{
+		Pipelines: []*core.Pipeline{
+			core.NewPipeline(
+				core.NewStandard("cloud shadow (S1, S2)",
+					core.Offset{Delta: core.Scaled(cloud, -8)}, nil, "temp"),
+				core.NewStandard("S2 miscalibration",
+					core.Offset{Delta: core.Const(-1.5)},
+					core.Compare{Attr: "sensor", Op: core.OpEq, Value: stream.Str("S2")},
+					"temp"),
+			),
+			core.NewPipeline(
+				core.NewStandard("cloud shadow, delayed (S4)",
+					core.Offset{Delta: core.Scaled(cloudLater, -8)}, nil, "temp"),
+				core.NewStandard("S4 dropouts",
+					core.MissingValue{},
+					core.NewRandomConst(0.02, rng.Derive(seed, "s4-drop")),
+					"temp"),
+			),
+		},
+		Route:     route,
+		FirstID:   1,
+		KeepClean: true,
+	}
+
+	result, err := proc.Run(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Derive the logical sensor S3 = mean(S1, S2) per timestamp — it
+	// inherits any error present in its sources (the error-propagation
+	// chain of Figure 1).
+	type slot struct{ s1, s2 float64 }
+	perMinute := map[time.Time]*slot{}
+	for _, t := range result.Polluted {
+		ts, _ := t.Timestamp()
+		sensor, _ := t.MustGet("sensor").AsString()
+		v, ok := t.MustGet("temp").AsFloat()
+		if !ok {
+			continue
+		}
+		sl := perMinute[ts]
+		if sl == nil {
+			sl = &slot{}
+			perMinute[ts] = sl
+		}
+		switch sensor {
+		case "S1":
+			sl.s1 = v
+		case "S2":
+			sl.s2 = v
+		}
+	}
+
+	// The downstream rule of Figure 1: Weather = hot iff Avg(temp) > 20.
+	// Count classifications on the clean vs the polluted stream.
+	classify := func(tuples []stream.Tuple) (hot, cold int) {
+		sums := map[time.Time]struct {
+			sum float64
+			n   int
+		}{}
+		for _, t := range tuples {
+			ts, _ := t.Timestamp()
+			if v, ok := t.MustGet("temp").AsFloat(); ok {
+				e := sums[ts]
+				e.sum += v
+				e.n++
+				sums[ts] = e
+			}
+		}
+		for _, e := range sums {
+			if e.sum/float64(e.n) > 20 {
+				hot++
+			} else {
+				cold++
+			}
+		}
+		return hot, cold
+	}
+	cleanHot, cleanCold := classify(result.Clean)
+	dirtyHot, dirtyCold := classify(result.Polluted)
+
+	fmt.Printf("errors injected: %d (%v)\n", result.Log.Len(), result.Log.CountByPolluter())
+	fmt.Printf("logical sensor S3 derived for %d timestamps\n", len(perMinute))
+	fmt.Printf("weather classification clean:    hot=%d cold=%d\n", cleanHot, cleanCold)
+	fmt.Printf("weather classification polluted: hot=%d cold=%d\n", dirtyHot, dirtyCold)
+	fmt.Printf("=> %d timestamps flipped by the dependent sensor errors\n",
+		abs(cleanHot-dirtyHot))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module icewafl
+
+go 1.22

@@ -1,0 +1,177 @@
+package icewafl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icewafl/internal/clean"
+	"icewafl/internal/config"
+	"icewafl/internal/csvio"
+	"icewafl/internal/dataset"
+	"icewafl/internal/dq"
+	"icewafl/internal/groundtruth"
+	"icewafl/internal/schemafile"
+	"icewafl/internal/stream"
+)
+
+// TestFullBenchmarkLoop exercises the complete workflow a downstream
+// user runs: generate a dataset, serialise it to CSV, pollute it with a
+// JSON configuration, validate the polluted stream with a JSON
+// expectation suite, score the detections against the pollution log, and
+// repair the stream — all through the public package APIs the CLIs wrap.
+func TestFullBenchmarkLoop(t *testing.T) {
+	// 1. Generate and serialise the wearable dataset.
+	schema := dataset.WearableSchema()
+	data := dataset.Wearable(20160226)
+	var csvBuf bytes.Buffer
+	if err := csvio.WriteAll(&csvBuf, schema, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Pollute via the shipped JSON configuration.
+	cf, err := os.Open(filepath.Join("examples", "cli", "pollution.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := config.Load(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := csvio.NewReader(&csvBuf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := proc.Run(reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Log.Len() == 0 {
+		t.Fatal("no errors injected")
+	}
+
+	// 3. Validate with the shipped JSON expectation suite.
+	sf, err := os.Open(filepath.Join("examples", "cli", "suite.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := dq.LoadSuite(sf)
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := suite.Validate(result.Polluted)
+	failures := 0
+	var flagged []uint64
+	for _, r := range results {
+		if !r.Success {
+			failures++
+		}
+		flagged = append(flagged, r.UnexpectedIDs...)
+	}
+	if failures < 3 {
+		t.Fatalf("polluted stream failed only %d expectations", failures)
+	}
+	// The clean stream passes everything except the BPM==0 activity-sum
+	// check, which surfaces exactly the two pre-existing violations the
+	// generator plants (the paper's "+2" observation on the real data).
+	for _, r := range suite.Validate(result.Clean) {
+		if strings.Contains(r.Expectation, "where BPM == 0") {
+			if r.Unexpected != 2 {
+				t.Fatalf("clean stream has %d pre-existing violations, want 2", r.Unexpected)
+			}
+			continue
+		}
+		if !r.Success {
+			t.Fatalf("clean stream failed %s", r.Expectation)
+		}
+	}
+
+	// 4. Score detections against the pollution ground truth.
+	score := groundtruth.Evaluate(flagged, result.Log.PollutedTuples())
+	if score.Recall() < 0.9 {
+		t.Fatalf("suite recall %.2f too low", score.Recall())
+	}
+
+	// 5. Repair the polluted BPM attribute and verify improvement.
+	repair, err := clean.Evaluate(clean.ForwardFill{}, result.Clean, result.Polluted, "BPM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair.Changed == 0 {
+		t.Fatal("cleaner repaired nothing")
+	}
+	if repair.RMSEAfter >= repair.RMSEBefore {
+		t.Fatalf("no repair improvement: %+v", repair)
+	}
+}
+
+// TestShippedExampleFilesAreValid loads every example artefact shipped
+// in examples/cli and checks consistency with the generated dataset.
+func TestShippedExampleFilesAreValid(t *testing.T) {
+	schema, err := schemafile.Load(filepath.Join("examples", "cli", "schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(dataset.WearableSchema()) {
+		t.Fatal("shipped schema diverged from the wearable dataset schema")
+	}
+	f, err := os.Open(filepath.Join("examples", "cli", "clean.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tuples, err := csvio.ReadAll(f, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.Wearable(20160226)
+	if len(tuples) != len(want) {
+		t.Fatalf("shipped clean.csv has %d tuples, generator yields %d", len(tuples), len(want))
+	}
+	for i := range tuples {
+		if !tuples[i].Equal(want[i]) {
+			t.Fatalf("shipped clean.csv diverged from the generator at tuple %d", i)
+		}
+	}
+}
+
+// TestConfigAndProgrammaticScenarioAgree checks that the shipped JSON
+// software-update scenario and the programmatic one in the experiments
+// package inject the same error pattern (same polluted attributes, same
+// deterministic sub-counts; random sub-polluters differ only within
+// their probability band).
+func TestConfigAndProgrammaticScenarioAgree(t *testing.T) {
+	cf, err := os.Open(filepath.Join("examples", "cli", "pollution.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := config.Load(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := dataset.WearableSchema()
+	data := dataset.Wearable(20160226)
+	res, err := proc.Run(stream.NewSliceSource(schema, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := groundtruth.Diff(res.Clean, res.Polluted)
+	byAttr := diff.CountByAttr()
+	// The deterministic children touch every post-update tuple with
+	// non-zero distance / fractional calories; compare against the
+	// stream constants the experiments package reports.
+	if byAttr["Distance"] < 300 || byAttr["Distance"] > 420 {
+		t.Fatalf("Distance changes %d out of band", byAttr["Distance"])
+	}
+	if byAttr["CaloriesBurned"] < 900 || byAttr["CaloriesBurned"] > 980 {
+		t.Fatalf("CaloriesBurned changes %d out of band", byAttr["CaloriesBurned"])
+	}
+	if byAttr["BPM"] < 15 || byAttr["BPM"] > 45 {
+		t.Fatalf("BPM changes %d out of band", byAttr["BPM"])
+	}
+}

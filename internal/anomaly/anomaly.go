@@ -1,0 +1,300 @@
+// Package anomaly implements statistical online error detectors — the
+// second class of data-quality tooling the paper's benchmark streams are
+// built for (next to expectation-based tools like Great Expectations).
+// Each detector consumes a stream tuple-wise and flags suspicious rows;
+// against Icewafl's pollution log the detectors' recall per error type
+// becomes measurable.
+package anomaly
+
+import (
+	"math"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+// Detector inspects a stream tuple-wise and flags anomalies.
+type Detector interface {
+	// Name identifies the detector.
+	Name() string
+	// Observe consumes one tuple and reports whether it is anomalous.
+	Observe(t stream.Tuple) bool
+}
+
+// Run drains src through det and returns the flagged tuple IDs.
+func Run(det Detector, tuples []stream.Tuple) []uint64 {
+	var flagged []uint64
+	for _, t := range tuples {
+		if det.Observe(t) {
+			flagged = append(flagged, t.ID)
+		}
+	}
+	return flagged
+}
+
+// RollingZScore flags values deviating more than Threshold standard
+// deviations from the mean of the last Window observations. NULLs are
+// flagged when FlagNulls is set, and never enter the statistics.
+type RollingZScore struct {
+	Attr      string
+	Window    int
+	Threshold float64
+	FlagNulls bool
+
+	buf []float64
+	pos int
+}
+
+// NewRollingZScore returns a detector over the named attribute.
+func NewRollingZScore(attr string, window int, threshold float64) *RollingZScore {
+	if window < 2 {
+		window = 2
+	}
+	return &RollingZScore{Attr: attr, Window: window, Threshold: threshold, buf: make([]float64, 0, window)}
+}
+
+// Name implements Detector.
+func (d *RollingZScore) Name() string { return "rolling_zscore" }
+
+// Observe implements Detector.
+func (d *RollingZScore) Observe(t stream.Tuple) bool {
+	v, ok := t.Get(d.Attr)
+	if !ok {
+		return false
+	}
+	if v.IsNull() {
+		return d.FlagNulls
+	}
+	f, isNum := v.AsFloat()
+	if !isNum {
+		return false
+	}
+	anomalous := false
+	if len(d.buf) >= 2 {
+		mean, sd := meanStd(d.buf)
+		if sd > 0 && math.Abs(f-mean) > d.Threshold*sd {
+			anomalous = true
+		}
+	}
+	// Anomalous values stay out of the statistics so a single outlier
+	// cannot widen the detector's tolerance.
+	if !anomalous {
+		d.push(f)
+	}
+	return anomalous
+}
+
+func (d *RollingZScore) push(f float64) {
+	if len(d.buf) < d.Window {
+		d.buf = append(d.buf, f)
+		return
+	}
+	d.buf[d.pos] = f
+	d.pos = (d.pos + 1) % d.Window
+}
+
+// SeasonalZScore keeps separate statistics per hour of day, so a value
+// that is normal at noon but absurd at midnight is caught — the
+// seasonal-aware analogue of RollingZScore.
+type SeasonalZScore struct {
+	Attr      string
+	Threshold float64
+	MinCount  int
+
+	count [24]int
+	mean  [24]float64
+	m2    [24]float64
+}
+
+// NewSeasonalZScore returns a detector over the named attribute. It
+// needs MinCount observations per hour bucket before flagging (default
+// 10).
+func NewSeasonalZScore(attr string, threshold float64) *SeasonalZScore {
+	return &SeasonalZScore{Attr: attr, Threshold: threshold, MinCount: 10}
+}
+
+// Name implements Detector.
+func (d *SeasonalZScore) Name() string { return "seasonal_zscore" }
+
+// Observe implements Detector.
+func (d *SeasonalZScore) Observe(t stream.Tuple) bool {
+	f, ok := t.GetFloat(d.Attr)
+	if !ok {
+		return false
+	}
+	ts, tok := t.Timestamp()
+	if !tok {
+		ts = t.EventTime
+	}
+	h := ts.Hour()
+	anomalous := false
+	if d.count[h] >= d.MinCount {
+		sd := math.Sqrt(d.m2[h] / float64(d.count[h]))
+		if sd > 0 && math.Abs(f-d.mean[h]) > d.Threshold*sd {
+			anomalous = true
+		}
+	}
+	if !anomalous {
+		d.count[h]++
+		delta := f - d.mean[h]
+		d.mean[h] += delta / float64(d.count[h])
+		d.m2[h] += delta * (f - d.mean[h])
+	}
+	return anomalous
+}
+
+// RateOfChange flags jumps: |v_t − v_{t−1}| > MaxDelta. It catches scale
+// errors and unit conversions that in-range detectors miss.
+type RateOfChange struct {
+	Attr     string
+	MaxDelta float64
+
+	prev    float64
+	hasPrev bool
+}
+
+// NewRateOfChange returns a jump detector.
+func NewRateOfChange(attr string, maxDelta float64) *RateOfChange {
+	return &RateOfChange{Attr: attr, MaxDelta: maxDelta}
+}
+
+// Name implements Detector.
+func (d *RateOfChange) Name() string { return "rate_of_change" }
+
+// Observe implements Detector.
+func (d *RateOfChange) Observe(t stream.Tuple) bool {
+	f, ok := t.GetFloat(d.Attr)
+	if !ok {
+		return false
+	}
+	anomalous := d.hasPrev && math.Abs(f-d.prev) > d.MaxDelta
+	if !anomalous {
+		d.prev = f
+		d.hasPrev = true
+	}
+	return anomalous
+}
+
+// FrozenRun flags runs of identical values longer than MaxRun — the
+// stuck-sensor (frozen value) detector.
+type FrozenRun struct {
+	Attr   string
+	MaxRun int
+
+	last    float64
+	hasLast bool
+	run     int
+}
+
+// NewFrozenRun returns a stuck-value detector.
+func NewFrozenRun(attr string, maxRun int) *FrozenRun {
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	return &FrozenRun{Attr: attr, MaxRun: maxRun}
+}
+
+// Name implements Detector.
+func (d *FrozenRun) Name() string { return "frozen_run" }
+
+// Observe implements Detector.
+func (d *FrozenRun) Observe(t stream.Tuple) bool {
+	f, ok := t.GetFloat(d.Attr)
+	if !ok {
+		return false
+	}
+	if d.hasLast && f == d.last {
+		d.run++
+	} else {
+		d.run = 1
+	}
+	d.last, d.hasLast = f, true
+	return d.run > d.MaxRun
+}
+
+// GapDetector flags tuples whose timestamp attribute regresses or jumps
+// by more than MaxGap relative to its predecessor — delayed tuples and
+// losses show up here.
+type GapDetector struct {
+	MaxGap time.Duration
+
+	prev    time.Time
+	hasPrev bool
+}
+
+// NewGapDetector returns a timestamp-cadence detector.
+func NewGapDetector(maxGap time.Duration) *GapDetector {
+	return &GapDetector{MaxGap: maxGap}
+}
+
+// Name implements Detector.
+func (d *GapDetector) Name() string { return "gap_detector" }
+
+// Observe implements Detector.
+func (d *GapDetector) Observe(t stream.Tuple) bool {
+	ts, ok := t.Timestamp()
+	if !ok {
+		return false
+	}
+	anomalous := false
+	if d.hasPrev {
+		if ts.Before(d.prev) || ts.Sub(d.prev) > d.MaxGap {
+			anomalous = true
+		}
+	}
+	// Regressions keep the high-water mark so one late tuple does not
+	// cascade into flagging its successors.
+	if !d.hasPrev || ts.After(d.prev) {
+		d.prev = ts
+		d.hasPrev = true
+	}
+	return anomalous
+}
+
+// Ensemble combines detectors with OR semantics: a tuple is anomalous if
+// any member flags it. All members observe every tuple.
+type Ensemble struct {
+	Members []Detector
+	// Label overrides the generated name when set.
+	Label string
+}
+
+// Name implements Detector.
+func (e Ensemble) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	out := "ensemble("
+	for i, m := range e.Members {
+		if i > 0 {
+			out += ","
+		}
+		out += m.Name()
+	}
+	return out + ")"
+}
+
+// Observe implements Detector.
+func (e Ensemble) Observe(t stream.Tuple) bool {
+	any := false
+	for _, m := range e.Members {
+		if m.Observe(t) {
+			any = true
+		}
+	}
+	return any
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return m, math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,193 @@
+package anomaly
+
+import (
+	"testing"
+	"time"
+
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+var schema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "v", Kind: stream.KindFloat},
+)
+
+func mkTuples(values []float64, step time.Duration) []stream.Tuple {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]stream.Tuple, len(values))
+	for i, v := range values {
+		out[i] = stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * step)), stream.Float(v),
+		})
+		out[i].ID = uint64(i + 1)
+	}
+	return out
+}
+
+func TestRollingZScoreFlagsOutlier(t *testing.T) {
+	r := rng.New(1)
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = r.Normal(10, 1)
+	}
+	values[150] = 100 // planted outlier
+	tuples := mkTuples(values, time.Minute)
+	flagged := Run(NewRollingZScore("v", 50, 5), tuples)
+	if len(flagged) != 1 || flagged[0] != 151 {
+		t.Fatalf("flagged %v", flagged)
+	}
+}
+
+func TestRollingZScoreOutlierDoesNotPoisonStats(t *testing.T) {
+	// After the outlier, normal values must not be flagged — the outlier
+	// stayed out of the window statistics.
+	r := rng.New(2)
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = r.Normal(0, 1)
+	}
+	values[50] = 1000
+	tuples := mkTuples(values, time.Minute)
+	flagged := Run(NewRollingZScore("v", 30, 6), tuples)
+	if len(flagged) != 1 {
+		t.Fatalf("flagged %v", flagged)
+	}
+}
+
+func TestRollingZScoreNulls(t *testing.T) {
+	tuples := mkTuples([]float64{1, 2, 3}, time.Minute)
+	tuples[1].Set("v", stream.Null())
+	d := NewRollingZScore("v", 10, 3)
+	d.FlagNulls = true
+	flagged := Run(d, tuples)
+	if len(flagged) != 1 || flagged[0] != 2 {
+		t.Fatalf("flagged %v", flagged)
+	}
+	quiet := NewRollingZScore("v", 10, 3)
+	if len(Run(quiet, tuples)) != 0 {
+		t.Fatal("null flagged despite FlagNulls=false")
+	}
+}
+
+func TestSeasonalZScore(t *testing.T) {
+	// Value 30 is normal at noon, absurd at midnight.
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var tuples []stream.Tuple
+	id := uint64(1)
+	r := rng.New(3)
+	for day := 0; day < 30; day++ {
+		for _, h := range []int{0, 12} {
+			mean := 5.0
+			if h == 12 {
+				mean = 30.0
+			}
+			tp := stream.NewTuple(schema, []stream.Value{
+				stream.Time(base.AddDate(0, 0, day).Add(time.Duration(h) * time.Hour)),
+				stream.Float(r.Normal(mean, 1)),
+			})
+			tp.ID = id
+			id++
+			tuples = append(tuples, tp)
+		}
+	}
+	// Plant: a noon-level value at midnight on day 25.
+	tuples[50].Set("v", stream.Float(30))
+	flagged := Run(NewSeasonalZScore("v", 6), tuples)
+	found := false
+	for _, f := range flagged {
+		if f == tuples[50].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seasonal anomaly missed; flagged %v", flagged)
+	}
+	// A global (non-seasonal) z-score with the same threshold misses it:
+	// 30 is a perfectly normal value globally.
+	global := Run(NewRollingZScore("v", 60, 6), tuples)
+	for _, f := range global {
+		if f == tuples[50].ID {
+			t.Fatal("global detector should miss the seasonal anomaly at this threshold")
+		}
+	}
+}
+
+func TestRateOfChangeCatchesScaleError(t *testing.T) {
+	values := []float64{10, 11, 10, 1.25, 10, 11} // x0.125 scale error at index 3
+	tuples := mkTuples(values, time.Hour)
+	flagged := Run(NewRateOfChange("v", 5), tuples)
+	if len(flagged) != 1 || flagged[0] != 4 {
+		t.Fatalf("flagged %v", flagged)
+	}
+}
+
+func TestFrozenRunDetector(t *testing.T) {
+	values := []float64{1, 2, 7, 7, 7, 7, 3, 4}
+	tuples := mkTuples(values, time.Minute)
+	flagged := Run(NewFrozenRun("v", 2), tuples)
+	// Runs of 7 longer than 2: indices 4 and 5 (IDs 5, 6).
+	if len(flagged) != 2 || flagged[0] != 5 || flagged[1] != 6 {
+		t.Fatalf("flagged %v", flagged)
+	}
+}
+
+func TestGapDetector(t *testing.T) {
+	tuples := mkTuples(make([]float64, 6), 15*time.Minute)
+	// Tuple 3 regresses (delayed), tuple 5 jumps far ahead (loss).
+	ts2, _ := tuples[1].Timestamp()
+	tuples[3].SetTimestamp(ts2.Add(-time.Hour))
+	ts4, _ := tuples[4].Timestamp()
+	tuples[5].SetTimestamp(ts4.Add(3 * time.Hour))
+	flagged := Run(NewGapDetector(30*time.Minute), tuples)
+	if len(flagged) != 2 || flagged[0] != 4 || flagged[1] != 6 {
+		t.Fatalf("flagged %v", flagged)
+	}
+}
+
+func TestEnsemble(t *testing.T) {
+	values := []float64{10, 10, 10, 10, 10, 10, 200, 10, 10, 10}
+	tuples := mkTuples(values, time.Minute)
+	tuples[8].Set("v", stream.Null())
+	null := NewRollingZScore("v", 10, 4)
+	null.FlagNulls = true
+	e := Ensemble{Members: []Detector{null, NewRateOfChange("v", 50)}}
+	flagged := Run(e, tuples)
+	// The spike (ID 7) is caught by both; the null (ID 9) by the first.
+	if len(flagged) != 2 || flagged[0] != 7 || flagged[1] != 9 {
+		t.Fatalf("flagged %v", flagged)
+	}
+	if e.Name() != "ensemble(rolling_zscore,rate_of_change)" {
+		t.Fatalf("name %q", e.Name())
+	}
+}
+
+func TestDetectorsIgnoreMissingAttr(t *testing.T) {
+	tuples := mkTuples([]float64{1, 2}, time.Minute)
+	dets := []Detector{
+		NewRollingZScore("zzz", 10, 3),
+		NewSeasonalZScore("zzz", 3),
+		NewRateOfChange("zzz", 1),
+		NewFrozenRun("zzz", 1),
+	}
+	for _, d := range dets {
+		if got := Run(d, tuples); len(got) != 0 {
+			t.Fatalf("%s flagged %v on missing attribute", d.Name(), got)
+		}
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	names := map[string]Detector{
+		"rolling_zscore":  NewRollingZScore("v", 10, 3),
+		"seasonal_zscore": NewSeasonalZScore("v", 3),
+		"rate_of_change":  NewRateOfChange("v", 1),
+		"frozen_run":      NewFrozenRun("v", 1),
+		"gap_detector":    NewGapDetector(time.Minute),
+	}
+	for want, d := range names {
+		if d.Name() != want {
+			t.Errorf("%T name %q", d, d.Name())
+		}
+	}
+}

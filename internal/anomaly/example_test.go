@@ -1,0 +1,51 @@
+package anomaly_test
+
+import (
+	"fmt"
+	"time"
+
+	"icewafl/internal/anomaly"
+	"icewafl/internal/stream"
+)
+
+// ExampleEnsemble combines specialised detectors so that a value spike,
+// a missing value, and a stuck run are all flagged in one pass.
+func ExampleEnsemble() {
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+	)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	values := []stream.Value{
+		stream.Float(10), stream.Float(11), stream.Float(10), stream.Float(11),
+		stream.Float(500), // spike
+		stream.Float(10), stream.Float(11),
+		stream.Null(), // dropout
+		stream.Float(10),
+		stream.Float(7), stream.Float(7), stream.Float(7), stream.Float(7), // stuck
+	}
+	tuples := make([]stream.Tuple, len(values))
+	for i, v := range values {
+		tuples[i] = stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Minute)), v,
+		})
+		tuples[i].ID = uint64(i + 1)
+	}
+
+	nullAware := anomaly.NewRollingZScore("v", 16, 6)
+	nullAware.FlagNulls = true
+	detector := anomaly.Ensemble{
+		Label: "monitor",
+		Members: []anomaly.Detector{
+			nullAware,
+			anomaly.NewRateOfChange("v", 100),
+			anomaly.NewFrozenRun("v", 2),
+		},
+	}
+	// The spike (5) and the dropout (8) are caught by the z-score; the
+	// stuck run is caught twice over — the z-score flags the level shift
+	// to 7 (10, 11) and the frozen-run detector the repetition (12, 13).
+	fmt.Println("flagged tuple IDs:", anomaly.Run(detector, tuples))
+	// Output:
+	// flagged tuple IDs: [5 8 10 11 12 13]
+}

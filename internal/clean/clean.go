@@ -1,0 +1,331 @@
+// Package clean implements stream-cleaning algorithms — the third class
+// of consumer the paper names for Icewafl's benchmark output (§1:
+// "specific cleaning algorithms"). Each cleaner repairs one attribute of
+// a polluted stream; because Icewafl retains the clean stream, repair
+// quality is directly measurable as the distance between the repaired
+// and the original values.
+package clean
+
+import (
+	"fmt"
+	"math"
+
+	"icewafl/internal/stream"
+)
+
+// Cleaner repairs one numeric attribute of a bounded stream in place
+// (over a caller-owned copy).
+type Cleaner interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Clean repairs attr across tuples, returning how many values it
+	// changed.
+	Clean(tuples []stream.Tuple, attr string) (int, error)
+}
+
+// ForwardFill replaces NULLs with the last seen value (leading NULLs with
+// the first seen value) — the streaming ffill the paper itself applies
+// in §3.2.1.
+type ForwardFill struct{}
+
+// Name implements Cleaner.
+func (ForwardFill) Name() string { return "forward_fill" }
+
+// Clean implements Cleaner.
+func (ForwardFill) Clean(tuples []stream.Tuple, attr string) (int, error) {
+	if err := checkAttr(tuples, attr); err != nil {
+		return 0, err
+	}
+	changed := 0
+	last := math.NaN()
+	for i := range tuples {
+		v, _ := tuples[i].Get(attr)
+		if v.IsNull() {
+			if !math.IsNaN(last) {
+				tuples[i].Set(attr, stream.Float(last))
+				changed++
+			}
+			continue
+		}
+		if f, ok := v.AsFloat(); ok {
+			last = f
+		}
+	}
+	// Backward-fill the leading gap.
+	next := math.NaN()
+	for i := len(tuples) - 1; i >= 0; i-- {
+		v, _ := tuples[i].Get(attr)
+		if v.IsNull() {
+			if !math.IsNaN(next) {
+				tuples[i].Set(attr, stream.Float(next))
+				changed++
+			}
+			continue
+		}
+		if f, ok := v.AsFloat(); ok {
+			next = f
+		}
+	}
+	return changed, nil
+}
+
+// Interpolate replaces interior NULL runs with linear interpolation
+// between the neighbouring observed values; leading/trailing runs fall
+// back to the nearest observation.
+type Interpolate struct{}
+
+// Name implements Cleaner.
+func (Interpolate) Name() string { return "interpolate" }
+
+// Clean implements Cleaner.
+func (Interpolate) Clean(tuples []stream.Tuple, attr string) (int, error) {
+	if err := checkAttr(tuples, attr); err != nil {
+		return 0, err
+	}
+	changed := 0
+	n := len(tuples)
+	i := 0
+	for i < n {
+		v, _ := tuples[i].Get(attr)
+		if !v.IsNull() {
+			i++
+			continue
+		}
+		// NULL run [i, j).
+		j := i
+		for j < n {
+			if v, _ := tuples[j].Get(attr); !v.IsNull() {
+				break
+			}
+			j++
+		}
+		var left, right float64
+		haveLeft, haveRight := false, false
+		if i > 0 {
+			if f, ok := tuples[i-1].GetFloat(attr); ok {
+				left, haveLeft = f, true
+			}
+		}
+		if j < n {
+			if f, ok := tuples[j].GetFloat(attr); ok {
+				right, haveRight = f, true
+			}
+		}
+		for k := i; k < j; k++ {
+			var val float64
+			switch {
+			case haveLeft && haveRight:
+				frac := float64(k-i+1) / float64(j-i+1)
+				val = left + (right-left)*frac
+			case haveLeft:
+				val = left
+			case haveRight:
+				val = right
+			default:
+				continue // whole stream NULL: nothing to anchor on
+			}
+			tuples[k].Set(attr, stream.Float(val))
+			changed++
+		}
+		i = j
+	}
+	return changed, nil
+}
+
+// HampelFilter replaces outliers with the rolling median: a value
+// deviating from the median of the surrounding window by more than
+// Threshold times the scaled median absolute deviation is rewritten.
+// The classic robust repair for spike errors.
+type HampelFilter struct {
+	// Window is the half-width (default 12): the window spans
+	// [i-Window, i+Window].
+	Window int
+	// Threshold in MAD units (default 3).
+	Threshold float64
+}
+
+// Name implements Cleaner.
+func (HampelFilter) Name() string { return "hampel_filter" }
+
+// Clean implements Cleaner.
+func (h HampelFilter) Clean(tuples []stream.Tuple, attr string) (int, error) {
+	if err := checkAttr(tuples, attr); err != nil {
+		return 0, err
+	}
+	window := h.Window
+	if window < 1 {
+		window = 12
+	}
+	threshold := h.Threshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	n := len(tuples)
+	orig := make([]float64, n)
+	valid := make([]bool, n)
+	for i := range tuples {
+		orig[i], valid[i] = tuples[i].GetFloat(attr)
+	}
+	changed := 0
+	const madScale = 1.4826
+	for i := 0; i < n; i++ {
+		if !valid[i] {
+			continue
+		}
+		lo, hi := i-window, i+window+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		var neigh []float64
+		for k := lo; k < hi; k++ {
+			if k != i && valid[k] {
+				neigh = append(neigh, orig[k])
+			}
+		}
+		if len(neigh) < 4 {
+			continue
+		}
+		med := median(neigh)
+		devs := make([]float64, len(neigh))
+		for k, v := range neigh {
+			devs[k] = math.Abs(v - med)
+		}
+		mad := median(devs) * madScale
+		if mad == 0 {
+			// Constant neighbourhood: any deviation is an outlier.
+			if math.Abs(orig[i]-med) > 1e-9 {
+				tuples[i].Set(attr, stream.Float(med))
+				changed++
+			}
+			continue
+		}
+		if math.Abs(orig[i]-med) > threshold*mad {
+			tuples[i].Set(attr, stream.Float(med))
+			changed++
+		}
+	}
+	return changed, nil
+}
+
+// Pipeline chains cleaners: repair NULLs first, then outliers, etc.
+type Pipeline []Cleaner
+
+// Name implements Cleaner.
+func (p Pipeline) Name() string {
+	out := "pipeline("
+	for i, c := range p {
+		if i > 0 {
+			out += ","
+		}
+		out += c.Name()
+	}
+	return out + ")"
+}
+
+// Clean implements Cleaner.
+func (p Pipeline) Clean(tuples []stream.Tuple, attr string) (int, error) {
+	total := 0
+	for _, c := range p {
+		n, err := c.Clean(tuples, attr)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// RepairScore quantifies a cleaner against ground truth: the RMSE of the
+// attribute before and after cleaning, relative to the clean stream.
+type RepairScore struct {
+	RMSEBefore, RMSEAfter float64
+	Changed               int
+	// ImprovementPercent is the RMSE reduction (positive is better).
+	ImprovementPercent float64
+}
+
+// Evaluate runs cleaner over a copy of polluted and scores it against
+// the clean originals (matched by tuple ID). NULLs count as maximally
+// wrong via the clean stream's attribute range.
+func Evaluate(cleaner Cleaner, cleanTuples, polluted []stream.Tuple, attr string) (RepairScore, error) {
+	work := make([]stream.Tuple, len(polluted))
+	for i := range polluted {
+		work[i] = polluted[i].Clone()
+	}
+	truth := make(map[uint64]float64, len(cleanTuples))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range cleanTuples {
+		if f, ok := t.GetFloat(attr); ok {
+			truth[t.ID] = f
+			lo = math.Min(lo, f)
+			hi = math.Max(hi, f)
+		}
+	}
+	nullPenalty := hi - lo
+	if math.IsInf(nullPenalty, 0) || nullPenalty == 0 {
+		nullPenalty = 1
+	}
+	rmse := func(tuples []stream.Tuple) float64 {
+		var sse float64
+		var n int
+		for _, t := range tuples {
+			want, ok := truth[t.ID]
+			if !ok {
+				continue
+			}
+			got, isNum := t.GetFloat(attr)
+			if !isNum {
+				got = want + nullPenalty
+			}
+			d := got - want
+			sse += d * d
+			n++
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return math.Sqrt(sse / float64(n))
+	}
+	score := RepairScore{RMSEBefore: rmse(work)}
+	changed, err := cleaner.Clean(work, attr)
+	if err != nil {
+		return score, err
+	}
+	score.Changed = changed
+	score.RMSEAfter = rmse(work)
+	if score.RMSEBefore > 0 {
+		score.ImprovementPercent = (score.RMSEBefore - score.RMSEAfter) / score.RMSEBefore * 100
+	}
+	return score, nil
+}
+
+func checkAttr(tuples []stream.Tuple, attr string) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	if !tuples[0].Schema().Has(attr) {
+		return fmt.Errorf("clean: attribute %q not in schema", attr)
+	}
+	return nil
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// insertion sort: windows are small
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,193 @@
+package clean
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+var schema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "v", Kind: stream.KindFloat},
+)
+
+func mk(values []stream.Value) []stream.Tuple {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]stream.Tuple, len(values))
+	for i, v := range values {
+		out[i] = stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Hour)), v,
+		})
+		out[i].ID = uint64(i + 1)
+	}
+	return out
+}
+
+func f(v float64) stream.Value { return stream.Float(v) }
+
+func vals(tuples []stream.Tuple, t *testing.T) []float64 {
+	t.Helper()
+	out := make([]float64, len(tuples))
+	for i, tp := range tuples {
+		v, ok := tp.GetFloat("v")
+		if !ok {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestForwardFill(t *testing.T) {
+	tuples := mk([]stream.Value{stream.Null(), f(2), stream.Null(), stream.Null(), f(5)})
+	changed, err := (ForwardFill{}).Clean(tuples, "v")
+	if err != nil || changed != 3 {
+		t.Fatalf("changed %d, %v", changed, err)
+	}
+	want := []float64{2, 2, 2, 2, 5}
+	for i, v := range vals(tuples, t) {
+		if v != want[i] {
+			t.Fatalf("ffill %v, want %v", vals(tuples, t), want)
+		}
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	tuples := mk([]stream.Value{f(0), stream.Null(), stream.Null(), stream.Null(), f(8), stream.Null()})
+	changed, err := (Interpolate{}).Clean(tuples, "v")
+	if err != nil || changed != 4 {
+		t.Fatalf("changed %d, %v", changed, err)
+	}
+	want := []float64{0, 2, 4, 6, 8, 8}
+	for i, v := range vals(tuples, t) {
+		if math.Abs(v-want[i]) > 1e-9 {
+			t.Fatalf("interpolate %v, want %v", vals(tuples, t), want)
+		}
+	}
+}
+
+func TestInterpolateLeadingRun(t *testing.T) {
+	tuples := mk([]stream.Value{stream.Null(), stream.Null(), f(4)})
+	changed, _ := (Interpolate{}).Clean(tuples, "v")
+	if changed != 2 {
+		t.Fatalf("changed %d", changed)
+	}
+	got := vals(tuples, t)
+	if got[0] != 4 || got[1] != 4 {
+		t.Fatalf("leading fill %v", got)
+	}
+}
+
+func TestInterpolateAllNull(t *testing.T) {
+	tuples := mk([]stream.Value{stream.Null(), stream.Null()})
+	changed, err := (Interpolate{}).Clean(tuples, "v")
+	if err != nil || changed != 0 {
+		t.Fatalf("all-null: changed %d, %v", changed, err)
+	}
+}
+
+func TestHampelRepairsSpike(t *testing.T) {
+	values := make([]stream.Value, 50)
+	for i := range values {
+		values[i] = f(10 + float64(i%3)) // 10, 11, 12 pattern
+	}
+	values[25] = f(500)
+	tuples := mk(values)
+	changed, err := (HampelFilter{Window: 5, Threshold: 3}).Clean(tuples, "v")
+	if err != nil || changed != 1 {
+		t.Fatalf("changed %d, %v", changed, err)
+	}
+	if v, _ := tuples[25].GetFloat("v"); v > 13 || v < 10 {
+		t.Fatalf("spike repaired to %g", v)
+	}
+	// Non-outliers untouched.
+	if v, _ := tuples[10].GetFloat("v"); v != 11 {
+		t.Fatalf("inlier changed to %g", v)
+	}
+}
+
+func TestHampelSkipsNulls(t *testing.T) {
+	tuples := mk([]stream.Value{f(1), stream.Null(), f(1), f(1), f(1), f(100), f(1), f(1), f(1)})
+	if _, err := (HampelFilter{Window: 3, Threshold: 3}).Clean(tuples, "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := tuples[1].Get("v")
+	if !v.IsNull() {
+		t.Fatal("hampel filled a null")
+	}
+}
+
+func TestPipelineChainsCleaners(t *testing.T) {
+	values := make([]stream.Value, 40)
+	for i := range values {
+		values[i] = f(10)
+	}
+	values[5] = stream.Null()
+	values[20] = f(999)
+	tuples := mk(values)
+	p := Pipeline{Interpolate{}, HampelFilter{Window: 5, Threshold: 3}}
+	changed, err := p.Clean(tuples, "v")
+	if err != nil || changed != 2 {
+		t.Fatalf("changed %d, %v", changed, err)
+	}
+	for i, v := range vals(tuples, t) {
+		if v != 10 {
+			t.Fatalf("tuple %d not repaired: %g", i, v)
+		}
+	}
+	if p.Name() != "pipeline(interpolate,hampel_filter)" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestCleanUnknownAttr(t *testing.T) {
+	tuples := mk([]stream.Value{f(1)})
+	for _, c := range []Cleaner{ForwardFill{}, Interpolate{}, HampelFilter{}} {
+		if _, err := c.Clean(tuples, "zzz"); err == nil {
+			t.Errorf("%s accepted unknown attribute", c.Name())
+		}
+	}
+	// Empty stream is a no-op, not an error.
+	if _, err := (ForwardFill{}).Clean(nil, "zzz"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateMeasuresImprovement(t *testing.T) {
+	clean := mk([]stream.Value{f(1), f(2), f(3), f(4), f(5), f(6), f(7), f(8)})
+	polluted := make([]stream.Tuple, len(clean))
+	for i := range clean {
+		polluted[i] = clean[i].Clone()
+	}
+	polluted[3].Set("v", stream.Null())
+	polluted[5].Set("v", stream.Null())
+	score, err := Evaluate(ForwardFill{}, clean, polluted, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Changed != 2 {
+		t.Fatalf("changed %d", score.Changed)
+	}
+	if !(score.RMSEAfter < score.RMSEBefore) || score.ImprovementPercent <= 0 {
+		t.Fatalf("no improvement: %+v", score)
+	}
+	// The polluted input itself is untouched by Evaluate.
+	if v, _ := polluted[3].Get("v"); !v.IsNull() {
+		t.Fatal("Evaluate mutated its input")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}

@@ -1,0 +1,620 @@
+// Package config implements Icewafl's declarative error-configuration
+// language (the "Define Error Conditions" input of Figure 2, addressing
+// Challenge C3): pollution scenarios are described as JSON documents and
+// compiled into core pipelines. Inexperienced users combine predefined
+// error types and conditions; experts nest composite polluters and
+// sub-pipelines.
+//
+// All randomness is derived from the document's root seed and the
+// polluter's path within the document, so a configuration is a complete,
+// reproducible specification of a pollution run.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// Document is the root of a pollution configuration.
+type Document struct {
+	// Seed drives every random draw of the compiled process.
+	Seed int64 `json:"seed"`
+	// Route selects how tuples are distributed over the pipelines:
+	// "all" (default for m > 1), "round_robin", or "by:<attribute>".
+	Route string `json:"route,omitempty"`
+	// Parallel pollutes sub-streams concurrently.
+	Parallel bool `json:"parallel,omitempty"`
+	// Pipelines holds one pollution pipeline per sub-stream.
+	Pipelines []PipelineSpec `json:"pipelines"`
+}
+
+// PipelineSpec is one pollution pipeline.
+type PipelineSpec struct {
+	Name      string         `json:"name,omitempty"`
+	Polluters []PolluterSpec `json:"polluters"`
+}
+
+// PolluterSpec describes a standard or composite polluter.
+type PolluterSpec struct {
+	Name string `json:"name"`
+	// Type is "standard" (default) or "composite".
+	Type      string         `json:"type,omitempty"`
+	Condition *ConditionSpec `json:"condition,omitempty"`
+	Error     *ErrorSpec     `json:"error,omitempty"`
+	Attrs     []string       `json:"attrs,omitempty"`
+	Mode      string         `json:"mode,omitempty"` // composite: sequence|choice|weighted
+	Weights   []float64      `json:"weights,omitempty"`
+	Children  []PolluterSpec `json:"children,omitempty"`
+	// KeyAttr and Template configure a "keyed" polluter: Template is
+	// instantiated once per distinct value of KeyAttr, with key-specific
+	// randomness.
+	KeyAttr  string        `json:"key_attr,omitempty"`
+	Template *PolluterSpec `json:"template,omitempty"`
+}
+
+// ConditionSpec describes a condition tree.
+type ConditionSpec struct {
+	Type string `json:"type"`
+
+	// random
+	P      *float64   `json:"p,omitempty"`
+	PParam *ParamSpec `json:"p_param,omitempty"`
+
+	// compare
+	Attr  string          `json:"attr,omitempty"`
+	Op    string          `json:"op,omitempty"`
+	Value json.RawMessage `json:"value,omitempty"`
+
+	// time_interval
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// time_of_day
+	FromHour int `json:"from_hour,omitempty"`
+	ToHour   int `json:"to_hour,omitempty"`
+
+	// and / or / not; not/sticky/budget use Child as the inner condition
+	Children []ConditionSpec `json:"children,omitempty"`
+	Child    *ConditionSpec  `json:"child,omitempty"`
+
+	// sticky
+	Hold string `json:"hold,omitempty"`
+
+	// markov (Gilbert-Elliott burst chain)
+	PEnter float64 `json:"p_enter,omitempty"`
+	PExit  float64 `json:"p_exit,omitempty"`
+
+	// budget
+	Budget int    `json:"budget,omitempty"`
+	Window string `json:"window,omitempty"`
+}
+
+// ParamSpec describes a scalar or time-varying parameter.
+type ParamSpec struct {
+	// Const is used when the parameter appears as a bare number.
+	Const *float64 `json:"const,omitempty"`
+	Type  string   `json:"type,omitempty"` // linear | sinusoid_daily | pattern
+	// linear
+	From string  `json:"from,omitempty"`
+	To   string  `json:"to,omitempty"`
+	V0   float64 `json:"v0,omitempty"`
+	V1   float64 `json:"v1,omitempty"`
+	// sinusoid_daily
+	Amp    float64 `json:"amp,omitempty"`
+	Offset float64 `json:"offset,omitempty"`
+	// pattern
+	Pattern *PatternSpec `json:"pattern,omitempty"`
+	Max     float64      `json:"max,omitempty"`
+}
+
+// UnmarshalJSON accepts either a bare number or a parameter object.
+func (p *ParamSpec) UnmarshalJSON(data []byte) error {
+	var num float64
+	if err := json.Unmarshal(data, &num); err == nil {
+		p.Const = &num
+		return nil
+	}
+	type alias ParamSpec
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*p = ParamSpec(a)
+	return nil
+}
+
+// PatternSpec describes a change pattern.
+type PatternSpec struct {
+	Type       string `json:"type"` // abrupt | incremental | intermediate
+	At         string `json:"at,omitempty"`
+	From       string `json:"from,omitempty"`
+	To         string `json:"to,omitempty"`
+	Triangular bool   `json:"triangular,omitempty"`
+}
+
+// ErrorSpec describes an error function.
+type ErrorSpec struct {
+	Type string `json:"type"`
+
+	Stddev     *ParamSpec      `json:"stddev,omitempty"`
+	Lo         *ParamSpec      `json:"lo,omitempty"`
+	Hi         *ParamSpec      `json:"hi,omitempty"`
+	Factor     *ParamSpec      `json:"factor,omitempty"`
+	Delta      *ParamSpec      `json:"delta,omitempty"`
+	Magnitude  *ParamSpec      `json:"magnitude,omitempty"`
+	Value      json.RawMessage `json:"value,omitempty"`
+	Categories []string        `json:"categories,omitempty"`
+	Digits     int             `json:"digits,omitempty"`
+	ClampLo    float64         `json:"clamp_lo,omitempty"`
+	ClampHi    float64         `json:"clamp_hi,omitempty"`
+	Delay      string          `json:"delay,omitempty"`
+	Offset     string          `json:"offset,omitempty"`
+	ReleaseAt  string          `json:"release_at,omitempty"`
+	Errors     []ErrorSpec     `json:"errors,omitempty"` // chain
+}
+
+// Parse decodes a JSON configuration document.
+func Parse(r io.Reader) (*Document, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc Document
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("config: parse: %w", err)
+	}
+	return &doc, nil
+}
+
+// Build compiles the document into an executable pollution process.
+func Build(doc *Document) (*core.Process, error) {
+	if len(doc.Pipelines) == 0 {
+		return nil, fmt.Errorf("config: document has no pipelines")
+	}
+	proc := &core.Process{FirstID: 1, KeepClean: true, Parallel: doc.Parallel}
+	for i, ps := range doc.Pipelines {
+		path := fmt.Sprintf("pipeline[%d]", i)
+		if ps.Name != "" {
+			path = ps.Name
+		}
+		var polluters []core.Polluter
+		for j, spec := range ps.Polluters {
+			p, err := buildPolluter(spec, doc.Seed, fmt.Sprintf("%s/%d:%s", path, j, spec.Name))
+			if err != nil {
+				return nil, err
+			}
+			polluters = append(polluters, p)
+		}
+		proc.Pipelines = append(proc.Pipelines, core.NewPipeline(polluters...))
+	}
+	route, err := buildRoute(doc.Route)
+	if err != nil {
+		return nil, err
+	}
+	proc.Route = route
+	return proc, nil
+}
+
+// Load parses and compiles in one step.
+func Load(r io.Reader) (*core.Process, error) {
+	doc, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return Build(doc)
+}
+
+func buildRoute(route string) (stream.RouteFunc, error) {
+	switch {
+	case route == "" || route == "all":
+		return nil, nil // Process defaults handle these
+	case route == "round_robin":
+		return stream.RouteRoundRobin(), nil
+	case len(route) > 3 && route[:3] == "by:":
+		return stream.RouteByAttribute(route[3:]), nil
+	}
+	return nil, fmt.Errorf("config: unknown route %q", route)
+}
+
+func buildPolluter(spec PolluterSpec, seed int64, path string) (core.Polluter, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("config: polluter at %s has no name", path)
+	}
+	cond, err := buildCondition(spec.Condition, seed, path+"/cond")
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Type {
+	case "", "standard":
+		if spec.Error == nil {
+			return nil, fmt.Errorf("config: standard polluter %q has no error", path)
+		}
+		if len(spec.Children) > 0 {
+			return nil, fmt.Errorf("config: standard polluter %q cannot have children", path)
+		}
+		errFn, err := buildError(*spec.Error, seed, path+"/error")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewStandard(spec.Name, errFn, cond, spec.Attrs...), nil
+	case "composite":
+		if spec.Error != nil {
+			return nil, fmt.Errorf("config: composite polluter %q cannot carry an error", path)
+		}
+		var children []core.Polluter
+		for j, c := range spec.Children {
+			child, err := buildPolluter(c, seed, fmt.Sprintf("%s/%d:%s", path, j, c.Name))
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+		}
+		comp := &core.Composite{PolluterName: spec.Name, Cond: cond, Children: children}
+		switch spec.Mode {
+		case "", "sequence":
+			comp.Mode = core.ModeSequence
+		case "choice":
+			comp.Mode = core.ModeChoice
+			comp.Rand = rng.Derive(seed, path+"/choice")
+		case "weighted":
+			if len(spec.Weights) != len(children) {
+				return nil, fmt.Errorf("config: composite %q has %d weights for %d children", path, len(spec.Weights), len(children))
+			}
+			comp.Mode = core.ModeWeighted
+			comp.Weights = spec.Weights
+			comp.Rand = rng.Derive(seed, path+"/choice")
+		default:
+			return nil, fmt.Errorf("config: composite %q has unknown mode %q", path, spec.Mode)
+		}
+		return comp, nil
+	case "keyed":
+		if spec.KeyAttr == "" || spec.Template == nil {
+			return nil, fmt.Errorf("config: keyed polluter %q needs key_attr and template", path)
+		}
+		if spec.Error != nil || len(spec.Children) > 0 {
+			return nil, fmt.Errorf("config: keyed polluter %q carries its behaviour in template only", path)
+		}
+		// Validate the template once upfront so configuration errors
+		// surface at load time rather than on first key.
+		if _, err := buildPolluter(*spec.Template, seed, path+"/template"); err != nil {
+			return nil, err
+		}
+		tmpl := *spec.Template
+		return core.NewKeyedPolluter(spec.Name, spec.KeyAttr, func(key string) core.Polluter {
+			p, err := buildPolluter(tmpl, seed, path+"/key="+key)
+			if err != nil {
+				// Unreachable: the template was validated above and key
+				// only affects RNG derivation.
+				panic(fmt.Sprintf("config: keyed template instantiation: %v", err))
+			}
+			return p
+		}), nil
+	}
+	return nil, fmt.Errorf("config: polluter %q has unknown type %q", path, spec.Type)
+}
+
+func buildCondition(spec *ConditionSpec, seed int64, path string) (core.Condition, error) {
+	if spec == nil {
+		return core.Always{}, nil
+	}
+	switch spec.Type {
+	case "always":
+		return core.Always{}, nil
+	case "never":
+		return core.Never{}, nil
+	case "random":
+		var p core.Param
+		switch {
+		case spec.PParam != nil:
+			var err error
+			p, err = buildParam(spec.PParam, path+"/p")
+			if err != nil {
+				return nil, err
+			}
+		case spec.P != nil:
+			p = core.Const(*spec.P)
+		default:
+			return nil, fmt.Errorf("config: random condition at %s needs p or p_param", path)
+		}
+		return core.NewRandom(p, rng.Derive(seed, path)), nil
+	case "compare":
+		if spec.Attr == "" {
+			return nil, fmt.Errorf("config: compare condition at %s needs attr", path)
+		}
+		v, err := parseValueJSON(spec.Value)
+		if err != nil {
+			return nil, fmt.Errorf("config: compare at %s: %w", path, err)
+		}
+		op := core.ValueOp(spec.Op)
+		switch op {
+		case core.OpEq, core.OpNe, core.OpLt, core.OpLe, core.OpGt, core.OpGe:
+		default:
+			return nil, fmt.Errorf("config: compare at %s has unknown op %q", path, spec.Op)
+		}
+		return core.Compare{Attr: spec.Attr, Op: op, Value: v}, nil
+	case "time_interval":
+		from, err := parseTime(spec.From)
+		if err != nil {
+			return nil, fmt.Errorf("config: time_interval at %s: %w", path, err)
+		}
+		to, err := parseTime(spec.To)
+		if err != nil {
+			return nil, fmt.Errorf("config: time_interval at %s: %w", path, err)
+		}
+		return core.TimeInterval{From: from, To: to}, nil
+	case "time_of_day":
+		return core.TimeOfDay{FromHour: spec.FromHour, ToHour: spec.ToHour}, nil
+	case "and", "or":
+		var children []core.Condition
+		for i := range spec.Children {
+			c, err := buildCondition(&spec.Children[i], seed, fmt.Sprintf("%s/%d", path, i))
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, c)
+		}
+		if spec.Type == "and" {
+			return core.And(children), nil
+		}
+		return core.Or(children), nil
+	case "not":
+		if spec.Child == nil {
+			return nil, fmt.Errorf("config: not condition at %s needs a child", path)
+		}
+		inner, err := buildCondition(spec.Child, seed, path+"/not")
+		if err != nil {
+			return nil, err
+		}
+		return core.Not{Inner: inner}, nil
+	case "sticky":
+		if spec.Child == nil {
+			return nil, fmt.Errorf("config: sticky condition at %s needs a child trigger", path)
+		}
+		hold, err := time.ParseDuration(spec.Hold)
+		if err != nil {
+			return nil, fmt.Errorf("config: sticky at %s: bad hold: %w", path, err)
+		}
+		trigger, err := buildCondition(spec.Child, seed, path+"/sticky")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSticky(trigger, hold), nil
+	case "markov":
+		if spec.PEnter <= 0 || spec.PEnter > 1 || spec.PExit <= 0 || spec.PExit > 1 {
+			return nil, fmt.Errorf("config: markov at %s needs p_enter and p_exit in (0, 1]", path)
+		}
+		return core.NewMarkovCondition(spec.PEnter, spec.PExit, rng.Derive(seed, path)), nil
+	case "budget":
+		if spec.Child == nil {
+			return nil, fmt.Errorf("config: budget condition at %s needs a child", path)
+		}
+		if spec.Budget < 1 {
+			return nil, fmt.Errorf("config: budget at %s needs budget >= 1", path)
+		}
+		window, err := time.ParseDuration(spec.Window)
+		if err != nil {
+			return nil, fmt.Errorf("config: budget at %s: bad window: %w", path, err)
+		}
+		inner, err := buildCondition(spec.Child, seed, path+"/budget")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBudgetCondition(inner, spec.Budget, window), nil
+	}
+	return nil, fmt.Errorf("config: unknown condition type %q at %s", spec.Type, path)
+}
+
+func buildParam(spec *ParamSpec, path string) (core.Param, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("config: missing parameter at %s", path)
+	}
+	if spec.Const != nil {
+		return core.Const(*spec.Const), nil
+	}
+	switch spec.Type {
+	case "linear":
+		from, err := parseTime(spec.From)
+		if err != nil {
+			return nil, fmt.Errorf("config: linear param at %s: %w", path, err)
+		}
+		to, err := parseTime(spec.To)
+		if err != nil {
+			return nil, fmt.Errorf("config: linear param at %s: %w", path, err)
+		}
+		return core.Linear(from, to, spec.V0, spec.V1), nil
+	case "sinusoid_daily":
+		return core.SinusoidDaily(spec.Amp, spec.Offset), nil
+	case "pattern":
+		if spec.Pattern == nil {
+			return nil, fmt.Errorf("config: pattern param at %s needs a pattern", path)
+		}
+		pat, err := buildPattern(spec.Pattern, path)
+		if err != nil {
+			return nil, err
+		}
+		max := spec.Max
+		if max == 0 {
+			max = 1
+		}
+		return core.Scaled(pat, max), nil
+	}
+	return nil, fmt.Errorf("config: unknown param type %q at %s", spec.Type, path)
+}
+
+func buildPattern(spec *PatternSpec, path string) (core.Pattern, error) {
+	switch spec.Type {
+	case "abrupt":
+		at, err := parseTime(spec.At)
+		if err != nil {
+			return nil, fmt.Errorf("config: abrupt pattern at %s: %w", path, err)
+		}
+		return core.AbruptPattern{At: at}, nil
+	case "incremental":
+		from, err := parseTime(spec.From)
+		if err != nil {
+			return nil, fmt.Errorf("config: incremental pattern at %s: %w", path, err)
+		}
+		to, err := parseTime(spec.To)
+		if err != nil {
+			return nil, fmt.Errorf("config: incremental pattern at %s: %w", path, err)
+		}
+		return core.IncrementalPattern{From: from, To: to}, nil
+	case "intermediate":
+		from, err := parseTime(spec.From)
+		if err != nil {
+			return nil, fmt.Errorf("config: intermediate pattern at %s: %w", path, err)
+		}
+		to, err := parseTime(spec.To)
+		if err != nil {
+			return nil, fmt.Errorf("config: intermediate pattern at %s: %w", path, err)
+		}
+		return core.IntermediatePattern{From: from, To: to, Triangular: spec.Triangular}, nil
+	}
+	return nil, fmt.Errorf("config: unknown pattern type %q at %s", spec.Type, path)
+}
+
+func buildError(spec ErrorSpec, seed int64, path string) (core.ErrorFunc, error) {
+	required := func(p *ParamSpec, name string) (core.Param, error) {
+		if p == nil {
+			return nil, fmt.Errorf("config: error at %s requires %s", path, name)
+		}
+		return buildParam(p, path+"/"+name)
+	}
+	switch spec.Type {
+	case "gaussian_noise":
+		sd, err := required(spec.Stddev, "stddev")
+		if err != nil {
+			return nil, err
+		}
+		return &core.GaussianNoise{Stddev: sd, Rand: rng.Derive(seed, path)}, nil
+	case "uniform_mult_noise":
+		lo, err := required(spec.Lo, "lo")
+		if err != nil {
+			return nil, err
+		}
+		hi, err := required(spec.Hi, "hi")
+		if err != nil {
+			return nil, err
+		}
+		return &core.UniformMultNoise{Lo: lo, Hi: hi, Rand: rng.Derive(seed, path)}, nil
+	case "scale_by_factor":
+		f, err := required(spec.Factor, "factor")
+		if err != nil {
+			return nil, err
+		}
+		return &core.ScaleByFactor{Factor: f}, nil
+	case "missing_value":
+		return core.MissingValue{}, nil
+	case "set_constant":
+		v, err := parseValueJSON(spec.Value)
+		if err != nil {
+			return nil, fmt.Errorf("config: set_constant at %s: %w", path, err)
+		}
+		return core.SetConstant{Value: v}, nil
+	case "incorrect_category":
+		if len(spec.Categories) == 0 {
+			return nil, fmt.Errorf("config: incorrect_category at %s needs categories", path)
+		}
+		return &core.IncorrectCategory{Categories: spec.Categories, Rand: rng.Derive(seed, path)}, nil
+	case "round_precision":
+		return core.RoundPrecision{Digits: spec.Digits}, nil
+	case "outlier":
+		m, err := required(spec.Magnitude, "magnitude")
+		if err != nil {
+			return nil, err
+		}
+		return &core.Outlier{Magnitude: m, Rand: rng.Derive(seed, path)}, nil
+	case "string_typo":
+		return &core.StringTypo{Rand: rng.Derive(seed, path)}, nil
+	case "swap_attributes":
+		return core.SwapAttributes{}, nil
+	case "offset":
+		d, err := required(spec.Delta, "delta")
+		if err != nil {
+			return nil, err
+		}
+		return core.Offset{Delta: d}, nil
+	case "clamp":
+		return core.Clamp{Lo: spec.ClampLo, Hi: spec.ClampHi}, nil
+	case "delayed_tuple":
+		d, err := time.ParseDuration(spec.Delay)
+		if err != nil {
+			return nil, fmt.Errorf("config: delayed_tuple at %s: %w", path, err)
+		}
+		return core.DelayTuple{Delay: d}, nil
+	case "frozen_value":
+		return core.NewFrozenValue(), nil
+	case "timestamp_shift":
+		d, err := time.ParseDuration(spec.Offset)
+		if err != nil {
+			return nil, fmt.Errorf("config: timestamp_shift at %s: %w", path, err)
+		}
+		return core.TimestampShift{Offset: d}, nil
+	case "dropped_tuple":
+		return core.DropTuple{}, nil
+	case "hold_and_release":
+		at, err := parseTime(spec.ReleaseAt)
+		if err != nil {
+			return nil, fmt.Errorf("config: hold_and_release at %s: %w", path, err)
+		}
+		return core.HoldAndRelease{ReleaseAt: at}, nil
+	case "chain":
+		if len(spec.Errors) == 0 {
+			return nil, fmt.Errorf("config: chain at %s needs errors", path)
+		}
+		var chain core.Chain
+		for i, sub := range spec.Errors {
+			e, err := buildError(sub, seed, fmt.Sprintf("%s/%d", path, i))
+			if err != nil {
+				return nil, err
+			}
+			chain = append(chain, e)
+		}
+		return chain, nil
+	}
+	return nil, fmt.Errorf("config: unknown error type %q at %s", spec.Type, path)
+}
+
+// parseValueJSON maps a raw JSON scalar onto a stream.Value: numbers to
+// float, strings to string (or time when RFC3339), booleans to bool, and
+// null to NULL.
+func parseValueJSON(raw json.RawMessage) (stream.Value, error) {
+	if len(raw) == 0 {
+		return stream.Null(), fmt.Errorf("missing value")
+	}
+	var v interface{}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return stream.Null(), err
+	}
+	switch x := v.(type) {
+	case nil:
+		return stream.Null(), nil
+	case float64:
+		return stream.Float(x), nil
+	case bool:
+		return stream.Bool(x), nil
+	case string:
+		if t, err := time.Parse(time.RFC3339, x); err == nil {
+			return stream.Time(t), nil
+		}
+		return stream.Str(x), nil
+	}
+	return stream.Null(), fmt.Errorf("unsupported JSON value %s", string(raw))
+}
+
+// parseTime parses an RFC3339 timestamp; the empty string maps to the
+// zero time (unbounded interval edge).
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad timestamp %q: %w", s, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,52 @@
+package config_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"icewafl/internal/config"
+	"icewafl/internal/stream"
+)
+
+// ExampleLoad compiles a JSON error configuration into a runnable
+// pollution process.
+func ExampleLoad() {
+	doc := `{
+	  "seed": 7,
+	  "pipelines": [{"polluters": [{
+	    "name": "cap humidity",
+	    "error": {"type": "clamp", "clamp_lo": 0, "clamp_hi": 100},
+	    "attrs": ["humidity"]
+	  }]}]
+	}`
+	proc, err := config.Load(strings.NewReader(doc))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "humidity", Kind: stream.KindFloat},
+	)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(schema, 3, func(i int) stream.Tuple {
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(start.Add(time.Duration(i) * time.Hour)),
+			stream.Float(float64(90 + 10*i)), // 90, 100, 110
+		})
+	})
+	result, err := proc.Run(src)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, t := range result.Polluted {
+		fmt.Println(t.MustGet("humidity"))
+	}
+	// Output:
+	// 90
+	// 100
+	// 100
+}

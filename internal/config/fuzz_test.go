@@ -1,0 +1,31 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks that arbitrary byte sequences never panic the
+// configuration loader: they either parse into a valid process or
+// return an error.
+func FuzzLoad(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"seed": 1, "pipelines": [{"polluters": []}]}`,
+		`{"seed": 1, "pipelines": [{"polluters": [{"name": "p", "error": {"type": "missing_value"}, "attrs": ["v"]}]}]}`,
+		`{"seed": 1, "route": "by:sensor", "pipelines": [{"polluters": [{"name": "p", "type": "composite", "mode": "choice", "children": [{"name": "c", "error": {"type": "dropped_tuple"}}]}]}]}`,
+		`{"seed": -9, "pipelines": [{"polluters": [{"name": "p", "error": {"type": "gaussian_noise", "stddev": {"type": "sinusoid_daily", "amp": 1}}, "condition": {"type": "sticky", "hold": "1h", "child": {"type": "markov", "p_enter": 0.1, "p_exit": 0.5}}}]}]}`,
+		`[1, 2, 3]`,
+		`null`,
+		"\x00\x01",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		proc, err := Load(strings.NewReader(doc))
+		if err == nil && proc == nil {
+			t.Fatal("nil process without error")
+		}
+	})
+}

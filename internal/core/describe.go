@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DescribePolluter renders a polluter tree as an indented, human-readable
+// outline — the introspection behind pollution-run reports and config
+// debugging.
+func DescribePolluter(p Polluter, indent int) string {
+	pad := strings.Repeat("  ", indent)
+	switch x := p.(type) {
+	case *Standard:
+		return fmt.Sprintf("%s- %s: %s on %v when %s\n",
+			pad, x.PolluterName, x.Err.Kind(), x.Attrs, x.Cond.Describe())
+	case *Composite:
+		mode := "sequence"
+		switch x.Mode {
+		case ModeChoice:
+			mode = "choice"
+		case ModeWeighted:
+			mode = "weighted"
+		}
+		out := fmt.Sprintf("%s- %s (composite, %s) when %s\n",
+			pad, x.PolluterName, mode, x.Cond.Describe())
+		for _, c := range x.Children {
+			out += DescribePolluter(c, indent+1)
+		}
+		return out
+	case *KeyedPolluter:
+		return fmt.Sprintf("%s- %s (keyed by %s, %d keys seen)\n",
+			pad, x.PolluterName, x.KeyAttr, len(x.Keys()))
+	case *Observer:
+		return fmt.Sprintf("%s- state observer\n", pad)
+	}
+	return fmt.Sprintf("%s- %s\n", pad, p.Name())
+}
+
+// DescribePipeline renders a whole pipeline.
+func DescribePipeline(p *Pipeline) string {
+	var b strings.Builder
+	for _, pol := range p.Polluters {
+		b.WriteString(DescribePolluter(pol, 0))
+	}
+	return b.String()
+}

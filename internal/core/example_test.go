@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// ExampleProcess_Run pollutes a small stream with a value-dependent
+// condition and inspects the result and the pollution log.
+func ExampleProcess_Run() {
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(schema, 5, func(i int) stream.Tuple {
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(start.Add(time.Duration(i) * time.Hour)),
+			stream.Float(float64(18 + i)),
+		})
+	})
+
+	// Null out every temperature above 20 degrees.
+	polluter := core.NewStandard("null-hot", core.MissingValue{},
+		core.Compare{Attr: "temp", Op: core.OpGt, Value: stream.Float(20)}, "temp")
+	result, err := core.NewProcess(core.NewPipeline(polluter)).Run(src)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("errors:", result.Log.Len())
+	for _, t := range result.Polluted {
+		fmt.Printf("%s temp=%s\n", t.EventTime.Format("15:04"), t.MustGet("temp"))
+	}
+	// Output:
+	// errors: 2
+	// 00:00 temp=18
+	// 01:00 temp=19
+	// 02:00 temp=20
+	// 03:00 temp=
+	// 04:00 temp=
+}
+
+// ExampleComposite shows the Figure 5 pattern: a composite polluter with
+// a shared gate delegating to children that always occur together.
+func ExampleComposite() {
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "km", Kind: stream.KindFloat},
+		stream.Field{Name: "cal", Kind: stream.KindFloat},
+	)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(schema, 2, func(i int) stream.Tuple {
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(start.AddDate(0, 0, i)),
+			stream.Float(1.5),
+			stream.Float(3.14159),
+		})
+	})
+
+	update := core.NewComposite("software update",
+		core.TimeInterval{From: start.AddDate(0, 0, 1)}, // gate: day two on
+		core.NewStandard("km to cm", &core.ScaleByFactor{Factor: core.Const(100000)}, nil, "km"),
+		core.NewStandard("round", core.RoundPrecision{Digits: 2}, nil, "cal"),
+	)
+	result, _ := core.NewProcess(core.NewPipeline(update)).Run(src)
+	for _, t := range result.Polluted {
+		fmt.Printf("km=%s cal=%s\n", t.MustGet("km"), t.MustGet("cal"))
+	}
+	// Output:
+	// km=1.5 cal=3.14159
+	// km=150000 cal=3.14
+}
+
+// ExampleNewMarkovCondition models bursty errors whose tuple-level
+// indicators are dependent random variables.
+func ExampleNewMarkovCondition() {
+	chain := core.NewMarkovCondition(0.5, 0.5, rng.New(1))
+	tuple := stream.Tuple{}
+	burst := 0
+	for i := 0; i < 10; i++ {
+		if chain.Eval(tuple, time.Time{}) {
+			burst++
+		}
+	}
+	fmt.Printf("%d of 10 tuples inside error bursts\n", burst)
+	// Output:
+	// 3 of 10 tuples inside error bursts
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+// This file implements the paper's second future-work item (§5):
+// managing inter-tuple dependencies per key, the analogue of Flink's
+// keyed process functions. A KeyedPolluter partitions the stream by a
+// key attribute and maintains one independent polluter instance —
+// including any stateful conditions and error functions — per key, so
+// that, e.g., each sensor gets its own frozen-value state, Markov error
+// chain, or running statistics.
+
+// KeyedPolluter routes every tuple to a per-key polluter instance
+// created on first sight of the key.
+type KeyedPolluter struct {
+	PolluterName string
+	// KeyAttr names the attribute whose textual rendering is the key.
+	KeyAttr string
+	// New creates the polluter instance for a key. The key is passed so
+	// factories can derive key-specific RNG streams, keeping the whole
+	// construct deterministic.
+	New func(key string) Polluter
+
+	instances map[string]Polluter
+}
+
+// NewKeyedPolluter builds a keyed polluter.
+func NewKeyedPolluter(name, keyAttr string, factory func(key string) Polluter) *KeyedPolluter {
+	return &KeyedPolluter{
+		PolluterName: name,
+		KeyAttr:      keyAttr,
+		New:          factory,
+		instances:    make(map[string]Polluter),
+	}
+}
+
+// Name implements Polluter.
+func (p *KeyedPolluter) Name() string { return p.PolluterName }
+
+// Pollute implements Polluter.
+func (p *KeyedPolluter) Pollute(t *stream.Tuple, tau time.Time, log *Log) {
+	v, ok := t.Get(p.KeyAttr)
+	if !ok {
+		return
+	}
+	key := v.String()
+	inst := p.instances[key]
+	if inst == nil {
+		inst = p.New(key)
+		p.instances[key] = inst
+	}
+	inst.Pollute(t, tau, log)
+}
+
+// Keys returns the keys seen so far, sorted for deterministic reporting.
+func (p *KeyedPolluter) Keys() []string {
+	out := make([]string, 0, len(p.instances))
+	for k := range p.instances {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instance returns the polluter bound to key, if any — useful for
+// inspecting per-key state in tests and tools.
+func (p *KeyedPolluter) Instance(key string) (Polluter, bool) {
+	inst, ok := p.instances[key]
+	return inst, ok
+}
+
+// String renders a short summary.
+func (p *KeyedPolluter) String() string {
+	return fmt.Sprintf("keyed(%s by %s, %d keys)", p.PolluterName, p.KeyAttr, len(p.instances))
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Entry records one injected error: which polluter hit which tuple, which
+// error function it applied, and on which attributes. Together with the
+// retained clean stream, the log is the ground truth used to score error-
+// detection tools (the "Log Data" output of Figure 2).
+type Entry struct {
+	TupleID   uint64    `json:"tuple_id"`
+	SubStream int       `json:"sub_stream"`
+	EventTime time.Time `json:"event_time"`
+	Polluter  string    `json:"polluter"`
+	Error     string    `json:"error"`
+	Attrs     []string  `json:"attrs,omitempty"`
+}
+
+// Log accumulates pollution entries. It is not safe for concurrent use;
+// the pollution process keeps one log per sub-stream and merges them.
+type Log struct {
+	Entries []Entry
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Record appends an entry.
+func (l *Log) Record(e Entry) {
+	if l == nil {
+		return
+	}
+	l.Entries = append(l.Entries, e)
+}
+
+// Len returns the number of recorded errors.
+func (l *Log) Len() int { return len(l.Entries) }
+
+// PollutedTuples returns the set of tuple IDs that received at least one
+// error.
+func (l *Log) PollutedTuples() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, e := range l.Entries {
+		out[e.TupleID] = true
+	}
+	return out
+}
+
+// CountByPolluter tallies entries per polluter name.
+func (l *Log) CountByPolluter() map[string]int {
+	out := make(map[string]int)
+	for _, e := range l.Entries {
+		out[e.Polluter]++
+	}
+	return out
+}
+
+// CountByError tallies entries per error kind.
+func (l *Log) CountByError() map[string]int {
+	out := make(map[string]int)
+	for _, e := range l.Entries {
+		out[e.Error]++
+	}
+	return out
+}
+
+// CountByHour tallies entries per hour of day of the event time — the
+// histogram behind Figure 4.
+func (l *Log) CountByHour() [24]int {
+	var out [24]int
+	for _, e := range l.Entries {
+		out[e.EventTime.Hour()]++
+	}
+	return out
+}
+
+// ForTuple returns the entries affecting one tuple, in injection order.
+func (l *Log) ForTuple(id uint64) []Entry {
+	var out []Entry
+	for _, e := range l.Entries {
+		if e.TupleID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Merge appends all entries of other, stamping them with the given
+// sub-stream index.
+func (l *Log) Merge(other *Log, subStream int) {
+	for _, e := range other.Entries {
+		e.SubStream = subStream
+		l.Entries = append(l.Entries, e)
+	}
+}
+
+// WriteJSON serialises the log as JSON lines, one entry per line, so that
+// huge logs stream to disk without buffering.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range l.Entries {
+		if err := enc.Encode(&l.Entries[i]); err != nil {
+			return fmt.Errorf("core: write log entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadLogJSON parses a JSON-lines log written by WriteJSON.
+func ReadLogJSON(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := NewLog()
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			return l, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("core: read log: %w", err)
+		}
+		l.Entries = append(l.Entries, e)
+	}
+}

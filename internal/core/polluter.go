@@ -1,0 +1,170 @@
+package core
+
+import (
+	"time"
+
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// Polluter is the unit of the pollution model. Standard polluters inject
+// a specific error; composite polluters structure the pipeline (paper
+// §2.2.1). Pollute mutates the tuple in place and records every injected
+// error in the log.
+type Polluter interface {
+	// Pollute applies the polluter to t at event time tau, appending a
+	// log entry for every error actually injected.
+	Pollute(t *stream.Tuple, tau time.Time, log *Log)
+	// Name identifies the polluter in logs and configurations.
+	Name() string
+}
+
+// Standard is the polluter triple ⟨e, c, A_p⟩ of Eq. 2: when Cond holds,
+// Err is applied to the attributes Attrs.
+type Standard struct {
+	PolluterName string
+	Err          ErrorFunc
+	Cond         Condition
+	Attrs        []string
+}
+
+// NewStandard builds a standard polluter. A nil cond means Always.
+func NewStandard(name string, err ErrorFunc, cond Condition, attrs ...string) *Standard {
+	if cond == nil {
+		cond = Always{}
+	}
+	return &Standard{PolluterName: name, Err: err, Cond: cond, Attrs: attrs}
+}
+
+// Name implements Polluter.
+func (p *Standard) Name() string { return p.PolluterName }
+
+// Pollute implements Polluter.
+func (p *Standard) Pollute(t *stream.Tuple, tau time.Time, log *Log) {
+	if !p.Cond.Eval(*t, tau) {
+		return
+	}
+	p.Err.Apply(t, p.Attrs, tau)
+	if log != nil {
+		log.Record(Entry{
+			TupleID:   t.ID,
+			EventTime: tau,
+			Polluter:  p.PolluterName,
+			Error:     p.Err.Kind(),
+			Attrs:     p.Attrs,
+		})
+	}
+}
+
+// CompositeMode selects how a composite polluter dispatches to its
+// registered children.
+type CompositeMode int
+
+const (
+	// ModeSequence runs every child in series — error types that always
+	// occur together (the software-update scenario).
+	ModeSequence CompositeMode = iota
+	// ModeChoice runs exactly one child, selected uniformly at random —
+	// mutually exclusive error types.
+	ModeChoice
+	// ModeWeighted runs exactly one child, selected with the configured
+	// weights.
+	ModeWeighted
+)
+
+// Composite is a polluter that registers an arbitrary number of child
+// polluters and delegates to them when its own condition holds. Nesting
+// composites models complex strategies: errors occurring together,
+// mutually exclusive error sets, and integrated sub-pipelines.
+type Composite struct {
+	PolluterName string
+	Cond         Condition
+	Children     []Polluter
+	Mode         CompositeMode
+	// Weights are used by ModeWeighted; len must equal len(Children).
+	Weights []float64
+	// Rand drives child selection for ModeChoice/ModeWeighted.
+	Rand *rng.Stream
+}
+
+// NewComposite builds a sequence-mode composite. A nil cond means Always.
+func NewComposite(name string, cond Condition, children ...Polluter) *Composite {
+	if cond == nil {
+		cond = Always{}
+	}
+	return &Composite{PolluterName: name, Cond: cond, Children: children, Mode: ModeSequence}
+}
+
+// NewChoice builds a mutually-exclusive composite selecting one child
+// uniformly per tuple.
+func NewChoice(name string, cond Condition, r *rng.Stream, children ...Polluter) *Composite {
+	if cond == nil {
+		cond = Always{}
+	}
+	return &Composite{PolluterName: name, Cond: cond, Children: children, Mode: ModeChoice, Rand: r}
+}
+
+// Name implements Polluter.
+func (p *Composite) Name() string { return p.PolluterName }
+
+// Pollute implements Polluter.
+func (p *Composite) Pollute(t *stream.Tuple, tau time.Time, log *Log) {
+	if len(p.Children) == 0 || !p.Cond.Eval(*t, tau) {
+		return
+	}
+	switch p.Mode {
+	case ModeSequence:
+		for _, c := range p.Children {
+			c.Pollute(t, tau, log)
+		}
+	case ModeChoice:
+		p.Children[p.Rand.Intn(len(p.Children))].Pollute(t, tau, log)
+	case ModeWeighted:
+		p.Children[p.pickWeighted()].Pollute(t, tau, log)
+	}
+}
+
+func (p *Composite) pickWeighted() int {
+	total := 0.0
+	for _, w := range p.Weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return p.Rand.Intn(len(p.Children))
+	}
+	x := p.Rand.Float64() * total
+	for i, w := range p.Weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(p.Children) - 1
+}
+
+// Pipeline is a sequence of polluters applied left to right (paper
+// §2.2.1): t' = p_o(p_{o-1}(… p_1(t, τ) …, τ), τ).
+type Pipeline struct {
+	Polluters []Polluter
+}
+
+// NewPipeline builds a pipeline from polluters.
+func NewPipeline(polluters ...Polluter) *Pipeline {
+	return &Pipeline{Polluters: polluters}
+}
+
+// Apply runs the whole pipeline over a tuple in place.
+func (p *Pipeline) Apply(t *stream.Tuple, tau time.Time, log *Log) {
+	for _, pol := range p.Polluters {
+		pol.Pollute(t, tau, log)
+	}
+}
+
+// Len returns the number of top-level polluters (the l of the paper's
+// complexity analysis).
+func (p *Pipeline) Len() int { return len(p.Polluters) }

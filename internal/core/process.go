@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+
+	"icewafl/internal/stream"
+)
+
+// Process executes the end-to-end pollution workflow of Algorithm 1:
+//
+//	Step 1 — prepare: assign IDs, replicate the timestamp into τ, and
+//	          extract m (overlapping) sub-streams;
+//	Step 2 — pollute: pass every tuple of sub-stream i through pipeline i;
+//	Step 3 — integrate: union the sub-streams (attaching the sub-stream
+//	          identifier), sort by delivery time, and return both the
+//	          clean stream D and the polluted stream D^p.
+type Process struct {
+	// Pipelines holds one pollution pipeline per sub-stream; m =
+	// len(Pipelines).
+	Pipelines []*Pipeline
+	// Route extracts the sub-streams. Nil with m == 1 routes everything
+	// to the single pipeline; nil with m > 1 routes every tuple to every
+	// sub-stream (full overlap).
+	Route stream.RouteFunc
+	// FirstID numbers the prepared tuples starting here (default 1).
+	FirstID uint64
+	// Parallel, when > 1, pollutes the sub-streams concurrently. The
+	// result is identical to sequential execution because each
+	// sub-stream owns its pipelines, RNG streams and log.
+	Parallel bool
+	// KeepClean controls whether the clean stream is materialised and
+	// returned. Experiments that only need D^p can switch it off.
+	KeepClean bool
+	// DisableLog switches off the pollution log (it is an optional
+	// output per Figure 2). Without the log there is no ground truth,
+	// but pure throughput workloads avoid its allocation cost.
+	DisableLog bool
+}
+
+// Result is the output of one pollution run.
+type Result struct {
+	// Clean is the prepared input stream D (nil unless KeepClean).
+	Clean []stream.Tuple
+	// Polluted is the merged polluted stream D^p, sorted by delivery
+	// time; dropped tuples are excluded.
+	Polluted []stream.Tuple
+	// Log is the merged pollution log across all sub-streams.
+	Log *Log
+	// DroppedTuples counts tuples removed by drop errors.
+	DroppedTuples int
+}
+
+// NewProcess returns a single-pipeline process that keeps the clean
+// stream.
+func NewProcess(p *Pipeline) *Process {
+	return &Process{Pipelines: []*Pipeline{p}, FirstID: 1, KeepClean: true}
+}
+
+// Run executes the workflow over a bounded source.
+func (pr *Process) Run(src stream.Source) (*Result, error) {
+	m := len(pr.Pipelines)
+	if m == 0 {
+		return nil, fmt.Errorf("core: process needs at least one pipeline")
+	}
+	firstID := pr.FirstID
+	if firstID == 0 {
+		firstID = 1
+	}
+
+	// Step 1: prepare and materialise. Materialising the prepared stream
+	// keeps the clean copy D and feeds the sub-stream extraction.
+	prepared, err := stream.Drain(stream.NewPrepare(src, firstID))
+	if err != nil {
+		return nil, fmt.Errorf("core: prepare: %w", err)
+	}
+
+	route := pr.Route
+	if route == nil {
+		if m == 1 {
+			route = func(stream.Tuple, int) []int { return []int{0} }
+		} else {
+			route = stream.RouteAll
+		}
+	}
+
+	subs := make([][]stream.Tuple, m)
+	for _, t := range prepared {
+		for _, tgt := range route(t, m) {
+			if tgt < 0 || tgt >= m {
+				continue
+			}
+			subs[tgt] = append(subs[tgt], t.Clone())
+		}
+	}
+
+	// Step 2: pollute every sub-stream with its pipeline.
+	logs := make([]*Log, m)
+	if pr.Parallel && m > 1 {
+		errs := make(chan error, m)
+		for i := 0; i < m; i++ {
+			go func(i int) {
+				logs[i] = NewLog()
+				errs <- polluteSub(subs[i], pr.Pipelines[i], logs[i])
+			}(i)
+		}
+		for i := 0; i < m; i++ {
+			if e := <-errs; e != nil && err == nil {
+				err = e
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			logs[i] = NewLog()
+			if err := polluteSub(subs[i], pr.Pipelines[i], logs[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Step 3: integrate — union with sub-stream identifiers, drop
+	// removed tuples, sort by delivery time.
+	res := &Result{Log: NewLog()}
+	for i := 0; i < m; i++ {
+		res.Log.Merge(logs[i], i)
+		for _, t := range subs[i] {
+			if t.Dropped {
+				res.DroppedTuples++
+				continue
+			}
+			t.SubStream = i
+			res.Polluted = append(res.Polluted, t)
+		}
+	}
+	stream.SortByArrival(res.Polluted)
+	if pr.KeepClean {
+		res.Clean = prepared
+	}
+	return res, nil
+}
+
+func polluteSub(tuples []stream.Tuple, p *Pipeline, log *Log) error {
+	if p == nil {
+		return fmt.Errorf("core: nil pipeline")
+	}
+	for i := range tuples {
+		p.Apply(&tuples[i], tuples[i].EventTime, log)
+	}
+	return nil
+}
+
+// RunStream executes the single-pipeline workflow in a streaming fashion:
+// prepared tuples flow through the pipeline one by one and are re-ordered
+// only within a bounded window, so unbounded sources work with constant
+// memory. Only m = 1 is supported in streaming mode; dropped tuples are
+// filtered out. The returned log is nil when DisableLog is set.
+//
+// Streaming mode pollutes tuples in place, taking ownership of whatever
+// the source emits. Readers and generators mint a fresh tuple per Next
+// call and are safe; to stream over a shared []Tuple slice whose contents
+// must survive, clone in a Map stage first (batch Run does this for you).
+func (pr *Process) RunStream(src stream.Source, reorderWindow int) (stream.Source, *Log, error) {
+	if len(pr.Pipelines) != 1 {
+		return nil, nil, fmt.Errorf("core: streaming mode supports exactly one pipeline, got %d", len(pr.Pipelines))
+	}
+	firstID := pr.FirstID
+	if firstID == 0 {
+		firstID = 1
+	}
+	var log *Log
+	if !pr.DisableLog {
+		log = NewLog()
+	}
+	// Streaming mode takes ownership of the source's tuples: sources
+	// produce a fresh tuple per Next call, so in-place pollution is safe
+	// and the per-tuple clone of batch mode is unnecessary. Preparation,
+	// pollution and drop-filtering are fused into one operator to keep
+	// the per-tuple cost minimal.
+	polluted := &streamRunner{src: stream.NewPrepare(src, firstID), p: pr.Pipelines[0], log: log}
+	if reorderWindow > 1 {
+		return stream.NewBoundedReorder(polluted, reorderWindow), log, nil
+	}
+	return polluted, log, nil
+}
+
+// RunStreamMulti executes the full m-pipeline workflow in streaming
+// fashion: the prepared stream is split into the m (possibly
+// overlapping) sub-streams, each flows through its pipeline tuple-wise,
+// is re-sorted within a bounded window, and the sub-streams are merged
+// with a k-way merge — the constant-memory analogue of Run for unbounded
+// sources. Logging follows DisableLog; the merged log is only complete
+// once the returned source is exhausted.
+func (pr *Process) RunStreamMulti(src stream.Source, reorderWindow int) (stream.Source, *Log, error) {
+	m := len(pr.Pipelines)
+	if m == 0 {
+		return nil, nil, fmt.Errorf("core: process needs at least one pipeline")
+	}
+	if m == 1 {
+		return pr.RunStream(src, reorderWindow)
+	}
+	firstID := pr.FirstID
+	if firstID == 0 {
+		firstID = 1
+	}
+	route := pr.Route
+	if route == nil {
+		route = stream.RouteAll
+	}
+	var log *Log
+	if !pr.DisableLog {
+		log = NewLog()
+	}
+	subs := stream.Split(stream.NewPrepare(src, firstID), m, route)
+	branches := make([]stream.Source, m)
+	for i := range subs {
+		runner := &subStreamRunner{src: subs[i], p: pr.Pipelines[i], log: log, sub: i}
+		if reorderWindow > 1 {
+			branches[i] = stream.NewBoundedReorder(runner, reorderWindow)
+		} else {
+			branches[i] = runner
+		}
+	}
+	merged, err := stream.NewKWayMerge(branches)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, log, nil
+}
+
+// subStreamRunner pollutes one sub-stream of a multi-pipeline streaming
+// run. Split already hands each sub-stream its own clones, so in-place
+// pollution is safe.
+type subStreamRunner struct {
+	src stream.Source
+	p   *Pipeline
+	log *Log
+	sub int
+}
+
+// Schema implements stream.Source.
+func (r *subStreamRunner) Schema() *stream.Schema { return r.src.Schema() }
+
+// Next implements stream.Source.
+func (r *subStreamRunner) Next() (stream.Tuple, error) {
+	for {
+		t, err := r.src.Next()
+		if err != nil {
+			return t, err
+		}
+		before := 0
+		if r.log != nil {
+			before = len(r.log.Entries)
+		}
+		r.p.Apply(&t, t.EventTime, r.log)
+		if r.log != nil {
+			for i := before; i < len(r.log.Entries); i++ {
+				r.log.Entries[i].SubStream = r.sub
+			}
+		}
+		if t.Dropped {
+			continue
+		}
+		t.SubStream = r.sub
+		return t, nil
+	}
+}
+
+// streamRunner is the fused prepare → pollute → drop-filter operator of
+// streaming mode.
+type streamRunner struct {
+	src *stream.Prepare
+	p   *Pipeline
+	log *Log
+}
+
+// Schema implements stream.Source.
+func (r *streamRunner) Schema() *stream.Schema { return r.src.Schema() }
+
+// Next implements stream.Source.
+func (r *streamRunner) Next() (stream.Tuple, error) {
+	for {
+		t, err := r.src.Next()
+		if err != nil {
+			return t, err
+		}
+		r.p.Apply(&t, t.EventTime, r.log)
+		if t.Dropped {
+			continue
+		}
+		return t, nil
+	}
+}

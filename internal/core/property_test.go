@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"icewafl/internal/groundtruth"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// Property tests over the pollution process: invariants that must hold
+// for arbitrary seeds, stream lengths and pollution probabilities.
+
+// buildRandomPipeline assembles a pipeline mixing value errors, drops
+// and delays, fully derived from seed.
+func buildRandomPipeline(seed int64, pNoise, pDrop, pDelay float64) *Pipeline {
+	return NewPipeline(
+		NewStandard("noise",
+			&GaussianNoise{Stddev: Const(3), Rand: rng.Derive(seed, "noise")},
+			NewRandomConst(pNoise, rng.Derive(seed, "noise-c")), "v"),
+		NewStandard("drop", DropTuple{},
+			NewRandomConst(pDrop, rng.Derive(seed, "drop-c")), "v"),
+		NewStandard("delay", DelayTuple{Delay: 90 * time.Minute},
+			NewRandomConst(pDelay, rng.Derive(seed, "delay-c")), "v"),
+	)
+}
+
+func runRandomProcess(t *testing.T, seed int64, n int, pNoise, pDrop, pDelay float64) *Result {
+	t.Helper()
+	proc := NewProcess(buildRandomPipeline(seed, pNoise, pDrop, pDelay))
+	res, err := proc.Run(procSource(procSchema(), n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func clampProb(p float64) float64 {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return 0.25
+	}
+	p = math.Abs(p)
+	if p > 1 {
+		p = math.Mod(p, 1)
+	}
+	return p * 0.5 // keep probabilities moderate
+}
+
+func TestProcessInvariants(t *testing.T) {
+	prop := func(seed int64, rawN uint8, a, b, c float64) bool {
+		n := int(rawN)%200 + 10
+		pNoise, pDrop, pDelay := clampProb(a), clampProb(b), clampProb(c)
+		res := runRandomProcess(t, seed, n, pNoise, pDrop, pDelay)
+
+		// Invariant 1: sizes add up — polluted + dropped == clean.
+		if len(res.Polluted)+res.DroppedTuples != len(res.Clean) {
+			return false
+		}
+		// Invariant 2: polluted IDs are a subset of clean IDs, no
+		// duplicates (single pipeline).
+		cleanIDs := make(map[uint64]bool, len(res.Clean))
+		for _, tp := range res.Clean {
+			cleanIDs[tp.ID] = true
+		}
+		seen := make(map[uint64]bool, len(res.Polluted))
+		for _, tp := range res.Polluted {
+			if !cleanIDs[tp.ID] || seen[tp.ID] {
+				return false
+			}
+			seen[tp.ID] = true
+		}
+		// Invariant 3: output sorted by arrival (ties by event
+		// time/ID handled inside SortByArrival).
+		for i := 1; i < len(res.Polluted); i++ {
+			if res.Polluted[i].Arrival.Before(res.Polluted[i-1].Arrival) {
+				return false
+			}
+		}
+		// Invariant 4: τ and ID immune — every polluted tuple's event
+		// time equals its clean counterpart's.
+		cleanByID := make(map[uint64]stream.Tuple, len(res.Clean))
+		for _, tp := range res.Clean {
+			cleanByID[tp.ID] = tp
+		}
+		for _, tp := range res.Polluted {
+			if !tp.EventTime.Equal(cleanByID[tp.ID].EventTime) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffLogConsistencyProperty(t *testing.T) {
+	// Every value change found by ground-truth diffing must be backed by
+	// at least one log entry for that tuple (the converse cannot hold:
+	// an error application may leave the value unchanged, e.g. noise
+	// that rounds away or a drop).
+	prop := func(seed int64, rawN uint8, a float64) bool {
+		n := int(rawN)%150 + 20
+		res := runRandomProcess(t, seed, n, clampProb(a)+0.05, 0.02, 0.05)
+		polluted := res.Log.PollutedTuples()
+		diff := groundtruth.Diff(res.Clean, res.Polluted)
+		for _, d := range diff.Diffs {
+			if len(d.ChangedAttrs) > 0 || d.Dropped || d.Delayed {
+				if !polluted[d.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// Same seed → byte-identical results, for arbitrary seeds.
+	prop := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%100 + 10
+		a := runRandomProcess(t, seed, n, 0.3, 0.05, 0.1)
+		b := runRandomProcess(t, seed, n, 0.3, 0.05, 0.1)
+		if len(a.Polluted) != len(b.Polluted) || a.Log.Len() != b.Log.Len() {
+			return false
+		}
+		for i := range a.Polluted {
+			if !a.Polluted[i].Equal(b.Polluted[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPipelineIsIdentityProperty(t *testing.T) {
+	// A pipeline with no polluters must return the stream unchanged
+	// (modulo preparation metadata).
+	prop := func(rawN uint8) bool {
+		n := int(rawN)%100 + 1
+		proc := NewProcess(NewPipeline())
+		res, err := proc.Run(procSource(procSchema(), n))
+		if err != nil || len(res.Polluted) != n || res.Log.Len() != 0 {
+			return false
+		}
+		for i := range res.Polluted {
+			if !res.Polluted[i].Equal(res.Clean[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapDuplicationProperty(t *testing.T) {
+	// With full overlap over m pipelines, every clean tuple appears
+	// exactly m times in the polluted stream (no drops configured).
+	prop := func(seed int64, rawN, rawM uint8) bool {
+		n := int(rawN)%80 + 5
+		m := int(rawM)%3 + 2
+		pipes := make([]*Pipeline, m)
+		for i := range pipes {
+			pipes[i] = NewPipeline(NewStandard("noise",
+				&GaussianNoise{Stddev: Const(1), Rand: rng.Derive(seed, "n")},
+				NewRandomConst(0.5, rng.Derive(seed, "c")), "v"))
+		}
+		proc := &Process{Pipelines: pipes, Route: stream.RouteAll, KeepClean: true}
+		res, err := proc.Run(procSource(procSchema(), n))
+		if err != nil {
+			return false
+		}
+		counts := map[uint64]int{}
+		for _, tp := range res.Polluted {
+			counts[tp.ID]++
+		}
+		if len(counts) != n {
+			return false
+		}
+		for _, c := range counts {
+			if c != m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+func TestStreamStateStatistics(t *testing.T) {
+	s := NewStreamState(4)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	values := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for i, v := range values {
+		tp := errTuple(v, 0, int64(i), "x")
+		s.Observe(tp, base.Add(time.Duration(i)*time.Hour))
+	}
+	if s.Tuples() != 8 || s.Count("x") != 8 {
+		t.Fatalf("counts: %d %d", s.Tuples(), s.Count("x"))
+	}
+	if m, ok := s.Mean("x"); !ok || m != 5 {
+		t.Fatalf("mean %g %v", m, ok)
+	}
+	if sd, ok := s.Stddev("x"); !ok || math.Abs(sd-2) > 1e-9 {
+		t.Fatalf("stddev %g", sd)
+	}
+	if min, max, ok := s.MinMax("x"); !ok || min != 2 || max != 9 {
+		t.Fatalf("minmax %g %g", min, max)
+	}
+	recent := s.Recent("x")
+	want := []float64{5, 5, 7, 9}
+	if len(recent) != 4 {
+		t.Fatalf("recent %v", recent)
+	}
+	for i := range want {
+		if recent[i] != want[i] {
+			t.Fatalf("recent %v, want %v", recent, want)
+		}
+	}
+	// Integer attribute tracked too.
+	if n := s.Count("n"); n != 8 {
+		t.Fatalf("int attr count %d", n)
+	}
+	// Unknown attribute.
+	if _, ok := s.Mean("zzz"); ok {
+		t.Fatal("mean of unknown attribute")
+	}
+	if s.Recent("zzz") != nil {
+		t.Fatal("recent of unknown attribute")
+	}
+}
+
+func TestStreamStatePartialWindow(t *testing.T) {
+	s := NewStreamState(10)
+	tp := errTuple(1, 0, 0, "x")
+	s.Observe(tp, time.Now())
+	s.Observe(tp, time.Now())
+	if got := s.Recent("x"); len(got) != 2 {
+		t.Fatalf("partial window %v", got)
+	}
+	// Window disabled.
+	s2 := NewStreamState(0)
+	s2.Observe(tp, time.Now())
+	if s2.Recent("x") != nil {
+		t.Fatal("window should be disabled")
+	}
+}
+
+func TestObserverDoesNotModify(t *testing.T) {
+	state := NewStreamState(0)
+	o := NewObserver(state)
+	tp := errTuple(7, 8, 9, "cat")
+	orig := tp.Clone()
+	o.Pollute(&tp, tp.EventTime, nil)
+	if !tp.Equal(orig) {
+		t.Fatal("observer modified tuple")
+	}
+	if state.Tuples() != 1 {
+		t.Fatal("observer did not observe")
+	}
+}
+
+func TestDeviationCondition(t *testing.T) {
+	state := NewStreamState(0)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Feed 100 values around 10 ± 1.
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		tp := errTuple(r.Normal(10, 1), 0, 0, "")
+		state.Observe(tp, base)
+	}
+	cond := DeviationCondition{State: state, Attr: "x", Sigmas: 3}
+	normal := errTuple(10.5, 0, 0, "")
+	if cond.Eval(normal, base) {
+		t.Fatal("in-range value triggered deviation")
+	}
+	outlier := errTuple(30, 0, 0, "")
+	if !cond.Eval(outlier, base) {
+		t.Fatal("outlier not detected")
+	}
+	// Warm-up gate: before MinCount observations, never fires.
+	cold := DeviationCondition{State: NewStreamState(0), Attr: "x", Sigmas: 1}
+	if cold.Eval(outlier, base) {
+		t.Fatal("deviation fired before warm-up")
+	}
+	// Null / missing / non-numeric values never fire.
+	null := errTuple(1, 0, 0, "")
+	null.Set("x", stream.Null())
+	if cond.Eval(null, base) {
+		t.Fatal("null fired")
+	}
+	if cond.Describe() == "" {
+		t.Fatal("describe")
+	}
+}
+
+func TestMarkovConditionIsBursty(t *testing.T) {
+	c := NewMarkovCondition(0.02, 0.2, rng.New(5))
+	tp := errTuple(1, 0, 0, "")
+	n := 100000
+	active := 0
+	bursts := 0
+	var burstLens []int
+	cur := 0
+	for i := 0; i < n; i++ {
+		if c.Eval(tp, tp.EventTime) {
+			active++
+			if cur == 0 {
+				bursts++
+			}
+			cur++
+		} else if cur > 0 {
+			burstLens = append(burstLens, cur)
+			cur = 0
+		}
+	}
+	// Stationary bad-state probability = pEnter / (pEnter + pExit) ≈ 0.0909.
+	frac := float64(active) / float64(n)
+	if math.Abs(frac-0.0909) > 0.02 {
+		t.Fatalf("bad-state fraction %.4f far from 0.091", frac)
+	}
+	// Mean burst length = 1/pExit = 5.
+	sum := 0
+	for _, l := range burstLens {
+		sum += l
+	}
+	meanLen := float64(sum) / float64(len(burstLens))
+	if math.Abs(meanLen-5) > 1 {
+		t.Fatalf("mean burst length %.2f far from 5", meanLen)
+	}
+	if bursts < 100 {
+		t.Fatalf("only %d bursts", bursts)
+	}
+	if c.Describe() == "" {
+		t.Fatal("describe")
+	}
+}
+
+func TestMarkovErrorsAreDependent(t *testing.T) {
+	// Consecutive indicators must be positively correlated — the whole
+	// point of modelling dependencies between tuple-specific variables.
+	c := NewMarkovCondition(0.05, 0.3, rng.New(6))
+	tp := errTuple(1, 0, 0, "")
+	n := 50000
+	ind := make([]float64, n)
+	for i := range ind {
+		if c.Eval(tp, tp.EventTime) {
+			ind[i] = 1
+		}
+	}
+	mean := 0.0
+	for _, v := range ind {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i+1 < n; i++ {
+		num += (ind[i] - mean) * (ind[i+1] - mean)
+	}
+	for i := 0; i < n; i++ {
+		den += (ind[i] - mean) * (ind[i] - mean)
+	}
+	if corr := num / den; corr < 0.3 {
+		t.Fatalf("lag-1 correlation %.3f too weak for a bursty process", corr)
+	}
+}
+
+func TestBudgetCondition(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewBudgetCondition(Always{}, 2, time.Hour)
+	tp := errTuple(1, 0, 0, "")
+	// Within one window only Budget firings pass.
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if c.Eval(tp, base.Add(time.Duration(i)*time.Minute)) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d within window, want 2", fired)
+	}
+	// After the window expires the budget refills.
+	if !c.Eval(tp, base.Add(2*time.Hour)) {
+		t.Fatal("budget did not refill")
+	}
+	if c.Describe() == "" {
+		t.Fatal("describe")
+	}
+}
+
+func TestCascadeCondition(t *testing.T) {
+	s := procSchema()
+	log := NewLog()
+	upstream := NewStandard("trigger", MissingValue{},
+		Compare{"v", OpEq, stream.Float(3)}, "v")
+	cascade := &CascadeCondition{Log: log, Upstream: "trigger"}
+	downstream := NewStandard("follower", SetConstant{Value: stream.Float(-1)}, cascade, "v")
+	pipe := NewPipeline(upstream, downstream)
+
+	prepared, err := stream.Drain(stream.NewPrepare(procSource(s, 8), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prepared {
+		pipe.Apply(&prepared[i], prepared[i].EventTime, log)
+	}
+	// Tuple 3 is nulled by the trigger; tuple 4 must be cascaded to -1.
+	if !prepared[3].MustGet("v").IsNull() {
+		t.Fatal("trigger did not fire")
+	}
+	if !prepared[4].MustGet("v").Equal(stream.Float(-1)) {
+		t.Fatalf("cascade did not fire on successor: %v", prepared[4])
+	}
+	// No other tuple cascaded.
+	for i, tp := range prepared {
+		if i == 3 || i == 4 {
+			continue
+		}
+		if tp.MustGet("v").Equal(stream.Float(-1)) {
+			t.Fatalf("cascade fired on tuple %d", i)
+		}
+	}
+	if cascade.Describe() == "" {
+		t.Fatal("describe")
+	}
+}
+
+func TestStatefulPollutionEndToEnd(t *testing.T) {
+	// An observer feeds running statistics; a deviation-gated polluter
+	// freezes outliers to the running mean — history-dependent pollution
+	// through the standard Process workflow.
+	s := procSchema()
+	state := NewStreamState(0)
+	pipe := NewPipeline(
+		NewObserver(state),
+		NewStandard("censor outliers", SetConstant{Value: stream.Float(0)},
+			DeviationCondition{State: state, Attr: "v", Sigmas: 2, MinCount: 10}, "v"),
+	)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(s, 100, func(i int) stream.Tuple {
+		v := 10.0
+		if i == 70 {
+			v = 500 // planted outlier
+		}
+		return stream.NewTuple(s, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Hour)),
+			stream.Float(v + float64(i%5)), // mild variation
+		})
+	})
+	res, err := NewProcess(pipe).Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Polluted[70].MustGet("v").Equal(stream.Float(0)) {
+		t.Fatalf("outlier not censored: %v", res.Polluted[70])
+	}
+	censored := 0
+	for _, tp := range res.Polluted {
+		if tp.MustGet("v").Equal(stream.Float(0)) {
+			censored++
+		}
+	}
+	if censored != 1 {
+		t.Fatalf("censored %d tuples, want exactly the planted outlier", censored)
+	}
+}
+
+func TestKeyedPolluterPerKeyState(t *testing.T) {
+	// Frozen-value errors per sensor: each sensor freezes at its own
+	// first value — per-key state isolation.
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "sensor", Kind: stream.KindString},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+	)
+	keyed := NewKeyedPolluter("freeze-by-sensor", "sensor", func(key string) Polluter {
+		return NewStandard("freeze-"+key, NewFrozenValue(), nil, "v")
+	})
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(schema, 10, func(i int) stream.Tuple {
+		sensor := "A"
+		if i%2 == 1 {
+			sensor = "B"
+		}
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Minute)),
+			stream.Str(sensor),
+			stream.Float(float64(i)),
+		})
+	})
+	res, err := NewProcess(NewPipeline(keyed)).Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensor A tuples (even i) freeze at 0; sensor B (odd i) at 1.
+	for i, tp := range res.Polluted {
+		want := 0.0
+		if i%2 == 1 {
+			want = 1.0
+		}
+		if got := tp.MustGet("v").MustFloat(); got != want {
+			t.Fatalf("tuple %d frozen to %g, want %g", i, got, want)
+		}
+	}
+	keys := keyed.Keys()
+	if len(keys) != 2 || keys[0] != "A" || keys[1] != "B" {
+		t.Fatalf("keys %v", keys)
+	}
+	if _, ok := keyed.Instance("A"); !ok {
+		t.Fatal("instance lookup failed")
+	}
+	if _, ok := keyed.Instance("Z"); ok {
+		t.Fatal("phantom instance")
+	}
+	if keyed.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestKeyedPolluterMissingKeyAttr(t *testing.T) {
+	keyed := NewKeyedPolluter("k", "nope", func(string) Polluter {
+		return NewStandard("x", MissingValue{}, nil, "v")
+	})
+	s := procSchema()
+	tuples, _ := stream.Drain(stream.NewPrepare(procSource(s, 1), 1))
+	keyed.Pollute(&tuples[0], tuples[0].EventTime, nil)
+	if tuples[0].MustGet("v").IsNull() {
+		t.Fatal("polluted despite missing key attribute")
+	}
+	if len(keyed.Keys()) != 0 {
+		t.Fatal("instance created for missing key")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"icewafl/internal/rng"
+)
+
+func TestStickyHoldsForDuration(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	trigger := TimeInterval{From: base.Add(2 * time.Hour), To: base.Add(3 * time.Hour)}
+	c := NewSticky(trigger, 4*time.Hour)
+	tp := condTuple(base, 1, "x")
+
+	results := make([]bool, 10)
+	for h := 0; h < 10; h++ {
+		results[h] = c.Eval(tp, base.Add(time.Duration(h)*time.Hour))
+	}
+	// Trigger fires at hour 2; hold keeps it active through hour 5
+	// (2 + 4h exclusive); inactive again from hour 6.
+	want := []bool{false, false, true, true, true, true, false, false, false, false}
+	for h := range want {
+		if results[h] != want[h] {
+			t.Fatalf("hour %d: got %v, want %v (all: %v)", h, results[h], want[h], results)
+		}
+	}
+}
+
+func TestStickyRetriggers(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Trigger is active at hours 0 and 6.
+	trigger := Or{
+		TimeInterval{From: base, To: base.Add(time.Hour)},
+		TimeInterval{From: base.Add(6 * time.Hour), To: base.Add(7 * time.Hour)},
+	}
+	c := NewSticky(trigger, 2*time.Hour)
+	tp := condTuple(base, 1, "x")
+	var active []int
+	for h := 0; h < 10; h++ {
+		if c.Eval(tp, base.Add(time.Duration(h)*time.Hour)) {
+			active = append(active, h)
+		}
+	}
+	want := []int{0, 1, 6, 7}
+	if len(active) != len(want) {
+		t.Fatalf("active hours %v, want %v", active, want)
+	}
+	for i := range want {
+		if active[i] != want[i] {
+			t.Fatalf("active hours %v, want %v", active, want)
+		}
+	}
+}
+
+func TestStickyWithRandomTrigger(t *testing.T) {
+	// Once a random trigger fires, the episode lasts the full hold even
+	// though the trigger itself is unlikely to fire again.
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewSticky(NewRandomConst(0.05, rng.New(3)), 4*time.Hour)
+	tp := condTuple(base, 1, "x")
+	inEpisode := 0
+	episodes := 0
+	prev := false
+	for h := 0; h < 5000; h++ {
+		now := c.Eval(tp, base.Add(time.Duration(h)*time.Hour))
+		if now {
+			inEpisode++
+			if !prev {
+				episodes++
+			}
+		}
+		prev = now
+	}
+	if episodes == 0 {
+		t.Fatal("no episodes triggered")
+	}
+	avgLen := float64(inEpisode) / float64(episodes)
+	// Each episode lasts at least the 4-hour hold (may extend by
+	// re-triggering within it).
+	if avgLen < 4 {
+		t.Fatalf("average episode length %.2f < hold", avgLen)
+	}
+}
+
+func TestStickyDescribe(t *testing.T) {
+	c := NewSticky(Always{}, time.Hour)
+	if c.Describe() == "" {
+		t.Fatal("empty describe")
+	}
+}

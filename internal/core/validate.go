@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"icewafl/internal/stream"
+)
+
+// ValidateAttrs statically checks a process against a stream schema:
+// every attribute a polluter targets (and every key attribute of a keyed
+// polluter) must exist. Misspelled attributes would otherwise silently
+// no-op — the error functions skip unknown names at runtime by design,
+// because sub-streams may legitimately carry different schemas.
+func (pr *Process) ValidateAttrs(schema *stream.Schema) error {
+	missing := map[string]bool{}
+	for _, p := range pr.Pipelines {
+		if p == nil {
+			continue
+		}
+		for _, pol := range p.Polluters {
+			collectMissing(pol, schema, missing)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(missing))
+	for n := range missing {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("core: polluters target attributes not in the schema: %v", names)
+}
+
+func collectMissing(p Polluter, schema *stream.Schema, missing map[string]bool) {
+	switch x := p.(type) {
+	case *Standard:
+		for _, a := range x.Attrs {
+			if !schema.Has(a) {
+				missing[a] = true
+			}
+		}
+	case *Composite:
+		for _, c := range x.Children {
+			collectMissing(c, schema, missing)
+		}
+	case *KeyedPolluter:
+		if !schema.Has(x.KeyAttr) {
+			missing[x.KeyAttr] = true
+		}
+		// Instantiate the template once for a throwaway key to inspect
+		// the attrs it targets.
+		collectMissing(x.New("__validate__"), schema, missing)
+	}
+}

@@ -1,0 +1,130 @@
+// Package csvio reads and writes tuple streams as CSV, the file-based
+// source/sink of the pollution workflow (Figure 2's "Data Batch" input
+// and "Dirty Data" / "Clean Data" outputs). A header row carries the
+// attribute names; NULL values round-trip as empty cells.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"icewafl/internal/stream"
+)
+
+// Reader is a stream.Source decoding CSV rows into tuples.
+type Reader struct {
+	schema *stream.Schema
+	csv    *csv.Reader
+	row    int
+}
+
+// NewReader wraps r, validating that the CSV header matches the schema's
+// attribute names in order.
+func NewReader(r io.Reader, schema *stream.Schema) (*Reader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Len()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: read header: %w", err)
+	}
+	names := schema.Names()
+	for i, name := range names {
+		if header[i] != name {
+			return nil, fmt.Errorf("csvio: header column %d is %q, schema expects %q", i, header[i], name)
+		}
+	}
+	return &Reader{schema: schema, csv: cr, row: 1}, nil
+}
+
+// Schema implements stream.Source.
+func (r *Reader) Schema() *stream.Schema { return r.schema }
+
+// Next implements stream.Source.
+func (r *Reader) Next() (stream.Tuple, error) {
+	rec, err := r.csv.Read()
+	if err == io.EOF {
+		return stream.Tuple{}, io.EOF
+	}
+	if err != nil {
+		return stream.Tuple{}, fmt.Errorf("csvio: row %d: %w", r.row+1, err)
+	}
+	r.row++
+	values := make([]stream.Value, r.schema.Len())
+	for i := range values {
+		v, err := stream.ParseValue(rec[i], r.schema.Field(i).Kind)
+		if err != nil {
+			return stream.Tuple{}, fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, err)
+		}
+		values[i] = v
+	}
+	return stream.NewTuple(r.schema, values), nil
+}
+
+// Writer is a stream.Sink encoding tuples as CSV rows.
+type Writer struct {
+	schema *stream.Schema
+	csv    *csv.Writer
+	wrote  bool
+}
+
+// NewWriter wraps w. The header row is written lazily with the first
+// tuple (or at Close for empty streams).
+func NewWriter(w io.Writer, schema *stream.Schema) *Writer {
+	return &Writer{schema: schema, csv: csv.NewWriter(w)}
+}
+
+func (w *Writer) writeHeader() error {
+	if w.wrote {
+		return nil
+	}
+	w.wrote = true
+	return w.csv.Write(w.schema.Names())
+}
+
+// Write implements stream.Sink.
+func (w *Writer) Write(t stream.Tuple) error {
+	if err := w.writeHeader(); err != nil {
+		return fmt.Errorf("csvio: write header: %w", err)
+	}
+	rec := make([]string, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		rec[i] = t.At(i).String()
+	}
+	if err := w.csv.Write(rec); err != nil {
+		return fmt.Errorf("csvio: write row: %w", err)
+	}
+	return nil
+}
+
+// Close implements stream.Sink, flushing buffered rows.
+func (w *Writer) Close() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	w.csv.Flush()
+	if err := w.csv.Error(); err != nil {
+		return fmt.Errorf("csvio: flush: %w", err)
+	}
+	return nil
+}
+
+// WriteAll writes tuples to w as CSV in one call.
+func WriteAll(w io.Writer, schema *stream.Schema, tuples []stream.Tuple) error {
+	cw := NewWriter(w, schema)
+	for _, t := range tuples {
+		if err := cw.Write(t); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}
+
+// ReadAll decodes an entire CSV document into tuples.
+func ReadAll(r io.Reader, schema *stream.Schema) ([]stream.Tuple, error) {
+	cr, err := NewReader(r, schema)
+	if err != nil {
+		return nil, err
+	}
+	return stream.Drain(cr)
+}

@@ -1,0 +1,153 @@
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"icewafl/internal/stream"
+)
+
+// Algorithm 1's step 3 emits tuples of the form (id, i, a1, …, ak, ts):
+// the pollution-immune tuple identifier and the sub-stream index travel
+// with the data so downstream consumers can join the polluted stream
+// back to the clean one. MetaWriter/MetaReader implement that format as
+// CSV: two leading columns `_id` and `_substream` before the schema's
+// attributes.
+
+// MetaColumns are the reserved metadata column names.
+var MetaColumns = []string{"_id", "_substream"}
+
+// MetaWriter encodes tuples with their identity metadata.
+type MetaWriter struct {
+	schema *stream.Schema
+	csv    *csv.Writer
+	wrote  bool
+}
+
+// NewMetaWriter wraps w.
+func NewMetaWriter(w io.Writer, schema *stream.Schema) *MetaWriter {
+	return &MetaWriter{schema: schema, csv: csv.NewWriter(w)}
+}
+
+func (w *MetaWriter) writeHeader() error {
+	if w.wrote {
+		return nil
+	}
+	w.wrote = true
+	header := append(append([]string{}, MetaColumns...), w.schema.Names()...)
+	return w.csv.Write(header)
+}
+
+// Write implements stream.Sink.
+func (w *MetaWriter) Write(t stream.Tuple) error {
+	if err := w.writeHeader(); err != nil {
+		return fmt.Errorf("csvio: write meta header: %w", err)
+	}
+	rec := make([]string, 0, t.Len()+2)
+	rec = append(rec,
+		strconv.FormatUint(t.ID, 10),
+		strconv.Itoa(t.SubStream),
+	)
+	for i := 0; i < t.Len(); i++ {
+		rec = append(rec, t.At(i).String())
+	}
+	if err := w.csv.Write(rec); err != nil {
+		return fmt.Errorf("csvio: write meta row: %w", err)
+	}
+	return nil
+}
+
+// Close implements stream.Sink.
+func (w *MetaWriter) Close() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	w.csv.Flush()
+	if err := w.csv.Error(); err != nil {
+		return fmt.Errorf("csvio: flush meta: %w", err)
+	}
+	return nil
+}
+
+// MetaReader decodes the metadata format back into tuples with ID and
+// SubStream restored (EventTime and Arrival are re-derived from the
+// timestamp attribute).
+type MetaReader struct {
+	schema *stream.Schema
+	csv    *csv.Reader
+	row    int
+}
+
+// NewMetaReader wraps r, validating the header.
+func NewMetaReader(r io.Reader, schema *stream.Schema) (*MetaReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Len() + len(MetaColumns)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: read meta header: %w", err)
+	}
+	for i, name := range MetaColumns {
+		if header[i] != name {
+			return nil, fmt.Errorf("csvio: meta column %d is %q, want %q", i, header[i], name)
+		}
+	}
+	for i, name := range schema.Names() {
+		if header[len(MetaColumns)+i] != name {
+			return nil, fmt.Errorf("csvio: header column %d is %q, schema expects %q",
+				len(MetaColumns)+i, header[len(MetaColumns)+i], name)
+		}
+	}
+	return &MetaReader{schema: schema, csv: cr, row: 1}, nil
+}
+
+// Schema implements stream.Source.
+func (r *MetaReader) Schema() *stream.Schema { return r.schema }
+
+// Next implements stream.Source.
+func (r *MetaReader) Next() (stream.Tuple, error) {
+	rec, err := r.csv.Read()
+	if err == io.EOF {
+		return stream.Tuple{}, io.EOF
+	}
+	if err != nil {
+		return stream.Tuple{}, fmt.Errorf("csvio: meta row %d: %w", r.row+1, err)
+	}
+	r.row++
+	id, err := strconv.ParseUint(rec[0], 10, 64)
+	if err != nil {
+		return stream.Tuple{}, fmt.Errorf("csvio: meta row %d: bad _id %q: %w", r.row, rec[0], err)
+	}
+	sub, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return stream.Tuple{}, fmt.Errorf("csvio: meta row %d: bad _substream %q: %w", r.row, rec[1], err)
+	}
+	values := make([]stream.Value, r.schema.Len())
+	for i := range values {
+		v, err := stream.ParseValue(rec[len(MetaColumns)+i], r.schema.Field(i).Kind)
+		if err != nil {
+			return stream.Tuple{}, fmt.Errorf("csvio: meta row %d column %q: %w", r.row, r.schema.Field(i).Name, err)
+		}
+		values[i] = v
+	}
+	t := stream.NewTuple(r.schema, values)
+	t.ID = id
+	t.SubStream = sub
+	if ts, ok := t.Timestamp(); ok {
+		t.EventTime = ts
+		t.Arrival = ts
+	}
+	return t, nil
+}
+
+// WriteAllMeta writes tuples with metadata in one call.
+func WriteAllMeta(w io.Writer, schema *stream.Schema, tuples []stream.Tuple) error {
+	mw := NewMetaWriter(w, schema)
+	for _, t := range tuples {
+		if err := mw.Write(t); err != nil {
+			return err
+		}
+	}
+	return mw.Close()
+}

@@ -1,0 +1,314 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"icewafl/internal/stats"
+)
+
+func TestAirQualityDeterminism(t *testing.T) {
+	opts := AirQualityOptions{Tuples: 500}
+	a := AirQuality(RegionGucheng, 1, opts)
+	b := AirQuality(RegionGucheng, 1, opts)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at tuple %d", i)
+		}
+	}
+	c := AirQuality(RegionGucheng, 2, opts)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds produced %d/%d identical tuples", same, len(a))
+	}
+}
+
+func TestAirQualityRegionsDiffer(t *testing.T) {
+	opts := AirQualityOptions{Tuples: 200}
+	a := AirQuality(RegionGucheng, 1, opts)
+	b := AirQuality(RegionWanliu, 1, opts)
+	same := 0
+	for i := range a {
+		if a[i].Equal(b[i]) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical tuples across regions", same)
+	}
+}
+
+func TestAirQualityShape(t *testing.T) {
+	tuples := AirQuality(RegionWanshouxigong, 1, AirQualityOptions{})
+	if len(tuples) != AirQualityTuples {
+		t.Fatalf("got %d tuples, want %d", len(tuples), AirQualityTuples)
+	}
+	if AirQualitySchema().Len() != 18 {
+		t.Fatalf("schema has %d attributes, want 18", AirQualitySchema().Len())
+	}
+	// Hourly, contiguous, spanning the documented period.
+	first, _ := tuples[0].Timestamp()
+	if !first.Equal(AirQualityStart) {
+		t.Fatalf("start %v", first)
+	}
+	last, _ := tuples[len(tuples)-1].Timestamp()
+	if !last.Add(time.Hour).Equal(AirQualityEnd) {
+		t.Fatalf("end %v", last)
+	}
+	prev := first
+	for i, tp := range tuples[1:] {
+		ts, ok := tp.Timestamp()
+		if !ok || !ts.Equal(prev.Add(time.Hour)) {
+			t.Fatalf("gap at tuple %d: %v after %v", i+1, ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestAirQualityMissingNO2(t *testing.T) {
+	tuples := AirQuality(RegionGucheng, 1, AirQualityOptions{Tuples: 10000})
+	missing := 0
+	for _, tp := range tuples {
+		if tp.MustGet("NO2").IsNull() {
+			missing++
+		}
+	}
+	frac := float64(missing) / float64(len(tuples))
+	if frac < 0.008 || frac > 0.025 {
+		t.Fatalf("missing NO2 fraction %.4f outside [0.008, 0.025]", frac)
+	}
+}
+
+func TestAirQualityValueRanges(t *testing.T) {
+	tuples := AirQuality(RegionWanliu, 3, AirQualityOptions{Tuples: 5000})
+	for i, tp := range tuples {
+		if no2 := tp.MustGet("NO2"); !no2.IsNull() {
+			if v, _ := no2.AsFloat(); v < 0 {
+				t.Fatalf("tuple %d: negative NO2 %g", i, v)
+			}
+		}
+		if v, _ := tp.MustGet("WSPM").AsFloat(); v < 0 {
+			t.Fatalf("tuple %d: negative wind speed %g", i, v)
+		}
+		if v, _ := tp.MustGet("RAIN").AsFloat(); v < 0 {
+			t.Fatalf("tuple %d: negative rain %g", i, v)
+		}
+		pm25, _ := tp.MustGet("PM2.5").AsFloat()
+		pm10, _ := tp.MustGet("PM10").AsFloat()
+		if pm10 < pm25 {
+			t.Fatalf("tuple %d: PM10 %g < PM2.5 %g", i, pm10, pm25)
+		}
+		wd, _ := tp.MustGet("wd").AsString()
+		if wd == "" {
+			t.Fatalf("tuple %d: empty wind direction", i)
+		}
+	}
+}
+
+func TestAirQualityHasDailySeasonality(t *testing.T) {
+	tuples := AirQuality(RegionGucheng, 5, AirQualityOptions{Tuples: 24 * 60, MissingRate: -1})
+	var byHour [24][]float64
+	for _, tp := range tuples {
+		ts, _ := tp.Timestamp()
+		v, ok := tp.MustGet("NO2").AsFloat()
+		if ok {
+			byHour[ts.Hour()] = append(byHour[ts.Hour()], v)
+		}
+	}
+	// The daily cycle peaks near 19:00 and dips near 07:00.
+	evening := stats.Mean(byHour[19])
+	morning := stats.Mean(byHour[7])
+	if evening-morning < 10 {
+		t.Fatalf("daily NO2 cycle too weak: evening %g vs morning %g", evening, morning)
+	}
+}
+
+func TestAirQualityNO2WeatherCorrelation(t *testing.T) {
+	tuples := AirQuality(RegionGucheng, 6, AirQualityOptions{Tuples: 5000, MissingRate: -1})
+	var no2, wspm []float64
+	for _, tp := range tuples {
+		n, ok := tp.MustGet("NO2").AsFloat()
+		if !ok {
+			continue
+		}
+		w, _ := tp.MustGet("WSPM").AsFloat()
+		no2 = append(no2, n)
+		wspm = append(wspm, w)
+	}
+	// Wind disperses NO2: correlation must be clearly negative.
+	if corr(no2, wspm) > -0.2 {
+		t.Fatalf("NO2/WSPM correlation %g not negative enough", corr(no2, wspm))
+	}
+}
+
+func corr(a, b []float64) float64 {
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	var num, da, db float64
+	for i := range a {
+		num += (a[i] - ma) * (b[i] - mb)
+		da += (a[i] - ma) * (a[i] - ma)
+		db += (b[i] - mb) * (b[i] - mb)
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func TestWearableDeterminism(t *testing.T) {
+	a := Wearable(1)
+	b := Wearable(1)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at tuple %d", i)
+		}
+	}
+}
+
+func TestWearableShape(t *testing.T) {
+	tuples := Wearable(1)
+	if len(tuples) != WearableTuples {
+		t.Fatalf("got %d tuples, want %d", len(tuples), WearableTuples)
+	}
+	first, _ := tuples[0].Timestamp()
+	if !first.Equal(WearableStart) {
+		t.Fatalf("start %v", first)
+	}
+	prev := first
+	for i, tp := range tuples[1:] {
+		ts, _ := tp.Timestamp()
+		if !ts.Equal(prev.Add(WearableInterval)) {
+			t.Fatalf("cadence broken at %d", i+1)
+		}
+		prev = ts
+	}
+	span := prev.Sub(first).Hours()
+	if math.Abs(span-WearableHours) > 0.3 {
+		t.Fatalf("span %.2f h, want ≈ %.2f h", span, WearableHours)
+	}
+}
+
+func TestWearableExactlyTwoGlitches(t *testing.T) {
+	tuples := Wearable(DefaultSeedForTest)
+	glitches := 0
+	for _, tp := range tuples {
+		bpm, _ := tp.MustGet("BPM").AsFloat()
+		if bpm != 0 {
+			continue
+		}
+		sum := 0.0
+		for _, c := range []string{"ActiveMinutes", "Distance", "Steps"} {
+			f, _ := tp.MustGet(c).AsFloat()
+			sum += f
+		}
+		if sum != 0 {
+			glitches++
+		}
+	}
+	if glitches != 2 {
+		t.Fatalf("found %d pre-existing violations, want exactly 2", glitches)
+	}
+}
+
+// DefaultSeedForTest mirrors the experiments package's dataset seed.
+const DefaultSeedForTest = 20160226
+
+func TestWearableActivityConsistency(t *testing.T) {
+	for i, tp := range Wearable(2) {
+		steps, _ := tp.MustGet("Steps").AsFloat()
+		dist, _ := tp.MustGet("Distance").AsFloat()
+		bpm, _ := tp.MustGet("BPM").AsFloat()
+		cal, _ := tp.MustGet("CaloriesBurned").AsFloat()
+		active, _ := tp.MustGet("ActiveMinutes").AsFloat()
+		if steps < 0 || dist < 0 || cal < 0 || active < 0 || active > 15 {
+			t.Fatalf("tuple %d out of range: %v", i, tp)
+		}
+		// Steps dominate distance in clean data (steps count vs km).
+		if steps < dist {
+			t.Fatalf("tuple %d: steps %g < distance %g", i, steps, dist)
+		}
+		// Calories only burn while the tracker is worn.
+		if bpm == 0 && steps == 0 && cal != 0 {
+			t.Fatalf("tuple %d: calories without wear", i)
+		}
+		if bpm > 0 && cal <= 0 {
+			t.Fatalf("tuple %d: worn but no calories", i)
+		}
+	}
+}
+
+func TestWearableCaloriesPrecision(t *testing.T) {
+	for i, tp := range Wearable(3) {
+		v := tp.MustGet("CaloriesBurned")
+		f, _ := v.AsFloat()
+		if f == 0 {
+			continue
+		}
+		s := v.String()
+		dot := strings.IndexByte(s, '.')
+		if dot < 0 {
+			t.Fatalf("tuple %d: calories %q lost fraction", i, s)
+		}
+		frac := s[dot+1:]
+		if len(frac) != 3 || frac[2] == '0' {
+			t.Fatalf("tuple %d: calories %q not at precision exactly 3", i, s)
+		}
+	}
+}
+
+func TestWearableExerciseRate(t *testing.T) {
+	tuples := Wearable(DefaultSeedForTest)
+	high := 0
+	for _, tp := range tuples {
+		if bpm, _ := tp.MustGet("BPM").AsFloat(); bpm > 100 {
+			high++
+		}
+	}
+	// The paper's stream has 33 of 1056 post-update tuples above 100 BPM
+	// (≈ 3%); the generator should land in the same regime.
+	frac := float64(high) / float64(len(tuples))
+	if frac < 0.01 || frac > 0.07 {
+		t.Fatalf("BPM>100 fraction %.4f outside [0.01, 0.07]", frac)
+	}
+}
+
+func TestWearableHasIdlePeriods(t *testing.T) {
+	idle := 0
+	for _, tp := range Wearable(4) {
+		bpm, _ := tp.MustGet("BPM").AsFloat()
+		steps, _ := tp.MustGet("Steps").AsFloat()
+		if bpm == 0 && steps == 0 {
+			idle++
+		}
+	}
+	if idle == 0 {
+		t.Fatal("no tracker-not-worn periods generated")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	rs := Regions()
+	if len(rs) != 3 || rs[0] != RegionGucheng || rs[1] != RegionWanshouxigong || rs[2] != RegionWanliu {
+		t.Fatalf("regions %v", rs)
+	}
+}
+
+func TestQuantize3(t *testing.T) {
+	if quantize3(0) != 0 {
+		t.Fatal("zero must stay zero")
+	}
+	for _, x := range []float64{1.2345, 18.0, 7.1, 99.9999, 0.0004} {
+		q := quantize3(x)
+		milli := int64(math.Round(q * 1000))
+		if milli%10 == 0 {
+			t.Fatalf("quantize3(%g) = %g has zero third decimal", x, q)
+		}
+		if math.Abs(q-x) > 0.0015 {
+			t.Fatalf("quantize3(%g) = %g drifted too far", x, q)
+		}
+	}
+}

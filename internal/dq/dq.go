@@ -1,0 +1,396 @@
+// Package dq implements the data-quality checking machinery the paper
+// evaluates Icewafl against: a Great-Expectations-style engine in which
+// users declare expectations — characteristics clean data should have —
+// and validate a (polluted) stream against them. Each expectation flags
+// the rows that violate it, so expected pollution counts can be compared
+// with measured ones (Figure 4, Table 1, §3.1.3).
+package dq
+
+import (
+	"fmt"
+	"regexp"
+
+	"icewafl/internal/stream"
+)
+
+// Result is the outcome of validating one expectation over a stream.
+type Result struct {
+	// Expectation is the expectation's name.
+	Expectation string
+	// Evaluated is the number of rows the expectation inspected.
+	Evaluated int
+	// Unexpected is the number of rows that violated the expectation.
+	Unexpected int
+	// UnexpectedIDs lists the tuple IDs of violating rows, enabling
+	// ground-truth comparison against the pollution log.
+	UnexpectedIDs []uint64
+	// Observed carries the measured aggregate for aggregate
+	// expectations (e.g. the column mean); zero otherwise.
+	Observed float64
+	// Success reports whether the expectation held (no unexpected rows
+	// / aggregate within bounds).
+	Success bool
+}
+
+// UnexpectedFraction returns Unexpected / Evaluated (0 when nothing was
+// evaluated).
+func (r Result) UnexpectedFraction() float64 {
+	if r.Evaluated == 0 {
+		return 0
+	}
+	return float64(r.Unexpected) / float64(r.Evaluated)
+}
+
+// Expectation validates one data characteristic over a bounded stream.
+type Expectation interface {
+	// Name identifies the expectation, following Great Expectations
+	// naming (expect_column_values_to_not_be_null, …).
+	Name() string
+	// Check validates tuples and returns per-row or aggregate results.
+	Check(tuples []stream.Tuple) Result
+}
+
+// Suite is a named collection of expectations — the analogue of a Great
+// Expectations expectation suite.
+type Suite struct {
+	SuiteName    string
+	Expectations []Expectation
+}
+
+// NewSuite builds a suite.
+func NewSuite(name string, es ...Expectation) *Suite {
+	return &Suite{SuiteName: name, Expectations: es}
+}
+
+// Add appends an expectation.
+func (s *Suite) Add(e Expectation) *Suite {
+	s.Expectations = append(s.Expectations, e)
+	return s
+}
+
+// Validate runs every expectation over the stream.
+func (s *Suite) Validate(tuples []stream.Tuple) []Result {
+	out := make([]Result, len(s.Expectations))
+	for i, e := range s.Expectations {
+		out[i] = e.Check(tuples)
+	}
+	return out
+}
+
+// TotalUnexpected sums the unexpected counts of results.
+func TotalUnexpected(results []Result) int {
+	n := 0
+	for _, r := range results {
+		n += r.Unexpected
+	}
+	return n
+}
+
+// rowCheck factors the common row-wise bookkeeping: fn returns
+// (evaluated, unexpected) for each tuple.
+func rowCheck(name string, tuples []stream.Tuple, fn func(stream.Tuple) (bool, bool)) Result {
+	res := Result{Expectation: name}
+	for _, t := range tuples {
+		evaluated, unexpected := fn(t)
+		if !evaluated {
+			continue
+		}
+		res.Evaluated++
+		if unexpected {
+			res.Unexpected++
+			res.UnexpectedIDs = append(res.UnexpectedIDs, t.ID)
+		}
+	}
+	res.Success = res.Unexpected == 0
+	return res
+}
+
+// NotBeNull expects the column to contain no NULLs —
+// expect_column_values_to_not_be_null.
+type NotBeNull struct {
+	Column string
+}
+
+// Name implements Expectation.
+func (e NotBeNull) Name() string { return "expect_column_values_to_not_be_null" }
+
+// Check implements Expectation.
+func (e NotBeNull) Check(tuples []stream.Tuple) Result {
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		v, ok := t.Get(e.Column)
+		if !ok {
+			return false, false
+		}
+		return true, v.IsNull()
+	})
+}
+
+// BeBetween expects numeric column values in [Min, Max] —
+// expect_column_values_to_be_between. NULLs are not evaluated.
+type BeBetween struct {
+	Column   string
+	Min, Max float64
+}
+
+// Name implements Expectation.
+func (e BeBetween) Name() string { return "expect_column_values_to_be_between" }
+
+// Check implements Expectation.
+func (e BeBetween) Check(tuples []stream.Tuple) Result {
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		v, ok := t.Get(e.Column)
+		if !ok || v.IsNull() {
+			return false, false
+		}
+		f, isNum := v.AsFloat()
+		if !isNum {
+			return true, true
+		}
+		return true, f < e.Min || f > e.Max
+	})
+}
+
+// PairAGreaterThanB expects column A's value to exceed column B's in
+// every row — expect_column_pair_values_a_to_be_greater_than_b. Rows
+// where either side is NULL are skipped. With OrEqual, ties pass.
+type PairAGreaterThanB struct {
+	A, B    string
+	OrEqual bool
+}
+
+// Name implements Expectation.
+func (e PairAGreaterThanB) Name() string {
+	return "expect_column_pair_values_a_to_be_greater_than_b"
+}
+
+// Check implements Expectation.
+func (e PairAGreaterThanB) Check(tuples []stream.Tuple) Result {
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		a, okA := t.Get(e.A)
+		b, okB := t.Get(e.B)
+		if !okA || !okB || a.IsNull() || b.IsNull() {
+			return false, false
+		}
+		cmp, comparable := a.Compare(b)
+		if !comparable {
+			return true, true
+		}
+		if e.OrEqual {
+			return true, cmp < 0
+		}
+		return true, cmp <= 0
+	})
+}
+
+// MatchRegex expects the textual rendering of column values to match the
+// pattern — expect_column_values_to_match_regex. NULLs are skipped.
+type MatchRegex struct {
+	Column  string
+	Pattern *regexp.Regexp
+}
+
+// NewMatchRegex compiles pattern; it returns an error for bad patterns so
+// configuration mistakes surface before validation.
+func NewMatchRegex(column, pattern string) (MatchRegex, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return MatchRegex{}, fmt.Errorf("dq: bad regex %q: %w", pattern, err)
+	}
+	return MatchRegex{Column: column, Pattern: re}, nil
+}
+
+// Name implements Expectation.
+func (e MatchRegex) Name() string { return "expect_column_values_to_match_regex" }
+
+// Check implements Expectation.
+func (e MatchRegex) Check(tuples []stream.Tuple) Result {
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		v, ok := t.Get(e.Column)
+		if !ok || v.IsNull() {
+			return false, false
+		}
+		return true, !e.Pattern.MatchString(v.String())
+	})
+}
+
+// MulticolumnSumToEqual expects the sum of the listed numeric columns to
+// equal Total in every row — expect_multicolumn_sum_to_equal. Rows with
+// any NULL among the columns are skipped.
+type MulticolumnSumToEqual struct {
+	Columns []string
+	Total   float64
+	// Tolerance allows for floating-point slack; exact zero means exact
+	// comparison.
+	Tolerance float64
+}
+
+// Name implements Expectation.
+func (e MulticolumnSumToEqual) Name() string { return "expect_multicolumn_sum_to_equal" }
+
+// Check implements Expectation.
+func (e MulticolumnSumToEqual) Check(tuples []stream.Tuple) Result {
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		sum := 0.0
+		for _, c := range e.Columns {
+			v, ok := t.Get(c)
+			if !ok || v.IsNull() {
+				return false, false
+			}
+			f, isNum := v.AsFloat()
+			if !isNum {
+				return true, true
+			}
+			sum += f
+		}
+		diff := sum - e.Total
+		if diff < 0 {
+			diff = -diff
+		}
+		return true, diff > e.Tolerance
+	})
+}
+
+// BeIncreasing expects column values to increase along the stream —
+// expect_column_values_to_be_increasing. A row is unexpected when its
+// value is below (or, with Strictly, not above) its predecessor's. This
+// is the expectation the paper uses on the Time attribute to find
+// delayed tuples. NULLs are skipped and do not break the chain.
+type BeIncreasing struct {
+	Column   string
+	Strictly bool
+}
+
+// Name implements Expectation.
+func (e BeIncreasing) Name() string { return "expect_column_values_to_be_increasing" }
+
+// Check implements Expectation.
+func (e BeIncreasing) Check(tuples []stream.Tuple) Result {
+	res := Result{Expectation: e.Name()}
+	var prev stream.Value
+	havePrev := false
+	for _, t := range tuples {
+		v, ok := t.Get(e.Column)
+		if !ok || v.IsNull() {
+			continue
+		}
+		res.Evaluated++
+		if havePrev {
+			cmp, comparable := v.Compare(prev)
+			bad := !comparable || cmp < 0 || (e.Strictly && cmp == 0)
+			if bad {
+				res.Unexpected++
+				res.UnexpectedIDs = append(res.UnexpectedIDs, t.ID)
+				// Do not advance prev on a violation: a single delayed
+				// tuple flags itself, not its successors.
+				continue
+			}
+		}
+		prev = v
+		havePrev = true
+	}
+	res.Success = res.Unexpected == 0
+	return res
+}
+
+// BeUnique expects no duplicate values in the column —
+// expect_column_values_to_be_unique. Every occurrence beyond the first of
+// a value is unexpected. NULLs are skipped.
+type BeUnique struct {
+	Column string
+}
+
+// Name implements Expectation.
+func (e BeUnique) Name() string { return "expect_column_values_to_be_unique" }
+
+// Check implements Expectation.
+func (e BeUnique) Check(tuples []stream.Tuple) Result {
+	seen := make(map[string]bool)
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		v, ok := t.Get(e.Column)
+		if !ok || v.IsNull() {
+			return false, false
+		}
+		key := v.String()
+		if seen[key] {
+			return true, true
+		}
+		seen[key] = true
+		return true, false
+	})
+}
+
+// BeInSet expects column values to come from the allowed set —
+// expect_column_values_to_be_in_set. NULLs are skipped.
+type BeInSet struct {
+	Column  string
+	Allowed map[string]bool
+}
+
+// Name implements Expectation.
+func (e BeInSet) Name() string { return "expect_column_values_to_be_in_set" }
+
+// Check implements Expectation.
+func (e BeInSet) Check(tuples []stream.Tuple) Result {
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		v, ok := t.Get(e.Column)
+		if !ok || v.IsNull() {
+			return false, false
+		}
+		return true, !e.Allowed[v.String()]
+	})
+}
+
+// BeOfType expects every non-null value in the column to have the given
+// kind — expect_column_values_to_be_of_type.
+type BeOfType struct {
+	Column string
+	Kind   stream.Kind
+}
+
+// Name implements Expectation.
+func (e BeOfType) Name() string { return "expect_column_values_to_be_of_type" }
+
+// Check implements Expectation.
+func (e BeOfType) Check(tuples []stream.Tuple) Result {
+	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
+		v, ok := t.Get(e.Column)
+		if !ok || v.IsNull() {
+			return false, false
+		}
+		return true, v.Kind() != e.Kind
+	})
+}
+
+// MeanToBeBetween expects the column mean in [Min, Max] — the aggregate
+// expectation expect_column_mean_to_be_between. NULLs are excluded from
+// the mean.
+type MeanToBeBetween struct {
+	Column   string
+	Min, Max float64
+}
+
+// Name implements Expectation.
+func (e MeanToBeBetween) Name() string { return "expect_column_mean_to_be_between" }
+
+// Check implements Expectation.
+func (e MeanToBeBetween) Check(tuples []stream.Tuple) Result {
+	res := Result{Expectation: e.Name()}
+	sum := 0.0
+	for _, t := range tuples {
+		v, ok := t.Get(e.Column)
+		if !ok || v.IsNull() {
+			continue
+		}
+		f, isNum := v.AsFloat()
+		if !isNum {
+			continue
+		}
+		res.Evaluated++
+		sum += f
+	}
+	if res.Evaluated > 0 {
+		res.Observed = sum / float64(res.Evaluated)
+	}
+	res.Success = res.Evaluated > 0 && res.Observed >= e.Min && res.Observed <= e.Max
+	return res
+}

@@ -1,0 +1,300 @@
+package dq
+
+import (
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+var schema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "a", Kind: stream.KindFloat},
+	stream.Field{Name: "b", Kind: stream.KindFloat},
+	stream.Field{Name: "c", Kind: stream.KindFloat},
+	stream.Field{Name: "label", Kind: stream.KindString},
+)
+
+func row(id uint64, hour int, a, b, c stream.Value, label string) stream.Tuple {
+	ts := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(hour) * time.Hour)
+	t := stream.NewTuple(schema, []stream.Value{stream.Time(ts), a, b, c, stream.Str(label)})
+	t.ID = id
+	t.EventTime = ts
+	return t
+}
+
+func f(v float64) stream.Value { return stream.Float(v) }
+
+func TestNotBeNull(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(1), f(1), f(1), "x"),
+		row(2, 1, stream.Null(), f(1), f(1), "x"),
+		row(3, 2, f(3), f(1), f(1), "x"),
+	}
+	res := NotBeNull{Column: "a"}.Check(rows)
+	if res.Evaluated != 3 || res.Unexpected != 1 || res.Success {
+		t.Fatalf("%+v", res)
+	}
+	if len(res.UnexpectedIDs) != 1 || res.UnexpectedIDs[0] != 2 {
+		t.Fatalf("ids %v", res.UnexpectedIDs)
+	}
+	if got := res.UnexpectedFraction(); got != 1.0/3 {
+		t.Fatalf("fraction %g", got)
+	}
+	// Missing column: nothing evaluated, success.
+	res = NotBeNull{Column: "zzz"}.Check(rows)
+	if res.Evaluated != 0 || !res.Success {
+		t.Fatalf("missing column: %+v", res)
+	}
+}
+
+func TestBeBetween(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(5), f(0), f(0), "x"),
+		row(2, 1, f(11), f(0), f(0), "x"),
+		row(3, 2, f(-1), f(0), f(0), "x"),
+		row(4, 3, stream.Null(), f(0), f(0), "x"), // skipped
+	}
+	res := BeBetween{Column: "a", Min: 0, Max: 10}.Check(rows)
+	if res.Evaluated != 3 || res.Unexpected != 2 {
+		t.Fatalf("%+v", res)
+	}
+	// Non-numeric value counts as violation.
+	res = BeBetween{Column: "label", Min: 0, Max: 10}.Check(rows[:1])
+	if res.Unexpected != 1 {
+		t.Fatalf("non-numeric: %+v", res)
+	}
+}
+
+func TestPairAGreaterThanB(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(5), f(3), f(0), "x"),          // pass
+		row(2, 1, f(3), f(5), f(0), "x"),          // fail
+		row(3, 2, f(4), f(4), f(0), "x"),          // tie
+		row(4, 3, stream.Null(), f(1), f(0), "x"), // skipped
+		row(5, 4, f(1), stream.Null(), f(0), "x"), // skipped
+	}
+	strict := PairAGreaterThanB{A: "a", B: "b"}
+	res := strict.Check(rows)
+	if res.Evaluated != 3 || res.Unexpected != 2 { // tie fails strictly
+		t.Fatalf("strict: %+v", res)
+	}
+	orEq := PairAGreaterThanB{A: "a", B: "b", OrEqual: true}
+	res = orEq.Check(rows)
+	if res.Unexpected != 1 {
+		t.Fatalf("or-equal: %+v", res)
+	}
+}
+
+func TestMatchRegex(t *testing.T) {
+	re, err := NewMatchRegex("label", `^\d+(\.\d{2}[1-9])?$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []stream.Tuple{
+		row(1, 0, f(0), f(0), f(0), "42"),
+		row(2, 1, f(0), f(0), f(0), "42.123"),
+		row(3, 2, f(0), f(0), f(0), "42.12"),  // precision 2: fails
+		row(4, 3, f(0), f(0), f(0), "42.120"), // trailing zero: fails
+	}
+	res := re.Check(rows)
+	if res.Unexpected != 2 {
+		t.Fatalf("%+v", res)
+	}
+	if _, err := NewMatchRegex("label", "("); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+}
+
+func TestMatchRegexOnFloatColumn(t *testing.T) {
+	// The regex applies to the value's textual rendering.
+	re, _ := NewMatchRegex("a", `^\d+(\.\d{2}[1-9])?$`)
+	rows := []stream.Tuple{
+		row(1, 0, f(4.236), f(0), f(0), ""),
+		row(2, 1, f(4.24), f(0), f(0), ""),
+		row(3, 2, f(18), f(0), f(0), ""),
+	}
+	res := re.Check(rows)
+	if res.Unexpected != 1 {
+		t.Fatalf("float regex: %+v, ids %v", res, res.UnexpectedIDs)
+	}
+}
+
+func TestMulticolumnSumToEqual(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(1), f(2), f(3), "x"),          // sum 6
+		row(2, 1, f(2), f(2), f(2), "x"),          // sum 6
+		row(3, 2, f(1), f(1), f(1), "x"),          // sum 3: fail
+		row(4, 3, stream.Null(), f(3), f(3), "x"), // skipped
+	}
+	e := MulticolumnSumToEqual{Columns: []string{"a", "b", "c"}, Total: 6}
+	res := e.Check(rows)
+	if res.Evaluated != 3 || res.Unexpected != 1 || res.UnexpectedIDs[0] != 3 {
+		t.Fatalf("%+v", res)
+	}
+	// Tolerance.
+	tol := MulticolumnSumToEqual{Columns: []string{"a", "b", "c"}, Total: 3.0000001, Tolerance: 1e-3}
+	if r := tol.Check(rows[2:3]); r.Unexpected != 0 {
+		t.Fatalf("tolerance: %+v", r)
+	}
+}
+
+func TestBeIncreasing(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(1), f(0), f(0), "x"),
+		row(2, 1, f(2), f(0), f(0), "x"),
+		row(3, 2, f(1.5), f(0), f(0), "x"), // dips: fail
+		row(4, 3, f(3), f(0), f(0), "x"),   // above the kept prev (2): pass
+		row(5, 4, f(3), f(0), f(0), "x"),   // equal: pass unless strict
+	}
+	res := BeIncreasing{Column: "a"}.Check(rows)
+	if res.Unexpected != 1 || res.UnexpectedIDs[0] != 3 {
+		t.Fatalf("non-strict: %+v", res)
+	}
+	res = BeIncreasing{Column: "a", Strictly: true}.Check(rows)
+	if res.Unexpected != 2 {
+		t.Fatalf("strict: %+v", res)
+	}
+}
+
+func TestBeIncreasingDetectsDelayedTuple(t *testing.T) {
+	// A tuple whose timestamp is older than its neighbours — the
+	// §3.1.3 detection on the Time attribute.
+	ts := func(h int) stream.Value {
+		return stream.Time(time.Date(2016, 2, 26, h, 0, 0, 0, time.UTC))
+	}
+	mk := func(id uint64, v stream.Value) stream.Tuple {
+		t := stream.NewTuple(schema, []stream.Value{v, f(0), f(0), f(0), stream.Str("")})
+		t.ID = id
+		return t
+	}
+	rows := []stream.Tuple{mk(1, ts(12)), mk(2, ts(14)), mk(3, ts(13)), mk(4, ts(15))}
+	res := BeIncreasing{Column: "ts"}.Check(rows)
+	if res.Unexpected != 1 || res.UnexpectedIDs[0] != 3 {
+		t.Fatalf("delayed tuple: %+v", res)
+	}
+}
+
+func TestBeUnique(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(1), f(0), f(0), "x"),
+		row(2, 1, f(2), f(0), f(0), "x"),
+		row(3, 2, f(1), f(0), f(0), "x"), // duplicate of row 1
+		row(4, 3, f(1), f(0), f(0), "x"), // another duplicate
+	}
+	res := BeUnique{Column: "a"}.Check(rows)
+	if res.Unexpected != 2 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestBeInSet(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(0), f(0), f(0), "hot"),
+		row(2, 1, f(0), f(0), f(0), "cold"),
+		row(3, 2, f(0), f(0), f(0), "warm"),
+	}
+	e := BeInSet{Column: "label", Allowed: map[string]bool{"hot": true, "cold": true}}
+	res := e.Check(rows)
+	if res.Unexpected != 1 || res.UnexpectedIDs[0] != 3 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestBeOfType(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(1), f(0), f(0), "x"),
+		row(2, 1, stream.Int(2), f(0), f(0), "x"),
+	}
+	res := BeOfType{Column: "a", Kind: stream.KindFloat}.Check(rows)
+	if res.Unexpected != 1 || res.UnexpectedIDs[0] != 2 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestMeanToBeBetween(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(10), f(0), f(0), "x"),
+		row(2, 1, f(20), f(0), f(0), "x"),
+		row(3, 2, stream.Null(), f(0), f(0), "x"),
+	}
+	res := MeanToBeBetween{Column: "a", Min: 14, Max: 16}.Check(rows)
+	if !res.Success || res.Observed != 15 || res.Evaluated != 2 {
+		t.Fatalf("%+v", res)
+	}
+	res = MeanToBeBetween{Column: "a", Min: 16, Max: 20}.Check(rows)
+	if res.Success {
+		t.Fatalf("out-of-range mean passed: %+v", res)
+	}
+}
+
+func TestFiltered(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(0), f(5), f(0), "check"), // filtered in, sum != 0 → fail
+		row(2, 1, f(0), f(0), f(0), "check"), // filtered in, sum == 0 → pass
+		row(3, 2, f(0), f(9), f(9), "skip"),  // filtered out
+	}
+	e := Filtered{
+		Inner: MulticolumnSumToEqual{Columns: []string{"b", "c"}, Total: 0},
+		Where: func(t stream.Tuple) bool {
+			l, _ := t.MustGet("label").AsString()
+			return l == "check"
+		},
+	}
+	res := e.Check(rows)
+	if res.Evaluated != 2 || res.Unexpected != 1 || res.UnexpectedIDs[0] != 1 {
+		t.Fatalf("%+v", res)
+	}
+	if res.Expectation != "expect_multicolumn_sum_to_equal[filtered]" {
+		t.Fatalf("name %q", res.Expectation)
+	}
+}
+
+func TestSuiteValidate(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, stream.Null(), f(1), f(1), "x"),
+		row(2, 1, f(5), f(1), f(1), "x"),
+	}
+	suite := NewSuite("test",
+		NotBeNull{Column: "a"},
+	).Add(BeBetween{Column: "b", Min: 0, Max: 10})
+	results := suite.Validate(rows)
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Unexpected != 1 || results[1].Unexpected != 0 {
+		t.Fatalf("%+v", results)
+	}
+	if TotalUnexpected(results) != 1 {
+		t.Fatal("total unexpected")
+	}
+}
+
+func TestExpectationNames(t *testing.T) {
+	cases := []struct {
+		e    Expectation
+		want string
+	}{
+		{NotBeNull{}, "expect_column_values_to_not_be_null"},
+		{BeBetween{}, "expect_column_values_to_be_between"},
+		{PairAGreaterThanB{}, "expect_column_pair_values_a_to_be_greater_than_b"},
+		{MatchRegex{}, "expect_column_values_to_match_regex"},
+		{MulticolumnSumToEqual{}, "expect_multicolumn_sum_to_equal"},
+		{BeIncreasing{}, "expect_column_values_to_be_increasing"},
+		{BeUnique{}, "expect_column_values_to_be_unique"},
+		{BeInSet{}, "expect_column_values_to_be_in_set"},
+		{BeOfType{}, "expect_column_values_to_be_of_type"},
+		{MeanToBeBetween{}, "expect_column_mean_to_be_between"},
+	}
+	for _, c := range cases {
+		if c.e.Name() != c.want {
+			t.Errorf("%T name %q != %q", c.e, c.e.Name(), c.want)
+		}
+	}
+}
+
+func TestUnexpectedFractionEmpty(t *testing.T) {
+	if (Result{}).UnexpectedFraction() != 0 {
+		t.Fatal("empty fraction")
+	}
+}

@@ -1,0 +1,61 @@
+package dq_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"icewafl/internal/dq"
+	"icewafl/internal/stream"
+)
+
+var exampleSchema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "bpm", Kind: stream.KindFloat},
+)
+
+func exampleRows() []stream.Tuple {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	values := []stream.Value{stream.Float(72), stream.Null(), stream.Float(250)}
+	rows := make([]stream.Tuple, len(values))
+	for i, v := range values {
+		rows[i] = stream.NewTuple(exampleSchema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Minute)), v,
+		})
+		rows[i].ID = uint64(i + 1)
+	}
+	return rows
+}
+
+// ExampleSuite_Validate runs two expectations over a tiny stream.
+func ExampleSuite_Validate() {
+	suite := dq.NewSuite("vitals",
+		dq.NotBeNull{Column: "bpm"},
+		dq.BeBetween{Column: "bpm", Min: 30, Max: 220},
+	)
+	for _, res := range suite.Validate(exampleRows()) {
+		fmt.Printf("%s: %d unexpected of %d\n", res.Expectation, res.Unexpected, res.Evaluated)
+	}
+	// Output:
+	// expect_column_values_to_not_be_null: 1 unexpected of 3
+	// expect_column_values_to_be_between: 1 unexpected of 2
+}
+
+// ExampleLoadSuite compiles a Great-Expectations-style JSON suite.
+func ExampleLoadSuite() {
+	doc := `{
+	  "name": "vitals",
+	  "expectations": [
+	    {"expectation": "expect_column_values_to_not_be_null", "column": "bpm"}
+	  ]
+	}`
+	suite, err := dq.LoadSuite(strings.NewReader(doc))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := suite.Validate(exampleRows())
+	fmt.Println(suite.SuiteName, "unexpected:", res[0].Unexpected)
+	// Output:
+	// vitals unexpected: 1
+}

@@ -1,0 +1,104 @@
+package dq
+
+import (
+	"fmt"
+
+	"icewafl/internal/stream"
+)
+
+// Filtered restricts an expectation to the rows satisfying Where — the
+// analogue of Great Expectations' row_condition. The software-update
+// scenario uses it to apply expect_multicolumn_sum_to_equal only to rows
+// with BPM == 0.
+type Filtered struct {
+	Inner Expectation
+	Where func(stream.Tuple) bool
+}
+
+// Name implements Expectation.
+func (e Filtered) Name() string { return e.Inner.Name() + "[filtered]" }
+
+// Check implements Expectation.
+func (e Filtered) Check(tuples []stream.Tuple) Result {
+	var subset []stream.Tuple
+	for _, t := range tuples {
+		if e.Where(t) {
+			subset = append(subset, t)
+		}
+	}
+	res := e.Inner.Check(subset)
+	res.Expectation = e.Name()
+	return res
+}
+
+// RowCondition is a declarative, serialisable row filter: the named
+// column compared against a constant. Unlike Filtered's free-form
+// closure it round-trips through suite JSON documents.
+type RowCondition struct {
+	Column string
+	Op     string // ==, !=, <, <=, >, >=
+	Value  stream.Value
+}
+
+// Match reports whether the tuple satisfies the condition. Rows whose
+// column is missing never match; NULL matches only `== null`-style
+// equality against a NULL value.
+func (c RowCondition) Match(t stream.Tuple) bool {
+	v, ok := t.Get(c.Column)
+	if !ok {
+		return false
+	}
+	if c.Value.IsNull() || v.IsNull() {
+		switch c.Op {
+		case "==":
+			return v.IsNull() == c.Value.IsNull()
+		case "!=":
+			return v.IsNull() != c.Value.IsNull()
+		}
+		return false
+	}
+	cmp, comparable := v.Compare(c.Value)
+	if !comparable {
+		return false
+	}
+	switch c.Op {
+	case "==":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// Where applies an expectation only to the rows matching a declarative
+// RowCondition — the serialisable counterpart of Filtered.
+type Where struct {
+	Inner Expectation
+	Cond  RowCondition
+}
+
+// Name implements Expectation.
+func (e Where) Name() string {
+	return fmt.Sprintf("%s[where %s %s %s]", e.Inner.Name(), e.Cond.Column, e.Cond.Op, e.Cond.Value)
+}
+
+// Check implements Expectation.
+func (e Where) Check(tuples []stream.Tuple) Result {
+	var subset []stream.Tuple
+	for _, t := range tuples {
+		if e.Cond.Match(t) {
+			subset = append(subset, t)
+		}
+	}
+	res := e.Inner.Check(subset)
+	res.Expectation = e.Name()
+	return res
+}

@@ -1,0 +1,82 @@
+package dq
+
+import (
+	"math"
+
+	"icewafl/internal/stats"
+	"icewafl/internal/stream"
+)
+
+// Profile derives an expectation suite from a sample of clean data, the
+// way Great Expectations' profiler bootstraps suites: whatever held on
+// the clean stream becomes an expectation for future (possibly polluted)
+// data. Generated expectations per attribute:
+//
+//   - not_be_null where the clean sample had no NULLs;
+//   - be_between over a slightly widened observed range (numeric);
+//   - be_in_set over the observed categories (strings, when few);
+//   - be_of_type for every attribute;
+//   - values_to_be_increasing on the timestamp attribute.
+//
+// Margin widens numeric ranges by the given fraction of the observed
+// spread (default 0.1) so natural drift does not trip the suite.
+func Profile(name string, tuples []stream.Tuple, margin float64) *Suite {
+	suite := NewSuite(name)
+	if len(tuples) == 0 {
+		return suite
+	}
+	if margin <= 0 {
+		margin = 0.1
+	}
+	schema := tuples[0].Schema()
+	const maxCategories = 32
+
+	for i := 0; i < schema.Len(); i++ {
+		field := schema.Field(i)
+		var numeric []float64
+		categories := map[string]bool{}
+		nulls := 0
+		kinds := map[stream.Kind]bool{}
+		for _, t := range tuples {
+			v := t.At(i)
+			if v.IsNull() {
+				nulls++
+				continue
+			}
+			kinds[v.Kind()] = true
+			if f, ok := v.AsFloat(); ok {
+				numeric = append(numeric, f)
+			}
+			if s, ok := v.AsString(); ok {
+				if len(categories) <= maxCategories {
+					categories[s] = true
+				}
+			}
+		}
+		if nulls == 0 {
+			suite.Add(NotBeNull{Column: field.Name})
+		}
+		if len(kinds) == 1 {
+			for k := range kinds {
+				suite.Add(BeOfType{Column: field.Name, Kind: k})
+			}
+		}
+		if len(numeric) > 0 && field.Kind != stream.KindTime {
+			min, max, _ := stats.MinMax(numeric)
+			pad := (max - min) * margin
+			if pad == 0 {
+				pad = math.Max(math.Abs(max)*margin, 1)
+			}
+			suite.Add(BeBetween{Column: field.Name, Min: min - pad, Max: max + pad})
+		}
+		if field.Kind == stream.KindString && len(categories) > 0 && len(categories) <= maxCategories {
+			allowed := make(map[string]bool, len(categories))
+			for c := range categories {
+				allowed[c] = true
+			}
+			suite.Add(BeInSet{Column: field.Name, Allowed: allowed})
+		}
+	}
+	suite.Add(BeIncreasing{Column: schema.Timestamp()})
+	return suite
+}

@@ -1,0 +1,92 @@
+package dq
+
+import (
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+var profSchema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "temp", Kind: stream.KindFloat},
+	stream.Field{Name: "mode", Kind: stream.KindString},
+)
+
+func profTuples(n int) []stream.Tuple {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]stream.Tuple, n)
+	modes := []string{"auto", "manual"}
+	for i := range out {
+		out[i] = stream.NewTuple(profSchema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Minute)),
+			stream.Float(20 + float64(i%10)), // 20..29
+			stream.Str(modes[i%2]),
+		})
+		out[i].ID = uint64(i + 1)
+	}
+	return out
+}
+
+func TestProfileCleanDataPasses(t *testing.T) {
+	clean := profTuples(200)
+	suite := Profile("profiled", clean, 0.1)
+	if len(suite.Expectations) == 0 {
+		t.Fatal("empty suite")
+	}
+	for _, r := range suite.Validate(clean) {
+		if !r.Success {
+			t.Fatalf("profiled suite fails on its own training data: %s", r.Expectation)
+		}
+	}
+}
+
+func TestProfileCatchesPollution(t *testing.T) {
+	clean := profTuples(200)
+	suite := Profile("profiled", clean, 0.1)
+
+	polluted := make([]stream.Tuple, len(clean))
+	for i := range clean {
+		polluted[i] = clean[i].Clone()
+	}
+	polluted[10].Set("temp", stream.Null())       // violates not_be_null
+	polluted[20].Set("temp", stream.Float(9999))  // violates be_between
+	polluted[30].Set("mode", stream.Str("BOGUS")) // violates be_in_set
+	polluted[40].Set("temp", stream.Str("oops"))  // violates be_of_type
+	ts39, _ := polluted[39].Timestamp()           // violate increasing ts
+	polluted[50].SetTimestamp(ts39.Add(-time.Hour))
+
+	failures := 0
+	for _, r := range suite.Validate(polluted) {
+		if !r.Success {
+			failures++
+		}
+	}
+	if failures < 5 {
+		t.Fatalf("profiled suite caught only %d of 5 planted violations", failures)
+	}
+}
+
+func TestProfileEdgeCases(t *testing.T) {
+	if s := Profile("empty", nil, 0.1); len(s.Expectations) != 0 {
+		t.Fatal("suite from empty data")
+	}
+	// Constant numeric column: range padding must not collapse to zero.
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "c", Kind: stream.KindFloat},
+	)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var tuples []stream.Tuple
+	for i := 0; i < 10; i++ {
+		tuples = append(tuples, stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Minute)), stream.Float(5),
+		}))
+	}
+	suite := Profile("const", tuples, 0.1)
+	for _, r := range suite.Validate(tuples) {
+		if !r.Success {
+			t.Fatalf("constant column trips its own suite: %s", r.Expectation)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package dq
+
+import (
+	"io"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+// WindowResult is the validation outcome of one event-time window: the
+// continuous-monitoring analogue of a batch validation run. Streaming DQ
+// monitoring is what a data-stream polluter's benchmark output is
+// ultimately consumed by, so the engine supports it natively.
+type WindowResult struct {
+	Start, End time.Time
+	Tuples     int
+	Results    []Result
+}
+
+// Unexpected sums the unexpected counts across expectations.
+func (w WindowResult) Unexpected() int { return TotalUnexpected(w.Results) }
+
+// StreamingValidator validates a stream window by window against a
+// suite, emitting one WindowResult per closed window.
+type StreamingValidator struct {
+	Suite  *Suite
+	Window time.Duration
+}
+
+// NewStreamingValidator builds a windowed validator.
+func NewStreamingValidator(suite *Suite, window time.Duration) *StreamingValidator {
+	return &StreamingValidator{Suite: suite, Window: window}
+}
+
+// Run consumes src fully and returns one result per non-empty window.
+func (v *StreamingValidator) Run(src stream.Source) ([]WindowResult, error) {
+	windows := stream.NewTumblingWindows(src, v.Window)
+	var out []WindowResult
+	for {
+		win, err := windows.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, WindowResult{
+			Start:   win.Start,
+			End:     win.End,
+			Tuples:  len(win.Tuples),
+			Results: v.Suite.Validate(win.Tuples),
+		})
+	}
+}
+
+// WorstWindow returns the index of the window with the highest
+// unexpected count (-1 for empty input) — the alarm a monitoring
+// deployment would raise first.
+func WorstWindow(results []WindowResult) int {
+	worst, worstN := -1, -1
+	for i, w := range results {
+		if n := w.Unexpected(); n > worstN {
+			worst, worstN = i, n
+		}
+	}
+	return worst
+}

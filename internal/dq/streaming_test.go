@@ -1,0 +1,51 @@
+package dq
+
+import (
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+func TestStreamingValidator(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var tuples []stream.Tuple
+	for i := 0; i < 60; i++ {
+		v := stream.Float(1)
+		// Minutes 20-39 carry nulls: the middle window is dirty.
+		if i >= 20 && i < 40 && i%2 == 0 {
+			v = stream.Null()
+		}
+		tp := stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Minute)),
+			v, stream.Float(0), stream.Float(0), stream.Str("x"),
+		})
+		tp.ID = uint64(i + 1)
+		tp.EventTime, _ = tp.Timestamp()
+		tp.Arrival = tp.EventTime
+		tuples = append(tuples, tp)
+	}
+	v := NewStreamingValidator(NewSuite("mon", NotBeNull{Column: "a"}), 20*time.Minute)
+	results, err := v.Run(stream.NewSliceSource(schema, tuples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d windows", len(results))
+	}
+	if results[0].Unexpected() != 0 || results[2].Unexpected() != 0 {
+		t.Fatalf("clean windows dirty: %d, %d", results[0].Unexpected(), results[2].Unexpected())
+	}
+	if results[1].Unexpected() != 10 {
+		t.Fatalf("dirty window found %d errors, want 10", results[1].Unexpected())
+	}
+	if results[1].Tuples != 20 {
+		t.Fatalf("window size %d", results[1].Tuples)
+	}
+	if WorstWindow(results) != 1 {
+		t.Fatalf("worst window %d", WorstWindow(results))
+	}
+	if WorstWindow(nil) != -1 {
+		t.Fatal("worst of empty")
+	}
+}

@@ -1,0 +1,295 @@
+package dq
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"icewafl/internal/stream"
+)
+
+// SuiteFile is the JSON representation of an expectation suite, mirroring
+// how Great Expectations persists suites as JSON documents. Example:
+//
+//	{
+//	  "name": "wearable-checks",
+//	  "expectations": [
+//	    {"expectation": "expect_column_values_to_not_be_null", "column": "BPM"},
+//	    {"expectation": "expect_column_pair_values_a_to_be_greater_than_b",
+//	     "a": "Steps", "b": "Distance", "or_equal": true}
+//	  ]
+//	}
+type SuiteFile struct {
+	Name         string            `json:"name"`
+	Expectations []ExpectationSpec `json:"expectations"`
+}
+
+// ExpectationSpec configures one expectation.
+type ExpectationSpec struct {
+	Expectation string `json:"expectation"`
+
+	Column  string   `json:"column,omitempty"`
+	A       string   `json:"a,omitempty"`
+	B       string   `json:"b,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+
+	Min       *float64 `json:"min,omitempty"`
+	Max       *float64 `json:"max,omitempty"`
+	Total     float64  `json:"total,omitempty"`
+	Tolerance float64  `json:"tolerance,omitempty"`
+
+	Regex    string   `json:"regex,omitempty"`
+	Strictly bool     `json:"strictly,omitempty"`
+	OrEqual  bool     `json:"or_equal,omitempty"`
+	Allowed  []string `json:"allowed,omitempty"`
+	Kind     string   `json:"kind,omitempty"`
+
+	// Where restricts the expectation to matching rows (Great
+	// Expectations' row_condition).
+	Where *WhereSpec `json:"where,omitempty"`
+}
+
+// WhereSpec is the JSON form of a RowCondition.
+type WhereSpec struct {
+	Column string          `json:"column"`
+	Op     string          `json:"op"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// LoadSuite parses a JSON suite document into an executable Suite.
+func LoadSuite(r io.Reader) (*Suite, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sf SuiteFile
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("dq: parse suite: %w", err)
+	}
+	if len(sf.Expectations) == 0 {
+		return nil, fmt.Errorf("dq: suite %q has no expectations", sf.Name)
+	}
+	suite := NewSuite(sf.Name)
+	for i, spec := range sf.Expectations {
+		where := spec.Where
+		spec.Where = nil
+		e, err := buildExpectation(spec)
+		if err != nil {
+			return nil, fmt.Errorf("dq: expectation %d: %w", i, err)
+		}
+		if where != nil {
+			cond, err := buildRowCondition(*where)
+			if err != nil {
+				return nil, fmt.Errorf("dq: expectation %d: %w", i, err)
+			}
+			e = Where{Inner: e, Cond: cond}
+		}
+		suite.Add(e)
+	}
+	return suite, nil
+}
+
+func buildRowCondition(spec WhereSpec) (RowCondition, error) {
+	if spec.Column == "" {
+		return RowCondition{}, fmt.Errorf("where needs a column")
+	}
+	switch spec.Op {
+	case "==", "!=", "<", "<=", ">", ">=":
+	default:
+		return RowCondition{}, fmt.Errorf("where has unknown op %q", spec.Op)
+	}
+	v, err := parseScalar(spec.Value)
+	if err != nil {
+		return RowCondition{}, fmt.Errorf("where value: %w", err)
+	}
+	return RowCondition{Column: spec.Column, Op: spec.Op, Value: v}, nil
+}
+
+// parseScalar maps a raw JSON scalar onto a stream.Value.
+func parseScalar(raw json.RawMessage) (stream.Value, error) {
+	if len(raw) == 0 {
+		return stream.Null(), fmt.Errorf("missing value")
+	}
+	var v interface{}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return stream.Null(), err
+	}
+	switch x := v.(type) {
+	case nil:
+		return stream.Null(), nil
+	case float64:
+		return stream.Float(x), nil
+	case bool:
+		return stream.Bool(x), nil
+	case string:
+		return stream.Str(x), nil
+	}
+	return stream.Null(), fmt.Errorf("unsupported scalar %s", string(raw))
+}
+
+// rawScalar renders a stream.Value back as raw JSON.
+func rawScalar(v stream.Value) (json.RawMessage, error) {
+	switch v.Kind() {
+	case stream.KindNull:
+		return json.RawMessage("null"), nil
+	case stream.KindFloat, stream.KindInt:
+		f, _ := v.AsFloat()
+		return json.Marshal(f)
+	case stream.KindBool:
+		b, _ := v.AsBool()
+		return json.Marshal(b)
+	case stream.KindString:
+		s, _ := v.AsString()
+		return json.Marshal(s)
+	}
+	return nil, fmt.Errorf("dq: where value of kind %v is not serialisable", v.Kind())
+}
+
+// SaveSuite serialises a suite back into the JSON document format, so
+// profiled suites (see Profile) can be persisted and reused by dqcheck.
+func SaveSuite(w io.Writer, suite *Suite) error {
+	sf := SuiteFile{Name: suite.SuiteName}
+	for _, e := range suite.Expectations {
+		spec, err := specOf(e)
+		if err != nil {
+			return err
+		}
+		sf.Expectations = append(sf.Expectations, spec)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&sf); err != nil {
+		return fmt.Errorf("dq: save suite: %w", err)
+	}
+	return nil
+}
+
+func specOf(e Expectation) (ExpectationSpec, error) {
+	switch x := e.(type) {
+	case Where:
+		inner, err := specOf(x.Inner)
+		if err != nil {
+			return ExpectationSpec{}, err
+		}
+		raw, err := rawScalar(x.Cond.Value)
+		if err != nil {
+			return ExpectationSpec{}, err
+		}
+		inner.Where = &WhereSpec{Column: x.Cond.Column, Op: x.Cond.Op, Value: raw}
+		return inner, nil
+	case NotBeNull:
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column}, nil
+	case BeBetween:
+		min, max := x.Min, x.Max
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column, Min: &min, Max: &max}, nil
+	case PairAGreaterThanB:
+		return ExpectationSpec{Expectation: x.Name(), A: x.A, B: x.B, OrEqual: x.OrEqual}, nil
+	case MatchRegex:
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column, Regex: x.Pattern.String()}, nil
+	case MulticolumnSumToEqual:
+		return ExpectationSpec{Expectation: x.Name(), Columns: x.Columns, Total: x.Total, Tolerance: x.Tolerance}, nil
+	case BeIncreasing:
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column, Strictly: x.Strictly}, nil
+	case BeUnique:
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column}, nil
+	case BeInSet:
+		allowed := make([]string, 0, len(x.Allowed))
+		for v := range x.Allowed {
+			allowed = append(allowed, v)
+		}
+		sort.Strings(allowed)
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column, Allowed: allowed}, nil
+	case BeOfType:
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column, Kind: x.Kind.String()}, nil
+	case MeanToBeBetween:
+		min, max := x.Min, x.Max
+		return ExpectationSpec{Expectation: x.Name(), Column: x.Column, Min: &min, Max: &max}, nil
+	}
+	return ExpectationSpec{}, fmt.Errorf("dq: expectation %q is not serialisable", e.Name())
+}
+
+func buildExpectation(spec ExpectationSpec) (Expectation, error) {
+	needColumn := func() (string, error) {
+		if spec.Column == "" {
+			return "", fmt.Errorf("%s needs a column", spec.Expectation)
+		}
+		return spec.Column, nil
+	}
+	switch spec.Expectation {
+	case "expect_column_values_to_not_be_null":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		return NotBeNull{Column: col}, nil
+	case "expect_column_values_to_be_between":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		if spec.Min == nil || spec.Max == nil {
+			return nil, fmt.Errorf("%s needs min and max", spec.Expectation)
+		}
+		return BeBetween{Column: col, Min: *spec.Min, Max: *spec.Max}, nil
+	case "expect_column_pair_values_a_to_be_greater_than_b":
+		if spec.A == "" || spec.B == "" {
+			return nil, fmt.Errorf("%s needs a and b", spec.Expectation)
+		}
+		return PairAGreaterThanB{A: spec.A, B: spec.B, OrEqual: spec.OrEqual}, nil
+	case "expect_column_values_to_match_regex":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		return NewMatchRegex(col, spec.Regex)
+	case "expect_multicolumn_sum_to_equal":
+		if len(spec.Columns) == 0 {
+			return nil, fmt.Errorf("%s needs columns", spec.Expectation)
+		}
+		return MulticolumnSumToEqual{Columns: spec.Columns, Total: spec.Total, Tolerance: spec.Tolerance}, nil
+	case "expect_column_values_to_be_increasing":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		return BeIncreasing{Column: col, Strictly: spec.Strictly}, nil
+	case "expect_column_values_to_be_unique":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		return BeUnique{Column: col}, nil
+	case "expect_column_values_to_be_in_set":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		if len(spec.Allowed) == 0 {
+			return nil, fmt.Errorf("%s needs an allowed set", spec.Expectation)
+		}
+		allowed := make(map[string]bool, len(spec.Allowed))
+		for _, v := range spec.Allowed {
+			allowed[v] = true
+		}
+		return BeInSet{Column: col, Allowed: allowed}, nil
+	case "expect_column_values_to_be_of_type":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := stream.ParseKind(spec.Kind)
+		if err != nil {
+			return nil, err
+		}
+		return BeOfType{Column: col, Kind: kind}, nil
+	case "expect_column_mean_to_be_between":
+		col, err := needColumn()
+		if err != nil {
+			return nil, err
+		}
+		if spec.Min == nil || spec.Max == nil {
+			return nil, fmt.Errorf("%s needs min and max", spec.Expectation)
+		}
+		return MeanToBeBetween{Column: col, Min: *spec.Min, Max: *spec.Max}, nil
+	}
+	return nil, fmt.Errorf("unknown expectation %q", spec.Expectation)
+}

@@ -1,0 +1,283 @@
+package dq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+func TestLoadSuiteAllTypes(t *testing.T) {
+	doc := `{
+	  "name": "everything",
+	  "expectations": [
+	    {"expectation": "expect_column_values_to_not_be_null", "column": "a"},
+	    {"expectation": "expect_column_values_to_be_between", "column": "a", "min": 0, "max": 10},
+	    {"expectation": "expect_column_pair_values_a_to_be_greater_than_b", "a": "a", "b": "b", "or_equal": true},
+	    {"expectation": "expect_column_values_to_match_regex", "column": "label", "regex": "^x+$"},
+	    {"expectation": "expect_multicolumn_sum_to_equal", "columns": ["a", "b"], "total": 5, "tolerance": 0.001},
+	    {"expectation": "expect_column_values_to_be_increasing", "column": "ts", "strictly": true},
+	    {"expectation": "expect_column_values_to_be_unique", "column": "a"},
+	    {"expectation": "expect_column_values_to_be_in_set", "column": "label", "allowed": ["x", "y"]},
+	    {"expectation": "expect_column_values_to_be_of_type", "column": "a", "kind": "float"},
+	    {"expectation": "expect_column_mean_to_be_between", "column": "a", "min": 0, "max": 100}
+	  ]
+	}`
+	suite, err := LoadSuite(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.SuiteName != "everything" || len(suite.Expectations) != 10 {
+		t.Fatalf("suite %q with %d expectations", suite.SuiteName, len(suite.Expectations))
+	}
+	// Exercise the loaded suite on a small stream.
+	rows := []stream.Tuple{
+		row(1, 0, f(2), f(3), f(0), "x"),
+		row(2, 1, f(4), f(1), f(0), "x"),
+	}
+	results := suite.Validate(rows)
+	if len(results) != 10 {
+		t.Fatalf("%d results", len(results))
+	}
+}
+
+func TestLoadSuiteSemantics(t *testing.T) {
+	doc := `{
+	  "name": "s",
+	  "expectations": [
+	    {"expectation": "expect_column_values_to_not_be_null", "column": "a"}
+	  ]
+	}`
+	suite, err := LoadSuite(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []stream.Tuple{
+		row(1, 0, stream.Null(), f(0), f(0), "x"),
+		row(2, 1, f(1), f(0), f(0), "x"),
+	}
+	res := suite.Validate(rows)[0]
+	if res.Unexpected != 1 {
+		t.Fatalf("loaded expectation found %d", res.Unexpected)
+	}
+}
+
+func TestLoadSuiteErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"name": "empty", "expectations": []}`,
+		`{"name": "s", "unknown": 1, "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "nope"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_between", "column": "a"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_pair_values_a_to_be_greater_than_b", "a": "a"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_match_regex", "column": "a", "regex": "("}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_multicolumn_sum_to_equal", "total": 1}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_in_set", "column": "a"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_of_type", "column": "a", "kind": "decimal"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_mean_to_be_between", "column": "a", "min": 1}]}`,
+	}
+	for i, doc := range bad {
+		if _, err := LoadSuite(strings.NewReader(doc)); err == nil {
+			t.Errorf("bad suite %d accepted", i)
+		}
+	}
+}
+
+func TestLoadedIncreasingDetectsDelay(t *testing.T) {
+	doc := `{
+	  "name": "timing",
+	  "expectations": [
+	    {"expectation": "expect_column_values_to_be_increasing", "column": "ts"}
+	  ]
+	}`
+	suite, err := LoadSuite(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(id uint64, offset time.Duration) stream.Tuple {
+		tp := stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(offset)), f(0), f(0), f(0), stream.Str(""),
+		})
+		tp.ID = id
+		return tp
+	}
+	rows := []stream.Tuple{
+		mk(1, 0), mk(2, 2*time.Hour), mk(3, time.Hour), mk(4, 3*time.Hour),
+	}
+	res := suite.Validate(rows)[0]
+	if res.Unexpected != 1 || res.UnexpectedIDs[0] != 3 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSaveLoadSuiteRoundTrip(t *testing.T) {
+	suite := Profile("profiled", func() []stream.Tuple {
+		base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+		var out []stream.Tuple
+		for i := 0; i < 50; i++ {
+			tp := stream.NewTuple(schema, []stream.Value{
+				stream.Time(base.Add(time.Duration(i) * time.Minute)),
+				f(float64(i)), f(1), f(2), stream.Str("x"),
+			})
+			out = append(out, tp)
+		}
+		return out
+	}(), 0.1)
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, suite); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SuiteName != suite.SuiteName || len(back.Expectations) != len(suite.Expectations) {
+		t.Fatalf("round trip: %d vs %d expectations", len(back.Expectations), len(suite.Expectations))
+	}
+	for i := range suite.Expectations {
+		if back.Expectations[i].Name() != suite.Expectations[i].Name() {
+			t.Fatalf("expectation %d name mismatch: %q vs %q",
+				i, back.Expectations[i].Name(), suite.Expectations[i].Name())
+		}
+	}
+}
+
+func TestSaveSuiteAllTypes(t *testing.T) {
+	re, _ := NewMatchRegex("label", "^x$")
+	suite := NewSuite("all",
+		NotBeNull{Column: "a"},
+		BeBetween{Column: "a", Min: 1, Max: 2},
+		PairAGreaterThanB{A: "a", B: "b", OrEqual: true},
+		re,
+		MulticolumnSumToEqual{Columns: []string{"a", "b"}, Total: 3, Tolerance: 0.1},
+		BeIncreasing{Column: "ts", Strictly: true},
+		BeUnique{Column: "a"},
+		BeInSet{Column: "label", Allowed: map[string]bool{"x": true, "y": true}},
+		BeOfType{Column: "a", Kind: stream.KindFloat},
+		MeanToBeBetween{Column: "a", Min: 0, Max: 10},
+	)
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, suite); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Expectations) != 10 {
+		t.Fatalf("%d expectations", len(back.Expectations))
+	}
+	// Unserialisable expectation errors out.
+	bad := NewSuite("bad", Filtered{Inner: NotBeNull{Column: "a"}, Where: func(stream.Tuple) bool { return true }})
+	if err := SaveSuite(&buf, bad); err == nil {
+		t.Fatal("filtered expectation serialised")
+	}
+}
+
+func TestWhereRowCondition(t *testing.T) {
+	rows := []stream.Tuple{
+		row(1, 0, f(0), f(5), f(0), "x"),  // bpm-like a==0, activity b=5 → violates
+		row(2, 1, f(0), f(0), f(0), "x"),  // a==0, activity 0 → passes
+		row(3, 2, f(70), f(9), f(9), "x"), // a!=0: filtered out entirely
+	}
+	e := Where{
+		Inner: MulticolumnSumToEqual{Columns: []string{"b", "c"}, Total: 0},
+		Cond:  RowCondition{Column: "a", Op: "==", Value: stream.Float(0)},
+	}
+	res := e.Check(rows)
+	if res.Evaluated != 2 || res.Unexpected != 1 || res.UnexpectedIDs[0] != 1 {
+		t.Fatalf("%+v", res)
+	}
+	if !strings.Contains(res.Expectation, "where a == 0") {
+		t.Fatalf("name %q", res.Expectation)
+	}
+}
+
+func TestRowConditionOps(t *testing.T) {
+	tp := row(1, 0, f(5), f(0), f(0), "hot")
+	cases := []struct {
+		cond RowCondition
+		want bool
+	}{
+		{RowCondition{"a", "==", stream.Float(5)}, true},
+		{RowCondition{"a", "!=", stream.Float(5)}, false},
+		{RowCondition{"a", "<", stream.Float(10)}, true},
+		{RowCondition{"a", "<=", stream.Float(5)}, true},
+		{RowCondition{"a", ">", stream.Float(5)}, false},
+		{RowCondition{"a", ">=", stream.Float(5)}, true},
+		{RowCondition{"label", "==", stream.Str("hot")}, true},
+		{RowCondition{"zzz", "==", stream.Float(1)}, false},
+		{RowCondition{"label", "<", stream.Float(1)}, false}, // incomparable
+		{RowCondition{"a", "~~", stream.Float(5)}, false},    // unknown op
+	}
+	for i, c := range cases {
+		if got := c.cond.Match(tp); got != c.want {
+			t.Errorf("case %d: %v", i, got)
+		}
+	}
+	// NULL semantics.
+	nullRow := row(2, 0, stream.Null(), f(0), f(0), "x")
+	if !(RowCondition{"a", "==", stream.Null()}).Match(nullRow) {
+		t.Error("null == null failed")
+	}
+	if (RowCondition{"a", "==", stream.Float(1)}).Match(nullRow) {
+		t.Error("null == 1 matched")
+	}
+	if !(RowCondition{"a", "!=", stream.Float(1)}).Match(nullRow) {
+		t.Error("null != 1 failed")
+	}
+}
+
+func TestWhereJSONRoundTrip(t *testing.T) {
+	doc := `{
+	  "name": "update",
+	  "expectations": [
+	    {"expectation": "expect_multicolumn_sum_to_equal",
+	     "columns": ["a", "b"], "total": 0,
+	     "where": {"column": "label", "op": "==", "value": "check"}}
+	  ]
+	}`
+	suite, err := LoadSuite(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []stream.Tuple{
+		row(1, 0, f(1), f(1), f(0), "check"), // sum 2: fail
+		row(2, 1, f(9), f(9), f(0), "skip"),  // filtered out
+	}
+	res := suite.Validate(rows)[0]
+	if res.Evaluated != 1 || res.Unexpected != 1 {
+		t.Fatalf("%+v", res)
+	}
+	// Save and reload.
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, suite); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := back.Validate(rows)[0]
+	if res2.Unexpected != 1 {
+		t.Fatalf("reloaded suite: %+v", res2)
+	}
+}
+
+func TestWhereJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a", "where": {"op": "==", "value": 1}}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a", "where": {"column": "b", "op": "~", "value": 1}}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a", "where": {"column": "b", "op": "=="}}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a", "where": {"column": "b", "op": "==", "value": [1]}}]}`,
+	}
+	for i, doc := range bad {
+		if _, err := LoadSuite(strings.NewReader(doc)); err == nil {
+			t.Errorf("bad where %d accepted", i)
+		}
+	}
+}

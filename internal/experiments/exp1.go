@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"icewafl/internal/groundtruth"
+	"icewafl/internal/plot"
+	"icewafl/internal/stats"
+	"icewafl/internal/stream"
+)
+
+// DefaultDataSeed pins the synthetic datasets; experiment repetitions
+// vary only the pollution seed.
+const DefaultDataSeed = 20160226
+
+// Exp1RandomResult reproduces Figure 4 and the §3.1.1 headline numbers.
+type Exp1RandomResult struct {
+	// ExpectedPerHour and MeasuredPerHour are the per-hour-of-day error
+	// counts averaged over repetitions: expected comes from the
+	// pollution log, measured from the DQ tool.
+	ExpectedPerHour [24]float64
+	MeasuredPerHour [24]float64
+	// AvgErrors is the average total number of errors GX measured.
+	AvgErrors float64
+	// AvgProportion is the average polluted fraction of the stream.
+	AvgProportion float64
+	// VarProportion is the variance of that fraction across repetitions
+	// (in percentage points squared, as the paper reports it).
+	VarProportion float64
+	Repetitions   int
+}
+
+// RunExp1Random executes the random-temporal-errors scenario reps times.
+func RunExp1Random(dataSeed int64, reps int) (*Exp1RandomResult, error) {
+	res := &Exp1RandomResult{Repetitions: reps}
+	var proportions []float64
+	totalMeasured := 0.0
+	for rep := 0; rep < reps; rep++ {
+		proc := RandomTemporalProcess(dataSeed + int64(rep)*7919)
+		out, err := proc.Run(WearableSource(dataSeed))
+		if err != nil {
+			return nil, fmt.Errorf("exp1 random rep %d: %w", rep, err)
+		}
+		// Expected: per-hour counts from the pollution log.
+		for h, n := range out.Log.CountByHour() {
+			res.ExpectedPerHour[h] += float64(n)
+		}
+		// Measured: validate with the DQ suite, bucket violating rows by
+		// the hour of their event time.
+		results := RandomTemporalSuite().Validate(out.Polluted)
+		measured := results[0]
+		byID := tupleIndex(out.Polluted)
+		for _, id := range measured.UnexpectedIDs {
+			if t, ok := byID[id]; ok {
+				res.MeasuredPerHour[t.EventTime.Hour()] += float64(1)
+			}
+		}
+		totalMeasured += float64(measured.Unexpected)
+		proportions = append(proportions, measured.UnexpectedFraction()*100)
+	}
+	for h := range res.ExpectedPerHour {
+		res.ExpectedPerHour[h] /= float64(reps)
+		res.MeasuredPerHour[h] /= float64(reps)
+	}
+	res.AvgErrors = totalMeasured / float64(reps)
+	res.AvgProportion = stats.Mean(proportions)
+	res.VarProportion = stats.SampleVariance(proportions)
+	return res, nil
+}
+
+// Table1Row is one line of Table 1: expected vs measured error counts for
+// the software-update scenario.
+type Table1Row struct {
+	Label string
+	// Expected is the average number of errors Icewafl injected
+	// (changed values, from ground truth).
+	Expected float64
+	// PreExisting counts violations already present in the clean stream
+	// (the paper's "+2" for BPM=0).
+	PreExisting int
+	// Measured is the average number of errors the DQ tool detected.
+	Measured float64
+}
+
+// Exp1UpdateResult reproduces Table 1.
+type Exp1UpdateResult struct {
+	Rows []Table1Row
+	// PostUpdateTuples counts tuples subject to the update condition.
+	PostUpdateTuples int
+	// HighBPMTuples counts post-update tuples with BPM > 100 (the
+	// paper's 33).
+	HighBPMTuples int
+	Repetitions   int
+}
+
+// RunExp1Update executes the software-update scenario reps times.
+func RunExp1Update(dataSeed int64, reps int) (*Exp1UpdateResult, error) {
+	res := &Exp1UpdateResult{Repetitions: reps}
+	var expBPM0, expBPMNull, expDist, expCal float64
+	var measBPM0, measBPMNull, measDist, measCal float64
+
+	// Stream-level constants (independent of the pollution randomness).
+	clean, err := stream.Drain(WearableSource(dataSeed))
+	if err != nil {
+		return nil, err
+	}
+	preExisting := 0
+	for _, t := range clean {
+		ts, _ := t.Timestamp()
+		if !ts.Before(SoftwareUpdateAt) {
+			res.PostUpdateTuples++
+			if bpm, _ := t.MustGet("BPM").AsFloat(); bpm > 100 {
+				res.HighBPMTuples++
+			}
+		}
+		if bpm, _ := t.MustGet("BPM").AsFloat(); bpm == 0 && !t.MustGet("BPM").IsNull() {
+			sum := 0.0
+			for _, c := range []string{"ActiveMinutes", "Distance", "Steps"} {
+				f, _ := t.MustGet(c).AsFloat()
+				sum += f
+			}
+			if sum != 0 {
+				preExisting++
+			}
+		}
+	}
+
+	for rep := 0; rep < reps; rep++ {
+		proc := SoftwareUpdateProcess(dataSeed + int64(rep)*104729)
+		out, err := proc.Run(WearableSource(dataSeed))
+		if err != nil {
+			return nil, fmt.Errorf("exp1 update rep %d: %w", rep, err)
+		}
+		// Expected: count actual value changes per attribute from ground
+		// truth, splitting BPM into the =0 and =null cases.
+		diff := groundtruth.Diff(out.Clean, out.Polluted)
+		byID := tupleIndex(out.Polluted)
+		for _, d := range diff.Diffs {
+			t := byID[d.ID]
+			for _, attr := range d.ChangedAttrs {
+				switch attr {
+				case "Distance":
+					expDist++
+				case "CaloriesBurned":
+					expCal++
+				case "BPM":
+					if t.MustGet("BPM").IsNull() {
+						expBPMNull++
+					} else {
+						expBPM0++
+					}
+				}
+			}
+		}
+		// Measured: the four expectations of §3.1.2.
+		results := SoftwareUpdateSuite().Validate(out.Polluted)
+		measDist += float64(results[0].Unexpected)
+		measCal += float64(results[1].Unexpected)
+		measBPM0 += float64(results[2].Unexpected)
+		measBPMNull += float64(results[3].Unexpected)
+	}
+	n := float64(reps)
+	res.Rows = []Table1Row{
+		{Label: "BPM=0 (Prob. 0.8)", Expected: expBPM0 / n, PreExisting: preExisting, Measured: measBPM0 / n},
+		{Label: "BPM=null (Prob. 0.2)", Expected: expBPMNull / n, Measured: measBPMNull / n},
+		{Label: "Distance", Expected: expDist / n, Measured: measDist / n},
+		{Label: "CaloriesBurned", Expected: expCal / n, Measured: measCal / n},
+	}
+	return res, nil
+}
+
+// Exp1NetworkResult reproduces the §3.1.3 numbers.
+type Exp1NetworkResult struct {
+	// WindowTuples counts tuples inside the 13:00-14:59 window (the
+	// paper's 88).
+	WindowTuples int
+	// ExpectedDelayed is the average number of tuples Icewafl delayed
+	// (≈ 0.2 · WindowTuples).
+	ExpectedDelayed float64
+	// MeasuredDelayed is the average number of increasing-order
+	// violations the DQ tool found.
+	MeasuredDelayed float64
+	Repetitions     int
+}
+
+// RunExp1Network executes the bad-network scenario reps times.
+func RunExp1Network(dataSeed int64, reps int) (*Exp1NetworkResult, error) {
+	res := &Exp1NetworkResult{Repetitions: reps}
+	clean, err := stream.Drain(WearableSource(dataSeed))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range clean {
+		ts, _ := t.Timestamp()
+		if h := ts.Hour(); h >= 13 && h < 15 {
+			res.WindowTuples++
+		}
+	}
+	var expected, measured float64
+	for rep := 0; rep < reps; rep++ {
+		proc := BadNetworkProcess(dataSeed + int64(rep)*1299709)
+		out, err := proc.Run(WearableSource(dataSeed))
+		if err != nil {
+			return nil, fmt.Errorf("exp1 network rep %d: %w", rep, err)
+		}
+		expected += float64(out.Log.Len())
+		results := BadNetworkSuite().Validate(out.Polluted)
+		measured += float64(results[0].Unexpected)
+	}
+	res.ExpectedDelayed = expected / float64(reps)
+	res.MeasuredDelayed = measured / float64(reps)
+	return res, nil
+}
+
+func tupleIndex(tuples []stream.Tuple) map[uint64]stream.Tuple {
+	out := make(map[uint64]stream.Tuple, len(tuples))
+	for _, t := range tuples {
+		if _, dup := out[t.ID]; !dup {
+			out[t.ID] = t
+		}
+	}
+	return out
+}
+
+// PrintExp1Random renders the Figure 4 series and §3.1.1 summary.
+func PrintExp1Random(w io.Writer, r *Exp1RandomResult) {
+	fmt.Fprintf(w, "Figure 4 — random temporal errors (%d repetitions)\n", r.Repetitions)
+	fmt.Fprintf(w, "%-6s %12s %12s\n", "hour", "expected", "measured(GX)")
+	for h := 0; h < 24; h++ {
+		fmt.Fprintf(w, "%-6d %12.2f %12.2f\n", h, r.ExpectedPerHour[h], r.MeasuredPerHour[h])
+	}
+	fmt.Fprintf(w, "avg errors measured: %.1f\n", r.AvgErrors)
+	fmt.Fprintf(w, "avg error proportion: %.2f%% (variance %.2f)\n", r.AvgProportion, r.VarProportion)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, plot.Lines("polluted tuples per hour of day",
+		[]plot.Series{
+			{Name: "expected", Values: r.ExpectedPerHour[:]},
+			{Name: "measured", Values: r.MeasuredPerHour[:]},
+		}, 48, 10))
+}
+
+// PrintExp1Update renders Table 1.
+func PrintExp1Update(w io.Writer, r *Exp1UpdateResult) {
+	fmt.Fprintf(w, "Table 1 — software update scenario (%d repetitions)\n", r.Repetitions)
+	fmt.Fprintf(w, "post-update tuples: %d, BPM>100 tuples: %d\n", r.PostUpdateTuples, r.HighBPMTuples)
+	fmt.Fprintf(w, "%-22s %12s %14s\n", "attribute", "expected", "measured(GX)")
+	for _, row := range r.Rows {
+		exp := fmt.Sprintf("%.1f", row.Expected)
+		if row.PreExisting > 0 {
+			exp = fmt.Sprintf("%.1f (+%d)", row.Expected, row.PreExisting)
+		}
+		fmt.Fprintf(w, "%-22s %12s %14.1f\n", row.Label, exp, row.Measured)
+	}
+}
+
+// PrintExp1Network renders the §3.1.3 summary.
+func PrintExp1Network(w io.Writer, r *Exp1NetworkResult) {
+	fmt.Fprintf(w, "Bad network connection (%d repetitions)\n", r.Repetitions)
+	fmt.Fprintf(w, "tuples in 13:00-14:59 window: %d\n", r.WindowTuples)
+	fmt.Fprintf(w, "expected delayed tuples: %.2f\n", r.ExpectedDelayed)
+	fmt.Fprintf(w, "measured delayed tuples (GX increasing check): %.2f\n", r.MeasuredDelayed)
+}

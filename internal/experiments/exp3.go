@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/csvio"
+	"icewafl/internal/dataset"
+	"icewafl/internal/plot"
+	"icewafl/internal/stats"
+	"icewafl/internal/stream"
+)
+
+// Exp3Config parameterises the runtime-overhead experiment.
+type Exp3Config struct {
+	DataSeed int64
+	// Runs is the number of timed executions per scenario (paper: 50).
+	Runs int
+	// Replicas repeats the wearable stream end to end to lengthen the
+	// workload: the raw stream has only ~1k tuples, too short for stable
+	// wall-clock measurements on modern hardware. Timestamps continue
+	// seamlessly across replicas so temporal conditions stay meaningful.
+	Replicas int
+	// DiskDir, when non-empty, reads the input from and writes the
+	// output to real files under this directory instead of memory —
+	// closer to the paper's load-from/write-to-disk pipeline, with a
+	// heavier baseline that dilutes the relative pollution overhead.
+	DiskDir string
+}
+
+// DefaultExp3Config mirrors the paper's 50 runs over a stream stretched
+// to ~106k tuples.
+func DefaultExp3Config() Exp3Config {
+	return Exp3Config{DataSeed: DefaultDataSeed, Runs: 50, Replicas: 100}
+}
+
+// Exp3Scenario is one box of Figure 8.
+type Exp3Scenario struct {
+	Name string
+	// RuntimesMS holds the wall-clock time of every run in milliseconds.
+	RuntimesMS []float64
+	Box        stats.BoxPlot
+	// OverheadPercent is the median overhead relative to the unpolluted
+	// baseline (0 for the baseline itself).
+	OverheadPercent float64
+}
+
+// Exp3Result reproduces Figure 8.
+type Exp3Result struct {
+	Scenarios []Exp3Scenario
+	Tuples    int
+}
+
+// replicateWearable repeats the wearable stream n times, shifting
+// timestamps so the cadence continues seamlessly.
+func replicateWearable(dataSeed int64, n int) []stream.Tuple {
+	base := dataset.Wearable(dataSeed)
+	if n <= 1 {
+		return base
+	}
+	span := time.Duration(len(base)) * dataset.WearableInterval
+	out := make([]stream.Tuple, 0, len(base)*n)
+	for k := 0; k < n; k++ {
+		shift := time.Duration(k) * span
+		for _, t := range base {
+			c := t.Clone()
+			ts, _ := c.Timestamp()
+			c.SetTimestamp(ts.Add(shift))
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RunExp3 times the three §3.1 pollution scenarios against an unpolluted
+// load-and-write baseline. Every run parses the stream from CSV, runs
+// the (possibly empty) pollution process, and serialises the result back
+// to CSV, so the measured pipeline covers ingest, pollution and egress —
+// the same envelope the paper measures on its Flink cluster.
+func RunExp3(cfg Exp3Config) (*Exp3Result, error) {
+	tuples := replicateWearable(cfg.DataSeed, cfg.Replicas)
+	schema := dataset.WearableSchema()
+	var csvData bytes.Buffer
+	if err := csvio.WriteAll(&csvData, schema, tuples); err != nil {
+		return nil, err
+	}
+	input := csvData.Bytes()
+	inputPath := ""
+	if cfg.DiskDir != "" {
+		inputPath = filepath.Join(cfg.DiskDir, "exp3-input.csv")
+		if err := os.WriteFile(inputPath, input, 0o644); err != nil {
+			return nil, fmt.Errorf("exp3: write disk input: %w", err)
+		}
+	}
+
+	type scenario struct {
+		name    string
+		proc    func(seed int64) *core.Process // nil: baseline
+		reorder int                            // >1 when the pipeline displaces arrivals
+	}
+	scenarios := []scenario{
+		{"software update", SoftwareUpdateProcess, 1},
+		// Reorder window 16 ≈ 4 h of slack at 15-minute cadence, enough
+		// for the scenario's 1-hour delays.
+		{"bad network connection", BadNetworkProcess, 16},
+		{"random temporal errors", RandomTemporalProcess, 1},
+		{"no pollution", nil, 1},
+	}
+
+	res := &Exp3Result{Tuples: len(tuples)}
+	var baselineMedian float64
+	for _, sc := range scenarios {
+		runtimes := make([]float64, 0, cfg.Runs)
+		for run := 0; run < cfg.Runs; run++ {
+			elapsed, err := timeOnePipeline(input, inputPath, cfg.DiskDir, schema, sc.proc, sc.reorder, cfg.DataSeed+int64(run))
+			if err != nil {
+				return nil, fmt.Errorf("exp3 %s run %d: %w", sc.name, run, err)
+			}
+			runtimes = append(runtimes, elapsed.Seconds()*1000)
+		}
+		box := stats.NewBoxPlot(runtimes)
+		res.Scenarios = append(res.Scenarios, Exp3Scenario{
+			Name:       sc.name,
+			RuntimesMS: runtimes,
+			Box:        box,
+		})
+		if sc.proc == nil {
+			baselineMedian = box.Median
+		}
+	}
+	for i := range res.Scenarios {
+		if baselineMedian > 0 {
+			res.Scenarios[i].OverheadPercent =
+				(res.Scenarios[i].Box.Median - baselineMedian) / baselineMedian * 100
+		}
+	}
+	return res, nil
+}
+
+// timeOnePipeline measures one CSV → (pollute) → CSV execution. Both the
+// baseline and the pollution scenarios run the tuple-wise streaming path
+// (the analogue of a Flink operator chain): the only difference is the
+// pollution operator in the middle, so the measured delta is the cost of
+// pollution itself, as in the paper's setup. With diskDir set, input and
+// output live on real files (synced), as in the paper's cluster runs.
+func timeOnePipeline(input []byte, inputPath, diskDir string, schema *stream.Schema, mkProc func(int64) *core.Process, reorder int, seed int64) (time.Duration, error) {
+	start := time.Now()
+
+	var in io.Reader = bytes.NewReader(input)
+	var outFile *os.File
+	var out io.Writer = io.Discard
+	if diskDir != "" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		in = f
+		outFile, err = os.CreateTemp(diskDir, "exp3-out-*.csv")
+		if err != nil {
+			return 0, err
+		}
+		defer os.Remove(outFile.Name())
+		defer outFile.Close()
+		out = outFile
+	}
+
+	reader, err := csvio.NewReader(in, schema)
+	if err != nil {
+		return 0, err
+	}
+	writer := csvio.NewWriter(out, schema)
+	var src stream.Source = reader
+	if mkProc != nil {
+		proc := mkProc(seed)
+		proc.DisableLog = true // the log is an optional output (Figure 2)
+		src, _, err = proc.RunStream(reader, reorder)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if _, err := stream.Copy(writer, src); err != nil {
+		return 0, err
+	}
+	if outFile != nil {
+		if err := outFile.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// PrintExp3 renders Figure 8 as box-plot statistics plus an ASCII box
+// plot panel.
+func PrintExp3(w io.Writer, r *Exp3Result) {
+	fmt.Fprintf(w, "Figure 8 — runtime overhead over %d tuples\n", r.Tuples)
+	boxes := make([]plot.Box, 0, len(r.Scenarios))
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(w, "%-24s %s overhead=%+.1f%%\n", sc.Name, sc.Box.String(), sc.OverheadPercent)
+		boxes = append(boxes, plot.Box{
+			Label: sc.Name,
+			Min:   sc.Box.WhiskerLow, Q1: sc.Box.Q1, Median: sc.Box.Median,
+			Q3: sc.Box.Q3, Max: sc.Box.WhiskerHigh,
+		})
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, plot.Boxes("runtime (ms)", boxes, 50))
+}

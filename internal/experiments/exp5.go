@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"icewafl/internal/anomaly"
+	"icewafl/internal/core"
+	"icewafl/internal/dataset"
+	"icewafl/internal/groundtruth"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// Experiment 5 (extension): the detector × error-type matrix. Icewafl's
+// stated purpose is benchmarking error-detection tooling; this
+// experiment demonstrates it at scale by injecting one error type at a
+// time into the air-quality stream and scoring a panel of statistical
+// online detectors against the pollution ground truth. The matrix shows
+// each detector's specialisation — and what an ensemble buys.
+
+// Exp5Cell is one (detector, error type) score.
+type Exp5Cell struct {
+	Detector  string
+	Scenario  string
+	Recall    float64
+	Precision float64
+	Flagged   int
+	Injected  int
+}
+
+// Exp5Result is the full matrix.
+type Exp5Result struct {
+	Scenarios []string
+	Detectors []string
+	Cells     map[string]map[string]Exp5Cell // detector -> scenario -> cell
+	Tuples    int
+}
+
+// exp5Scenario builds the pipeline for one error type over the NO2
+// attribute.
+func exp5Scenario(name string, seed int64) (*core.Pipeline, error) {
+	switch name {
+	case "outliers":
+		return core.NewPipeline(core.NewStandard("outliers",
+			&core.Outlier{Magnitude: core.Const(3), Rand: rng.Derive(seed, "exp5/out")},
+			core.NewRandomConst(0.01, rng.Derive(seed, "exp5/out-c")), "NO2")), nil
+	case "missing":
+		return core.NewPipeline(core.NewStandard("missing",
+			core.MissingValue{},
+			core.NewRandomConst(0.02, rng.Derive(seed, "exp5/miss-c")), "NO2")), nil
+	case "scale":
+		trigger := core.NewRandomConst(0.004, rng.Derive(seed, "exp5/scale-c"))
+		return core.NewPipeline(core.NewStandard("scale",
+			&core.ScaleByFactor{Factor: core.Const(0.125)},
+			core.NewSticky(trigger, 4*time.Hour), "NO2")), nil
+	case "frozen":
+		trigger := core.NewRandomConst(0.003, rng.Derive(seed, "exp5/frozen-c"))
+		return core.NewPipeline(core.NewStandard("frozen",
+			core.NewFrozenValue(),
+			core.NewSticky(trigger, 8*time.Hour), "NO2")), nil
+	case "delay":
+		return core.NewPipeline(core.NewStandard("delay",
+			core.DelayTuple{Delay: 3 * time.Hour},
+			core.NewRandomConst(0.01, rng.Derive(seed, "exp5/delay-c")), "NO2")), nil
+	}
+	return nil, fmt.Errorf("exp5: unknown scenario %q", name)
+}
+
+// exp5Detectors builds the fresh detector panel (stateful; one per run).
+func exp5Detectors() []anomaly.Detector {
+	nullAware := anomaly.NewRollingZScore("NO2", 72, 4)
+	nullAware.FlagNulls = true
+	ensembleMembers := []anomaly.Detector{
+		func() anomaly.Detector {
+			d := anomaly.NewRollingZScore("NO2", 72, 4)
+			d.FlagNulls = true
+			return d
+		}(),
+		anomaly.NewRateOfChange("NO2", 25),
+		anomaly.NewFrozenRun("NO2", 3),
+		anomaly.NewGapDetector(90 * time.Minute),
+	}
+	return []anomaly.Detector{
+		nullAware,
+		anomaly.NewSeasonalZScore("NO2", 4),
+		anomaly.NewRateOfChange("NO2", 25),
+		anomaly.NewFrozenRun("NO2", 3),
+		anomaly.NewGapDetector(90 * time.Minute),
+		anomaly.Ensemble{Members: ensembleMembers, Label: "ensemble(all four)"},
+	}
+}
+
+// Exp5Scenarios lists the injected error types.
+var Exp5Scenarios = []string{"outliers", "missing", "scale", "frozen", "delay"}
+
+// RunExp5 builds the matrix over tuples hourly observations of one
+// region.
+func RunExp5(dataSeed int64, tuples int) (*Exp5Result, error) {
+	if tuples <= 0 {
+		tuples = 6000
+	}
+	data := dataset.AirQuality(dataset.RegionGucheng, dataSeed,
+		dataset.AirQualityOptions{Tuples: tuples, MissingRate: -1})
+	res := &Exp5Result{
+		Scenarios: Exp5Scenarios,
+		Cells:     make(map[string]map[string]Exp5Cell),
+		Tuples:    tuples,
+	}
+	for _, det := range exp5Detectors() {
+		res.Detectors = append(res.Detectors, det.Name())
+	}
+
+	for _, scenario := range Exp5Scenarios {
+		pipe, err := exp5Scenario(scenario, dataSeed)
+		if err != nil {
+			return nil, err
+		}
+		proc := core.NewProcess(pipe)
+		out, err := proc.Run(stream.NewSliceSource(data[0].Schema(), data))
+		if err != nil {
+			return nil, fmt.Errorf("exp5 %s: %w", scenario, err)
+		}
+		truth := out.Log.PollutedTuples()
+		for _, det := range exp5Detectors() {
+			flagged := anomaly.Run(det, out.Polluted)
+			score := groundtruth.Evaluate(flagged, truth)
+			cell := Exp5Cell{
+				Detector:  det.Name(),
+				Scenario:  scenario,
+				Recall:    score.Recall(),
+				Precision: score.Precision(),
+				Flagged:   len(flagged),
+				Injected:  len(truth),
+			}
+			if res.Cells[det.Name()] == nil {
+				res.Cells[det.Name()] = make(map[string]Exp5Cell)
+			}
+			res.Cells[det.Name()][scenario] = cell
+		}
+	}
+	return res, nil
+}
+
+// PrintExp5 renders the recall matrix (precision in parentheses).
+func PrintExp5(w io.Writer, r *Exp5Result) {
+	fmt.Fprintf(w, "Experiment 5 — detector recall per injected error type (%d tuples)\n", r.Tuples)
+	fmt.Fprintf(w, "%-42s", "detector \\ error")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, " %12s", s)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Detectors {
+		fmt.Fprintf(w, "%-42s", d)
+		for _, s := range r.Scenarios {
+			c := r.Cells[d][s]
+			fmt.Fprintf(w, " %6.2f(%4.2f)", c.Recall, c.Precision)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "cells: recall(precision). Expected shape: each specialised detector")
+	fmt.Fprintln(w, "dominates its own error type; the ensemble covers all of them.")
+}

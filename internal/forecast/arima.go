@@ -1,0 +1,222 @@
+package forecast
+
+import (
+	"fmt"
+
+	"icewafl/internal/stats"
+)
+
+// ARIMA is an ARIMA(p, d, q) model fitted with the Hannan-Rissanen
+// two-stage least-squares procedure: a long autoregression estimates the
+// innovation sequence, then the ARMA coefficients are obtained by
+// regressing the differenced series on its own lags and the estimated
+// innovations. The procedure is deterministic and fast enough to re-fit
+// on every 504-hour training period of the experiment protocol.
+type ARIMA struct {
+	P, D, Q int
+
+	mu    float64
+	phi   []float64 // AR coefficients, lag 1..P
+	theta []float64 // MA coefficients, lag 1..Q
+
+	// Fitted-state tails used by Forecast.
+	zTail []float64 // last P demeaned differenced values
+	eTail []float64 // last Q estimated innovations
+	seeds []float64 // integration seeds from differencing
+	ready bool
+}
+
+// NewARIMA returns an unfitted ARIMA(p, d, q).
+func NewARIMA(p, d, q int) *ARIMA { return &ARIMA{P: p, D: d, Q: q} }
+
+// Name implements Model.
+func (m *ARIMA) Name() string { return "arima" }
+
+// Fit implements Model. The exogenous matrix is ignored.
+func (m *ARIMA) Fit(y []float64, _ [][]float64) error {
+	if m.P < 0 || m.D < 0 || m.Q < 0 {
+		return fmt.Errorf("forecast: invalid ARIMA order (%d,%d,%d)", m.P, m.D, m.Q)
+	}
+	w, seeds, err := difference(y, m.D)
+	if err != nil {
+		return err
+	}
+	minLen := m.P + m.Q + 2
+	if m.Q > 0 {
+		minLen += longAROrder(m.P, m.Q)
+	}
+	if len(w) < minLen {
+		return fmt.Errorf("forecast: %d differenced observations too few for ARIMA(%d,%d,%d)", len(w), m.P, m.D, m.Q)
+	}
+	mu := stats.Mean(w)
+	z := make([]float64, len(w))
+	for i, v := range w {
+		z[i] = v - mu
+	}
+
+	phi, theta, resid, err := fitARMA(z, m.P, m.Q)
+	if err != nil {
+		return err
+	}
+	m.mu, m.phi, m.theta = mu, phi, theta
+	m.seeds = seeds
+	m.zTail = tail(z, m.P)
+	m.eTail = tail(resid, m.Q)
+	m.ready = true
+	return nil
+}
+
+// Forecast implements Model. Future innovations are taken as zero, the
+// conditional-expectation forecast.
+func (m *ARIMA) Forecast(h int, _ [][]float64) ([]float64, error) {
+	if !m.ready {
+		return nil, fmt.Errorf("forecast: ARIMA not fitted")
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: horizon %d", h)
+	}
+	z := append([]float64(nil), m.zTail...)
+	e := append([]float64(nil), m.eTail...)
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		pred := 0.0
+		for j := 0; j < m.P; j++ {
+			if idx := len(z) - 1 - j; idx >= 0 {
+				pred += m.phi[j] * z[idx]
+			}
+		}
+		for j := 0; j < m.Q; j++ {
+			if idx := len(e) - 1 - j; idx >= 0 {
+				pred += m.theta[j] * e[idx]
+			}
+		}
+		z = append(z, pred)
+		e = append(e, 0)
+		out[i] = pred + m.mu
+	}
+	return integrate(out, m.seeds), nil
+}
+
+// longAROrder picks the order of the first-stage long autoregression.
+func longAROrder(p, q int) int {
+	m := 2 * (p + q)
+	if m < 10 {
+		m = 10
+	}
+	return m
+}
+
+// fitARMA estimates ARMA(p, q) coefficients for the zero-mean series z
+// via Hannan-Rissanen and returns (phi, theta, residuals).
+func fitARMA(z []float64, p, q int) (phi, theta, resid []float64, err error) {
+	n := len(z)
+	if p == 0 && q == 0 {
+		return nil, nil, append([]float64(nil), z...), nil
+	}
+	// Stage 1: innovations. With q == 0 plain AR OLS suffices and the
+	// residuals come out of the same regression.
+	eHat := make([]float64, n)
+	if q > 0 {
+		m := longAROrder(p, q)
+		if m >= n {
+			m = n / 2
+		}
+		if m < 1 {
+			return nil, nil, nil, fmt.Errorf("forecast: series too short for Hannan-Rissanen")
+		}
+		arPhi, fitErr := fitAR(z, m)
+		if fitErr != nil {
+			return nil, nil, nil, fitErr
+		}
+		for t := 0; t < n; t++ {
+			if t < m {
+				eHat[t] = 0
+				continue
+			}
+			pred := 0.0
+			for j := 0; j < m; j++ {
+				pred += arPhi[j] * z[t-1-j]
+			}
+			eHat[t] = z[t] - pred
+		}
+	}
+
+	// Stage 2: regress z_t on p lags of z and q lags of eHat.
+	start := p
+	if q > start {
+		start = q
+	}
+	if q > 0 {
+		if m := longAROrder(p, q); m > start {
+			start = m
+		}
+	}
+	rows := n - start
+	if rows <= p+q {
+		return nil, nil, nil, fmt.Errorf("forecast: not enough rows (%d) for %d ARMA coefficients", rows, p+q)
+	}
+	x := make([][]float64, rows)
+	yv := make([]float64, rows)
+	for t := start; t < n; t++ {
+		row := make([]float64, p+q)
+		for j := 0; j < p; j++ {
+			row[j] = z[t-1-j]
+		}
+		for j := 0; j < q; j++ {
+			row[p+j] = eHat[t-1-j]
+		}
+		x[t-start] = row
+		yv[t-start] = z[t]
+	}
+	beta, err := stats.OLS(x, yv)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	phi = beta[:p]
+	theta = beta[p:]
+
+	// Final residual pass with the fitted coefficients.
+	resid = make([]float64, n)
+	for t := 0; t < n; t++ {
+		pred := 0.0
+		for j := 0; j < p && t-1-j >= 0; j++ {
+			pred += phi[j] * z[t-1-j]
+		}
+		for j := 0; j < q && t-1-j >= 0; j++ {
+			pred += theta[j] * resid[t-1-j]
+		}
+		resid[t] = z[t] - pred
+	}
+	return phi, theta, resid, nil
+}
+
+// fitAR estimates an AR(m) by OLS for the zero-mean series z.
+func fitAR(z []float64, m int) ([]float64, error) {
+	n := len(z)
+	rows := n - m
+	if rows <= m {
+		return nil, fmt.Errorf("forecast: AR(%d) needs more than %d observations", m, n)
+	}
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for t := m; t < n; t++ {
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			row[j] = z[t-1-j]
+		}
+		x[t-m] = row
+		y[t-m] = z[t]
+	}
+	return stats.OLS(x, y)
+}
+
+func tail(xs []float64, k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	if len(xs) < k {
+		out := make([]float64, k-len(xs))
+		return append(out, xs...)
+	}
+	return append([]float64(nil), xs[len(xs)-k:]...)
+}

@@ -1,0 +1,96 @@
+package forecast
+
+import (
+	"fmt"
+
+	"icewafl/internal/stats"
+)
+
+// ARIMAX extends ARIMA with exogenous regressors: the target is first
+// regressed on the exogenous matrix (with intercept), and an ARMA(p, q)
+// model — after d rounds of differencing — captures the serial structure
+// of the regression residuals (regression with ARMA errors). In the
+// paper's setup the regressors are TEMP, PRES and WSPM plus sine/cosine
+// encodings of month and hour (§3.2.2); because those covariates are part
+// of the evaluation stream, their (possibly polluted) future values feed
+// the forecast, which is what makes ARIMAX more robust to noise on the
+// target than the purely autoregressive competitors (Figure 6).
+type ARIMAX struct {
+	P, D, Q int
+
+	beta  []float64 // regression coefficients, intercept first
+	arma  *ARIMA
+	ready bool
+}
+
+// NewARIMAX returns an unfitted ARIMAX(p, d, q).
+func NewARIMAX(p, d, q int) *ARIMAX { return &ARIMAX{P: p, D: d, Q: q} }
+
+// Name implements Model.
+func (m *ARIMAX) Name() string { return "arimax" }
+
+// Fit implements Model. x must supply one regressor row per observation.
+func (m *ARIMAX) Fit(y []float64, x [][]float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("forecast: ARIMAX needs %d exogenous rows, got %d", len(y), len(x))
+	}
+	if len(y) == 0 {
+		return fmt.Errorf("forecast: empty training series")
+	}
+	k := len(x[0])
+	rows := make([][]float64, len(y))
+	for i, r := range x {
+		if len(r) != k {
+			return fmt.Errorf("forecast: ragged exogenous matrix at row %d", i)
+		}
+		row := make([]float64, k+1)
+		row[0] = 1
+		copy(row[1:], r)
+		rows[i] = row
+	}
+	beta, err := stats.OLS(rows, y)
+	if err != nil {
+		return fmt.Errorf("forecast: ARIMAX regression: %w", err)
+	}
+	resid := make([]float64, len(y))
+	for i := range y {
+		resid[i] = y[i] - dot(beta, rows[i])
+	}
+	arma := NewARIMA(m.P, m.D, m.Q)
+	if err := arma.Fit(resid, nil); err != nil {
+		return fmt.Errorf("forecast: ARIMAX error model: %w", err)
+	}
+	m.beta, m.arma, m.ready = beta, arma, true
+	return nil
+}
+
+// Forecast implements Model. xf must supply one exogenous row per
+// forecast step.
+func (m *ARIMAX) Forecast(h int, xf [][]float64) ([]float64, error) {
+	if !m.ready {
+		return nil, fmt.Errorf("forecast: ARIMAX not fitted")
+	}
+	if len(xf) != h {
+		return nil, fmt.Errorf("forecast: ARIMAX needs %d exogenous rows for the horizon, got %d", h, len(xf))
+	}
+	residFC, err := m.arma.Forecast(h, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		row := make([]float64, len(m.beta))
+		row[0] = 1
+		copy(row[1:], xf[i])
+		out[i] = dot(m.beta, row) + residFC[i]
+	}
+	return out, nil
+}
+
+func dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}

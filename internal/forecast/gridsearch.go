@@ -1,0 +1,84 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"icewafl/internal/stats"
+	"icewafl/internal/timeseries"
+)
+
+// Candidate is one hyperparameter setting under grid search: a label and
+// a factory producing a fresh, unfitted model.
+type Candidate struct {
+	Label string
+	New   func() Model
+}
+
+// GridResult reports the cross-validated score of one candidate.
+type GridResult struct {
+	Label string
+	// MAE is the mean absolute error averaged over the CV folds; NaN if
+	// the candidate failed to fit on any fold.
+	MAE float64
+	Err error
+}
+
+// GridSearchCV evaluates every candidate with k-fold time-series cross
+// validation (scikit-learn's TimeSeriesSplit, as used in §3.2.2) on the
+// training series and returns the index of the best candidate along with
+// all per-candidate results. horizon caps the forecast length per fold
+// (0 means forecast the whole test window).
+func GridSearchCV(cands []Candidate, y []float64, x [][]float64, nSplits, horizon int) (int, []GridResult, error) {
+	if len(cands) == 0 {
+		return -1, nil, fmt.Errorf("forecast: no candidates")
+	}
+	folds, err := timeseries.TimeSeriesCV(len(y), nSplits)
+	if err != nil {
+		return -1, nil, err
+	}
+	results := make([]GridResult, len(cands))
+	best, bestMAE := -1, math.Inf(1)
+	for ci, cand := range cands {
+		results[ci].Label = cand.Label
+		var maes []float64
+		var candErr error
+		for _, fold := range folds {
+			h := fold.TestEnd - fold.TestStart
+			if horizon > 0 && horizon < h {
+				h = horizon
+			}
+			model := cand.New()
+			var xs [][]float64
+			var xf [][]float64
+			if x != nil {
+				xs = x[:fold.TrainEnd]
+				xf = x[fold.TestStart : fold.TestStart+h]
+			}
+			if err := model.Fit(y[:fold.TrainEnd], xs); err != nil {
+				candErr = err
+				break
+			}
+			pred, err := model.Forecast(h, xf)
+			if err != nil {
+				candErr = err
+				break
+			}
+			maes = append(maes, stats.MAE(pred, y[fold.TestStart:fold.TestStart+h]))
+		}
+		if candErr != nil || len(maes) == 0 {
+			results[ci].MAE = math.NaN()
+			results[ci].Err = candErr
+			continue
+		}
+		results[ci].MAE = stats.Mean(maes)
+		if results[ci].MAE < bestMAE {
+			bestMAE = results[ci].MAE
+			best = ci
+		}
+	}
+	if best < 0 {
+		return -1, results, fmt.Errorf("forecast: every candidate failed cross validation")
+	}
+	return best, results, nil
+}

@@ -1,0 +1,67 @@
+// Package forecast implements the three online forecasting methods the
+// paper evaluates against polluted streams (§3.2): ARIMA, ARIMAX and
+// additive Holt-Winters, plus grid-search hyperparameter selection with
+// time-series cross validation.
+//
+// The models follow the paper's execution protocol: they receive data
+// tuple-wise, are re-fitted on each 504-hour training period, and then
+// forecast the next 12 hours. Fitting is deterministic (two-stage
+// Hannan-Rissanen least squares for the ARMA components), so experiment
+// runs are reproducible.
+package forecast
+
+import "fmt"
+
+// Model is a forecasting method. Fit estimates parameters from a
+// training window; Forecast extrapolates h steps past the end of that
+// window. For models with exogenous inputs (ARIMAX), x carries one
+// regressor row per training observation and xf one per forecast step;
+// pure autoregressive models ignore them.
+type Model interface {
+	// Name identifies the method ("arima", "arimax", "holt_winters").
+	Name() string
+	// Fit estimates the model on the training series y (and optional
+	// exogenous matrix x with len(x) == len(y)).
+	Fit(y []float64, x [][]float64) error
+	// Forecast returns h predictions following the fitted window. xf
+	// must hold h exogenous rows for models that use them.
+	Forecast(h int, xf [][]float64) ([]float64, error)
+}
+
+// difference applies d rounds of first differencing and returns the
+// differenced series plus the d seed values needed to integrate back
+// (the last raw value at each differencing level).
+func difference(y []float64, d int) (diffed []float64, seeds []float64, err error) {
+	if d < 0 {
+		return nil, nil, fmt.Errorf("forecast: negative differencing order %d", d)
+	}
+	cur := append([]float64(nil), y...)
+	seeds = make([]float64, 0, d)
+	for k := 0; k < d; k++ {
+		if len(cur) < 2 {
+			return nil, nil, fmt.Errorf("forecast: series too short for d=%d", d)
+		}
+		seeds = append(seeds, cur[len(cur)-1])
+		next := make([]float64, len(cur)-1)
+		for i := 1; i < len(cur); i++ {
+			next[i-1] = cur[i] - cur[i-1]
+		}
+		cur = next
+	}
+	return cur, seeds, nil
+}
+
+// integrate undoes d rounds of differencing for a block of h consecutive
+// forecasts that directly follow the training window. seeds are the
+// values captured by difference, outermost level last.
+func integrate(forecasts []float64, seeds []float64) []float64 {
+	out := append([]float64(nil), forecasts...)
+	for k := len(seeds) - 1; k >= 0; k-- {
+		prev := seeds[k]
+		for i := range out {
+			out[i] += prev
+			prev = out[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package forecast
+
+import (
+	"fmt"
+
+	"icewafl/internal/stats"
+)
+
+// SARIMA is a seasonal ARIMA(p, d, q)(P, D, Q)_s fitted by the same
+// two-stage least-squares procedure as ARIMA, generalised to seasonal
+// lags: the AR side regresses on lags {1..p} ∪ {s, 2s, …, P·s}, the MA
+// side on innovation lags {1..q} ∪ {s, …, Q·s}, after d regular and D
+// seasonal differencing passes. For the hourly air-quality data s = 24
+// captures the daily cycle that a plain ARIMA misses.
+type SARIMA struct {
+	P, D, Q    int
+	SP, SD, SQ int
+	Period     int
+
+	mu        float64
+	arLags    []int
+	maLags    []int
+	phi       []float64
+	theta     []float64
+	zTail     []float64
+	eTail     []float64
+	seeds     []float64   // regular-difference seeds
+	seasSeeds [][]float64 // seasonal-difference seeds (one slice per pass)
+	ready     bool
+}
+
+// NewSARIMA returns an unfitted seasonal ARIMA.
+func NewSARIMA(p, d, q, sp, sd, sq, period int) *SARIMA {
+	return &SARIMA{P: p, D: d, Q: q, SP: sp, SD: sd, SQ: sq, Period: period}
+}
+
+// Name implements Model.
+func (m *SARIMA) Name() string { return "sarima" }
+
+// seasonalDifference applies one lag-s differencing pass, returning the
+// differenced series and the last s raw values (the integration seed).
+func seasonalDifference(y []float64, s int) ([]float64, []float64, error) {
+	if len(y) <= s {
+		return nil, nil, fmt.Errorf("forecast: series of %d too short for seasonal differencing at lag %d", len(y), s)
+	}
+	out := make([]float64, len(y)-s)
+	for i := s; i < len(y); i++ {
+		out[i-s] = y[i] - y[i-s]
+	}
+	return out, append([]float64(nil), y[len(y)-s:]...), nil
+}
+
+// seasonalIntegrate undoes one lag-s differencing pass for h consecutive
+// forecasts following the training window.
+func seasonalIntegrate(fc []float64, seed []float64, s int) []float64 {
+	out := make([]float64, len(fc))
+	hist := append([]float64(nil), seed...)
+	for i := range fc {
+		base := hist[len(hist)-s]
+		out[i] = fc[i] + base
+		hist = append(hist, out[i])
+	}
+	return out
+}
+
+func lagSet(regular, seasonalCount, period int) []int {
+	var lags []int
+	for l := 1; l <= regular; l++ {
+		lags = append(lags, l)
+	}
+	for k := 1; k <= seasonalCount; k++ {
+		lags = append(lags, k*period)
+	}
+	return lags
+}
+
+// Fit implements Model. The exogenous matrix is ignored.
+func (m *SARIMA) Fit(y []float64, _ [][]float64) error {
+	if m.Period < 2 && (m.SP > 0 || m.SD > 0 || m.SQ > 0) {
+		return fmt.Errorf("forecast: SARIMA needs a period >= 2 for seasonal terms")
+	}
+	w := append([]float64(nil), y...)
+	m.seasSeeds = nil
+	var err error
+	for k := 0; k < m.SD; k++ {
+		var seed []float64
+		w, seed, err = seasonalDifference(w, m.Period)
+		if err != nil {
+			return err
+		}
+		m.seasSeeds = append(m.seasSeeds, seed)
+	}
+	w, m.seeds, err = difference(w, m.D)
+	if err != nil {
+		return err
+	}
+	m.arLags = lagSet(m.P, m.SP, m.Period)
+	m.maLags = lagSet(m.Q, m.SQ, m.Period)
+	maxLag := 0
+	for _, l := range append(append([]int{}, m.arLags...), m.maLags...) {
+		if l > maxLag {
+			maxLag = l
+		}
+	}
+	if len(w) < maxLag*2+10 {
+		return fmt.Errorf("forecast: %d observations too few for SARIMA with max lag %d", len(w), maxLag)
+	}
+	mu := stats.Mean(w)
+	z := make([]float64, len(w))
+	for i, v := range w {
+		z[i] = v - mu
+	}
+	phi, theta, resid, err := fitLagged(z, m.arLags, m.maLags)
+	if err != nil {
+		return err
+	}
+	m.mu, m.phi, m.theta = mu, phi, theta
+	m.zTail = tail(z, maxLag)
+	m.eTail = tail(resid, maxLag)
+	m.ready = true
+	return nil
+}
+
+// Forecast implements Model.
+func (m *SARIMA) Forecast(h int, _ [][]float64) ([]float64, error) {
+	if !m.ready {
+		return nil, fmt.Errorf("forecast: SARIMA not fitted")
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: horizon %d", h)
+	}
+	z := append([]float64(nil), m.zTail...)
+	e := append([]float64(nil), m.eTail...)
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		pred := 0.0
+		for j, lag := range m.arLags {
+			if idx := len(z) - lag; idx >= 0 {
+				pred += m.phi[j] * z[idx]
+			}
+		}
+		for j, lag := range m.maLags {
+			if idx := len(e) - lag; idx >= 0 {
+				pred += m.theta[j] * e[idx]
+			}
+		}
+		z = append(z, pred)
+		e = append(e, 0)
+		out[i] = pred + m.mu
+	}
+	out = integrate(out, m.seeds)
+	for k := len(m.seasSeeds) - 1; k >= 0; k-- {
+		out = seasonalIntegrate(out, m.seasSeeds[k], m.Period)
+	}
+	return out, nil
+}
+
+// fitLagged is the Hannan-Rissanen procedure over arbitrary AR and MA
+// lag sets.
+func fitLagged(z []float64, arLags, maLags []int) (phi, theta, resid []float64, err error) {
+	n := len(z)
+	if len(arLags) == 0 && len(maLags) == 0 {
+		return nil, nil, append([]float64(nil), z...), nil
+	}
+	maxLag := 0
+	for _, l := range append(append([]int{}, arLags...), maLags...) {
+		if l > maxLag {
+			maxLag = l
+		}
+	}
+	eHat := make([]float64, n)
+	if len(maLags) > 0 {
+		mOrder := maxLag + 5
+		if mOrder >= n/2 {
+			mOrder = n / 2
+		}
+		if mOrder < 1 {
+			return nil, nil, nil, fmt.Errorf("forecast: series too short for Hannan-Rissanen")
+		}
+		arPhi, fitErr := fitAR(z, mOrder)
+		if fitErr != nil {
+			return nil, nil, nil, fitErr
+		}
+		for t := mOrder; t < n; t++ {
+			pred := 0.0
+			for j := 0; j < mOrder; j++ {
+				pred += arPhi[j] * z[t-1-j]
+			}
+			eHat[t] = z[t] - pred
+		}
+	}
+	start := maxLag
+	if len(maLags) > 0 && maxLag+5 > start {
+		start = maxLag + 5
+	}
+	rows := n - start
+	k := len(arLags) + len(maLags)
+	if rows <= k {
+		return nil, nil, nil, fmt.Errorf("forecast: not enough rows (%d) for %d coefficients", rows, k)
+	}
+	x := make([][]float64, rows)
+	yv := make([]float64, rows)
+	for t := start; t < n; t++ {
+		row := make([]float64, k)
+		for j, lag := range arLags {
+			row[j] = z[t-lag]
+		}
+		for j, lag := range maLags {
+			row[len(arLags)+j] = eHat[t-lag]
+		}
+		x[t-start] = row
+		yv[t-start] = z[t]
+	}
+	beta, err := stats.OLS(x, yv)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	phi = beta[:len(arLags)]
+	theta = beta[len(arLags):]
+	resid = make([]float64, n)
+	for t := 0; t < n; t++ {
+		pred := 0.0
+		for j, lag := range arLags {
+			if t-lag >= 0 {
+				pred += phi[j] * z[t-lag]
+			}
+		}
+		for j, lag := range maLags {
+			if t-lag >= 0 {
+				pred += theta[j] * resid[t-lag]
+			}
+		}
+		resid[t] = z[t] - pred
+	}
+	return phi, theta, resid, nil
+}

@@ -1,0 +1,148 @@
+// Package groundtruth compares a polluted stream against the retained
+// clean stream and the pollution log. The unique tuple IDs assigned
+// during preparation make the clean tuple of every polluted tuple
+// addressable, which is exactly what the paper's preparation step exists
+// for: "The assigned ID enables direct comparison between the original
+// (clean) data and its polluted version, serving as a ground truth
+// reference for each tuple."
+package groundtruth
+
+import (
+	"sort"
+
+	"icewafl/internal/stream"
+)
+
+// TupleDiff describes how one tuple changed under pollution.
+type TupleDiff struct {
+	ID uint64
+	// ChangedAttrs lists attributes whose value differs from the clean
+	// tuple, in schema order.
+	ChangedAttrs []string
+	// Delayed reports that the delivery time moved relative to τ.
+	Delayed bool
+	// Dropped reports that the tuple is absent from the polluted stream.
+	Dropped bool
+	// Duplicated counts extra occurrences beyond the first (overlapping
+	// sub-streams produce these).
+	Duplicated int
+}
+
+// Report summarises a clean-vs-polluted comparison.
+type Report struct {
+	Diffs []TupleDiff
+	// CleanTuples and PollutedTuples are the input sizes.
+	CleanTuples, PollutedTuples int
+}
+
+// ChangedTupleIDs returns the IDs of tuples with at least one changed
+// attribute, a delay, or a drop.
+func (r *Report) ChangedTupleIDs() []uint64 {
+	var out []uint64
+	for _, d := range r.Diffs {
+		if len(d.ChangedAttrs) > 0 || d.Delayed || d.Dropped {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// CountByAttr tallies value changes per attribute.
+func (r *Report) CountByAttr() map[string]int {
+	out := make(map[string]int)
+	for _, d := range r.Diffs {
+		for _, a := range d.ChangedAttrs {
+			out[a]++
+		}
+	}
+	return out
+}
+
+// Diff compares the clean stream with the polluted stream by tuple ID.
+func Diff(clean, polluted []stream.Tuple) *Report {
+	byID := make(map[uint64][]stream.Tuple, len(polluted))
+	for _, t := range polluted {
+		byID[t.ID] = append(byID[t.ID], t)
+	}
+	rep := &Report{CleanTuples: len(clean), PollutedTuples: len(polluted)}
+	for _, c := range clean {
+		versions := byID[c.ID]
+		if len(versions) == 0 {
+			rep.Diffs = append(rep.Diffs, TupleDiff{ID: c.ID, Dropped: true})
+			continue
+		}
+		d := TupleDiff{ID: c.ID, Duplicated: len(versions) - 1}
+		p := versions[0]
+		schema := c.Schema()
+		for i := 0; i < schema.Len(); i++ {
+			if !c.At(i).Equal(p.At(i)) {
+				d.ChangedAttrs = append(d.ChangedAttrs, schema.Field(i).Name)
+			}
+		}
+		if !p.Arrival.Equal(p.EventTime) {
+			d.Delayed = true
+		}
+		if len(d.ChangedAttrs) > 0 || d.Delayed || d.Dropped || d.Duplicated > 0 {
+			rep.Diffs = append(rep.Diffs, d)
+		}
+	}
+	sort.Slice(rep.Diffs, func(i, j int) bool { return rep.Diffs[i].ID < rep.Diffs[j].ID })
+	return rep
+}
+
+// Score holds detection-quality metrics of an error detector (e.g. a DQ
+// tool's expectation) against ground truth.
+type Score struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Precision returns TP / (TP + FP), 1 when nothing was flagged.
+func (s Score) Precision() float64 {
+	if s.TruePositives+s.FalsePositives == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(s.TruePositives+s.FalsePositives)
+}
+
+// Recall returns TP / (TP + FN), 1 when nothing was polluted.
+func (s Score) Recall() float64 {
+	if s.TruePositives+s.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(s.TruePositives+s.FalseNegatives)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (s Score) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate scores a detector's flagged tuple IDs against the set of truly
+// polluted tuple IDs.
+func Evaluate(flagged []uint64, truth map[uint64]bool) Score {
+	var s Score
+	flaggedSet := make(map[uint64]bool, len(flagged))
+	for _, id := range flagged {
+		if flaggedSet[id] {
+			continue
+		}
+		flaggedSet[id] = true
+		if truth[id] {
+			s.TruePositives++
+		} else {
+			s.FalsePositives++
+		}
+	}
+	for id := range truth {
+		if !flaggedSet[id] {
+			s.FalseNegatives++
+		}
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package groundtruth
+
+import (
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+var schema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "a", Kind: stream.KindFloat},
+	stream.Field{Name: "b", Kind: stream.KindFloat},
+)
+
+func mk(id uint64, a, b float64) stream.Tuple {
+	ts := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(id) * time.Hour)
+	t := stream.NewTuple(schema, []stream.Value{stream.Time(ts), stream.Float(a), stream.Float(b)})
+	t.ID = id
+	t.EventTime = ts
+	t.Arrival = ts
+	return t
+}
+
+func TestDiffDetectsChanges(t *testing.T) {
+	clean := []stream.Tuple{mk(1, 1, 1), mk(2, 2, 2), mk(3, 3, 3)}
+	polluted := []stream.Tuple{mk(1, 1, 1), mk(2, 99, 2), mk(3, 3, 88)}
+	rep := Diff(clean, polluted)
+	if len(rep.Diffs) != 2 {
+		t.Fatalf("diffs %v", rep.Diffs)
+	}
+	if rep.Diffs[0].ID != 2 || rep.Diffs[0].ChangedAttrs[0] != "a" {
+		t.Fatalf("first diff %+v", rep.Diffs[0])
+	}
+	if rep.Diffs[1].ID != 3 || rep.Diffs[1].ChangedAttrs[0] != "b" {
+		t.Fatalf("second diff %+v", rep.Diffs[1])
+	}
+	byAttr := rep.CountByAttr()
+	if byAttr["a"] != 1 || byAttr["b"] != 1 {
+		t.Fatalf("count by attr %v", byAttr)
+	}
+	ids := rep.ChangedTupleIDs()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("changed ids %v", ids)
+	}
+}
+
+func TestDiffDetectsDropsDelaysDuplicates(t *testing.T) {
+	clean := []stream.Tuple{mk(1, 1, 1), mk(2, 2, 2), mk(3, 3, 3)}
+	delayed := mk(2, 2, 2)
+	delayed.Arrival = delayed.EventTime.Add(time.Hour)
+	polluted := []stream.Tuple{mk(1, 1, 1), mk(1, 1, 1), delayed} // 3 dropped, 1 duplicated
+	rep := Diff(clean, polluted)
+	var drop, delay, dup *TupleDiff
+	for i := range rep.Diffs {
+		d := &rep.Diffs[i]
+		switch d.ID {
+		case 1:
+			dup = d
+		case 2:
+			delay = d
+		case 3:
+			drop = d
+		}
+	}
+	if drop == nil || !drop.Dropped {
+		t.Fatalf("drop not detected: %+v", rep.Diffs)
+	}
+	if delay == nil || !delay.Delayed {
+		t.Fatalf("delay not detected: %+v", rep.Diffs)
+	}
+	if dup == nil || dup.Duplicated != 1 {
+		t.Fatalf("duplicate not detected: %+v", rep.Diffs)
+	}
+	ids := rep.ChangedTupleIDs()
+	// Drop and delay count as changes; a pure duplicate does not.
+	if len(ids) != 2 {
+		t.Fatalf("changed ids %v", ids)
+	}
+}
+
+func TestDiffIdenticalStreams(t *testing.T) {
+	clean := []stream.Tuple{mk(1, 1, 1), mk(2, 2, 2)}
+	rep := Diff(clean, clean)
+	if len(rep.Diffs) != 0 || len(rep.ChangedTupleIDs()) != 0 {
+		t.Fatalf("diffs on identical streams: %+v", rep.Diffs)
+	}
+	if rep.CleanTuples != 2 || rep.PollutedTuples != 2 {
+		t.Fatal("sizes")
+	}
+}
+
+func TestScoreMetrics(t *testing.T) {
+	truth := map[uint64]bool{1: true, 2: true, 3: true, 4: true}
+	flagged := []uint64{1, 2, 9} // 2 TP, 1 FP, 2 FN
+	s := Evaluate(flagged, truth)
+	if s.TruePositives != 2 || s.FalsePositives != 1 || s.FalseNegatives != 2 {
+		t.Fatalf("%+v", s)
+	}
+	if p := s.Precision(); p != 2.0/3 {
+		t.Fatalf("precision %g", p)
+	}
+	if r := s.Recall(); r != 0.5 {
+		t.Fatalf("recall %g", r)
+	}
+	f1 := s.F1()
+	want := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if diff := f1 - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("f1 %g want %g", f1, want)
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	empty := Evaluate(nil, nil)
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Fatal("empty score should be perfect")
+	}
+	if (Score{}).F1() != 1 {
+		t.Fatal("empty F1 should be perfect")
+	}
+	// All flags wrong and all truths missed: F1 collapses to 0.
+	worst := Evaluate([]uint64{9}, map[uint64]bool{1: true})
+	if worst.F1() != 0 {
+		t.Fatalf("worst-case F1 %g", worst.F1())
+	}
+	// Duplicate flags count once.
+	s := Evaluate([]uint64{1, 1, 1}, map[uint64]bool{1: true})
+	if s.TruePositives != 1 || s.FalsePositives != 0 {
+		t.Fatalf("dedup: %+v", s)
+	}
+}

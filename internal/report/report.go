@@ -1,0 +1,139 @@
+// Package report renders a pollution run as a Markdown document: the
+// configured pipelines, the injected-error inventory (per polluter, per
+// attribute, per hour of day), ground-truth diff statistics, and stream
+// metadata. The icewafl CLI writes it next to the polluted stream so a
+// benchmark dataset ships with its own documentation.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/groundtruth"
+	"icewafl/internal/plot"
+)
+
+// Input bundles everything a report covers.
+type Input struct {
+	// Title heads the document.
+	Title string
+	// Process is the executed pollution process (for the pipeline
+	// outline); optional.
+	Process *core.Process
+	// Result is the pollution run's output.
+	Result *core.Result
+	// GeneratedAt stamps the document; pass a fixed value for
+	// reproducible reports.
+	GeneratedAt time.Time
+}
+
+// Write renders the Markdown report.
+func Write(w io.Writer, in Input) error {
+	if in.Result == nil {
+		return fmt.Errorf("report: no result")
+	}
+	res := in.Result
+	title := in.Title
+	if title == "" {
+		title = "Pollution run report"
+	}
+	fmt.Fprintf(w, "# %s\n\n", title)
+	if !in.GeneratedAt.IsZero() {
+		fmt.Fprintf(w, "Generated %s.\n\n", in.GeneratedAt.UTC().Format(time.RFC3339))
+	}
+
+	fmt.Fprintf(w, "## Stream\n\n")
+	fmt.Fprintf(w, "| | |\n|---|---|\n")
+	fmt.Fprintf(w, "| clean tuples | %d |\n", len(res.Clean))
+	fmt.Fprintf(w, "| polluted tuples | %d |\n", len(res.Polluted))
+	fmt.Fprintf(w, "| dropped tuples | %d |\n", res.DroppedTuples)
+	fmt.Fprintf(w, "| errors injected | %d |\n", res.Log.Len())
+	if n := len(res.Clean); n > 0 {
+		fmt.Fprintf(w, "| tuples with ≥1 error | %d (%.1f%%) |\n",
+			len(res.Log.PollutedTuples()),
+			float64(len(res.Log.PollutedTuples()))/float64(n)*100)
+	}
+	fmt.Fprintln(w)
+
+	if in.Process != nil {
+		fmt.Fprintf(w, "## Pipelines\n\n```\n")
+		for i, p := range in.Process.Pipelines {
+			fmt.Fprintf(w, "pipeline %d:\n%s", i, core.DescribePipeline(p))
+		}
+		fmt.Fprintf(w, "```\n\n")
+	}
+
+	fmt.Fprintf(w, "## Errors by polluter\n\n")
+	writeCountTable(w, res.Log.CountByPolluter(), "polluter")
+
+	fmt.Fprintf(w, "## Errors by type\n\n")
+	writeCountTable(w, res.Log.CountByError(), "error type")
+
+	if len(res.Clean) > 0 {
+		diff := groundtruth.Diff(res.Clean, res.Polluted)
+		byAttr := diff.CountByAttr()
+		if len(byAttr) > 0 {
+			fmt.Fprintf(w, "## Changed values by attribute\n\n")
+			writeCountTable(w, byAttr, "attribute")
+		}
+		delayed, dropped := 0, 0
+		for _, d := range diff.Diffs {
+			if d.Delayed {
+				delayed++
+			}
+			if d.Dropped {
+				dropped++
+			}
+		}
+		if delayed > 0 || dropped > 0 {
+			fmt.Fprintf(w, "Temporal effects: %d delayed, %d dropped.\n\n", delayed, dropped)
+		}
+	}
+
+	hours := res.Log.CountByHour()
+	total := 0
+	series := make([]float64, 24)
+	for h, n := range hours {
+		total += n
+		series[h] = float64(n)
+	}
+	if total > 0 {
+		fmt.Fprintf(w, "## Errors by hour of day\n\n```\n")
+		fmt.Fprint(w, plot.Lines("", []plot.Series{{Name: "errors", Values: series}}, 48, 8))
+		fmt.Fprintf(w, "```\n")
+	}
+	return nil
+}
+
+// writeCountTable renders a map as a sorted two-column Markdown table.
+func writeCountTable(w io.Writer, counts map[string]int, label string) {
+	if len(counts) == 0 {
+		fmt.Fprintf(w, "none.\n\n")
+		return
+	}
+	type row struct {
+		name string
+		n    int
+	}
+	rows := make([]row, 0, len(counts))
+	for name, n := range counts {
+		rows = append(rows, row{name, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Fprintf(w, "| %s | errors |\n|---|---|\n", label)
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %d |\n", escapePipes(r.name), r.n)
+	}
+	fmt.Fprintln(w)
+}
+
+func escapePipes(s string) string { return strings.ReplaceAll(s, "|", "\\|") }

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+func runScenario(t *testing.T) (*core.Process, *core.Result) {
+	t.Helper()
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+	)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(schema, 100, func(i int) stream.Tuple {
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Hour)),
+			stream.Float(float64(i)),
+		})
+	})
+	proc := core.NewProcess(core.NewPipeline(
+		core.NewComposite("update", core.TimeInterval{From: base.Add(24 * time.Hour)},
+			core.NewStandard("nulls", core.MissingValue{},
+				core.NewRandomConst(0.3, rng.New(1)), "v"),
+		),
+		core.NewStandard("delay", core.DelayTuple{Delay: 2 * time.Hour},
+			core.NewRandomConst(0.05, rng.New(2))),
+	))
+	res, err := proc.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proc, res
+}
+
+func TestReportContainsAllSections(t *testing.T) {
+	proc, res := runScenario(t)
+	var buf bytes.Buffer
+	err := Write(&buf, Input{
+		Title:       "test run",
+		Process:     proc,
+		Result:      res,
+		GeneratedAt: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# test run",
+		"## Stream",
+		"## Pipelines",
+		"update (composite, sequence)",
+		"missing_value",
+		"## Errors by polluter",
+		"## Errors by type",
+		"## Changed values by attribute",
+		"delayed",
+		"## Errors by hour of day",
+		"2026-07-06T12:00:00Z",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestReportWithoutProcessOrTimestamp(t *testing.T) {
+	_, res := runScenario(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, Input{Result: res}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "## Pipelines") {
+		t.Error("pipeline section without process")
+	}
+	if strings.Contains(out, "Generated") {
+		t.Error("timestamp without GeneratedAt")
+	}
+	if !strings.Contains(out, "# Pollution run report") {
+		t.Error("default title missing")
+	}
+}
+
+func TestReportNilResult(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, Input{}); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestDescribePolluterShapes(t *testing.T) {
+	keyed := core.NewKeyedPolluter("per-sensor", "sensor", func(string) core.Polluter {
+		return core.NewStandard("x", core.MissingValue{}, nil, "v")
+	})
+	obs := core.NewObserver(core.NewStreamState(0))
+	choice := core.NewChoice("pick", nil, rng.New(1),
+		core.NewStandard("a", core.DropTuple{}, nil),
+	)
+	pipe := core.NewPipeline(keyed, obs, choice)
+	out := core.DescribePipeline(pipe)
+	for _, want := range []string{"keyed by sensor", "state observer", "(composite, choice)", "dropped_tuple"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package schemafile loads stream schemas from the JSON document format
+// shared by the icewafl and dqcheck command-line tools:
+//
+//	{"timestamp": "Time",
+//	 "fields": [{"name": "Time", "kind": "time"},
+//	            {"name": "BPM", "kind": "float"}]}
+package schemafile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"icewafl/internal/stream"
+)
+
+// Document is the JSON schema file structure.
+type Document struct {
+	Timestamp string  `json:"timestamp"`
+	Fields    []Field `json:"fields"`
+}
+
+// Field is one attribute declaration.
+type Field struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// Parse decodes a schema document from r.
+func Parse(r io.Reader) (*stream.Schema, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc Document
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("schemafile: parse: %w", err)
+	}
+	fields := make([]stream.Field, 0, len(doc.Fields))
+	for _, fd := range doc.Fields {
+		kind, err := stream.ParseKind(fd.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("schemafile: field %q: %w", fd.Name, err)
+		}
+		fields = append(fields, stream.Field{Name: fd.Name, Kind: kind})
+	}
+	return stream.NewSchema(doc.Timestamp, fields...)
+}
+
+// Load reads and parses the schema file at path.
+func Load(path string) (*stream.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("schemafile: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Write serialises a schema back into the document format, so tools can
+// emit schema files for generated datasets.
+func Write(w io.Writer, schema *stream.Schema) error {
+	doc := Document{Timestamp: schema.Timestamp()}
+	for _, f := range schema.Fields() {
+		doc.Fields = append(doc.Fields, Field{Name: f.Name, Kind: f.Kind.String()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("schemafile: write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package schemafile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icewafl/internal/stream"
+)
+
+const valid = `{
+  "timestamp": "ts",
+  "fields": [
+    {"name": "ts", "kind": "time"},
+    {"name": "v", "kind": "float"},
+    {"name": "n", "kind": "int"},
+    {"name": "label", "kind": "string"},
+    {"name": "flag", "kind": "bool"}
+  ]
+}`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 || s.Timestamp() != "ts" {
+		t.Fatalf("schema %v", s.Names())
+	}
+	if s.Field(1).Kind != stream.KindFloat || s.Field(4).Kind != stream.KindBool {
+		t.Fatal("kinds wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"timestamp": "ts", "fields": [], "extra": 1}`,
+		`{"timestamp": "ts", "fields": [{"name": "ts", "kind": "nope"}]}`,
+		`{"timestamp": "missing", "fields": [{"name": "ts", "kind": "time"}]}`,
+		`{"timestamp": "v", "fields": [{"name": "v", "kind": "float"}]}`,
+	}
+	for i, doc := range bad {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Fatalf("round trip changed schema: %v vs %v", orig.Names(), back.Names())
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(path, []byte(valid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil || s.Len() != 5 {
+		t.Fatalf("load: %v, %v", s, err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"io"
+	"sync"
+)
+
+// ParallelMap applies fn to every tuple of src using the given number of
+// worker goroutines while preserving input order, the moral equivalent of
+// an order-preserving parallel Flink operator. fn must be safe for
+// concurrent invocation (pollution pipelines achieve this by deriving one
+// RNG stream per sub-stream, not per tuple).
+func ParallelMap(src Source, outSchema *Schema, workers int, fn MapFunc) Source {
+	if workers <= 1 {
+		return Map(src, outSchema, fn)
+	}
+	if outSchema == nil {
+		outSchema = src.Schema()
+	}
+	return &parallelMapSource{src: src, schema: outSchema, fn: fn, workers: workers}
+}
+
+type parallelMapSource struct {
+	src     Source
+	schema  *Schema
+	fn      MapFunc
+	workers int
+
+	started bool
+	out     chan parallelResult
+	err     error
+	pending map[uint64]Tuple
+	nextSeq uint64
+	closed  bool
+}
+
+type parallelResult struct {
+	seq uint64
+	t   Tuple
+	err error
+}
+
+func (p *parallelMapSource) Schema() *Schema { return p.schema }
+
+func (p *parallelMapSource) start() {
+	p.started = true
+	p.pending = make(map[uint64]Tuple)
+	p.out = make(chan parallelResult, p.workers*2)
+	in := make(chan parallelResult, p.workers*2)
+
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for item := range in {
+				item.t = p.fn(item.t)
+				p.out <- item
+			}
+		}()
+	}
+	go func() {
+		var seq uint64
+		for {
+			t, err := p.src.Next()
+			if err != nil {
+				if err != io.EOF {
+					p.out <- parallelResult{err: err}
+				}
+				break
+			}
+			in <- parallelResult{seq: seq, t: t}
+			seq++
+		}
+		close(in)
+		wg.Wait()
+		close(p.out)
+	}()
+}
+
+func (p *parallelMapSource) Next() (Tuple, error) {
+	if !p.started {
+		p.start()
+	}
+	for {
+		if t, ok := p.pending[p.nextSeq]; ok {
+			delete(p.pending, p.nextSeq)
+			p.nextSeq++
+			return t, nil
+		}
+		if p.closed {
+			if p.err != nil {
+				return Tuple{}, p.err
+			}
+			return Tuple{}, io.EOF
+		}
+		res, ok := <-p.out
+		if !ok {
+			p.closed = true
+			continue
+		}
+		if res.err != nil {
+			p.err = res.err
+			continue
+		}
+		p.pending[res.seq] = res.t
+	}
+}
+
+// Batch groups a bounded stream into micro-batches of at most size tuples.
+// The paper accepts either a real stream or micro-batched input; within
+// the framework both are processed tuple-wise, which FromBatches restores.
+func Batch(src Source, size int) ([][]Tuple, error) {
+	if size < 1 {
+		size = 1
+	}
+	var batches [][]Tuple
+	cur := make([]Tuple, 0, size)
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur = append(cur, t)
+		if len(cur) == size {
+			batches = append(batches, cur)
+			cur = make([]Tuple, 0, size)
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// FromBatches flattens micro-batches back into a tuple-wise stream.
+func FromBatches(schema *Schema, batches [][]Tuple) Source {
+	var flat []Tuple
+	for _, b := range batches {
+		flat = append(flat, b...)
+	}
+	return NewSliceSource(schema, flat)
+}

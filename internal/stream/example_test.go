@@ -1,0 +1,63 @@
+package stream_test
+
+import (
+	"fmt"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+// ExampleMap builds a small operator chain: generate, transform, filter,
+// and drain.
+func ExampleMap() {
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "celsius", Kind: stream.KindFloat},
+	)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(schema, 4, func(i int) stream.Tuple {
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(start.Add(time.Duration(i) * time.Hour)),
+			stream.Float(float64(10 * i)), // 0, 10, 20, 30
+		})
+	})
+	fahrenheit := stream.Map(src, nil, func(t stream.Tuple) stream.Tuple {
+		c := t.Clone()
+		v, _ := c.GetFloat("celsius")
+		c.Set("celsius", stream.Float(v*9/5+32))
+		return c
+	})
+	warm := stream.Filter(fahrenheit, func(t stream.Tuple) bool {
+		v, _ := t.GetFloat("celsius")
+		return v > 50
+	})
+	tuples, _ := stream.Drain(warm)
+	for _, t := range tuples {
+		fmt.Println(t.MustGet("celsius"))
+	}
+	// Output:
+	// 68
+	// 86
+}
+
+// ExampleSplit partitions a stream into sub-streams, the mechanism
+// behind Algorithm 1's overlapping sub-stream extraction.
+func ExampleSplit() {
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "n", Kind: stream.KindInt},
+	)
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := stream.NewGeneratorSource(schema, 6, func(i int) stream.Tuple {
+		return stream.NewTuple(schema, []stream.Value{
+			stream.Time(start.Add(time.Duration(i) * time.Second)),
+			stream.Int(int64(i)),
+		})
+	})
+	subs := stream.Split(src, 2, stream.RouteRoundRobin())
+	a, _ := stream.Drain(subs[0])
+	b, _ := stream.Drain(subs[1])
+	fmt.Println("sub 0:", len(a), "tuples; sub 1:", len(b), "tuples")
+	// Output:
+	// sub 0: 3 tuples; sub 1: 3 tuples
+}

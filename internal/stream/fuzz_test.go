@@ -1,0 +1,47 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseValue checks that ParseValue never panics and that values it
+// accepts round-trip through String for every kind.
+func FuzzParseValue(f *testing.F) {
+	seeds := []string{"", "1.5", "-7", "true", "hello", "2020-01-01T00:00:00Z", "NaN", "1e308", "0x10", "  3 "}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	kinds := []Kind{KindNull, KindFloat, KindInt, KindString, KindBool, KindTime}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, k := range kinds {
+			v, err := ParseValue(s, k)
+			if err != nil {
+				continue
+			}
+			// Accepted values must round-trip (strings trivially; numbers
+			// via shortest representation; the empty string is NULL).
+			if s == "" {
+				if !v.IsNull() {
+					t.Fatalf("empty string parsed to %v for kind %v", v, k)
+				}
+				continue
+			}
+			back, err := ParseValue(v.String(), v.Kind())
+			if err != nil {
+				t.Fatalf("re-parse of %q (kind %v) failed: %v", v.String(), k, err)
+			}
+			if f, ok := v.AsFloat(); ok && math.IsNaN(f) {
+				// NaN != NaN by definition; round-tripping must at least
+				// preserve NaN-ness.
+				if bf, bok := back.AsFloat(); !bok || !math.IsNaN(bf) {
+					t.Fatalf("NaN did not survive the round trip: %v", back)
+				}
+				continue
+			}
+			if !back.Equal(v) {
+				t.Fatalf("round trip changed value: %v -> %v (kind %v)", v, back, k)
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package stream
+
+import "fmt"
+
+// Field describes one attribute of a stream schema.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is the ordered attribute list of a data stream. Per the paper
+// (§2.1) every stream schema contains a timestamp attribute; Timestamp
+// names it. Schemas are immutable after construction and safe to share
+// between goroutines.
+type Schema struct {
+	fields    []Field
+	index     map[string]int
+	timestamp string
+	tsIdx     int
+}
+
+// NewSchema builds a schema from fields. timestamp must name one of the
+// fields (of kind time or int); it is the attribute that carries the
+// original event timestamp ts, which pollution may alter.
+func NewSchema(timestamp string, fields ...Field) (*Schema, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("stream: schema needs at least one field")
+	}
+	s := &Schema{
+		fields:    append([]Field(nil), fields...),
+		index:     make(map[string]int, len(fields)),
+		timestamp: timestamp,
+		tsIdx:     -1,
+	}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("stream: field %d has empty name", i)
+		}
+		if _, dup := s.index[f.Name]; dup {
+			return nil, fmt.Errorf("stream: duplicate field %q", f.Name)
+		}
+		s.index[f.Name] = i
+		if f.Name == timestamp {
+			s.tsIdx = i
+		}
+	}
+	if s.tsIdx < 0 {
+		return nil, fmt.Errorf("stream: timestamp attribute %q not in schema", timestamp)
+	}
+	tk := fields[s.tsIdx].Kind
+	if tk != KindTime && tk != KindInt {
+		return nil, fmt.Errorf("stream: timestamp attribute %q must be time or int, got %v", timestamp, tk)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for package-internal
+// schemas whose correctness is fixed at compile time.
+func MustSchema(timestamp string, fields ...Field) *Schema {
+	s, err := NewSchema(timestamp, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool { _, ok := s.index[name]; return ok }
+
+// Timestamp returns the name of the timestamp attribute.
+func (s *Schema) Timestamp() string { return s.timestamp }
+
+// TimestampIndex returns the position of the timestamp attribute.
+func (s *Schema) TimestampIndex() int { return s.tsIdx }
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical fields and timestamp.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if o == nil || len(s.fields) != len(o.fields) || s.timestamp != o.timestamp {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}

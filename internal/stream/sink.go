@@ -1,0 +1,94 @@
+package stream
+
+import "io"
+
+// Sink consumes tuples at the end of a pipeline. Close is called once the
+// stream is exhausted so buffered sinks can flush.
+type Sink interface {
+	// Write consumes one tuple.
+	Write(Tuple) error
+	// Close flushes the sink.
+	Close() error
+}
+
+// CollectSink buffers every tuple in memory; the test- and experiment-
+// friendly counterpart of a Flink collection sink.
+type CollectSink struct {
+	Tuples []Tuple
+}
+
+// NewCollectSink returns an empty collector.
+func NewCollectSink() *CollectSink { return &CollectSink{} }
+
+// Write implements Sink.
+func (c *CollectSink) Write(t Tuple) error {
+	c.Tuples = append(c.Tuples, t)
+	return nil
+}
+
+// Close implements Sink.
+func (c *CollectSink) Close() error { return nil }
+
+// CountSink counts tuples and discards them; used by the runtime-overhead
+// experiment to model a cheap pass-through pipeline.
+type CountSink struct {
+	N int
+}
+
+// Write implements Sink.
+func (c *CountSink) Write(Tuple) error {
+	c.N++
+	return nil
+}
+
+// Close implements Sink.
+func (c *CountSink) Close() error { return nil }
+
+// DiscardSink drops every tuple.
+type DiscardSink struct{}
+
+// Write implements Sink.
+func (DiscardSink) Write(Tuple) error { return nil }
+
+// Close implements Sink.
+func (DiscardSink) Close() error { return nil }
+
+// ChannelSink forwards tuples into a channel and closes it on Close.
+type ChannelSink struct {
+	ch chan<- Tuple
+}
+
+// NewChannelSink wraps ch.
+func NewChannelSink(ch chan<- Tuple) *ChannelSink { return &ChannelSink{ch: ch} }
+
+// Write implements Sink.
+func (c *ChannelSink) Write(t Tuple) error {
+	c.ch <- t
+	return nil
+}
+
+// Close implements Sink.
+func (c *ChannelSink) Close() error {
+	close(c.ch)
+	return nil
+}
+
+// Copy pumps src into sink until EOF, closing the sink afterwards. It
+// returns the number of tuples moved.
+func Copy(sink Sink, src Source) (int, error) {
+	n := 0
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			return n, sink.Close()
+		}
+		if err != nil {
+			sink.Close()
+			return n, err
+		}
+		if err := sink.Write(t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

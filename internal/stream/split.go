@@ -1,0 +1,116 @@
+package stream
+
+import "io"
+
+// RouteFunc decides, for one tuple, which of the m sub-streams receive a
+// copy of it. Returning more than one index makes the sub-streams
+// overlap, as allowed by Algorithm 1 ("m (overlapping) sub-streams").
+type RouteFunc func(t Tuple, m int) []int
+
+// RouteAll sends every tuple to every sub-stream (full overlap).
+func RouteAll(_ Tuple, m int) []int {
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// RouteRoundRobin partitions tuples across sub-streams without overlap.
+func RouteRoundRobin() RouteFunc {
+	i := 0
+	return func(_ Tuple, m int) []int {
+		out := []int{i % m}
+		i++
+		return out
+	}
+}
+
+// RouteByAttribute routes by hashing the named attribute's textual
+// rendering, so all tuples of one key (e.g. one sensor) stay together —
+// the analogue of Flink's keyBy for stream-specific error patterns.
+func RouteByAttribute(name string) RouteFunc {
+	return func(t Tuple, m int) []int {
+		v, _ := t.Get(name)
+		s := v.String()
+		var h uint32 = 2166136261
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= 16777619
+		}
+		return []int{int(h % uint32(m))}
+	}
+}
+
+// demux fans one source out into m sub-sources, pulling lazily from the
+// shared input and buffering per output. Each destination receives its
+// own clone of a routed tuple so that sub-pipelines cannot observe each
+// other's mutations.
+type demux struct {
+	src    Source
+	route  RouteFunc
+	m      int
+	queues [][]Tuple
+	done   bool
+	err    error
+}
+
+// Split implements step 1's createOverlappingSubStreams: it splits src
+// into m sub-streams according to route. The returned sources must all be
+// consumed from the same goroutine (they share lazily pulled state).
+func Split(src Source, m int, route RouteFunc) []Source {
+	d := &demux{src: src, route: route, m: m, queues: make([][]Tuple, m)}
+	out := make([]Source, m)
+	for i := range out {
+		out[i] = &demuxOut{d: d, idx: i}
+	}
+	return out
+}
+
+// pull advances the shared input until output idx has a tuple buffered or
+// the input is exhausted.
+func (d *demux) pull(idx int) error {
+	for len(d.queues[idx]) == 0 {
+		if d.done {
+			if d.err != nil {
+				return d.err
+			}
+			return io.EOF
+		}
+		t, err := d.src.Next()
+		if err == io.EOF {
+			d.done = true
+			continue
+		}
+		if err != nil {
+			d.done = true
+			d.err = err
+			return err
+		}
+		targets := d.route(t, d.m)
+		for _, tgt := range targets {
+			if tgt < 0 || tgt >= d.m {
+				continue
+			}
+			d.queues[tgt] = append(d.queues[tgt], t.Clone())
+		}
+	}
+	return nil
+}
+
+type demuxOut struct {
+	d   *demux
+	idx int
+}
+
+func (o *demuxOut) Schema() *Schema { return o.d.src.Schema() }
+
+func (o *demuxOut) Next() (Tuple, error) {
+	if err := o.d.pull(o.idx); err != nil {
+		return Tuple{}, err
+	}
+	q := o.d.queues[o.idx]
+	t := q[0]
+	o.d.queues[o.idx] = q[1:]
+	return t, nil
+}

@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"io"
+	"time"
+)
+
+// Window is one event-time window of tuples, emitted once the window
+// closes.
+type Window struct {
+	// Start and End delimit the window; End is exclusive.
+	Start, End time.Time
+	// Tuples holds the window's contents in arrival order.
+	Tuples []Tuple
+}
+
+// TumblingWindows groups a stream into fixed-size, non-overlapping
+// event-time windows keyed on the arrival time (the delivery order of
+// the polluted stream). Windows align to the first tuple's arrival. A
+// window closes when a tuple arrives at or beyond its end; the final
+// partial window closes at EOF. Empty windows are not emitted.
+type TumblingWindows struct {
+	src   Source
+	width time.Duration
+
+	cur     *Window
+	pending []Tuple
+	done    bool
+}
+
+// NewTumblingWindows wraps src with windows of the given width.
+func NewTumblingWindows(src Source, width time.Duration) *TumblingWindows {
+	if width <= 0 {
+		width = time.Second
+	}
+	return &TumblingWindows{src: src, width: width}
+}
+
+// Next returns the next closed window or io.EOF.
+func (w *TumblingWindows) Next() (Window, error) {
+	for {
+		if w.done {
+			if w.cur != nil {
+				out := *w.cur
+				w.cur = nil
+				return out, nil
+			}
+			return Window{}, io.EOF
+		}
+		t, err := w.src.Next()
+		if err == io.EOF {
+			w.done = true
+			continue
+		}
+		if err != nil {
+			return Window{}, err
+		}
+		if w.cur == nil {
+			w.cur = &Window{Start: t.Arrival, End: t.Arrival.Add(w.width)}
+		}
+		if t.Arrival.Before(w.cur.End) {
+			w.cur.Tuples = append(w.cur.Tuples, t)
+			continue
+		}
+		out := *w.cur
+		// Advance the window far enough to contain the new tuple,
+		// skipping empty windows.
+		start := w.cur.End
+		for !t.Arrival.Before(start.Add(w.width)) {
+			start = start.Add(w.width)
+		}
+		if t.Arrival.Before(start) {
+			// t belongs to an already skipped range (clock going
+			// backwards); fall back to a window anchored at t.
+			start = t.Arrival
+		}
+		w.cur = &Window{Start: start, End: start.Add(w.width), Tuples: []Tuple{t}}
+		return out, nil
+	}
+}
+
+// CollectWindows drains all windows of w.
+func CollectWindows(w *TumblingWindows) ([]Window, error) {
+	var out []Window
+	for {
+		win, err := w.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, win)
+	}
+}
+
+// SlidingWindows groups a bounded stream into overlapping event-time
+// windows of the given width, advancing by slide per window (slide <
+// width produces overlap; slide == width degrades to tumbling). Windows
+// align to the first tuple's arrival; empty windows are skipped.
+func SlidingWindows(src Source, width, slide time.Duration) ([]Window, error) {
+	if width <= 0 {
+		width = time.Second
+	}
+	if slide <= 0 {
+		slide = width
+	}
+	tuples, err := Drain(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	first := tuples[0].Arrival
+	last := tuples[len(tuples)-1].Arrival
+	var out []Window
+	for start := first; !start.After(last); start = start.Add(slide) {
+		end := start.Add(width)
+		win := Window{Start: start, End: end}
+		for _, t := range tuples {
+			if !t.Arrival.Before(start) && t.Arrival.Before(end) {
+				win.Tuples = append(win.Tuples, t)
+			}
+		}
+		if len(win.Tuples) > 0 {
+			out = append(out, win)
+		}
+	}
+	return out, nil
+}
+
+// Watermark tracks event-time progress under bounded out-of-orderness,
+// the mechanism streaming engines use to decide when windows may close.
+// The watermark trails the maximum observed arrival time by the
+// configured delay; tuples arriving behind the watermark are late.
+type Watermark struct {
+	// MaxDelay is the tolerated out-of-orderness.
+	MaxDelay time.Duration
+
+	maxSeen time.Time
+	late    int
+	total   int
+}
+
+// NewWatermark returns a tracker tolerating maxDelay of disorder.
+func NewWatermark(maxDelay time.Duration) *Watermark {
+	return &Watermark{MaxDelay: maxDelay}
+}
+
+// Observe folds one tuple in and reports whether it is late (arrived
+// behind the current watermark).
+func (w *Watermark) Observe(t Tuple) bool {
+	w.total++
+	late := !w.maxSeen.IsZero() && t.Arrival.Before(w.Current())
+	if late {
+		w.late++
+	}
+	if t.Arrival.After(w.maxSeen) {
+		w.maxSeen = t.Arrival
+	}
+	return late
+}
+
+// Current returns the present watermark (zero before any observation).
+func (w *Watermark) Current() time.Time {
+	if w.maxSeen.IsZero() {
+		return time.Time{}
+	}
+	return w.maxSeen.Add(-w.MaxDelay)
+}
+
+// LateCount returns how many observed tuples were late.
+func (w *Watermark) LateCount() int { return w.late }
+
+// Total returns how many tuples were observed.
+func (w *Watermark) Total() int { return w.total }

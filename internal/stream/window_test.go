@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func windowedTuples(t *testing.T, gapsAt map[int]bool, n int) (*Schema, []Tuple) {
+	t.Helper()
+	s := testSchema(t)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var out []Tuple
+	for i := 0; i < n; i++ {
+		if gapsAt[i] {
+			continue
+		}
+		tp := NewTuple(s, []Value{Time(base.Add(time.Duration(i) * time.Minute)), Float(float64(i))})
+		tp.EventTime, _ = tp.Timestamp()
+		tp.Arrival = tp.EventTime
+		out = append(out, tp)
+	}
+	return s, out
+}
+
+func TestTumblingWindowsBasic(t *testing.T) {
+	s, tuples := windowedTuples(t, nil, 30) // 30 minutes of data
+	w := NewTumblingWindows(NewSliceSource(s, tuples), 10*time.Minute)
+	wins, err := CollectWindows(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 3 {
+		t.Fatalf("%d windows", len(wins))
+	}
+	for i, win := range wins {
+		if len(win.Tuples) != 10 {
+			t.Fatalf("window %d has %d tuples", i, len(win.Tuples))
+		}
+		if !win.End.Equal(win.Start.Add(10 * time.Minute)) {
+			t.Fatalf("window %d bounds %v..%v", i, win.Start, win.End)
+		}
+		for _, tp := range win.Tuples {
+			if tp.Arrival.Before(win.Start) || !tp.Arrival.Before(win.End) {
+				t.Fatalf("tuple %v outside window %v..%v", tp.Arrival, win.Start, win.End)
+			}
+		}
+	}
+}
+
+func TestTumblingWindowsSkipsEmpty(t *testing.T) {
+	gaps := map[int]bool{}
+	for i := 10; i < 20; i++ {
+		gaps[i] = true // second window entirely empty
+	}
+	s, tuples := windowedTuples(t, gaps, 30)
+	wins, err := CollectWindows(NewTumblingWindows(NewSliceSource(s, tuples), 10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 2 {
+		t.Fatalf("%d windows, want 2 (empty skipped)", len(wins))
+	}
+	if len(wins[0].Tuples) != 10 || len(wins[1].Tuples) != 10 {
+		t.Fatalf("window sizes %d, %d", len(wins[0].Tuples), len(wins[1].Tuples))
+	}
+	if !wins[1].Start.Equal(wins[0].Start.Add(20 * time.Minute)) {
+		t.Fatalf("second window start %v", wins[1].Start)
+	}
+}
+
+func TestTumblingWindowsEmptyStream(t *testing.T) {
+	s := testSchema(t)
+	wins, err := CollectWindows(NewTumblingWindows(NewSliceSource(s, nil), time.Minute))
+	if err != nil || len(wins) != 0 {
+		t.Fatalf("%d windows, %v", len(wins), err)
+	}
+}
+
+func TestTumblingWindowsNonPositiveWidth(t *testing.T) {
+	s, tuples := windowedTuples(t, nil, 3)
+	w := NewTumblingWindows(NewSliceSource(s, tuples), 0)
+	wins, err := CollectWindows(w)
+	if err != nil || len(wins) == 0 {
+		t.Fatalf("default width failed: %d windows, %v", len(wins), err)
+	}
+}
+
+func TestWatermarkLateness(t *testing.T) {
+	_, tuples := windowedTuples(t, nil, 10)
+	// Delay tuple 3 by 5 minutes: it arrives between tuples 8 and 9.
+	tuples[3].Arrival = tuples[3].Arrival.Add(5 * time.Minute)
+	SortByArrival(tuples)
+
+	strict := NewWatermark(0)
+	for _, tp := range tuples {
+		strict.Observe(tp)
+	}
+	// With zero tolerated delay, the displaced tuple is the only one
+	// whose arrival regresses… it doesn't regress (arrival is sorted) —
+	// lateness tracks *event time* skew only via arrival order, so a
+	// sorted stream has no late tuples.
+	if strict.LateCount() != 0 {
+		t.Fatalf("sorted stream reported %d late tuples", strict.LateCount())
+	}
+	if strict.Total() != 10 {
+		t.Fatalf("total %d", strict.Total())
+	}
+
+	// Unsorted delivery: tuple arriving behind the watermark is late.
+	w := NewWatermark(time.Minute)
+	early := tuples[0]
+	late := tuples[1]
+	early.Arrival = time.Date(2020, 1, 1, 1, 0, 0, 0, time.UTC)
+	late.Arrival = early.Arrival.Add(-10 * time.Minute)
+	w.Observe(early)
+	if !w.Observe(late) {
+		t.Fatal("10-minute regression within 1-minute tolerance not late")
+	}
+	if w.LateCount() != 1 {
+		t.Fatalf("late count %d", w.LateCount())
+	}
+}
+
+func TestWatermarkCurrent(t *testing.T) {
+	w := NewWatermark(2 * time.Minute)
+	if !w.Current().IsZero() {
+		t.Fatal("watermark before observations")
+	}
+	_, tuples := windowedTuples(t, nil, 1)
+	w.Observe(tuples[0])
+	want := tuples[0].Arrival.Add(-2 * time.Minute)
+	if !w.Current().Equal(want) {
+		t.Fatalf("watermark %v, want %v", w.Current(), want)
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	s, tuples := windowedTuples(t, nil, 30)
+	wins, err := SlidingWindows(NewSliceSource(s, tuples), 10*time.Minute, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows start every 5 minutes from minute 0 through 25: 6 windows.
+	if len(wins) != 6 {
+		t.Fatalf("%d windows", len(wins))
+	}
+	// Interior windows hold 10 tuples; the final ones run off the end.
+	if len(wins[0].Tuples) != 10 || len(wins[5].Tuples) != 5 {
+		t.Fatalf("window sizes %d, %d", len(wins[0].Tuples), len(wins[5].Tuples))
+	}
+	// Consecutive windows overlap by 5 tuples.
+	lastOfFirst := wins[0].Tuples[9]
+	firstOfSecond := wins[1].Tuples[0]
+	if !firstOfSecond.Arrival.Before(lastOfFirst.Arrival) && !firstOfSecond.Arrival.Equal(lastOfFirst.Arrival.Add(-4*time.Minute)) {
+		// weaker check: window 1 starts inside window 0.
+		if !wins[1].Start.Before(wins[0].End) {
+			t.Fatal("windows do not overlap")
+		}
+	}
+	// slide == width degrades to tumbling.
+	tumb, err := SlidingWindows(NewSliceSource(s, tuples), 10*time.Minute, 10*time.Minute)
+	if err != nil || len(tumb) != 3 {
+		t.Fatalf("tumbling degrade: %d windows, %v", len(tumb), err)
+	}
+	// Empty stream.
+	empty, err := SlidingWindows(NewSliceSource(s, nil), time.Minute, time.Minute)
+	if err != nil || empty != nil {
+		t.Fatalf("empty: %v %v", empty, err)
+	}
+	// Defaults for non-positive parameters.
+	if _, err := SlidingWindows(NewSliceSource(s, tuples), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"icewafl/internal/stats"
+	"icewafl/internal/stream"
+)
+
+var schema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "v", Kind: stream.KindFloat},
+	stream.Field{Name: "label", Kind: stream.KindString},
+)
+
+// seasonalSource builds n hourly tuples with a daily cycle, a few NULLs
+// at fixed positions, and a constant label.
+func seasonalSource(n int, nullEvery int) []stream.Tuple {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		v := stream.Float(50 + 10*math.Sin(2*math.Pi*float64(i%24)/24))
+		if nullEvery > 0 && i%nullEvery == 0 {
+			v = stream.Null()
+		}
+		out[i] = stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Hour)), v, stream.Str("k"),
+		})
+	}
+	return out
+}
+
+func TestScaffoldCadence(t *testing.T) {
+	src := seasonalSource(48, 0)
+	out, err := scaffold(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("%d tuples", len(out))
+	}
+	prev, _ := out[0].Timestamp()
+	for i := 1; i < len(out); i++ {
+		ts, _ := out[i].Timestamp()
+		if !ts.Equal(prev.Add(time.Hour)) {
+			t.Fatalf("cadence broken at %d", i)
+		}
+		prev = ts
+	}
+	// Non-synthesised attributes cycle through the source.
+	if got, _ := out[99].MustGet("label").AsString(); got != "k" {
+		t.Fatalf("label %q", got)
+	}
+}
+
+func TestScaffoldErrors(t *testing.T) {
+	if _, err := scaffold(seasonalSource(1, 0), 10); err == nil {
+		t.Error("single-tuple source accepted")
+	}
+	// Non-increasing timestamps.
+	src := seasonalSource(2, 0)
+	ts0, _ := src[0].Timestamp()
+	src[1].SetTimestamp(ts0)
+	if _, err := scaffold(src, 10); err == nil {
+		t.Error("non-increasing timestamps accepted")
+	}
+}
+
+func TestBlockBootstrapPreservesValueDistribution(t *testing.T) {
+	src := seasonalSource(24*20, 10) // 10% nulls
+	out, err := BlockBootstrap{BlockLen: 12}.Synthesize(src, []string{"v"}, 24*40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcNulls, outNulls := countNulls(src), countNulls(out)
+	srcRate := float64(srcNulls) / float64(len(src))
+	outRate := float64(outNulls) / float64(len(out))
+	if math.Abs(srcRate-outRate) > 0.05 {
+		t.Fatalf("null rate drifted: src %.3f out %.3f", srcRate, outRate)
+	}
+	srcMean := meanOf(src)
+	outMean := meanOf(out)
+	if math.Abs(srcMean-outMean) > 2 {
+		t.Fatalf("mean drifted: src %.2f out %.2f", srcMean, outMean)
+	}
+}
+
+func TestBlockBootstrapDeterministic(t *testing.T) {
+	src := seasonalSource(240, 7)
+	a, err := BlockBootstrap{}.Synthesize(src, []string{"v"}, 480, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := BlockBootstrap{}.Synthesize(src, []string{"v"}, 480, 42)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c, _ := BlockBootstrap{}.Synthesize(src, []string{"v"}, 480, 43)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestSeasonalBootstrapPreservesHourAlignment(t *testing.T) {
+	// Source nulls occur only between 00:00 and 05:59.
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	n := 24 * 30
+	src := make([]stream.Tuple, n)
+	for i := range src {
+		ts := base.Add(time.Duration(i) * time.Hour)
+		v := stream.Float(10)
+		if ts.Hour() < 6 && i%2 == 0 {
+			v = stream.Null()
+		}
+		src[i] = stream.NewTuple(schema, []stream.Value{stream.Time(ts), v, stream.Str("k")})
+	}
+	out, err := SeasonalBlockBootstrap{BlockLen: 6}.Synthesize(src, []string{"v"}, 24*60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misplaced := 0
+	found := 0
+	for _, tp := range out {
+		if !tp.MustGet("v").IsNull() {
+			continue
+		}
+		found++
+		ts, _ := tp.Timestamp()
+		if ts.Hour() >= 6 {
+			misplaced++
+		}
+	}
+	if found == 0 {
+		t.Fatal("seasonal bootstrap produced no nulls")
+	}
+	if frac := float64(misplaced) / float64(found); frac > 0.05 {
+		t.Fatalf("%.1f%% of nulls misplaced outside the night window", frac*100)
+	}
+}
+
+func TestARSynthesizerProducesCleanSeasonalData(t *testing.T) {
+	src := seasonalSource(24*30, 12)
+	out, err := ARSynthesizer{Order: 2}.Synthesize(src, []string{"v"}, 24*30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countNulls(out) != 0 {
+		t.Fatal("AR synthesizer emitted nulls")
+	}
+	// The seasonal profile should carry over: midnight vs 6am levels.
+	var byHour [24][]float64
+	for _, tp := range out {
+		ts, _ := tp.Timestamp()
+		if v, ok := tp.GetFloat("v"); ok {
+			byHour[ts.Hour()] = append(byHour[ts.Hour()], v)
+		}
+	}
+	// Source: 50 + 10·sin(2πh/24): h=6 → 60, h=18 → 40.
+	if d := stats.Mean(byHour[6]) - stats.Mean(byHour[18]); d < 10 {
+		t.Fatalf("seasonal profile lost: 6h-18h difference %.2f", d)
+	}
+}
+
+func TestARSynthesizerNonNegative(t *testing.T) {
+	// All source values non-negative → synthetic values clipped at 0.
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := make([]stream.Tuple, 200)
+	for i := range src {
+		src[i] = stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Hour)),
+			stream.Float(0.5), stream.Str("k"),
+		})
+	}
+	out, err := ARSynthesizer{}.Synthesize(src, []string{"v"}, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range out {
+		if v, _ := tp.GetFloat("v"); v < 0 {
+			t.Fatalf("negative value %g at %d", v, i)
+		}
+	}
+}
+
+func TestARSynthesizerTooFewObservations(t *testing.T) {
+	src := seasonalSource(10, 2)
+	if _, err := (ARSynthesizer{Order: 3}).Synthesize(src, []string{"v"}, 10, 5); err == nil {
+		t.Fatal("tiny source accepted")
+	}
+}
+
+func TestSynthesizerNames(t *testing.T) {
+	if (BlockBootstrap{}).Name() != "block_bootstrap" ||
+		(SeasonalBlockBootstrap{}).Name() != "seasonal_bootstrap" ||
+		(ARSynthesizer{}).Name() != "ar_model" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func countNulls(tuples []stream.Tuple) int {
+	n := 0
+	for _, t := range tuples {
+		if v, ok := t.Get("v"); ok && v.IsNull() {
+			n++
+		}
+	}
+	return n
+}
+
+func meanOf(tuples []stream.Tuple) float64 {
+	var vals []float64
+	for _, t := range tuples {
+		if v, ok := t.GetFloat("v"); ok {
+			vals = append(vals, v)
+		}
+	}
+	return stats.Mean(vals)
+}

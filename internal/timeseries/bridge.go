@@ -1,0 +1,59 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+
+	"icewafl/internal/stream"
+)
+
+// FromTuples extracts one numeric attribute of a tuple stream as a
+// Series, mapping NULL (and non-numeric) values to NaN so that FFill can
+// impute them — the bridge the forecasting experiment uses to pull NO2
+// out of the air-quality stream.
+func FromTuples(tuples []stream.Tuple, attr string) (*Series, error) {
+	if len(tuples) == 0 {
+		return &Series{}, nil
+	}
+	if !tuples[0].Schema().Has(attr) {
+		return nil, fmt.Errorf("timeseries: attribute %q not in schema", attr)
+	}
+	s := &Series{}
+	for _, t := range tuples {
+		ts, ok := t.Timestamp()
+		if !ok {
+			ts = t.EventTime
+		}
+		v, _ := t.Get(attr)
+		f, isNum := v.AsFloat()
+		if !isNum {
+			f = math.NaN()
+		}
+		s.Times = append(s.Times, ts)
+		s.Values = append(s.Values, f)
+	}
+	return s, nil
+}
+
+// ApplyToTuples writes the series values back into the named attribute of
+// the tuples (positionally; len(s) must equal len(tuples)). NaN becomes
+// NULL.
+func ApplyToTuples(tuples []stream.Tuple, attr string, s *Series) error {
+	if len(tuples) != s.Len() {
+		return fmt.Errorf("timeseries: %d tuples vs %d series points", len(tuples), s.Len())
+	}
+	if len(tuples) == 0 {
+		return nil
+	}
+	if !tuples[0].Schema().Has(attr) {
+		return fmt.Errorf("timeseries: attribute %q not in schema", attr)
+	}
+	for i := range tuples {
+		if math.IsNaN(s.Values[i]) {
+			tuples[i].Set(attr, stream.Null())
+			continue
+		}
+		tuples[i].Set(attr, stream.Float(s.Values[i]))
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+var bridgeSchema = stream.MustSchema("ts",
+	stream.Field{Name: "ts", Kind: stream.KindTime},
+	stream.Field{Name: "v", Kind: stream.KindFloat},
+	stream.Field{Name: "label", Kind: stream.KindString},
+)
+
+func bridgeTuples(values []stream.Value) []stream.Tuple {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]stream.Tuple, len(values))
+	for i, v := range values {
+		out[i] = stream.NewTuple(bridgeSchema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Hour)), v, stream.Str("x"),
+		})
+	}
+	return out
+}
+
+func TestFromTuplesExtractsSeries(t *testing.T) {
+	tuples := bridgeTuples([]stream.Value{
+		stream.Float(1), stream.Null(), stream.Float(3),
+	})
+	s, err := FromTuples(tuples, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if s.Values[0] != 1 || !math.IsNaN(s.Values[1]) || s.Values[2] != 3 {
+		t.Fatalf("values %v", s.Values)
+	}
+	ts0, _ := tuples[0].Timestamp()
+	if !s.Times[0].Equal(ts0) {
+		t.Fatal("timestamps not carried over")
+	}
+	// String attribute maps to NaN (non-numeric).
+	s2, err := FromTuples(tuples, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s2.Values {
+		if !math.IsNaN(v) {
+			t.Fatal("string values should become NaN")
+		}
+	}
+}
+
+func TestFromTuplesErrors(t *testing.T) {
+	if _, err := FromTuples(bridgeTuples([]stream.Value{stream.Float(1)}), "zzz"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	s, err := FromTuples(nil, "anything")
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("empty input: %v, %v", s, err)
+	}
+}
+
+func TestApplyToTuplesWritesBack(t *testing.T) {
+	tuples := bridgeTuples([]stream.Value{
+		stream.Float(1), stream.Null(), stream.Float(3),
+	})
+	s, _ := FromTuples(tuples, "v")
+	s.FFill()
+	if err := ApplyToTuples(tuples, "v", s); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tuples[1].GetFloat("v"); v != 1 {
+		t.Fatalf("imputed value %g", v)
+	}
+	// NaN in the series becomes NULL in the tuple.
+	s.Values[2] = math.NaN()
+	if err := ApplyToTuples(tuples, "v", s); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tuples[2].Get("v"); !v.IsNull() {
+		t.Fatal("NaN not written as NULL")
+	}
+}
+
+func TestApplyToTuplesErrors(t *testing.T) {
+	tuples := bridgeTuples([]stream.Value{stream.Float(1)})
+	if err := ApplyToTuples(tuples, "v", New(nil, nil)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	s, _ := FromTuples(tuples, "v")
+	if err := ApplyToTuples(tuples, "zzz", s); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if err := ApplyToTuples(nil, "v", New(nil, nil)); err != nil {
+		t.Fatalf("empty apply: %v", err)
+	}
+}
+
+func TestRoundTripThroughBridge(t *testing.T) {
+	tuples := bridgeTuples([]stream.Value{
+		stream.Float(1.5), stream.Float(2.5), stream.Float(3.5),
+	})
+	s, _ := FromTuples(tuples, "v")
+	if err := ApplyToTuples(tuples, "v", s); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1.5, 2.5, 3.5} {
+		if v, _ := tuples[i].GetFloat("v"); v != want {
+			t.Fatalf("round trip changed value %d: %g", i, v)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package timeseries
+
+import (
+	"fmt"
+	"time"
+)
+
+// Splits holds the Table 2 data splits for one region's stream D_r:
+//
+//	D_train — 1st year of D_r minus the last 12 h
+//	D_valid — last 12 h of the 1st year of D_r
+//	D_eval  — last year of D_r
+//
+// D_scale and D_noise are polluted variants of D_eval and are produced by
+// the pollution pipelines, not by this package.
+type Splits struct {
+	Train *Series
+	Valid *Series
+	Eval  *Series
+	// TrainEnd, ValidEnd and EvalStart record the split boundaries.
+	TrainEnd, ValidEnd, EvalStart time.Time
+}
+
+// Split cuts the Table 2 splits out of a series that spans several years
+// of data, hourly or finer. horizon is the forecast horizon (the paper's
+// 12 h) that separates D_train from D_valid.
+func Split(s *Series, horizon time.Duration) (*Splits, error) {
+	if s.Len() < 3 {
+		return nil, fmt.Errorf("timeseries: series too short to split (%d points)", s.Len())
+	}
+	start := s.Times[0]
+	end := s.Times[s.Len()-1]
+	yearOne := start.AddDate(1, 0, 0)
+	if !end.After(yearOne) {
+		return nil, fmt.Errorf("timeseries: series spans less than a year (%s .. %s)", start, end)
+	}
+	validStart := yearOne.Add(-horizon)
+	evalStart := end.AddDate(-1, 0, 0)
+
+	iValid := s.IndexAtOrAfter(validStart)
+	iYear := s.IndexAtOrAfter(yearOne)
+	iEval := s.IndexAtOrAfter(evalStart)
+	if iValid == 0 || iValid >= iYear || iEval >= s.Len() {
+		return nil, fmt.Errorf("timeseries: degenerate split (train end %d, valid end %d, eval start %d)", iValid, iYear, iEval)
+	}
+	return &Splits{
+		Train:     s.Slice(0, iValid),
+		Valid:     s.Slice(iValid, iYear),
+		Eval:      s.Slice(iEval, s.Len()),
+		TrainEnd:  validStart,
+		ValidEnd:  yearOne,
+		EvalStart: evalStart,
+	}, nil
+}
+
+// CVFold is one fold of a time-series cross validation: train on an
+// expanding prefix, test on the window right after it.
+type CVFold struct {
+	TrainEnd  int // exclusive
+	TestStart int // == TrainEnd
+	TestEnd   int // exclusive
+}
+
+// TimeSeriesCV reproduces scikit-learn's TimeSeriesSplit with nSplits
+// folds over n observations: fold k trains on the first
+// testSize·(k+1)+remainder observations and tests on the next testSize.
+func TimeSeriesCV(n, nSplits int) ([]CVFold, error) {
+	if nSplits < 2 {
+		return nil, fmt.Errorf("timeseries: need at least 2 splits, got %d", nSplits)
+	}
+	testSize := n / (nSplits + 1)
+	if testSize < 1 {
+		return nil, fmt.Errorf("timeseries: %d observations cannot support %d splits", n, nSplits)
+	}
+	folds := make([]CVFold, 0, nSplits)
+	for k := 0; k < nSplits; k++ {
+		testEnd := n - (nSplits-1-k)*testSize
+		testStart := testEnd - testSize
+		folds = append(folds, CVFold{TrainEnd: testStart, TestStart: testStart, TestEnd: testEnd})
+	}
+	return folds, nil
+}
