@@ -1,0 +1,31 @@
+# Icewafl build & CI entry points. `make ci` is what the robustness gate
+# runs: static analysis plus the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test vet race ci fuzz clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet race
+
+# Short fuzz pass over every fuzz target (value parsing and the
+# quarantine of malformed tuples). Extend FUZZTIME for deeper runs.
+FUZZTIME ?= 15s
+
+fuzz:
+	$(GO) test ./internal/stream/ -run '^$$' -fuzz FuzzParseValue -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/csvio/ -run '^$$' -fuzz FuzzQuarantine -fuzztime $(FUZZTIME)
+
+clean:
+	$(GO) clean ./...

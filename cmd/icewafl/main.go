@@ -13,10 +13,18 @@
 //	{"timestamp": "Time",
 //	 "fields": [{"name": "Time", "kind": "time"},
 //	            {"name": "BPM", "kind": "float"}]}
+//
+// Fault tolerance: the configuration's fault_policy section enables
+// source retrying and dead-letter quarantine. In streaming mode,
+// -checkpoint periodically snapshots the run so that a killed process
+// can continue with -resume, producing output byte-identical to an
+// uninterrupted run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -42,6 +50,10 @@ func main() {
 	reportOut := flag.String("report", "", "optional Markdown report output documenting the run")
 	streaming := flag.Bool("stream", false, "tuple-wise constant-memory execution for unbounded inputs (no -clean-out/-report; bounded reordering)")
 	reorder := flag.Int("reorder", 64, "streaming mode: bounded reordering window in tuples")
+	checkpointPath := flag.String("checkpoint", "", "streaming mode: checkpoint file; the run snapshots its state periodically so it can be resumed")
+	resume := flag.Bool("resume", false, "continue an interrupted run from the -checkpoint file")
+	checkpointEvery := flag.Int("checkpoint-interval", 0, "tuples between checkpoints (0 = fault_policy's checkpoint_interval, default 5000)")
+	deadOut := flag.String("dead-letters", "", "optional JSON-lines output for quarantined tuples (requires fault_policy.quarantine)")
 	flag.Parse()
 
 	if *schemaPath == "" || *configPath == "" || *inPath == "" || *outPath == "" {
@@ -58,14 +70,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	proc, err := config.Load(cf)
+	doc, err := config.Parse(cf)
 	cf.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
+	proc, err := config.Build(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	proc.KeepClean = *cleanOut != ""
+	if proc.Fault.Quarantine {
+		proc.Fault.DLQ = stream.NewDeadLetterQueue()
+	} else if *deadOut != "" {
+		log.Fatal("-dead-letters requires fault_policy.quarantine in the configuration")
+	}
 	if err := proc.ValidateAttrs(schema); err != nil {
 		log.Fatal(err)
+	}
+
+	if *checkpointPath != "" && !*streaming {
+		log.Fatal("-checkpoint requires -stream")
+	}
+	if *resume && *checkpointPath == "" {
+		log.Fatal("-resume requires -checkpoint")
 	}
 
 	in := os.Stdin
@@ -80,16 +108,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	src := withRetry(reader, doc)
 
 	if *streaming {
 		if *cleanOut != "" || *reportOut != "" {
 			log.Fatal("-stream cannot materialise -clean-out or -report; drop those flags")
 		}
-		runStreaming(proc, reader, schema, *outPath, *logOut, *meta, *reorder)
+		if *checkpointPath != "" {
+			interval := *checkpointEvery
+			if interval <= 0 {
+				interval = doc.Fault.Interval()
+			}
+			runCheckpointed(proc, src, schema, checkpointedRun{
+				outPath:  *outPath,
+				logOut:   *logOut,
+				deadOut:  *deadOut,
+				meta:     *meta,
+				ckptPath: *checkpointPath,
+				resume:   *resume,
+				interval: interval,
+				reorder:  *reorder,
+			})
+			return
+		}
+		runStreaming(proc, src, schema, *outPath, *logOut, *deadOut, *meta, *reorder)
 		return
 	}
 
-	result, err := proc.Run(reader)
+	result, err := proc.Run(src)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,6 +180,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *deadOut != "" {
+		if err := writeDeadLetters(*deadOut, result.Quarantined); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *reportOut != "" {
 		rf, err := os.Create(*reportOut)
 		if err != nil {
@@ -152,14 +203,43 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	log.Printf("wrote %d tuples (%d errors injected, %d dropped)",
-		len(result.Polluted), result.Log.Len(), result.DroppedTuples)
+	log.Printf("wrote %d tuples (%d errors injected, %d dropped, %d quarantined)",
+		len(result.Polluted), result.Log.Len(), result.DroppedTuples, len(result.Quarantined))
+}
+
+// withRetry wraps src in a RetrySource when the configuration enables
+// source retrying.
+func withRetry(src stream.Source, doc *config.Document) stream.Source {
+	policy, ok, err := doc.Fault.RetryPolicy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		return src
+	}
+	return stream.NewRetrySource(src, policy)
+}
+
+// writeDeadLetters persists quarantined tuples as JSON lines.
+func writeDeadLetters(path string, letters []stream.DeadLetter) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for i := range letters {
+		if err := enc.Encode(&letters[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // runStreaming executes the constant-memory tuple-wise path: tuples are
 // polluted and written as they arrive, with only the bounded reordering
 // window buffered.
-func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schema, outPath, logOut string, meta bool, reorder int) {
+func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schema, outPath, logOut, deadOut string, meta bool, reorder int) {
 	src, plog, err := proc.RunStreamMulti(reader, reorder)
 	if err != nil {
 		log.Fatal(err)
@@ -192,9 +272,185 @@ func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schem
 			log.Fatal(err)
 		}
 	}
+	quarantined := 0
+	if proc.Fault.DLQ != nil {
+		quarantined = proc.Fault.DLQ.Len()
+		if deadOut != "" {
+			if err := writeDeadLetters(deadOut, proc.Fault.DLQ.Letters()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	errs := 0
 	if plog != nil {
 		errs = plog.Len()
 	}
-	log.Printf("streamed %d tuples (%d errors injected)", n, errs)
+	log.Printf("streamed %d tuples (%d errors injected, %d quarantined)", n, errs, quarantined)
+}
+
+// checkpointedRun bundles the parameters of a checkpointed streaming run.
+type checkpointedRun struct {
+	outPath  string
+	logOut   string
+	deadOut  string
+	meta     bool
+	ckptPath string
+	resume   bool
+	interval int
+	reorder  int
+}
+
+// resumableSink is the writer contract checkpointing needs: flushing to
+// record exact file offsets and header suppression on resume.
+type resumableSink interface {
+	stream.Sink
+	Flush() error
+	OmitHeader()
+}
+
+// runCheckpointed executes the checkpointed streaming path. Every
+// opt.interval emitted tuples it flushes the output and log files,
+// snapshots the pipeline state, and atomically rewrites the checkpoint
+// file. With opt.resume the previous run's files are truncated to the
+// checkpointed offsets and the run continues exactly where the snapshot
+// was taken.
+func runCheckpointed(proc *core.Process, reader stream.Source, schema *stream.Schema, opt checkpointedRun) {
+	if opt.outPath == "-" {
+		log.Fatal("-checkpoint requires a real -out file (offsets must be truncatable on resume)")
+	}
+	if opt.reorder > 1 {
+		log.Fatal("-checkpoint requires -reorder 1: checkpoints cannot cover tuples buffered in the reordering window")
+	}
+
+	var ckpt *core.Checkpoint
+	if opt.resume {
+		var err error
+		ckpt, err = core.ReadCheckpoint(opt.ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	outF := openResumable(opt.outPath, opt.resume, ckpt, "out_bytes")
+	defer outF.Close()
+	var logF *os.File
+	if opt.logOut != "" {
+		logF = openResumable(opt.logOut, opt.resume, ckpt, "log_bytes")
+		defer logF.Close()
+	}
+
+	src, plog, ck, err := proc.RunStreamCheckpointed(reader, ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sink resumableSink = csvio.NewWriter(outF, schema)
+	if opt.meta {
+		sink = csvio.NewMetaWriter(outF, schema)
+	}
+	if opt.resume {
+		sink.OmitHeader()
+	}
+
+	flushedLog := 0 // entries of this session's log already on disk
+	capture := func() error {
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		c, err := ck.Capture()
+		if err != nil {
+			return err
+		}
+		outOff, err := outF.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return err
+		}
+		c.Offsets["out_bytes"] = outOff
+		if logF != nil && plog != nil {
+			enc := json.NewEncoder(logF)
+			for i := flushedLog; i < len(plog.Entries); i++ {
+				if err := enc.Encode(&plog.Entries[i]); err != nil {
+					return err
+				}
+			}
+			flushedLog = len(plog.Entries)
+			logOff, err := logF.Seek(0, io.SeekCurrent)
+			if err != nil {
+				return err
+			}
+			c.Offsets["log_bytes"] = logOff
+		}
+		return core.WriteCheckpoint(opt.ckptPath, c)
+	}
+
+	n := 0
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sink.Write(t); err != nil {
+			log.Fatal(err)
+		}
+		n++
+		if n%opt.interval == 0 {
+			if err := capture(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := capture(); err != nil {
+		log.Fatal(err)
+	}
+	quarantined := 0
+	if dlq := ck.DeadLetters(); dlq != nil {
+		quarantined = dlq.Len()
+		if opt.deadOut != "" {
+			if err := writeDeadLetters(opt.deadOut, dlq.Letters()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	errs := 0
+	if plog != nil {
+		errs = plog.Len()
+	}
+	log.Printf("streamed %d tuples (%d errors injected, %d quarantined, checkpoint %s)",
+		n, errs, quarantined, opt.ckptPath)
+}
+
+// openResumable opens path for appending output. On resume the file is
+// truncated to the checkpointed offset first, discarding rows written
+// after the snapshot; otherwise a fresh file is created.
+func openResumable(path string, resume bool, ckpt *core.Checkpoint, offsetKey string) *os.File {
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	off, ok := ckpt.Offsets[offsetKey]
+	if !ok {
+		log.Fatalf("checkpoint has no %q offset; was it written by -checkpoint?", offsetKey)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	return f
 }

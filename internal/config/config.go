@@ -30,8 +30,80 @@ type Document struct {
 	Route string `json:"route,omitempty"`
 	// Parallel pollutes sub-streams concurrently.
 	Parallel bool `json:"parallel,omitempty"`
+	// Fault configures the fault-tolerance behaviour of the run.
+	Fault *FaultPolicySpec `json:"fault_policy,omitempty"`
 	// Pipelines holds one pollution pipeline per sub-stream.
 	Pipelines []PipelineSpec `json:"pipelines"`
+}
+
+// FaultPolicySpec is the JSON form of the fault-tolerance knobs: how a
+// run reacts to malformed tuples, panicking operators, flaky sources,
+// and interruptions.
+type FaultPolicySpec struct {
+	// Quarantine skips failing tuples (dead-letter queue) instead of
+	// aborting the run.
+	Quarantine bool `json:"quarantine,omitempty"`
+	// MaxQuarantined caps the dead-letter queue (0 = unlimited).
+	MaxQuarantined int `json:"max_quarantined,omitempty"`
+	// Retries is the number of re-attempts for transient source errors
+	// (0 disables retrying).
+	Retries int `json:"retries,omitempty"`
+	// Backoff is the base delay before the first retry (Go duration,
+	// default "10ms"); each retry doubles it.
+	Backoff string `json:"backoff,omitempty"`
+	// MaxBackoff caps the exponential backoff (default "1s").
+	MaxBackoff string `json:"max_backoff,omitempty"`
+	// Jitter is the symmetric randomisation fraction of the backoff
+	// (default 0.5).
+	Jitter float64 `json:"jitter,omitempty"`
+	// AttemptTimeout bounds one source attempt (Go duration, default
+	// unbounded).
+	AttemptTimeout string `json:"attempt_timeout,omitempty"`
+	// CheckpointInterval is the number of emitted tuples between
+	// checkpoints when the harness enables checkpointing (default 5000).
+	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
+}
+
+// Policy compiles the quarantine knobs into a core fault policy.
+func (f *FaultPolicySpec) Policy() core.FaultPolicy {
+	if f == nil {
+		return core.FaultPolicy{}
+	}
+	return core.FaultPolicy{Quarantine: f.Quarantine, MaxQuarantined: f.MaxQuarantined}
+}
+
+// RetryPolicy compiles the retry knobs into a stream retry policy; ok
+// is false when retrying is disabled.
+func (f *FaultPolicySpec) RetryPolicy() (stream.RetryPolicy, bool, error) {
+	if f == nil || f.Retries <= 0 {
+		return stream.RetryPolicy{}, false, nil
+	}
+	p := stream.RetryPolicy{MaxRetries: f.Retries, Jitter: f.Jitter}
+	var err error
+	if f.Backoff != "" {
+		if p.BaseDelay, err = time.ParseDuration(f.Backoff); err != nil {
+			return p, false, fmt.Errorf("config: fault_policy: bad backoff: %w", err)
+		}
+	}
+	if f.MaxBackoff != "" {
+		if p.MaxDelay, err = time.ParseDuration(f.MaxBackoff); err != nil {
+			return p, false, fmt.Errorf("config: fault_policy: bad max_backoff: %w", err)
+		}
+	}
+	if f.AttemptTimeout != "" {
+		if p.AttemptTimeout, err = time.ParseDuration(f.AttemptTimeout); err != nil {
+			return p, false, fmt.Errorf("config: fault_policy: bad attempt_timeout: %w", err)
+		}
+	}
+	return p, true, nil
+}
+
+// Interval returns the effective checkpoint interval in tuples.
+func (f *FaultPolicySpec) Interval() int {
+	if f == nil || f.CheckpointInterval <= 0 {
+		return 5000
+	}
+	return f.CheckpointInterval
 }
 
 // PipelineSpec is one pollution pipeline.
@@ -175,7 +247,7 @@ func Build(doc *Document) (*core.Process, error) {
 	if len(doc.Pipelines) == 0 {
 		return nil, fmt.Errorf("config: document has no pipelines")
 	}
-	proc := &core.Process{FirstID: 1, KeepClean: true, Parallel: doc.Parallel}
+	proc := &core.Process{FirstID: 1, KeepClean: true, Parallel: doc.Parallel, Fault: doc.Fault.Policy()}
 	for i, ps := range doc.Pipelines {
 		path := fmt.Sprintf("pipeline[%d]", i)
 		if ps.Name != "" {

@@ -1,0 +1,818 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// This file implements deterministic checkpoint/resume for pollution
+// runs. A checkpoint captures everything Algorithm 1 needs to continue a
+// run as if it had never stopped:
+//
+//   - the input position (raw tuples consumed) and the next tuple ID;
+//   - the state of every RNG stream in the pipeline;
+//   - the state of every stateful polluter, condition and error function
+//     (sticky holds, Markov chains, frozen values, running statistics,
+//     error budgets, per-key instances);
+//   - the pollution-log and output positions, so a harness can truncate
+//     its files back to the checkpoint and append seamlessly.
+//
+// The guarantee: an interrupted run resumed from its last checkpoint
+// produces a polluted stream and pollution log byte-identical to an
+// uninterrupted run (verified by TestCheckpointResumeDeterminism).
+
+// CheckpointVersion is the on-disk format version.
+const CheckpointVersion = 1
+
+// Stateful is implemented by pipeline components carrying per-run
+// mutable state that must survive checkpoint/resume. Components not
+// implementing Stateful (and not otherwise known to the snapshot walker)
+// are assumed stateless.
+type Stateful interface {
+	// SnapshotState serialises the component's current state.
+	SnapshotState() (json.RawMessage, error)
+	// RestoreState overwrites the component's state with a snapshot.
+	RestoreState(json.RawMessage) error
+}
+
+// PipelineState maps stable component paths to serialised state.
+type PipelineState map[string]json.RawMessage
+
+// Checkpoint is one consistent snapshot of a streaming pollution run.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// TuplesIn is the number of raw input tuples consumed (including
+	// quarantined ones); resume skips exactly this many.
+	TuplesIn uint64 `json:"tuples_in"`
+	// NextID is the ID the next prepared tuple will receive.
+	NextID uint64 `json:"next_id"`
+	// TuplesOut is the number of polluted tuples emitted downstream.
+	TuplesOut uint64 `json:"tuples_out"`
+	// LogLen is the number of pollution-log entries produced so far.
+	LogLen int `json:"log_len"`
+	// Quarantined is the number of dead-lettered tuples so far.
+	Quarantined int `json:"quarantined"`
+	// Pipeline is the serialised state of every stateful component.
+	Pipeline PipelineState `json:"pipeline"`
+	// Offsets carries harness positions (e.g. output-file byte offsets)
+	// so a resuming process can truncate partial output past the
+	// checkpoint.
+	Offsets map[string]int64 `json:"offsets,omitempty"`
+}
+
+// WriteCheckpoint atomically persists c at path (write to a temp file in
+// the same directory, fsync, rename), so a crash mid-write never
+// corrupts the previous checkpoint.
+func WriteCheckpoint(path string, c *Checkpoint) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint %s has version %d, want %d", path, c.Version, CheckpointVersion)
+	}
+	return &c, nil
+}
+
+// ---------------------------------------------------------------------
+// Pipeline state walker
+// ---------------------------------------------------------------------
+
+// SnapshotPipeline captures the state of every stateful component of p
+// under stable paths. The same configuration always yields the same
+// paths, so a snapshot taken by one process restores into a pipeline
+// compiled from the same configuration by another.
+func SnapshotPipeline(p *Pipeline) (PipelineState, error) {
+	out := make(PipelineState)
+	for i, pol := range p.Polluters {
+		if err := snapshotPolluter(pol, polPath("", i, pol), out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RestorePipeline restores a snapshot captured by SnapshotPipeline into
+// p, which must be compiled from the same configuration. Missing state
+// for a visited component is an error: silently skipping it would break
+// the determinism guarantee.
+func RestorePipeline(p *Pipeline, st PipelineState) error {
+	for i, pol := range p.Polluters {
+		if err := restorePolluter(pol, polPath("", i, pol), st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func polPath(base string, i int, p Polluter) string {
+	return fmt.Sprintf("%s/%d:%s", base, i, p.Name())
+}
+
+func putStateful(out PipelineState, path string, s Stateful) error {
+	raw, err := s.SnapshotState()
+	if err != nil {
+		return fmt.Errorf("core: snapshot %s: %w", path, err)
+	}
+	out[path] = raw
+	return nil
+}
+
+func getStateful(st PipelineState, path string, s Stateful) error {
+	raw, ok := st[path]
+	if !ok {
+		return fmt.Errorf("core: checkpoint misses state for %s", path)
+	}
+	if err := s.RestoreState(raw); err != nil {
+		return fmt.Errorf("core: restore %s: %w", path, err)
+	}
+	return nil
+}
+
+func putRand(out PipelineState, path string, r *rng.Stream) error {
+	if r == nil {
+		return nil
+	}
+	raw, err := json.Marshal(r.State())
+	if err != nil {
+		return fmt.Errorf("core: snapshot rng %s: %w", path, err)
+	}
+	out[path] = raw
+	return nil
+}
+
+func getRand(st PipelineState, path string, r *rng.Stream) error {
+	if r == nil {
+		return nil
+	}
+	raw, ok := st[path]
+	if !ok {
+		return fmt.Errorf("core: checkpoint misses rng state for %s", path)
+	}
+	var s rng.State
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("core: restore rng %s: %w", path, err)
+	}
+	r.SetState(s)
+	return nil
+}
+
+func snapshotPolluter(p Polluter, path string, out PipelineState) error {
+	switch v := p.(type) {
+	case *Standard:
+		if err := snapshotCondition(v.Cond, path+"/cond", out); err != nil {
+			return err
+		}
+		return snapshotError(v.Err, path+"/err", out)
+	case *Composite:
+		if err := snapshotCondition(v.Cond, path+"/cond", out); err != nil {
+			return err
+		}
+		if err := putRand(out, path+"/rand", v.Rand); err != nil {
+			return err
+		}
+		for i, c := range v.Children {
+			if err := snapshotPolluter(c, polPath(path, i, c), out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *KeyedPolluter:
+		keys := v.Keys()
+		raw, err := json.Marshal(keys)
+		if err != nil {
+			return fmt.Errorf("core: snapshot %s keys: %w", path, err)
+		}
+		out[path+"/keys"] = raw
+		for _, k := range keys {
+			inst, _ := v.Instance(k)
+			if err := snapshotPolluter(inst, path+"/key="+k, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Observer:
+		return putStateful(out, path+"/state", v.State)
+	default:
+		if s, ok := p.(Stateful); ok {
+			return putStateful(out, path, s)
+		}
+		return nil
+	}
+}
+
+func restorePolluter(p Polluter, path string, st PipelineState) error {
+	switch v := p.(type) {
+	case *Standard:
+		if err := restoreCondition(v.Cond, path+"/cond", st); err != nil {
+			return err
+		}
+		return restoreError(v.Err, path+"/err", st)
+	case *Composite:
+		if err := restoreCondition(v.Cond, path+"/cond", st); err != nil {
+			return err
+		}
+		if err := getRand(st, path+"/rand", v.Rand); err != nil {
+			return err
+		}
+		for i, c := range v.Children {
+			if err := restorePolluter(c, polPath(path, i, c), st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *KeyedPolluter:
+		raw, ok := st[path+"/keys"]
+		if !ok {
+			return fmt.Errorf("core: checkpoint misses keys for %s", path)
+		}
+		var keys []string
+		if err := json.Unmarshal(raw, &keys); err != nil {
+			return fmt.Errorf("core: restore %s keys: %w", path, err)
+		}
+		for _, k := range keys {
+			inst := v.EnsureInstance(k)
+			if err := restorePolluter(inst, path+"/key="+k, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Observer:
+		return getStateful(st, path+"/state", v.State)
+	default:
+		if s, ok := p.(Stateful); ok {
+			return getStateful(st, path, s)
+		}
+		return nil
+	}
+}
+
+func snapshotCondition(c Condition, path string, out PipelineState) error {
+	switch v := c.(type) {
+	case nil:
+		return nil
+	case *Random:
+		return putRand(out, path+"/rand", v.Rand)
+	case And:
+		for i, child := range v {
+			if err := snapshotCondition(child, fmt.Sprintf("%s/%d", path, i), out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Or:
+		for i, child := range v {
+			if err := snapshotCondition(child, fmt.Sprintf("%s/%d", path, i), out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Not:
+		return snapshotCondition(v.Inner, path+"/not", out)
+	case *Sticky:
+		if err := putStateful(out, path, v); err != nil {
+			return err
+		}
+		return snapshotCondition(v.Trigger, path+"/trigger", out)
+	case *MarkovCondition:
+		if err := putStateful(out, path, v); err != nil {
+			return err
+		}
+		return putRand(out, path+"/rand", v.Rand)
+	case *BudgetCondition:
+		if err := putStateful(out, path, v); err != nil {
+			return err
+		}
+		return snapshotCondition(v.Inner, path+"/inner", out)
+	case *CascadeCondition:
+		return putStateful(out, path, v)
+	case DeviationCondition:
+		return putStateful(out, path+"/state", v.State)
+	default:
+		if s, ok := c.(Stateful); ok {
+			return putStateful(out, path, s)
+		}
+		return nil
+	}
+}
+
+func restoreCondition(c Condition, path string, st PipelineState) error {
+	switch v := c.(type) {
+	case nil:
+		return nil
+	case *Random:
+		return getRand(st, path+"/rand", v.Rand)
+	case And:
+		for i, child := range v {
+			if err := restoreCondition(child, fmt.Sprintf("%s/%d", path, i), st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Or:
+		for i, child := range v {
+			if err := restoreCondition(child, fmt.Sprintf("%s/%d", path, i), st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Not:
+		return restoreCondition(v.Inner, path+"/not", st)
+	case *Sticky:
+		if err := getStateful(st, path, v); err != nil {
+			return err
+		}
+		return restoreCondition(v.Trigger, path+"/trigger", st)
+	case *MarkovCondition:
+		if err := getStateful(st, path, v); err != nil {
+			return err
+		}
+		return getRand(st, path+"/rand", v.Rand)
+	case *BudgetCondition:
+		if err := getStateful(st, path, v); err != nil {
+			return err
+		}
+		return restoreCondition(v.Inner, path+"/inner", st)
+	case *CascadeCondition:
+		return getStateful(st, path, v)
+	case DeviationCondition:
+		return getStateful(st, path+"/state", v.State)
+	default:
+		if s, ok := c.(Stateful); ok {
+			return getStateful(st, path, s)
+		}
+		return nil
+	}
+}
+
+func snapshotError(e ErrorFunc, path string, out PipelineState) error {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *GaussianNoise:
+		return putRand(out, path+"/rand", v.Rand)
+	case *UniformMultNoise:
+		return putRand(out, path+"/rand", v.Rand)
+	case *IncorrectCategory:
+		return putRand(out, path+"/rand", v.Rand)
+	case *Outlier:
+		return putRand(out, path+"/rand", v.Rand)
+	case *StringTypo:
+		return putRand(out, path+"/rand", v.Rand)
+	case *FrozenValue:
+		return putStateful(out, path, v)
+	case Chain:
+		for i, sub := range v {
+			if err := snapshotError(sub, fmt.Sprintf("%s/%d", path, i), out); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		if s, ok := e.(Stateful); ok {
+			return putStateful(out, path, s)
+		}
+		return nil
+	}
+}
+
+func restoreError(e ErrorFunc, path string, st PipelineState) error {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *GaussianNoise:
+		return getRand(st, path+"/rand", v.Rand)
+	case *UniformMultNoise:
+		return getRand(st, path+"/rand", v.Rand)
+	case *IncorrectCategory:
+		return getRand(st, path+"/rand", v.Rand)
+	case *Outlier:
+		return getRand(st, path+"/rand", v.Rand)
+	case *StringTypo:
+		return getRand(st, path+"/rand", v.Rand)
+	case *FrozenValue:
+		return getStateful(st, path, v)
+	case Chain:
+		for i, sub := range v {
+			if err := restoreError(sub, fmt.Sprintf("%s/%d", path, i), st); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		if s, ok := e.(Stateful); ok {
+			return getStateful(st, path, s)
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Stateful implementations for the built-in components
+// ---------------------------------------------------------------------
+
+type stickyState struct {
+	Active bool      `json:"active"`
+	Until  time.Time `json:"until"`
+}
+
+// SnapshotState implements Stateful.
+func (c *Sticky) SnapshotState() (json.RawMessage, error) {
+	return json.Marshal(stickyState{Active: c.active, Until: c.activeUntil})
+}
+
+// RestoreState implements Stateful.
+func (c *Sticky) RestoreState(raw json.RawMessage) error {
+	var s stickyState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	c.active = s.Active
+	c.activeUntil = s.Until
+	return nil
+}
+
+type markovState struct {
+	Bad bool `json:"bad"`
+}
+
+// SnapshotState implements Stateful.
+func (c *MarkovCondition) SnapshotState() (json.RawMessage, error) {
+	return json.Marshal(markovState{Bad: c.bad})
+}
+
+// RestoreState implements Stateful.
+func (c *MarkovCondition) RestoreState(raw json.RawMessage) error {
+	var s markovState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	c.bad = s.Bad
+	return nil
+}
+
+type budgetState struct {
+	Firings []time.Time `json:"firings"`
+}
+
+// SnapshotState implements Stateful.
+func (c *BudgetCondition) SnapshotState() (json.RawMessage, error) {
+	return json.Marshal(budgetState{Firings: c.firings})
+}
+
+// RestoreState implements Stateful.
+func (c *BudgetCondition) RestoreState(raw json.RawMessage) error {
+	var s budgetState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	c.firings = s.Firings
+	return nil
+}
+
+type cascadeState struct {
+	PrevID  uint64 `json:"prev_id"`
+	HasPrev bool   `json:"has_prev"`
+}
+
+// SnapshotState implements Stateful.
+func (c *CascadeCondition) SnapshotState() (json.RawMessage, error) {
+	return json.Marshal(cascadeState{PrevID: c.prevID, HasPrev: c.hasPrev})
+}
+
+// RestoreState implements Stateful.
+func (c *CascadeCondition) RestoreState(raw json.RawMessage) error {
+	var s cascadeState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	c.prevID = s.PrevID
+	c.hasPrev = s.HasPrev
+	return nil
+}
+
+// valueState serialises a stream.Value losslessly (RFC3339Nano for
+// timestamps, distinguishing NULL from the empty string).
+type valueState struct {
+	Kind string `json:"kind"`
+	Text string `json:"text,omitempty"`
+}
+
+func encodeValue(v stream.Value) valueState {
+	if v.IsNull() {
+		return valueState{Kind: "null"}
+	}
+	if t, ok := v.AsTime(); ok && v.Kind() == stream.KindTime {
+		return valueState{Kind: "time", Text: t.UTC().Format(time.RFC3339Nano)}
+	}
+	return valueState{Kind: v.Kind().String(), Text: v.String()}
+}
+
+func decodeValue(s valueState) (stream.Value, error) {
+	kind, err := stream.ParseKind(s.Kind)
+	if err != nil {
+		return stream.Null(), err
+	}
+	switch kind {
+	case stream.KindNull:
+		return stream.Null(), nil
+	case stream.KindString:
+		return stream.Str(s.Text), nil
+	case stream.KindTime:
+		t, err := time.Parse(time.RFC3339Nano, s.Text)
+		if err != nil {
+			return stream.Null(), err
+		}
+		return stream.Time(t), nil
+	default:
+		return stream.ParseValue(s.Text, kind)
+	}
+}
+
+type frozenState struct {
+	Frozen map[string]valueState `json:"frozen"`
+}
+
+// SnapshotState implements Stateful.
+func (e *FrozenValue) SnapshotState() (json.RawMessage, error) {
+	s := frozenState{Frozen: make(map[string]valueState, len(e.frozen))}
+	for k, v := range e.frozen {
+		s.Frozen[k] = encodeValue(v)
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements Stateful.
+func (e *FrozenValue) RestoreState(raw json.RawMessage) error {
+	var s frozenState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	e.frozen = make(map[string]stream.Value, len(s.Frozen))
+	for k, vs := range s.Frozen {
+		v, err := decodeValue(vs)
+		if err != nil {
+			return fmt.Errorf("frozen value %q: %w", k, err)
+		}
+		e.frozen[k] = v
+	}
+	return nil
+}
+
+type attrStateJSON struct {
+	Count  int       `json:"count"`
+	Mean   float64   `json:"mean"`
+	M2     float64   `json:"m2"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Recent []float64 `json:"recent,omitempty"`
+	Pos    int       `json:"pos,omitempty"`
+	Filled bool      `json:"filled,omitempty"`
+}
+
+type streamStateJSON struct {
+	Window    int                      `json:"window"`
+	Tuples    int                      `json:"tuples"`
+	LastEvent time.Time                `json:"last_event"`
+	Attrs     map[string]attrStateJSON `json:"attrs"`
+}
+
+// SnapshotState implements Stateful.
+func (s *StreamState) SnapshotState() (json.RawMessage, error) {
+	out := streamStateJSON{
+		Window:    s.window,
+		Tuples:    s.tuples,
+		LastEvent: s.lastEvent,
+		Attrs:     make(map[string]attrStateJSON, len(s.attrs)),
+	}
+	for name, st := range s.attrs {
+		out.Attrs[name] = attrStateJSON{
+			Count: st.count, Mean: st.mean, M2: st.m2, Min: st.min, Max: st.max,
+			Recent: append([]float64(nil), st.recent...), Pos: st.pos, Filled: st.filled,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// RestoreState implements Stateful.
+func (s *StreamState) RestoreState(raw json.RawMessage) error {
+	var in streamStateJSON
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return err
+	}
+	s.window = in.Window
+	s.tuples = in.Tuples
+	s.lastEvent = in.LastEvent
+	s.attrs = make(map[string]*attrState, len(in.Attrs))
+	for name, st := range in.Attrs {
+		s.attrs[name] = &attrState{
+			count: st.Count, mean: st.Mean, m2: st.M2, min: st.Min, max: st.Max,
+			recent: append([]float64(nil), st.Recent...), pos: st.Pos, filled: st.Filled,
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Checkpointed streaming execution
+// ---------------------------------------------------------------------
+
+// Checkpointer captures consistent snapshots of a running checkpointed
+// stream. It is bound to the single-threaded pull loop of the stream it
+// was created with: call Capture only between Next calls on the returned
+// source, when no tuple is in flight.
+type Checkpointer struct {
+	input    *inputCounter
+	prepare  *stream.Prepare
+	firstID  uint64
+	pipeline *Pipeline
+	log      *Log
+	dlq      *stream.DeadLetterQueue
+	out      *outputCounter
+
+	baseIn          uint64
+	baseOut         uint64
+	baseLog         int
+	baseQuarantined int
+}
+
+// DeadLetters returns the run's dead-letter queue (nil when quarantine
+// is disabled).
+func (c *Checkpointer) DeadLetters() *stream.DeadLetterQueue { return c.dlq }
+
+// Capture snapshots the run. The returned checkpoint's Offsets map is
+// empty; harnesses add their own file positions before persisting.
+func (c *Checkpointer) Capture() (*Checkpoint, error) {
+	st, err := SnapshotPipeline(c.pipeline)
+	if err != nil {
+		return nil, err
+	}
+	logLen := c.baseLog
+	if c.log != nil {
+		logLen += len(c.log.Entries)
+	}
+	return &Checkpoint{
+		Version:     CheckpointVersion,
+		TuplesIn:    c.baseIn + c.input.n,
+		NextID:      c.prepare.NextID(),
+		TuplesOut:   c.baseOut + c.out.n,
+		LogLen:      logLen,
+		Quarantined: c.baseQuarantined + c.dlq.Len(),
+		Pipeline:    st,
+		Offsets:     map[string]int64{},
+	}, nil
+}
+
+// inputCounter counts raw input consumption: every delivered tuple and
+// every tuple-level failure advances the position by one. Fatal errors
+// and end-of-stream do not.
+type inputCounter struct {
+	src stream.Source
+	n   uint64
+}
+
+func (c *inputCounter) Schema() *stream.Schema { return c.src.Schema() }
+
+func (c *inputCounter) Next() (stream.Tuple, error) {
+	t, err := c.src.Next()
+	if err == nil {
+		c.n++
+		return t, nil
+	}
+	if _, ok := stream.AsTupleError(err); ok {
+		c.n++
+	}
+	return t, err
+}
+
+// outputCounter counts emitted tuples.
+type outputCounter struct {
+	src stream.Source
+	n   uint64
+}
+
+func (c *outputCounter) Schema() *stream.Schema { return c.src.Schema() }
+
+func (c *outputCounter) Next() (stream.Tuple, error) {
+	t, err := c.src.Next()
+	if err == nil {
+		c.n++
+	}
+	return t, err
+}
+
+// RunStreamCheckpointed executes the single-pipeline streaming workflow
+// with checkpoint support. It behaves like RunStream with reorderWindow
+// 1 (checkpoints require that no tuples are buffered between the
+// pipeline and the consumer, so bounded reordering is not supported) and
+// additionally returns a Checkpointer. Quarantine follows pr.Fault.
+//
+// With resume != nil the run continues from the snapshot: the first
+// resume.TuplesIn input tuples are skipped (quarantined rows count),
+// tuple numbering continues at resume.NextID, and every stateful
+// component is restored — the concatenation of the interrupted run's
+// output (truncated to the checkpoint) and the resumed run's output is
+// byte-identical to an uninterrupted run.
+func (pr *Process) RunStreamCheckpointed(src stream.Source, resume *Checkpoint) (stream.Source, *Log, *Checkpointer, error) {
+	if len(pr.Pipelines) != 1 {
+		return nil, nil, nil, fmt.Errorf("core: checkpointed streaming supports exactly one pipeline, got %d", len(pr.Pipelines))
+	}
+	firstID := pr.FirstID
+	if firstID == 0 {
+		firstID = 1
+	}
+	ck := &Checkpointer{pipeline: pr.Pipelines[0]}
+	if resume != nil {
+		if resume.Version != CheckpointVersion {
+			return nil, nil, nil, fmt.Errorf("core: checkpoint version %d, want %d", resume.Version, CheckpointVersion)
+		}
+		if err := skipInput(src, resume.TuplesIn); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := RestorePipeline(pr.Pipelines[0], resume.Pipeline); err != nil {
+			return nil, nil, nil, err
+		}
+		firstID = resume.NextID
+		ck.baseIn = resume.TuplesIn
+		ck.baseOut = resume.TuplesOut
+		ck.baseLog = resume.LogLen
+		ck.baseQuarantined = resume.Quarantined
+	}
+	var log *Log
+	if !pr.DisableLog {
+		log = NewLog()
+	}
+	dlq := pr.Fault.queue()
+	counted := &inputCounter{src: src}
+	var in stream.Source = counted
+	if pr.Fault.Quarantine {
+		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
+	}
+	prep := stream.NewPrepare(in, firstID)
+	runner := &streamRunner{src: prep, p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq}
+	out := &outputCounter{src: runner}
+	ck.input = counted
+	ck.prepare = prep
+	ck.firstID = firstID
+	ck.log = log
+	ck.dlq = dlq
+	ck.out = out
+	return out, log, ck, nil
+}
+
+// skipInput advances src past n raw tuples; tuple-level failures count
+// as consumed (matching inputCounter), other errors abort.
+func skipInput(src stream.Source, n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		_, err := src.Next()
+		if err == nil {
+			continue
+		}
+		if _, ok := stream.AsTupleError(err); ok {
+			continue
+		}
+		return fmt.Errorf("core: resume: input ended after %d of %d checkpointed tuples: %w", i, n, err)
+	}
+	return nil
+}

@@ -75,6 +75,19 @@ func (p *KeyedPolluter) Instance(key string) (Polluter, bool) {
 	return inst, ok
 }
 
+// EnsureInstance returns the polluter bound to key, creating it via the
+// factory if the key was not seen yet. Checkpoint restore uses it to
+// rebuild the per-key instances recorded in a snapshot before restoring
+// their state.
+func (p *KeyedPolluter) EnsureInstance(key string) Polluter {
+	inst := p.instances[key]
+	if inst == nil {
+		inst = p.New(key)
+		p.instances[key] = inst
+	}
+	return inst
+}
+
 // String renders a short summary.
 func (p *KeyedPolluter) String() string {
 	return fmt.Sprintf("keyed(%s by %s, %d keys)", p.PolluterName, p.KeyAttr, len(p.instances))

@@ -1,10 +1,42 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"icewafl/internal/stream"
 )
+
+// FaultPolicy configures how a pollution run reacts to tuple-level
+// failures: malformed input rows and panicking pipeline components.
+// The zero value is fail-fast (first failure aborts the run), matching
+// the historical behaviour.
+type FaultPolicy struct {
+	// Quarantine skips failing tuples instead of aborting: malformed
+	// input rows and tuples whose pollution panics are recorded as dead
+	// letters (with cause and position) and excluded from the output.
+	Quarantine bool
+	// MaxQuarantined caps the number of dead letters (0 = unlimited);
+	// exceeding it aborts with stream.ErrQuarantineOverflow so a
+	// systematically broken input cannot silently drop everything.
+	MaxQuarantined int
+	// DLQ receives the dead letters. nil with Quarantine set allocates
+	// a fresh queue per run (readable via Result.Quarantined or
+	// Checkpointer.DeadLetters).
+	DLQ *stream.DeadLetterQueue
+}
+
+// queue returns the dead-letter queue for one run.
+func (f FaultPolicy) queue() *stream.DeadLetterQueue {
+	if !f.Quarantine {
+		return nil
+	}
+	if f.DLQ != nil {
+		return f.DLQ
+	}
+	return stream.NewDeadLetterQueue()
+}
 
 // Process executes the end-to-end pollution workflow of Algorithm 1:
 //
@@ -35,6 +67,8 @@ type Process struct {
 	// output per Figure 2). Without the log there is no ground truth,
 	// but pure throughput workloads avoid its allocation cost.
 	DisableLog bool
+	// Fault selects the fault-tolerance behaviour (zero = fail fast).
+	Fault FaultPolicy
 }
 
 // Result is the output of one pollution run.
@@ -48,6 +82,9 @@ type Result struct {
 	Log *Log
 	// DroppedTuples counts tuples removed by drop errors.
 	DroppedTuples int
+	// Quarantined holds the dead letters of tuples the fault policy
+	// skipped: malformed input rows and tuples whose pollution failed.
+	Quarantined []stream.DeadLetter
 }
 
 // NewProcess returns a single-pipeline process that keeps the clean
@@ -58,6 +95,14 @@ func NewProcess(p *Pipeline) *Process {
 
 // Run executes the workflow over a bounded source.
 func (pr *Process) Run(src stream.Source) (*Result, error) {
+	return pr.RunContext(context.Background(), src)
+}
+
+// RunContext executes the workflow with cancellation: once ctx is done,
+// the run stops promptly and returns an error satisfying
+// errors.Is(err, stream.ErrStopped). A background context adds no
+// per-tuple overhead.
+func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, error) {
 	m := len(pr.Pipelines)
 	if m == 0 {
 		return nil, fmt.Errorf("core: process needs at least one pipeline")
@@ -66,10 +111,17 @@ func (pr *Process) Run(src stream.Source) (*Result, error) {
 	if firstID == 0 {
 		firstID = 1
 	}
+	dlq := pr.Fault.queue()
 
 	// Step 1: prepare and materialise. Materialising the prepared stream
-	// keeps the clean copy D and feeds the sub-stream extraction.
-	prepared, err := stream.Drain(stream.NewPrepare(src, firstID))
+	// keeps the clean copy D and feeds the sub-stream extraction. With
+	// quarantine enabled, malformed input rows become dead letters
+	// instead of aborting the run.
+	var in stream.Source = stream.WithContext(ctx, src)
+	if pr.Fault.Quarantine {
+		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
+	}
+	prepared, err := stream.Drain(stream.NewPrepare(in, firstID))
 	if err != nil {
 		return nil, fmt.Errorf("core: prepare: %w", err)
 	}
@@ -100,7 +152,7 @@ func (pr *Process) Run(src stream.Source) (*Result, error) {
 		for i := 0; i < m; i++ {
 			go func(i int) {
 				logs[i] = NewLog()
-				errs <- polluteSub(subs[i], pr.Pipelines[i], logs[i])
+				errs <- polluteSub(subs[i], pr.Pipelines[i], logs[i], pr.Fault, dlq)
 			}(i)
 		}
 		for i := 0; i < m; i++ {
@@ -113,19 +165,25 @@ func (pr *Process) Run(src stream.Source) (*Result, error) {
 		}
 	} else {
 		for i := 0; i < m; i++ {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("core: pollute: %w", stream.ErrStopped)
+			}
 			logs[i] = NewLog()
-			if err := polluteSub(subs[i], pr.Pipelines[i], logs[i]); err != nil {
+			if err := polluteSub(subs[i], pr.Pipelines[i], logs[i], pr.Fault, dlq); err != nil {
 				return nil, err
 			}
 		}
 	}
 
 	// Step 3: integrate — union with sub-stream identifiers, drop
-	// removed tuples, sort by delivery time.
-	res := &Result{Log: NewLog()}
+	// removed and quarantined tuples, sort by delivery time.
+	res := &Result{Log: NewLog(), Quarantined: dlq.Letters()}
 	for i := 0; i < m; i++ {
 		res.Log.Merge(logs[i], i)
 		for _, t := range subs[i] {
+			if t.Quarantined {
+				continue
+			}
 			if t.Dropped {
 				res.DroppedTuples++
 				continue
@@ -141,14 +199,62 @@ func (pr *Process) Run(src stream.Source) (*Result, error) {
 	return res, nil
 }
 
-func polluteSub(tuples []stream.Tuple, p *Pipeline, log *Log) error {
+func polluteSub(tuples []stream.Tuple, p *Pipeline, log *Log, fault FaultPolicy, dlq *stream.DeadLetterQueue) error {
 	if p == nil {
 		return fmt.Errorf("core: nil pipeline")
 	}
 	for i := range tuples {
-		p.Apply(&tuples[i], tuples[i].EventTime, log)
+		if !fault.Quarantine {
+			p.Apply(&tuples[i], tuples[i].EventTime, log)
+			continue
+		}
+		before := 0
+		if log != nil {
+			before = len(log.Entries)
+		}
+		if err := safePollute(p, &tuples[i], tuples[i].EventTime, log); err != nil {
+			// Roll back the partial log entries of the poisoned tuple so
+			// the ground truth only describes tuples actually delivered.
+			if log != nil {
+				log.Entries = log.Entries[:before]
+			}
+			tuples[i].Quarantined = true
+			dlq.Add(deadLetterFor(tuples[i], "pollute", err))
+			if fault.MaxQuarantined > 0 && dlq.Len() > fault.MaxQuarantined {
+				return fmt.Errorf("%w: %d tuples failed (last: tuple %d: %v)",
+					stream.ErrQuarantineOverflow, dlq.Len(), tuples[i].ID, err)
+			}
+		}
 	}
 	return nil
+}
+
+// safePollute applies the pipeline, converting a panic in any polluter,
+// condition, or error function into an error.
+func safePollute(p *Pipeline, t *stream.Tuple, tau time.Time, log *Log) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("panic: %w", e)
+				return
+			}
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	p.Apply(t, tau, log)
+	return nil
+}
+
+// deadLetterFor renders a quarantined tuple into a dead-letter record.
+func deadLetterFor(t stream.Tuple, stage string, cause error) stream.DeadLetter {
+	d := stream.DeadLetter{Offset: t.ID, TupleID: t.ID, Stage: stage, Cause: cause.Error()}
+	if t.Schema() != nil {
+		d.Values = make([]string, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			d.Values[i] = t.At(i).String()
+		}
+	}
+	return d
 }
 
 // RunStream executes the single-pipeline workflow in a streaming fashion:
@@ -178,7 +284,12 @@ func (pr *Process) RunStream(src stream.Source, reorderWindow int) (stream.Sourc
 	// and the per-tuple clone of batch mode is unnecessary. Preparation,
 	// pollution and drop-filtering are fused into one operator to keep
 	// the per-tuple cost minimal.
-	polluted := &streamRunner{src: stream.NewPrepare(src, firstID), p: pr.Pipelines[0], log: log}
+	dlq := pr.Fault.queue()
+	var in stream.Source = src
+	if pr.Fault.Quarantine {
+		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
+	}
+	polluted := &streamRunner{src: stream.NewPrepare(in, firstID), p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq}
 	if reorderWindow > 1 {
 		return stream.NewBoundedReorder(polluted, reorderWindow), log, nil
 	}
@@ -212,10 +323,15 @@ func (pr *Process) RunStreamMulti(src stream.Source, reorderWindow int) (stream.
 	if !pr.DisableLog {
 		log = NewLog()
 	}
-	subs := stream.Split(stream.NewPrepare(src, firstID), m, route)
+	dlq := pr.Fault.queue()
+	var in stream.Source = src
+	if pr.Fault.Quarantine {
+		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
+	}
+	subs := stream.Split(stream.NewPrepare(in, firstID), m, route)
 	branches := make([]stream.Source, m)
 	for i := range subs {
-		runner := &subStreamRunner{src: subs[i], p: pr.Pipelines[i], log: log, sub: i}
+		runner := &subStreamRunner{src: subs[i], p: pr.Pipelines[i], log: log, sub: i, fault: pr.Fault, dlq: dlq}
 		if reorderWindow > 1 {
 			branches[i] = stream.NewBoundedReorder(runner, reorderWindow)
 		} else {
@@ -233,10 +349,12 @@ func (pr *Process) RunStreamMulti(src stream.Source, reorderWindow int) (stream.
 // run. Split already hands each sub-stream its own clones, so in-place
 // pollution is safe.
 type subStreamRunner struct {
-	src stream.Source
-	p   *Pipeline
-	log *Log
-	sub int
+	src   stream.Source
+	p     *Pipeline
+	log   *Log
+	sub   int
+	fault FaultPolicy
+	dlq   *stream.DeadLetterQueue
 }
 
 // Schema implements stream.Source.
@@ -253,7 +371,13 @@ func (r *subStreamRunner) Next() (stream.Tuple, error) {
 		if r.log != nil {
 			before = len(r.log.Entries)
 		}
-		r.p.Apply(&t, t.EventTime, r.log)
+		ok, ferr := applyWithFault(r.p, &t, r.log, r.fault, r.dlq, before)
+		if ferr != nil {
+			return stream.Tuple{}, ferr
+		}
+		if !ok {
+			continue
+		}
 		if r.log != nil {
 			for i := before; i < len(r.log.Entries); i++ {
 				r.log.Entries[i].SubStream = r.sub
@@ -270,9 +394,11 @@ func (r *subStreamRunner) Next() (stream.Tuple, error) {
 // streamRunner is the fused prepare → pollute → drop-filter operator of
 // streaming mode.
 type streamRunner struct {
-	src *stream.Prepare
-	p   *Pipeline
-	log *Log
+	src   *stream.Prepare
+	p     *Pipeline
+	log   *Log
+	fault FaultPolicy
+	dlq   *stream.DeadLetterQueue
 }
 
 // Schema implements stream.Source.
@@ -285,10 +411,39 @@ func (r *streamRunner) Next() (stream.Tuple, error) {
 		if err != nil {
 			return t, err
 		}
-		r.p.Apply(&t, t.EventTime, r.log)
-		if t.Dropped {
+		before := 0
+		if r.log != nil {
+			before = len(r.log.Entries)
+		}
+		ok, ferr := applyWithFault(r.p, &t, r.log, r.fault, r.dlq, before)
+		if ferr != nil {
+			return stream.Tuple{}, ferr
+		}
+		if !ok || t.Dropped {
 			continue
 		}
 		return t, nil
 	}
+}
+
+// applyWithFault runs the pipeline over t honouring the fault policy.
+// It reports whether the tuple survived; a non-nil error is fatal
+// (quarantine overflow).
+func applyWithFault(p *Pipeline, t *stream.Tuple, log *Log, fault FaultPolicy, dlq *stream.DeadLetterQueue, logMark int) (bool, error) {
+	if !fault.Quarantine {
+		p.Apply(t, t.EventTime, log)
+		return true, nil
+	}
+	if err := safePollute(p, t, t.EventTime, log); err != nil {
+		if log != nil {
+			log.Entries = log.Entries[:logMark]
+		}
+		dlq.Add(deadLetterFor(*t, "pollute", err))
+		if fault.MaxQuarantined > 0 && dlq.Len() > fault.MaxQuarantined {
+			return false, fmt.Errorf("%w: %d tuples failed (last: tuple %d: %v)",
+				stream.ErrQuarantineOverflow, dlq.Len(), t.ID, err)
+		}
+		return false, nil
+	}
+	return true, nil
 }

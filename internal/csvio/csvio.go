@@ -40,21 +40,34 @@ func NewReader(r io.Reader, schema *stream.Schema) (*Reader, error) {
 // Schema implements stream.Source.
 func (r *Reader) Schema() *stream.Schema { return r.schema }
 
-// Next implements stream.Source.
+// Next implements stream.Source. Row-level failures — a malformed CSV
+// record or an unparseable cell — are returned as *stream.TupleError, and
+// the reader remains usable: the next call continues with the following
+// row. This lets stream.Quarantine divert poisoned rows to a dead-letter
+// queue instead of aborting the whole run.
 func (r *Reader) Next() (stream.Tuple, error) {
 	rec, err := r.csv.Read()
 	if err == io.EOF {
 		return stream.Tuple{}, io.EOF
 	}
 	if err != nil {
-		return stream.Tuple{}, fmt.Errorf("csvio: row %d: %w", r.row+1, err)
+		r.row++
+		return stream.Tuple{}, &stream.TupleError{
+			Offset: uint64(r.row),
+			Stage:  "csv-decode",
+			Err:    fmt.Errorf("csvio: row %d: %w", r.row, err),
+		}
 	}
 	r.row++
 	values := make([]stream.Value, r.schema.Len())
 	for i := range values {
 		v, err := stream.ParseValue(rec[i], r.schema.Field(i).Kind)
 		if err != nil {
-			return stream.Tuple{}, fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, err)
+			return stream.Tuple{}, &stream.TupleError{
+				Offset: uint64(r.row),
+				Stage:  "csv-decode",
+				Err:    fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, err),
+			}
 		}
 		values[i] = v
 	}
@@ -80,6 +93,22 @@ func (w *Writer) writeHeader() error {
 	}
 	w.wrote = true
 	return w.csv.Write(w.schema.Names())
+}
+
+// OmitHeader marks the header as already written. Checkpoint resume uses
+// it when appending to an output file whose header row survives from the
+// interrupted run.
+func (w *Writer) OmitHeader() { w.wrote = true }
+
+// Flush pushes buffered rows to the underlying writer. Checkpointing
+// calls it before recording a file offset so the offset reflects every
+// row written so far.
+func (w *Writer) Flush() error {
+	w.csv.Flush()
+	if err := w.csv.Error(); err != nil {
+		return fmt.Errorf("csvio: flush: %w", err)
+	}
+	return nil
 }
 
 // Write implements stream.Sink.

@@ -1,0 +1,113 @@
+package csvio
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"icewafl/internal/stream"
+)
+
+// FuzzQuarantine feeds arbitrary (usually malformed) CSV bodies through a
+// quarantined reader and checks the fault-tolerance invariants:
+//
+//   - the pipeline never panics,
+//   - every row is either delivered or dead-lettered (none vanish),
+//   - a fatal error only ever ends the stream (no tuples after it), and
+//   - the reader stays row-resumable: a malformed row must not make
+//     subsequent valid rows unreadable.
+func FuzzQuarantine(f *testing.F) {
+	f.Add("2020-01-01T00:00:00Z,1.5,a\n2020-01-01T01:00:00Z,2.5,b\n")
+	f.Add("not-a-time,1,a\n2020-01-01T00:00:00Z,2,b\n")
+	f.Add("2020-01-01T00:00:00Z,NaN,x\n")
+	f.Add("\"unterminated,1,a\n")
+	f.Add("too,few\n")
+	f.Add("a,b,c,d,e\n")
+	f.Add(",,\n,,\n")
+	f.Add("2020-01-01T00:00:00Z,\x00,a\n")
+	f.Add(strings.Repeat("garbage\n", 20))
+
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+		stream.Field{Name: "tag", Kind: stream.KindString},
+	)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		input := "ts,v,tag\n" + body
+		r, err := NewReader(strings.NewReader(input), schema)
+		if err != nil {
+			// Header rejected (e.g. the body glued onto the header line
+			// made it invalid) — fine, nothing to quarantine.
+			return
+		}
+		q := stream.NewDeadLetterQueue()
+		src := stream.Quarantine(r, q, 0)
+		delivered := 0
+		for {
+			tp, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Fatal: the stream must stay ended.
+				if _, err2 := src.Next(); err2 == nil {
+					t.Fatal("tuple delivered after fatal error")
+				}
+				return
+			}
+			if tp.Schema() != schema {
+				t.Fatal("delivered tuple with wrong schema")
+			}
+			if tp.Len() != schema.Len() {
+				t.Fatalf("tuple has %d values, schema %d", tp.Len(), schema.Len())
+			}
+			delivered++
+		}
+		// Sanity: deliveries plus dead letters never exceed the physical
+		// line count of the input (multi-line quoted fields can make it
+		// smaller, never larger).
+		lines := strings.Count(body, "\n") + 1
+		if delivered+q.Len() > lines {
+			t.Fatalf("delivered %d + quarantined %d > %d input lines", delivered, q.Len(), lines)
+		}
+	})
+}
+
+// TestQuarantinedReaderSkipsMalformedRows is the deterministic companion
+// of FuzzQuarantine.
+func TestQuarantinedReaderSkipsMalformedRows(t *testing.T) {
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+	)
+	input := "ts,v\n" +
+		"2020-01-01T00:00:00Z,1\n" +
+		"BROKEN,2\n" + // bad timestamp
+		"2020-01-01T02:00:00Z,not-a-number\n" + // bad float
+		"2020-01-01T03:00:00Z,3,extra\n" + // wrong field count
+		"2020-01-01T04:00:00Z,4\n"
+	r, err := NewReader(strings.NewReader(input), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stream.NewDeadLetterQueue()
+	tuples, err := stream.Drain(stream.Quarantine(r, q, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Errorf("delivered %d tuples, want 2", len(tuples))
+	}
+	if q.Len() != 3 {
+		t.Errorf("quarantined %d rows, want 3", q.Len())
+	}
+	for _, d := range q.Letters() {
+		if d.Stage != "csv-decode" {
+			t.Errorf("stage = %q", d.Stage)
+		}
+		if d.Offset == 0 {
+			t.Error("dead letter lost its row offset")
+		}
+	}
+}

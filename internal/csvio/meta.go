@@ -40,6 +40,18 @@ func (w *MetaWriter) writeHeader() error {
 	return w.csv.Write(header)
 }
 
+// OmitHeader marks the header as already written (checkpoint resume).
+func (w *MetaWriter) OmitHeader() { w.wrote = true }
+
+// Flush pushes buffered rows to the underlying writer.
+func (w *MetaWriter) Flush() error {
+	w.csv.Flush()
+	if err := w.csv.Error(); err != nil {
+		return fmt.Errorf("csvio: flush meta: %w", err)
+	}
+	return nil
+}
+
 // Write implements stream.Sink.
 func (w *MetaWriter) Write(t stream.Tuple) error {
 	if err := w.writeHeader(); err != nil {

@@ -16,6 +16,7 @@ package dataset
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"icewafl/internal/rng"
@@ -45,30 +46,47 @@ var (
 // (35,064 = 4 years x 8,760 + 24 leap-day hours).
 const AirQualityTuples = 35064
 
-var airQualitySchema = stream.MustSchema("ts",
-	stream.Field{Name: "No", Kind: stream.KindInt},
-	stream.Field{Name: "ts", Kind: stream.KindTime},
-	stream.Field{Name: "year", Kind: stream.KindInt},
-	stream.Field{Name: "month", Kind: stream.KindInt},
-	stream.Field{Name: "day", Kind: stream.KindInt},
-	stream.Field{Name: "hour", Kind: stream.KindInt},
-	stream.Field{Name: "PM2.5", Kind: stream.KindFloat},
-	stream.Field{Name: "PM10", Kind: stream.KindFloat},
-	stream.Field{Name: "SO2", Kind: stream.KindFloat},
-	stream.Field{Name: "NO2", Kind: stream.KindFloat},
-	stream.Field{Name: "CO", Kind: stream.KindFloat},
-	stream.Field{Name: "O3", Kind: stream.KindFloat},
-	stream.Field{Name: "TEMP", Kind: stream.KindFloat},
-	stream.Field{Name: "PRES", Kind: stream.KindFloat},
-	stream.Field{Name: "DEWP", Kind: stream.KindFloat},
-	stream.Field{Name: "RAIN", Kind: stream.KindFloat},
-	stream.Field{Name: "wd", Kind: stream.KindString},
-	stream.Field{Name: "WSPM", Kind: stream.KindFloat},
-)
+// NewAirQualitySchema builds the air-quality schema through the
+// error-returning constructor path — the public, non-panicking way to
+// obtain it.
+func NewAirQualitySchema() (*stream.Schema, error) {
+	return stream.NewSchema("ts",
+		stream.Field{Name: "No", Kind: stream.KindInt},
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "year", Kind: stream.KindInt},
+		stream.Field{Name: "month", Kind: stream.KindInt},
+		stream.Field{Name: "day", Kind: stream.KindInt},
+		stream.Field{Name: "hour", Kind: stream.KindInt},
+		stream.Field{Name: "PM2.5", Kind: stream.KindFloat},
+		stream.Field{Name: "PM10", Kind: stream.KindFloat},
+		stream.Field{Name: "SO2", Kind: stream.KindFloat},
+		stream.Field{Name: "NO2", Kind: stream.KindFloat},
+		stream.Field{Name: "CO", Kind: stream.KindFloat},
+		stream.Field{Name: "O3", Kind: stream.KindFloat},
+		stream.Field{Name: "TEMP", Kind: stream.KindFloat},
+		stream.Field{Name: "PRES", Kind: stream.KindFloat},
+		stream.Field{Name: "DEWP", Kind: stream.KindFloat},
+		stream.Field{Name: "RAIN", Kind: stream.KindFloat},
+		stream.Field{Name: "wd", Kind: stream.KindString},
+		stream.Field{Name: "WSPM", Kind: stream.KindFloat},
+	)
+}
+
+// airQualitySchemaCached validates the schema once, on first use,
+// instead of at package init.
+var airQualitySchemaCached = sync.OnceValue(func() *stream.Schema {
+	s, err := NewAirQualitySchema()
+	if err != nil {
+		panic(err) // unreachable: the field list is a compile-time constant
+	}
+	return s
+})
+
+func airQualitySchema() *stream.Schema { return airQualitySchemaCached() }
 
 // AirQualitySchema returns the 18-attribute schema of the air-quality
 // stream (timestamp attribute "ts").
-func AirQualitySchema() *stream.Schema { return airQualitySchema }
+func AirQualitySchema() *stream.Schema { return airQualitySchema() }
 
 var windDirections = []string{"N", "NNE", "NE", "ENE", "E", "ESE", "SE", "SSE",
 	"S", "SSW", "SW", "WSW", "W", "WNW", "NW", "NNW"}
@@ -154,7 +172,7 @@ func AirQuality(region string, seed int64, opts AirQualityOptions) []stream.Tupl
 			no2Val = stream.Null()
 		}
 
-		tuples = append(tuples, stream.NewTuple(airQualitySchema, []stream.Value{
+		tuples = append(tuples, stream.NewTuple(airQualitySchema(), []stream.Value{
 			stream.Int(int64(i + 1)),
 			stream.Time(ts),
 			stream.Int(int64(ts.Year())),

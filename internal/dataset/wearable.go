@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"icewafl/internal/rng"
@@ -26,18 +27,36 @@ const WearableHours = 264.75
 // (264.75 h x 4 per hour + 1 = 1060).
 const WearableTuples = int(WearableHours*4) + 1
 
-var wearableSchema = stream.MustSchema("Time",
-	stream.Field{Name: "Time", Kind: stream.KindTime},
-	stream.Field{Name: "BPM", Kind: stream.KindFloat},
-	stream.Field{Name: "Steps", Kind: stream.KindInt},
-	stream.Field{Name: "Distance", Kind: stream.KindFloat},
-	stream.Field{Name: "CaloriesBurned", Kind: stream.KindFloat},
-	stream.Field{Name: "ActiveMinutes", Kind: stream.KindInt},
-)
+// NewWearableSchema builds the activity-tracker schema through the
+// error-returning constructor path — the public, non-panicking way to
+// obtain it.
+func NewWearableSchema() (*stream.Schema, error) {
+	return stream.NewSchema("Time",
+		stream.Field{Name: "Time", Kind: stream.KindTime},
+		stream.Field{Name: "BPM", Kind: stream.KindFloat},
+		stream.Field{Name: "Steps", Kind: stream.KindInt},
+		stream.Field{Name: "Distance", Kind: stream.KindFloat},
+		stream.Field{Name: "CaloriesBurned", Kind: stream.KindFloat},
+		stream.Field{Name: "ActiveMinutes", Kind: stream.KindInt},
+	)
+}
+
+// wearableSchemaCached validates the schema once, on first use, instead
+// of at package init — an invalid schema no longer takes down every
+// importer before main runs.
+var wearableSchemaCached = sync.OnceValue(func() *stream.Schema {
+	s, err := NewWearableSchema()
+	if err != nil {
+		panic(err) // unreachable: the field list is a compile-time constant
+	}
+	return s
+})
+
+func wearableSchema() *stream.Schema { return wearableSchemaCached() }
 
 // WearableSchema returns the schema of the activity-tracker stream
 // (timestamp attribute "Time").
-func WearableSchema() *stream.Schema { return wearableSchema }
+func WearableSchema() *stream.Schema { return wearableSchema() }
 
 // Wearable generates the activity-tracker stream. The same seed always
 // yields the same stream. Properties mirrored from the paper's data:
@@ -116,7 +135,7 @@ func continueIdle(bpm *float64, steps *int64, activeMin *int64) {
 }
 
 func makeWearableTuple(ts time.Time, bpm float64, steps int64, distance, calories float64, activeMin int64) stream.Tuple {
-	return stream.NewTuple(wearableSchema, []stream.Value{
+	return stream.NewTuple(wearableSchema(), []stream.Value{
 		stream.Time(ts),
 		stream.Float(math.Round(bpm)),
 		stream.Int(steps),

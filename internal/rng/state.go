@@ -1,0 +1,24 @@
+package rng
+
+// State is the full serialisable state of a Stream. Capturing and
+// restoring it is the basis of deterministic checkpoint/resume: a resumed
+// pollution run restores every RNG stream to its checkpointed state, so
+// the sequence of random draws — and therefore the polluted stream — is
+// identical to an uninterrupted run.
+type State struct {
+	S        [4]uint64 `json:"s"`
+	HasSpare bool      `json:"has_spare,omitempty"`
+	Spare    float64   `json:"spare,omitempty"`
+}
+
+// State returns a copy of the stream's current state.
+func (s *Stream) State() State {
+	return State{S: s.s, HasSpare: s.hasSpare, Spare: s.spare}
+}
+
+// SetState overwrites the stream's state with a previously captured one.
+func (s *Stream) SetState(st State) {
+	s.s = st.S
+	s.hasSpare = st.HasSpare
+	s.spare = st.Spare
+}

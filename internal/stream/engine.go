@@ -10,6 +10,12 @@ import (
 // an order-preserving parallel Flink operator. fn must be safe for
 // concurrent invocation (pollution pipelines achieve this by deriving one
 // RNG stream per sub-stream, not per tuple).
+//
+// Fault semantics: the first error — a failing source, or a panicking fn
+// (recovered into a *TupleError) — stops the feeder and all workers
+// promptly; the remaining input is NOT drained. Next then returns that
+// error on every call. A consumer abandoning the stream early should call
+// Stop to release the worker goroutines.
 func ParallelMap(src Source, outSchema *Schema, workers int, fn MapFunc) Source {
 	if workers <= 1 {
 		return Map(src, outSchema, fn)
@@ -26,12 +32,14 @@ type parallelMapSource struct {
 	fn      MapFunc
 	workers int
 
-	started bool
-	out     chan parallelResult
-	err     error
-	pending map[uint64]Tuple
-	nextSeq uint64
-	closed  bool
+	started  bool
+	out      chan parallelResult
+	done     chan struct{}
+	stopOnce sync.Once
+	err      error
+	pending  map[uint64]Tuple
+	nextSeq  uint64
+	closed   bool
 }
 
 type parallelResult struct {
@@ -46,6 +54,7 @@ func (p *parallelMapSource) start() {
 	p.started = true
 	p.pending = make(map[uint64]Tuple)
 	p.out = make(chan parallelResult, p.workers*2)
+	p.done = make(chan struct{})
 	in := make(chan parallelResult, p.workers*2)
 
 	var wg sync.WaitGroup
@@ -54,22 +63,44 @@ func (p *parallelMapSource) start() {
 		go func() {
 			defer wg.Done()
 			for item := range in {
-				item.t = p.fn(item.t)
-				p.out <- item
+				t, err := callSafely(p.fn, item.t)
+				if err != nil {
+					item.err = &TupleError{Tuple: item.t, Offset: item.seq, Stage: "parallel-map", Err: err}
+				} else {
+					item.t = t
+				}
+				select {
+				case p.out <- item:
+				case <-p.done:
+					return
+				}
 			}
 		}()
 	}
 	go func() {
 		var seq uint64
+	feed:
 		for {
+			select {
+			case <-p.done:
+				break feed
+			default:
+			}
 			t, err := p.src.Next()
 			if err != nil {
 				if err != io.EOF {
-					p.out <- parallelResult{err: err}
+					select {
+					case p.out <- parallelResult{err: err}:
+					case <-p.done:
+					}
 				}
 				break
 			}
-			in <- parallelResult{seq: seq, t: t}
+			select {
+			case in <- parallelResult{seq: seq, t: t}:
+			case <-p.done:
+				break feed
+			}
 			seq++
 		}
 		close(in)
@@ -78,15 +109,22 @@ func (p *parallelMapSource) start() {
 	}()
 }
 
+// Next implements Source. After the first error it consistently returns
+// that error; after Stop it returns ErrStopped.
 func (p *parallelMapSource) Next() (Tuple, error) {
 	if !p.started {
+		if p.err != nil {
+			return Tuple{}, p.err
+		}
 		p.start()
 	}
 	for {
-		if t, ok := p.pending[p.nextSeq]; ok {
-			delete(p.pending, p.nextSeq)
-			p.nextSeq++
-			return t, nil
+		if p.err == nil {
+			if t, ok := p.pending[p.nextSeq]; ok {
+				delete(p.pending, p.nextSeq)
+				p.nextSeq++
+				return t, nil
+			}
 		}
 		if p.closed {
 			if p.err != nil {
@@ -100,11 +138,45 @@ func (p *parallelMapSource) Next() (Tuple, error) {
 			continue
 		}
 		if res.err != nil {
-			p.err = res.err
+			if p.err == nil {
+				p.err = res.err
+			}
+			// Stop the feeder and workers promptly instead of draining
+			// the remaining input, then drain p.out until the pipeline
+			// goroutines have exited.
+			p.stop()
 			continue
 		}
-		p.pending[res.seq] = res.t
+		if p.err == nil {
+			p.pending[res.seq] = res.t
+		}
 	}
+}
+
+func (p *parallelMapSource) stop() {
+	p.stopOnce.Do(func() { close(p.done) })
+}
+
+// Stop implements Stopper: it releases the feeder and worker goroutines
+// of a stream the consumer abandons before exhausting it. Subsequent
+// Next calls return ErrStopped (or the earlier stream error, if any).
+func (p *parallelMapSource) Stop() {
+	if !p.started {
+		p.err = ErrStopped
+		return
+	}
+	if p.err == nil {
+		p.err = ErrStopped
+	}
+	p.stop()
+	// Drain until the pipeline goroutines close p.out, so none of them
+	// stays blocked on a full channel.
+	for !p.closed {
+		if _, ok := <-p.out; !ok {
+			p.closed = true
+		}
+	}
+	stopSource(p.src)
 }
 
 // Batch groups a bounded stream into micro-batches of at most size tuples.

@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingSource tracks how far the feeder pulled.
+type countingSource struct {
+	src   Source
+	pulls atomic.Int64
+}
+
+func (c *countingSource) Schema() *Schema { return c.src.Schema() }
+
+func (c *countingSource) Next() (Tuple, error) {
+	c.pulls.Add(1)
+	return c.src.Next()
+}
+
+func TestParallelMapStopsPromptlyOnSourceError(t *testing.T) {
+	s := testSchema(t)
+	const n = 10_000
+	fatal := errors.New("source exploded")
+	// Fail at tuple 10 of a 10k-tuple stream.
+	inner := &faultySource{schema: s, script: func() []any {
+		script := make([]any, 0, n)
+		for i, tp := range makeTuples(s, n) {
+			if i == 10 {
+				script = append(script, fatal)
+				break
+			}
+			script = append(script, tp)
+		}
+		return script
+	}()}
+	counted := &countingSource{src: inner}
+	before := runtime.NumGoroutine()
+	pm := ParallelMap(counted, nil, 4, func(tp Tuple) Tuple { return tp })
+	_, err := Drain(pm)
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want source error", err)
+	}
+	// The error must be sticky.
+	if _, err2 := pm.Next(); !errors.Is(err2, fatal) {
+		t.Errorf("second Next = %v, want sticky error", err2)
+	}
+	// Workers must not have drained the whole input.
+	if pulls := counted.pulls.Load(); pulls > 100 {
+		t.Errorf("feeder pulled %d tuples after error, want prompt stop", pulls)
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+func TestParallelMapRecoversWorkerPanic(t *testing.T) {
+	s := testSchema(t)
+	before := runtime.NumGoroutine()
+	src := NewSliceSource(s, makeTuples(s, 1000))
+	pm := ParallelMap(src, nil, 4, func(tp Tuple) Tuple {
+		if v, _ := tp.GetFloat("v"); v == 500 {
+			panic(fmt.Sprintf("poison at %v", v))
+		}
+		return tp
+	})
+	_, err := Drain(pm)
+	te, ok := AsTupleError(err)
+	if !ok {
+		t.Fatalf("err = %v, want *TupleError from recovered panic", err)
+	}
+	if te.Stage != "parallel-map" || te.Offset != 500 {
+		t.Errorf("tuple error = %+v", te)
+	}
+	// Deadlock regression guard: Next keeps returning the error instead
+	// of blocking forever.
+	done := make(chan struct{})
+	go func() {
+		pm.Next()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next after worker panic blocked (old deadlock)")
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+func TestParallelMapStopReleasesGoroutines(t *testing.T) {
+	s := testSchema(t)
+	before := runtime.NumGoroutine()
+	src := NewSliceSource(s, makeTuples(s, 100_000))
+	pm := ParallelMap(src, nil, 4, func(tp Tuple) Tuple { return tp })
+	for i := 0; i < 5; i++ {
+		if _, err := pm.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm.(Stopper).Stop()
+	if _, err := pm.Next(); !errors.Is(err, ErrStopped) {
+		t.Errorf("Next after Stop = %v, want ErrStopped", err)
+	}
+	if _, err := pm.Next(); errors.Is(err, io.EOF) {
+		t.Error("stopped stream reported io.EOF")
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+func TestParallelMapStopBeforeStart(t *testing.T) {
+	s := testSchema(t)
+	pm := ParallelMap(NewSliceSource(s, makeTuples(s, 10)), nil, 4, func(tp Tuple) Tuple { return tp })
+	pm.(Stopper).Stop()
+	if _, err := pm.Next(); !errors.Is(err, ErrStopped) {
+		t.Errorf("Next after pre-start Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestParallelMapPreservesOrderUnderFaults(t *testing.T) {
+	s := testSchema(t)
+	const n = 2000
+	src := NewSliceSource(s, makeTuples(s, n))
+	q := NewDeadLetterQueue()
+	// SafeFunc quarantines panicking tuples inside the workers, keeping
+	// the stream itself healthy.
+	pm := ParallelMap(src, nil, 8, SafeFunc(func(tp Tuple) Tuple {
+		if v, _ := tp.GetFloat("v"); int(v)%97 == 0 {
+			panic("unlucky tuple")
+		}
+		return tp
+	}, q))
+	got, err := Drain(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	prev := -1.0
+	for _, tp := range got {
+		if tp.Dropped {
+			continue
+		}
+		v, _ := tp.GetFloat("v")
+		if v <= prev {
+			t.Fatalf("order broken: %v after %v", v, prev)
+		}
+		prev = v
+		delivered++
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%97 != 0 {
+			want++
+		}
+	}
+	if delivered != want || q.Len() != n-want {
+		t.Errorf("delivered=%d quarantined=%d, want %d/%d", delivered, q.Len(), want, n-want)
+	}
+}

@@ -1,0 +1,543 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// --- TupleError / DeadLetterQueue -----------------------------------
+
+func TestTupleErrorUnwrap(t *testing.T) {
+	cause := errors.New("boom")
+	var err error = &TupleError{Offset: 7, Stage: "map", Err: cause}
+	if !errors.Is(err, cause) {
+		t.Error("TupleError does not unwrap to its cause")
+	}
+	te, ok := AsTupleError(fmt.Errorf("wrapped: %w", err))
+	if !ok || te.Offset != 7 || te.Stage != "map" {
+		t.Errorf("AsTupleError through wrapping = %+v, %v", te, ok)
+	}
+	if _, ok := AsTupleError(cause); ok {
+		t.Error("plain error recognised as TupleError")
+	}
+}
+
+func TestIsEndOfStream(t *testing.T) {
+	if !IsEndOfStream(io.EOF) || !IsEndOfStream(ErrStopped) {
+		t.Error("EOF/ErrStopped not end-of-stream")
+	}
+	if IsEndOfStream(errors.New("x")) {
+		t.Error("arbitrary error treated as end-of-stream")
+	}
+}
+
+func TestDeadLetterQueueNilSafe(t *testing.T) {
+	var q *DeadLetterQueue
+	q.Add(DeadLetter{})
+	q.AddError(errors.New("x"))
+	if q.Len() != 0 || q.Letters() != nil {
+		t.Error("nil queue not inert")
+	}
+}
+
+func TestDeadLetterQueueAddError(t *testing.T) {
+	s := testSchema(t)
+	tup := makeTuples(s, 1)[0]
+	tup.ID = 42
+	q := NewDeadLetterQueue()
+	q.AddError(&TupleError{Tuple: tup, Offset: 3, Stage: "pollute", Err: errors.New("bad")})
+	q.AddError(errors.New("plain"))
+	ls := q.Letters()
+	if len(ls) != 2 {
+		t.Fatalf("Len = %d", len(ls))
+	}
+	if ls[0].Offset != 3 || ls[0].TupleID != 42 || ls[0].Stage != "pollute" || ls[0].Cause != "bad" {
+		t.Errorf("dead letter = %+v", ls[0])
+	}
+	if len(ls[0].Values) != tup.Len() {
+		t.Errorf("values not rendered: %v", ls[0].Values)
+	}
+	if ls[1].Cause != "plain" {
+		t.Errorf("plain cause = %q", ls[1].Cause)
+	}
+}
+
+// --- Quarantine ------------------------------------------------------
+
+// faultySource yields tuples interleaved with scripted errors.
+type faultySource struct {
+	schema *Schema
+	script []any // Tuple or error
+	pos    int
+}
+
+func (f *faultySource) Schema() *Schema { return f.schema }
+
+func (f *faultySource) Next() (Tuple, error) {
+	if f.pos >= len(f.script) {
+		return Tuple{}, io.EOF
+	}
+	item := f.script[f.pos]
+	f.pos++
+	if err, ok := item.(error); ok {
+		return Tuple{}, err
+	}
+	return item.(Tuple), nil
+}
+
+func TestQuarantineSkipsTupleErrors(t *testing.T) {
+	s := testSchema(t)
+	ts := makeTuples(s, 3)
+	src := &faultySource{schema: s, script: []any{
+		ts[0],
+		&TupleError{Offset: 1, Stage: "decode", Err: errors.New("malformed")},
+		ts[1],
+		&TupleError{Offset: 3, Stage: "decode", Err: errors.New("malformed too")},
+		ts[2],
+	}}
+	q := NewDeadLetterQueue()
+	got, err := Drain(Quarantine(src, q, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("delivered %d tuples, want 3", len(got))
+	}
+	if q.Len() != 2 {
+		t.Errorf("quarantined %d, want 2", q.Len())
+	}
+}
+
+func TestQuarantineFatalErrorPassesThrough(t *testing.T) {
+	s := testSchema(t)
+	fatal := errors.New("disk on fire")
+	src := &faultySource{schema: s, script: []any{fatal}}
+	_, err := Drain(Quarantine(src, NewDeadLetterQueue(), 0))
+	if !errors.Is(err, fatal) {
+		t.Errorf("err = %v, want fatal passthrough", err)
+	}
+}
+
+func TestQuarantineOverflow(t *testing.T) {
+	s := testSchema(t)
+	script := []any{}
+	for i := 0; i < 5; i++ {
+		script = append(script, &TupleError{Offset: uint64(i), Err: errors.New("bad")})
+	}
+	src := &faultySource{schema: s, script: script}
+	q := NewDeadLetterQueue()
+	_, err := Drain(Quarantine(src, q, 3))
+	if !errors.Is(err, ErrQuarantineOverflow) {
+		t.Errorf("err = %v, want ErrQuarantineOverflow", err)
+	}
+	if q.Len() != 3 {
+		t.Errorf("quarantined %d before overflow, want 3", q.Len())
+	}
+}
+
+// --- SafeMap ---------------------------------------------------------
+
+func TestSafeMapRecoversPanics(t *testing.T) {
+	s := testSchema(t)
+	src := NewSliceSource(s, makeTuples(s, 4))
+	sm := SafeMap(src, nil, func(tp Tuple) Tuple {
+		if v, _ := tp.GetFloat("v"); v == 2 {
+			panic("poison tuple")
+		}
+		return tp
+	})
+	var delivered int
+	var tupleErrs int
+	for {
+		_, err := sm.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			te, ok := AsTupleError(err)
+			if !ok {
+				t.Fatalf("fatal error: %v", err)
+			}
+			if te.Stage != "map" || te.Offset != 2 {
+				t.Errorf("tuple error = %+v", te)
+			}
+			tupleErrs++
+			continue // source must remain usable
+		}
+		delivered++
+	}
+	if delivered != 3 || tupleErrs != 1 {
+		t.Errorf("delivered=%d tupleErrs=%d, want 3/1", delivered, tupleErrs)
+	}
+}
+
+func TestSafeMapWithQuarantine(t *testing.T) {
+	s := testSchema(t)
+	src := NewSliceSource(s, makeTuples(s, 10))
+	q := NewDeadLetterQueue()
+	pipeline := Quarantine(SafeMap(src, nil, func(tp Tuple) Tuple {
+		if v, _ := tp.GetFloat("v"); v == 3 || v == 7 {
+			panic(fmt.Sprintf("poison %v", v))
+		}
+		return tp
+	}), q, 0)
+	got, err := Drain(pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 || q.Len() != 2 {
+		t.Errorf("delivered=%d quarantined=%d, want 8/2", len(got), q.Len())
+	}
+}
+
+// --- WithContext / cancellation --------------------------------------
+
+func TestWithContextBackgroundIsFree(t *testing.T) {
+	s := testSchema(t)
+	src := NewSliceSource(s, nil)
+	if WithContext(context.Background(), src) != Source(src) {
+		t.Error("background context should not wrap")
+	}
+}
+
+func TestWithContextCancellation(t *testing.T) {
+	s := testSchema(t)
+	src := NewSliceSource(s, makeTuples(s, 100))
+	ctx, cancel := context.WithCancel(context.Background())
+	cs := WithContext(ctx, src)
+	if _, err := cs.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := cs.Next(); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Next after cancel = %v, want ErrStopped (call %d)", err, i)
+		}
+	}
+}
+
+func TestChannelSourceClosedChannelEOF(t *testing.T) {
+	s := testSchema(t)
+	ch := make(chan Tuple, 2)
+	for _, tp := range makeTuples(s, 2) {
+		ch <- tp
+	}
+	close(ch)
+	src := NewChannelSource(s, ch)
+	got, err := Drain(src)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Drain = %d tuples, %v", len(got), err)
+	}
+	// EOF must be sticky.
+	if _, err := src.Next(); err != io.EOF {
+		t.Errorf("Next after EOF = %v", err)
+	}
+}
+
+func TestChannelSourceContextCancelUnblocks(t *testing.T) {
+	s := testSchema(t)
+	ch := make(chan Tuple) // never written: producer stalls forever
+	ctx, cancel := context.WithCancel(context.Background())
+	src := NewChannelSourceContext(ctx, s, ch)
+
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.Next()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader block
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Errorf("blocked Next unblocked with %v, want ErrStopped", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled ChannelSource stayed blocked")
+	}
+	// Cancellation is sticky and never turns into EOF.
+	for i := 0; i < 3; i++ {
+		if _, err := src.Next(); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Next after cancel = %v, want ErrStopped", err)
+		}
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+func TestGeneratorSourceShutdownViaContext(t *testing.T) {
+	s := testSchema(t)
+	tuples := makeTuples(s, 1)
+	gen := NewGeneratorSource(s, -1, func(i int) Tuple { return tuples[0] }) // unbounded
+	ctx, cancel := context.WithCancel(context.Background())
+	src := WithContext(ctx, gen)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	if _, err := src.Next(); !errors.Is(err, ErrStopped) {
+		t.Errorf("Next after cancel = %v, want ErrStopped", err)
+	}
+	if _, err := src.Next(); errors.Is(err, io.EOF) {
+		t.Error("cancelled stream reported io.EOF")
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// assertNoGoroutineLeak polls because goroutine teardown is asynchronous.
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutine leak: %d before, %d after", before, now)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// --- RetrySource -----------------------------------------------------
+
+func TestRetrySourceRecoverTransient(t *testing.T) {
+	s := testSchema(t)
+	transient := errors.New("transient")
+	flaky := NewFlakySource(NewSliceSource(s, makeTuples(s, 5)), FailEveryN(3, transient))
+	var slept []time.Duration
+	rs := NewRetrySource(flaky, RetryPolicy{
+		MaxRetries: 3,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	})
+	got, err := Drain(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("delivered %d tuples, want 5", len(got))
+	}
+	if rs.Retries() == 0 || len(slept) == 0 {
+		t.Error("no retries performed")
+	}
+}
+
+func TestRetrySourceExhaustsRetries(t *testing.T) {
+	s := testSchema(t)
+	transient := errors.New("always down")
+	flaky := NewFlakySource(NewSliceSource(s, makeTuples(s, 1)), func(uint64) error { return transient })
+	rs := NewRetrySource(flaky, RetryPolicy{MaxRetries: 2, Sleep: func(time.Duration) {}})
+	_, err := rs.Next()
+	if !errors.Is(err, transient) {
+		t.Errorf("err = %v, want wrapped transient", err)
+	}
+	if rs.Attempts() != 3 { // initial + 2 retries
+		t.Errorf("attempts = %d, want 3", rs.Attempts())
+	}
+}
+
+func TestRetrySourceDoesNotRetryEOFOrTupleErrors(t *testing.T) {
+	s := testSchema(t)
+	te := &TupleError{Offset: 0, Err: errors.New("bad row")}
+	src := &faultySource{schema: s, script: []any{te}}
+	rs := NewRetrySource(src, RetryPolicy{Sleep: func(time.Duration) {}})
+	if _, err := rs.Next(); !errors.Is(err, te.Err) {
+		t.Errorf("tuple error not passed through: %v", err)
+	}
+	if _, err := rs.Next(); err != io.EOF {
+		t.Errorf("EOF not passed through: %v", err)
+	}
+	if rs.Retries() != 0 {
+		t.Errorf("retried %d times on non-retryable errors", rs.Retries())
+	}
+}
+
+func TestRetryPolicyBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Jitter: -1}.withDefaults()
+	// Jitter clamped to 0 → pure exponential.
+	var prev time.Duration
+	for i := 0; i < 8; i++ {
+		d := p.delay(i)
+		if d < prev {
+			t.Errorf("delay(%d) = %v < previous %v", i, d, prev)
+		}
+		if d > 80*time.Millisecond {
+			t.Errorf("delay(%d) = %v exceeds cap", i, d)
+		}
+		prev = d
+	}
+	if p.delay(0) != 10*time.Millisecond {
+		t.Errorf("delay(0) = %v", p.delay(0))
+	}
+	if p.delay(20) != 80*time.Millisecond { // shift overflow guarded
+		t.Errorf("delay(20) = %v, want cap", p.delay(20))
+	}
+}
+
+func TestRetryJitterDeterministic(t *testing.T) {
+	mk := func() []time.Duration {
+		p := RetryPolicy{}.withDefaults()
+		out := make([]time.Duration, 5)
+		for i := range out {
+			out[i] = p.delay(i)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// slowSource blocks for d on the scripted calls.
+type slowSource struct {
+	schema *Schema
+	tuples []Tuple
+	pos    int
+	slow   map[int]time.Duration
+}
+
+func (s *slowSource) Schema() *Schema { return s.schema }
+
+func (s *slowSource) Next() (Tuple, error) {
+	call := s.pos
+	if d, ok := s.slow[call]; ok {
+		time.Sleep(d)
+	}
+	if s.pos >= len(s.tuples) {
+		return Tuple{}, io.EOF
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, nil
+}
+
+func TestRetrySourceAttemptTimeout(t *testing.T) {
+	s := testSchema(t)
+	src := &slowSource{schema: s, tuples: makeTuples(s, 3), slow: map[int]time.Duration{1: 100 * time.Millisecond}}
+	rs := NewRetrySource(src, RetryPolicy{
+		MaxRetries:     20,
+		AttemptTimeout: 20 * time.Millisecond,
+		Sleep:          func(time.Duration) {},
+		Retryable:      func(err error) bool { return errors.Is(err, ErrAttemptTimeout) },
+	})
+	got, err := Drain(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("delivered %d tuples, want 3", len(got))
+	}
+	// The slow call timed out at least once but its in-flight result was
+	// resumed, not re-issued: the source must have advanced exactly once
+	// per tuple.
+	if rs.Retries() == 0 {
+		t.Error("expected at least one timeout retry")
+	}
+	for i, tp := range got {
+		if v, _ := tp.GetFloat("v"); v != float64(i) {
+			t.Errorf("tuple %d has v=%v: in-flight call was re-issued, not resumed", i, v)
+		}
+	}
+}
+
+// --- Fault-injection harness ----------------------------------------
+
+func TestFlakySourcePlans(t *testing.T) {
+	errX := errors.New("x")
+	plan := FailFirstN(2, errX)
+	for i := uint64(0); i < 2; i++ {
+		if plan(i) == nil {
+			t.Errorf("FailFirstN(2) call %d did not fail", i)
+		}
+	}
+	if plan(2) != nil {
+		t.Error("FailFirstN(2) failed call 2")
+	}
+	every := FailEveryN(3, errX)
+	fails := 0
+	for i := uint64(0); i < 9; i++ {
+		if every(i) != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("FailEveryN(3) failed %d of 9 calls", fails)
+	}
+}
+
+func TestChaosSourceDeterministic(t *testing.T) {
+	s := testSchema(t)
+	run := func() (int, int, int) {
+		src := NewChaosSource(NewSliceSource(s, makeTuples(s, 200)),
+			ChaosOptions{ErrorRate: 0.05, TupleErrorRate: 0.05, Seed: 7})
+		tuples, transients, tupleErrs := 0, 0, 0
+		for {
+			_, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if _, ok := AsTupleError(err); ok {
+					tupleErrs++
+				} else {
+					transients++
+				}
+				continue
+			}
+			tuples++
+		}
+		return tuples, transients, tupleErrs
+	}
+	t1, e1, te1 := run()
+	t2, e2, te2 := run()
+	if t1 != t2 || e1 != e2 || te1 != te2 {
+		t.Fatalf("chaos not deterministic: (%d,%d,%d) vs (%d,%d,%d)", t1, e1, te1, t2, e2, te2)
+	}
+	if e1 == 0 || te1 == 0 {
+		t.Errorf("chaos injected nothing: transients=%d tupleErrs=%d", e1, te1)
+	}
+	if t1+te1 != 200 {
+		t.Errorf("tuples+tupleErrs = %d, want 200 (tuple errors consume a tuple)", t1+te1)
+	}
+}
+
+// End-to-end: chaos + retry + quarantine survives everything and
+// delivers exactly the non-poisoned tuples.
+func TestChaosRetryQuarantinePipeline(t *testing.T) {
+	s := testSchema(t)
+	const n = 500
+	chaos := NewChaosSource(NewSliceSource(s, makeTuples(s, n)),
+		ChaosOptions{ErrorRate: 0.1, TupleErrorRate: 0.02, Seed: 99})
+	rs := NewRetrySource(chaos, RetryPolicy{MaxRetries: 50, Sleep: func(time.Duration) {}})
+	q := NewDeadLetterQueue()
+	got, err := Drain(Quarantine(rs, q, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)+q.Len() != n {
+		t.Errorf("delivered %d + quarantined %d != %d", len(got), q.Len(), n)
+	}
+	// Delivered tuples stay in order.
+	prev := -1.0
+	for _, tp := range got {
+		v, _ := tp.GetFloat("v")
+		if v <= prev {
+			t.Fatalf("order broken: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}

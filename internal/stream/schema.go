@@ -54,8 +54,12 @@ func NewSchema(timestamp string, fields ...Field) (*Schema, error) {
 	return s, nil
 }
 
-// MustSchema is NewSchema that panics on error; for package-internal
-// schemas whose correctness is fixed at compile time.
+// MustSchema is NewSchema that panics on error. It is reserved for
+// schemas whose field list is a compile-time constant (tests, examples).
+// Any schema derived from external input — files, flags, generated
+// documents — must go through NewSchema (or a wrapper such as
+// schemafile.Parse or dataset.NewWearableSchema) so that an invalid
+// schema surfaces as an error, not a panic.
 func MustSchema(timestamp string, fields ...Field) *Schema {
 	s, err := NewSchema(timestamp, fields...)
 	if err != nil {

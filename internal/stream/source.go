@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"io"
 	"time"
@@ -9,6 +10,17 @@ import (
 // Source is a pull-based stream of tuples. Next returns io.EOF when the
 // stream is exhausted. Sources are single-consumer; wrap with Tee to fan
 // out.
+//
+// Error contract:
+//
+//   - io.EOF: the stream ended normally (all tuples delivered).
+//   - ErrStopped: the stream was cancelled. Every Next call after a
+//     cancellation — via WithContext, Stop, or a context-aware source —
+//     MUST return ErrStopped, never io.EOF, so consumers can distinguish
+//     "complete" from "interrupted".
+//   - *TupleError: one tuple failed but the stream remains usable;
+//     callers may keep calling Next (see Quarantine).
+//   - any other error is fatal and terminates the stream.
 type Source interface {
 	// Schema returns the schema of the tuples this source emits.
 	Schema() *Schema
@@ -16,7 +28,9 @@ type Source interface {
 	Next() (Tuple, error)
 }
 
-// ErrStopped is returned by sources that were cancelled mid-stream.
+// ErrStopped is returned by sources that were cancelled mid-stream. It is
+// the cancellation half of the Source error contract: once a source is
+// cancelled, every subsequent Next returns ErrStopped (never io.EOF).
 var ErrStopped = errors.New("stream: source stopped")
 
 // SliceSource replays an in-memory slice of tuples.
@@ -50,9 +64,14 @@ func (s *SliceSource) Reset() { s.pos = 0 }
 
 // ChannelSource adapts a tuple channel to the Source interface, for
 // integrating live producers (e.g. a network listener) into a pipeline.
+// A closed channel yields io.EOF; a cancelled context (when constructed
+// via NewChannelSourceContext) yields ErrStopped, interrupting a blocked
+// read so consumers shut down promptly even when the producer stalls.
 type ChannelSource struct {
 	schema *Schema
 	ch     <-chan Tuple
+	done   <-chan struct{}
+	err    error
 }
 
 // NewChannelSource wraps ch. The producer signals end of stream by
@@ -61,16 +80,48 @@ func NewChannelSource(schema *Schema, ch <-chan Tuple) *ChannelSource {
 	return &ChannelSource{schema: schema, ch: ch}
 }
 
+// NewChannelSourceContext wraps ch with cancellation: once ctx is done,
+// Next returns ErrStopped, even if it was blocked waiting for a slow
+// producer.
+func NewChannelSourceContext(ctx context.Context, schema *Schema, ch <-chan Tuple) *ChannelSource {
+	return &ChannelSource{schema: schema, ch: ch, done: ctx.Done()}
+}
+
 // Schema implements Source.
 func (s *ChannelSource) Schema() *Schema { return s.schema }
 
 // Next implements Source.
 func (s *ChannelSource) Next() (Tuple, error) {
-	t, ok := <-s.ch
-	if !ok {
-		return Tuple{}, io.EOF
+	if s.err != nil {
+		return Tuple{}, s.err
 	}
-	return t, nil
+	if s.done == nil {
+		t, ok := <-s.ch
+		if !ok {
+			s.err = io.EOF
+			return Tuple{}, io.EOF
+		}
+		return t, nil
+	}
+	// Check cancellation first so a ready tuple does not mask an already
+	// cancelled context forever on a hot producer.
+	select {
+	case <-s.done:
+		s.err = ErrStopped
+		return Tuple{}, ErrStopped
+	default:
+	}
+	select {
+	case t, ok := <-s.ch:
+		if !ok {
+			s.err = io.EOF
+			return Tuple{}, io.EOF
+		}
+		return t, nil
+	case <-s.done:
+		s.err = ErrStopped
+		return Tuple{}, ErrStopped
+	}
 }
 
 // GeneratorSource produces n tuples by calling gen(i) for i = 0..n-1.
@@ -132,6 +183,11 @@ func NewPrepare(src Source, firstID uint64) *Prepare {
 
 // Schema implements Source.
 func (p *Prepare) Schema() *Schema { return p.src.Schema() }
+
+// NextID returns the ID the next prepared tuple will receive. Together
+// with the first ID it encodes the input position — the number of tuples
+// consumed so far — which checkpointing uses to resume deterministically.
+func (p *Prepare) NextID() uint64 { return p.nextID }
 
 // Next implements Source.
 func (p *Prepare) Next() (Tuple, error) {

@@ -32,6 +32,11 @@ type Tuple struct {
 	// error. Dropped tuples are excluded from the polluted output but
 	// still appear in the pollution log as ground truth.
 	Dropped bool
+	// Quarantined marks the tuple as removed by the fault-tolerance
+	// layer (its pollution failed). Quarantined tuples are excluded from
+	// the polluted output AND rolled back out of the pollution log; the
+	// dead-letter queue is their ground truth instead.
+	Quarantined bool
 
 	schema *Schema
 	values []Value
