@@ -1,9 +1,11 @@
 # Icewafl build & CI entry points. `make ci` is what the robustness gate
-# runs: static analysis plus the full test suite under the race detector.
+# runs: formatting, static analysis, the panic lint and the full test
+# suite under the race detector. `make bench` + `make perfgate` are the
+# perf-regression gate (see DESIGN.md §8).
 
 GO ?= go
 
-.PHONY: build test vet race ci fuzz clean
+.PHONY: build test vet fmt lint race ci cover bench perfgate fuzz clean
 
 build:
 	$(GO) build ./...
@@ -14,10 +16,52 @@ test:
 vet:
 	$(GO) vet ./...
 
+# gofmt as a check: fails listing the offending files, fixes nothing.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; \
+	fi
+
+# Panic lint: the hot-path packages must not panic except where a
+# `lint:allowpanic` marker documents a deliberate Must*/constructor
+# contract. Everything else returns errors.
+lint:
+	@bad=$$(grep -n 'panic(' internal/stream/*.go internal/core/*.go \
+		| grep -v '_test.go' | grep -v 'lint:allowpanic' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: unannotated panic() in hot-path packages:"; echo "$$bad"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-ci: vet race
+ci: fmt vet lint race
+
+# Coverage floor for the engine packages. The threshold is deliberately
+# conservative; raise it as the suites grow.
+COVER_MIN ?= 80
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/stream/ ./internal/core/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk "BEGIN { exit !($$total >= $(COVER_MIN)) }" || \
+		{ echo "cover: total coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
+
+# Perf-regression gate. `bench` runs the fixed benchmark subset with
+# -benchmem and records BENCH_pr2.json; `perfgate` diffs it against the
+# committed BENCH_baseline.json and fails on >20% ns/op regressions.
+BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool
+BENCH_OUT ?= BENCH_pr2.json
+MAX_REGRESS ?= 0.20
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench.txt
+	$(GO) run ./cmd/perf record -out $(BENCH_OUT) < bench.txt
+
+perfgate:
+	$(GO) run ./cmd/perf gate -baseline BENCH_baseline.json -current $(BENCH_OUT) -max-regress $(MAX_REGRESS)
 
 # Short fuzz pass over every fuzz target (value parsing and the
 # quarantine of malformed tuples). Extend FUZZTIME for deeper runs.
@@ -29,3 +73,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out bench.txt

@@ -159,26 +159,113 @@ func noisePipe(seed int64) *core.Pipeline {
 }
 
 // BenchmarkPollutionTupleWise measures the streaming (tuple-wise)
-// execution path.
+// execution path on the pooled hot path: clone-on-read draws value
+// buffers from a TuplePool (streaming mode pollutes in place, so the
+// shared backing slice stays intact across iterations) and Recycle
+// returns each buffer once the sink has moved past the tuple.
 func BenchmarkPollutionTupleWise(b *testing.B) {
 	schema, tuples := benchStream(10000)
+	pool := stream.NewTuplePoolFor(schema)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		proc := core.NewProcess(noisePipe(int64(i)))
 		proc.DisableLog = true
-		// Clone-on-read keeps the shared backing slice intact across
-		// iterations (streaming mode pollutes in place).
-		src := stream.Map(stream.NewSliceSource(schema, tuples), nil, stream.Tuple.Clone)
+		src := stream.Map(stream.NewSliceSource(schema, tuples), nil, stream.PooledClone(pool))
 		out, _, err := proc.RunStream(src, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := stream.Copy(stream.DiscardSink{}, out); err != nil {
+		if _, err := stream.Copy(stream.DiscardSink{}, stream.Recycle(out, pool)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.SetBytes(10000)
+}
+
+// benchSink keeps cloned tuples observable so the compiler cannot
+// elide the clone under test.
+var benchSink stream.Tuple
+
+// BenchmarkTuplePool isolates the cost of the two clone strategies the
+// engine offers: plain allocating Clone versus pooled CloneTuple with
+// buffer reuse.
+func BenchmarkTuplePool(b *testing.B) {
+	schema, tuples := benchStream(1)
+	t := tuples[0]
+	b.Run("clone-alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = t.Clone()
+		}
+	})
+	b.Run("clone-pooled", func(b *testing.B) {
+		pool := stream.NewTuplePoolFor(schema)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink = pool.CloneTuple(t)
+			pool.ReleaseTuple(benchSink)
+		}
+	})
+}
+
+// benchKeyedStream builds a stream with a string key attribute cycling
+// over `sensors` distinct keys, for the sharded keyed benchmarks.
+func benchKeyedStream(n, sensors int) (*stream.Schema, []stream.Tuple) {
+	schema := stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "sensor", Kind: stream.KindString},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+	)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	tuples := make([]stream.Tuple, n)
+	for i := range tuples {
+		tuples[i] = stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Second)),
+			stream.Str(fmt.Sprintf("sensor-%02d", i%sensors)),
+			stream.Float(float64(i)),
+		})
+	}
+	return schema, tuples
+}
+
+// keyedBenchPipeline is a keyed noise pipeline whose per-key state and
+// randomness derive from the key, so sharded runs are byte-identical to
+// sequential ones at every shard count.
+func keyedBenchPipeline(seed int64) *core.Pipeline {
+	return core.NewPipeline(core.NewKeyedPolluter("noise", "sensor", func(key string) core.Polluter {
+		return core.NewStandard("noise",
+			&core.GaussianNoise{Stddev: core.Const(1), Rand: rng.Derive(seed, "n/"+key)},
+			core.NewRandomConst(0.3, rng.Derive(seed, "c/"+key)), "v")
+	}))
+}
+
+// BenchmarkShardedKeyed measures the hash-sharded keyed execution path
+// at increasing shard counts (shards=1 is the shared sequential code
+// path). Output is identical at every degree; only wall-clock changes.
+func BenchmarkShardedKeyed(b *testing.B) {
+	schema, tuples := benchKeyedStream(20000, 64)
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				proc := core.NewProcess(keyedBenchPipeline(1))
+				proc.DisableLog = true
+				src := stream.Map(stream.NewSliceSource(schema, tuples), nil, stream.Tuple.Clone)
+				out, _, err := proc.RunStreamSharded(src, 1, core.ShardConfig{
+					KeyAttr: "sensor", Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := stream.Copy(stream.DiscardSink{}, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(20000)
+		})
+	}
 }
 
 // BenchmarkPollutionMicroBatch measures the batch execution path

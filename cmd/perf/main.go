@@ -1,0 +1,97 @@
+// Command perf is the CI perf-harness entry point. It has two
+// subcommands:
+//
+//	perf record -out BENCH_pr2.json < bench.txt
+//	    parses `go test -bench` output from stdin and writes a
+//	    machine-readable JSON report.
+//
+//	perf gate -baseline BENCH_baseline.json -current BENCH_pr2.json [-max-regress 0.20]
+//	    compares the current report against the committed baseline and
+//	    exits non-zero when any shared benchmark's ns/op regressed by
+//	    more than max-regress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icewafl/internal/perf"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  perf record -out FILE        parse 'go test -bench' output on stdin into a JSON report
+  perf gate -baseline FILE -current FILE [-max-regress FRAC]
+                               fail when ns/op regressed more than FRAC (default 0.20)
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "gate":
+		gate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "", "path of the JSON report to write (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "perf record: -out is required")
+		os.Exit(2)
+	}
+	rep, err := perf.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("perf: recorded %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func gate(args []string) {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "committed baseline report (required)")
+	curPath := fs.String("current", "", "report of the current run (required)")
+	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	fs.Parse(args)
+	if *basePath == "" || *curPath == "" {
+		fmt.Fprintln(os.Stderr, "perf gate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := perf.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cur, err := perf.ReadFile(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	deltas := perf.Compare(base, cur)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "perf gate: baseline and current share no benchmarks")
+		os.Exit(1)
+	}
+	fmt.Print(perf.FormatTable(deltas))
+	if bad := perf.Gate(base, cur, *maxRegress); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "\nperf gate FAILED: %d benchmark(s) regressed more than %.0f%%:\n%s",
+			len(bad), *maxRegress*100, perf.FormatTable(bad))
+		os.Exit(1)
+	}
+	fmt.Printf("\nperf gate passed (%d benchmarks within +%.0f%%)\n", len(deltas), *maxRegress*100)
+}

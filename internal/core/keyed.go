@@ -88,6 +88,16 @@ func (p *KeyedPolluter) EnsureInstance(key string) Polluter {
 	return inst
 }
 
+// CloneEmpty returns a fresh keyed polluter with the same name, key
+// attribute and per-key factory but no per-key instances. Shard workers
+// use it to stamp independent pipeline instances from a prototype
+// configuration: because every instance is (re)created by the same
+// key-deriving factory, a key produces the same polluter state sequence
+// no matter which shard it lands on.
+func (p *KeyedPolluter) CloneEmpty() *KeyedPolluter {
+	return NewKeyedPolluter(p.PolluterName, p.KeyAttr, p.New)
+}
+
 // String renders a short summary.
 func (p *KeyedPolluter) String() string {
 	return fmt.Sprintf("keyed(%s by %s, %d keys)", p.PolluterName, p.KeyAttr, len(p.instances))

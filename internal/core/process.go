@@ -204,25 +204,14 @@ func polluteSub(tuples []stream.Tuple, p *Pipeline, log *Log, fault FaultPolicy,
 		return fmt.Errorf("core: nil pipeline")
 	}
 	for i := range tuples {
-		if !fault.Quarantine {
-			p.Apply(&tuples[i], tuples[i].EventTime, log)
-			continue
-		}
 		before := 0
 		if log != nil {
 			before = len(log.Entries)
 		}
-		if err := safePollute(p, &tuples[i], tuples[i].EventTime, log); err != nil {
-			// Roll back the partial log entries of the poisoned tuple so
-			// the ground truth only describes tuples actually delivered.
-			if log != nil {
-				log.Entries = log.Entries[:before]
-			}
-			tuples[i].Quarantined = true
-			dlq.Add(deadLetterFor(tuples[i], "pollute", err))
-			if fault.MaxQuarantined > 0 && dlq.Len() > fault.MaxQuarantined {
-				return fmt.Errorf("%w: %d tuples failed (last: tuple %d: %v)",
-					stream.ErrQuarantineOverflow, dlq.Len(), tuples[i].ID, err)
+		ok, dl := polluteOne(p, &tuples[i], log, before, fault)
+		if !ok {
+			if err := fault.record(dlq, *dl); err != nil {
+				return err
 			}
 		}
 	}
@@ -399,6 +388,12 @@ type streamRunner struct {
 	log   *Log
 	fault FaultPolicy
 	dlq   *stream.DeadLetterQueue
+
+	// cur is the tuple in flight. Polluters receive *Tuple through an
+	// interface call, which would force a stack-local tuple to escape —
+	// one heap allocation per tuple. Hoisting it into the (already
+	// heap-allocated) runner makes the hot loop allocation-free.
+	cur stream.Tuple
 }
 
 // Schema implements stream.Source.
@@ -411,25 +406,32 @@ func (r *streamRunner) Next() (stream.Tuple, error) {
 		if err != nil {
 			return t, err
 		}
+		r.cur = t
 		before := 0
 		if r.log != nil {
 			before = len(r.log.Entries)
 		}
-		ok, ferr := applyWithFault(r.p, &t, r.log, r.fault, r.dlq, before)
+		ok, ferr := applyWithFault(r.p, &r.cur, r.log, r.fault, r.dlq, before)
 		if ferr != nil {
 			return stream.Tuple{}, ferr
 		}
-		if !ok || t.Dropped {
+		if !ok || r.cur.Dropped {
 			continue
 		}
-		return t, nil
+		return r.cur, nil
 	}
 }
 
-// applyWithFault runs the pipeline over t honouring the fault policy.
-// It reports whether the tuple survived; a non-nil error is fatal
-// (quarantine overflow).
-func applyWithFault(p *Pipeline, t *stream.Tuple, log *Log, fault FaultPolicy, dlq *stream.DeadLetterQueue, logMark int) (bool, error) {
+// polluteOne is THE single fault/rollback code path of every runner —
+// batch (polluteSub), streaming (streamRunner, subStreamRunner),
+// checkpointed (via streamRunner) and sharded (shard workers). It
+// applies p to t at its event time under the fault policy, rolling the
+// log back to logMark when pollution fails so the ground truth only
+// describes delivered tuples. It reports whether the tuple survived
+// and, when it did not, returns its dead letter (with t marked
+// Quarantined). Without quarantine, a pipeline panic propagates to the
+// caller unchanged — the historical fail-fast contract.
+func polluteOne(p *Pipeline, t *stream.Tuple, log *Log, logMark int, fault FaultPolicy) (bool, *stream.DeadLetter) {
 	if !fault.Quarantine {
 		p.Apply(t, t.EventTime, log)
 		return true, nil
@@ -438,12 +440,31 @@ func applyWithFault(p *Pipeline, t *stream.Tuple, log *Log, fault FaultPolicy, d
 		if log != nil {
 			log.Entries = log.Entries[:logMark]
 		}
-		dlq.Add(deadLetterFor(*t, "pollute", err))
-		if fault.MaxQuarantined > 0 && dlq.Len() > fault.MaxQuarantined {
-			return false, fmt.Errorf("%w: %d tuples failed (last: tuple %d: %v)",
-				stream.ErrQuarantineOverflow, dlq.Len(), t.ID, err)
-		}
-		return false, nil
+		t.Quarantined = true
+		dl := deadLetterFor(*t, "pollute", err)
+		return false, &dl
 	}
 	return true, nil
+}
+
+// record books a dead letter into the run's queue and enforces the
+// MaxQuarantined bound; a non-nil error is fatal (quarantine overflow).
+func (f FaultPolicy) record(dlq *stream.DeadLetterQueue, dl stream.DeadLetter) error {
+	dlq.Add(dl)
+	if f.MaxQuarantined > 0 && dlq.Len() > f.MaxQuarantined {
+		return fmt.Errorf("%w: %d tuples failed (last: tuple %d: %s)",
+			stream.ErrQuarantineOverflow, dlq.Len(), dl.TupleID, dl.Cause)
+	}
+	return nil
+}
+
+// applyWithFault runs the pipeline over t honouring the fault policy.
+// It reports whether the tuple survived; a non-nil error is fatal
+// (quarantine overflow).
+func applyWithFault(p *Pipeline, t *stream.Tuple, log *Log, fault FaultPolicy, dlq *stream.DeadLetterQueue, logMark int) (bool, error) {
+	ok, dl := polluteOne(p, t, log, logMark, fault)
+	if ok {
+		return true, nil
+	}
+	return false, fault.record(dlq, *dl)
 }

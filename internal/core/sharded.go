@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"icewafl/internal/stream"
+)
+
+// This file implements hash-sharded keyed execution: the pollution hot
+// path of a keyed pipeline partitioned across N shard workers. Tuples
+// are routed by a deterministic hash of their key attribute, each shard
+// owns an independent pipeline instance (per-key state, sticky holds,
+// frozen values, RNG streams), and an order-restoring merge re-emits
+// tuples — and their pollution-log entries, dead letters and drops — in
+// exactly the prepared input order.
+//
+// Determinism argument. A keyed pipeline whose per-key instances derive
+// ALL their state and randomness from the key (KeyedPolluter with a
+// key-deriving factory, e.g. rng.Derive(seed, "noise/"+key)) computes a
+// function of the per-key subsequence only. Hash sharding partitions
+// the stream by key, so every shard sees each of its keys' subsequences
+// in the original order; the per-tuple results are therefore identical
+// to the sequential run, and the order-restoring merge (by prepared
+// sequence number) re-serialises tuples, log entries and dead letters
+// into the sequential order. The output is byte-identical to
+// RunStream — property-tested for 2/4/8 shards under -race.
+
+// ShardConfig configures RunStreamSharded.
+type ShardConfig struct {
+	// KeyAttr names the attribute whose value routes tuples to shards.
+	// It should match the KeyAttr of the pipeline's keyed polluters.
+	KeyAttr string
+	// Shards is the number of parallel workers. Values <= 1 run the
+	// plain sequential streaming path (same code path as RunStream).
+	Shards int
+	// NewPipeline builds the pipeline instance owned by shard i. Every
+	// invocation must return a freshly constructed, identically
+	// configured pipeline; for byte-identical output the per-key state
+	// and randomness must derive from keys, not from shard-global
+	// streams. Nil is allowed when the process pipeline consists only of
+	// KeyedPolluters, which shard automatically.
+	NewPipeline func(shard int) *Pipeline
+	// Buffer is the per-shard in-flight tuple budget (default 64).
+	// Tuples travel between the feeder, the workers and the merger in
+	// batches, so the effective channel depth is Buffer/shardBatchSize
+	// batches (minimum 1).
+	Buffer int
+}
+
+// RunStreamSharded executes the single-pipeline streaming workflow with
+// the keyed hot path partitioned across cfg.Shards workers. Semantics
+// match RunStream exactly — same output, same pollution log, same
+// dead-letter order — with one deliberate difference: without
+// quarantine, a panicking pipeline surfaces as a fatal stream error
+// instead of a panic (a panic must not escape a shard goroutine).
+// Checkpointing is not supported in sharded mode; use
+// RunStreamCheckpointed on the sequential path instead.
+func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg ShardConfig) (stream.Source, *Log, error) {
+	if len(pr.Pipelines) != 1 && cfg.NewPipeline == nil {
+		return nil, nil, fmt.Errorf("core: sharded streaming supports exactly one pipeline, got %d", len(pr.Pipelines))
+	}
+	if cfg.Shards <= 1 {
+		// Shared sequential code path: the sharded runner at 1 shard IS
+		// RunStream, so the fault/rollback behaviour cannot diverge.
+		p2 := *pr
+		if cfg.NewPipeline != nil {
+			p2.Pipelines = []*Pipeline{cfg.NewPipeline(0)}
+		}
+		return p2.RunStream(src, reorderWindow)
+	}
+	newPipeline := cfg.NewPipeline
+	if newPipeline == nil {
+		var ok bool
+		newPipeline, ok = keyedFactory(pr.Pipelines[0])
+		if !ok {
+			return nil, nil, fmt.Errorf("core: sharded streaming needs ShardConfig.NewPipeline unless every polluter is keyed")
+		}
+	}
+	if cfg.KeyAttr == "" {
+		return nil, nil, fmt.Errorf("core: sharded streaming needs ShardConfig.KeyAttr")
+	}
+	keyIdx := src.Schema().Index(cfg.KeyAttr)
+	if keyIdx < 0 {
+		return nil, nil, fmt.Errorf("core: shard key attribute %q not in schema", cfg.KeyAttr)
+	}
+	buffer := cfg.Buffer
+	if buffer <= 0 {
+		buffer = 64
+	}
+	firstID := pr.FirstID
+	if firstID == 0 {
+		firstID = 1
+	}
+	var log *Log
+	if !pr.DisableLog {
+		log = NewLog()
+	}
+	dlq := pr.Fault.queue()
+	var in stream.Source = src
+	if pr.Fault.Quarantine {
+		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
+	}
+	pipes := make([]*Pipeline, cfg.Shards)
+	for i := range pipes {
+		pipes[i] = newPipeline(i)
+		if pipes[i] == nil {
+			return nil, nil, fmt.Errorf("core: ShardConfig.NewPipeline returned nil for shard %d", i)
+		}
+	}
+	sh := &shardedSource{
+		src:    stream.NewPrepare(in, firstID),
+		schema: src.Schema(),
+		pipes:  pipes,
+		keyIdx: keyIdx,
+		buffer: buffer,
+		log:    log,
+		fault:  pr.Fault,
+		dlq:    dlq,
+	}
+	if reorderWindow > 1 {
+		return stream.NewBoundedReorder(sh, reorderWindow), log, nil
+	}
+	return sh, log, nil
+}
+
+// keyedFactory derives a per-shard pipeline factory from a prototype
+// pipeline consisting only of KeyedPolluters: each shard gets fresh
+// keyed polluters sharing the prototype's per-key factories, so per-key
+// state is rebuilt independently inside each shard.
+func keyedFactory(proto *Pipeline) (func(int) *Pipeline, bool) {
+	for _, p := range proto.Polluters {
+		if _, ok := p.(*KeyedPolluter); !ok {
+			return nil, false
+		}
+	}
+	return func(int) *Pipeline {
+		pols := make([]Polluter, len(proto.Polluters))
+		for i, p := range proto.Polluters {
+			pols[i] = p.(*KeyedPolluter).CloneEmpty()
+		}
+		return NewPipeline(pols...)
+	}, true
+}
+
+// shardItem is one tuple in flight to a shard worker.
+type shardItem struct {
+	seq uint64
+	t   stream.Tuple
+}
+
+// shardBatchSize is how many tuples travel per channel operation. On a
+// lightweight per-tuple workload the fan-out/fan-in channel round trips
+// dominate; batching amortises them ~shardBatchSize-fold without
+// affecting determinism (the merger orders by sequence number, not by
+// arrival).
+const shardBatchSize = 64
+
+// shardResult is one processed tuple on its way back to the merger.
+type shardResult struct {
+	seq     uint64
+	t       stream.Tuple
+	entries []Entry
+	dl      *stream.DeadLetter
+	err     error
+}
+
+// shardedSource fans prepared tuples out to shard workers and merges the
+// results back in prepared order. It follows the same consumer-driven
+// state machine as stream.ParallelMap: lazily started, stopping promptly
+// on the first fatal error, releasing all goroutines on Stop.
+type shardedSource struct {
+	src    *stream.Prepare
+	schema *stream.Schema
+	pipes  []*Pipeline
+	keyIdx int
+	buffer int
+	log    *Log
+	fault  FaultPolicy
+	dlq    *stream.DeadLetterQueue
+
+	started  bool
+	out      chan []shardResult
+	done     chan struct{}
+	stopOnce sync.Once
+	err      error
+	pending  shardReorder
+	nextSeq  uint64
+	closed   bool
+}
+
+// Schema implements stream.Source.
+func (s *shardedSource) Schema() *stream.Schema { return s.schema }
+
+func (s *shardedSource) start() {
+	s.started = true
+	n := len(s.pipes)
+	s.out = make(chan []shardResult, n*2)
+	s.done = make(chan struct{})
+	// Channel depth is measured in batches; keep roughly the configured
+	// per-shard tuple budget in flight.
+	depth := s.buffer / shardBatchSize
+	if depth < 1 {
+		depth = 1
+	}
+	ins := make([]chan []shardItem, n)
+	for i := range ins {
+		ins[i] = make(chan []shardItem, depth)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go s.worker(s.pipes[w], ins[w], &wg)
+	}
+	go func() {
+		batches := make([][]shardItem, n)
+		flush := func(shard int) bool {
+			if len(batches[shard]) == 0 {
+				return true
+			}
+			select {
+			case ins[shard] <- batches[shard]:
+				batches[shard] = nil
+				return true
+			case <-s.done:
+				return false
+			}
+		}
+		var seq uint64
+	feed:
+		for {
+			select {
+			case <-s.done:
+				break feed
+			default:
+			}
+			t, err := s.src.Next()
+			if err != nil {
+				if err != io.EOF {
+					select {
+					case s.out <- []shardResult{{err: err}}:
+					case <-s.done:
+					}
+				}
+				break
+			}
+			shard := int(hashKey(t.At(s.keyIdx)) % uint64(n))
+			if batches[shard] == nil {
+				batches[shard] = make([]shardItem, 0, shardBatchSize)
+			}
+			batches[shard] = append(batches[shard], shardItem{seq: seq, t: t})
+			if len(batches[shard]) == shardBatchSize && !flush(shard) {
+				break feed
+			}
+			seq++
+		}
+		for shard := range batches {
+			if !flush(shard) {
+				break
+			}
+		}
+		for _, in := range ins {
+			close(in)
+		}
+		wg.Wait()
+		close(s.out)
+	}()
+}
+
+// worker pollutes the tuples of one shard with the shard's own pipeline
+// instance, logging into a scratch log whose entries travel with the
+// result so the merger can serialise them in prepared order.
+func (s *shardedSource) worker(pipe *Pipeline, in chan []shardItem, wg *sync.WaitGroup) {
+	defer wg.Done()
+	var scratch *Log
+	if s.log != nil {
+		scratch = NewLog()
+	}
+	for batch := range in {
+		results := make([]shardResult, 0, len(batch))
+		fatal := false
+		for i := range batch {
+			item := &batch[i]
+			res := shardResult{seq: item.seq}
+			if scratch != nil {
+				scratch.Entries = scratch.Entries[:0]
+			}
+			if s.fault.Quarantine {
+				// The one shared fault/rollback code path (polluteOne) — the
+				// merger books the returned dead letter in prepared order.
+				ok, dl := polluteOne(pipe, &item.t, scratch, 0, s.fault)
+				if !ok {
+					res.dl = dl
+				}
+			} else {
+				// Fail fast, but a panic must not escape a goroutine: it
+				// surfaces as a fatal stream error instead.
+				if err := safePollute(pipe, &item.t, item.t.EventTime, scratch); err != nil {
+					res.err = fmt.Errorf("core: shard pollute tuple %d: %w", item.t.ID, err)
+					fatal = true
+				}
+			}
+			res.t = item.t
+			if res.err == nil && scratch != nil && len(scratch.Entries) > 0 {
+				res.entries = append([]Entry(nil), scratch.Entries...)
+			}
+			results = append(results, res)
+			if fatal {
+				break
+			}
+		}
+		select {
+		case s.out <- results:
+		case <-s.done:
+			return
+		}
+		if fatal {
+			return
+		}
+	}
+}
+
+// Next implements stream.Source. It restores prepared order, appends the
+// per-tuple log entries and dead letters in that order, filters dropped
+// and quarantined tuples, and — after the first fatal error —
+// consistently returns that error.
+func (s *shardedSource) Next() (stream.Tuple, error) {
+	if !s.started {
+		if s.err != nil {
+			return stream.Tuple{}, s.err
+		}
+		s.start()
+	}
+	for {
+		if s.err == nil {
+			if res, ok := s.pending.takeNext(); ok {
+				s.nextSeq++
+				if s.log != nil {
+					s.log.Entries = append(s.log.Entries, res.entries...)
+				}
+				if res.dl != nil {
+					if err := s.fault.record(s.dlq, *res.dl); err != nil {
+						s.err = err
+						s.stop()
+						continue
+					}
+				}
+				if res.t.Quarantined || res.t.Dropped {
+					continue
+				}
+				return res.t, nil
+			}
+		}
+		if s.closed {
+			if s.err != nil {
+				return stream.Tuple{}, s.err
+			}
+			return stream.Tuple{}, io.EOF
+		}
+		batch, ok := <-s.out
+		if !ok {
+			s.closed = true
+			continue
+		}
+		for _, res := range batch {
+			if res.err != nil {
+				if s.err == nil {
+					s.err = res.err
+				}
+				s.stop()
+				break
+			}
+			if s.err == nil {
+				s.pending.put(int(res.seq-s.nextSeq), res)
+			}
+		}
+	}
+}
+
+func (s *shardedSource) stop() {
+	s.stopOnce.Do(func() { close(s.done) })
+}
+
+// Stop implements stream.Stopper: it releases the feeder and worker
+// goroutines of an abandoned stream. Subsequent Next calls return
+// stream.ErrStopped (or the earlier fatal error, if any).
+func (s *shardedSource) Stop() {
+	if !s.started {
+		s.err = stream.ErrStopped
+		return
+	}
+	if s.err == nil {
+		s.err = stream.ErrStopped
+	}
+	s.stop()
+	for !s.closed {
+		if _, ok := <-s.out; !ok {
+			s.closed = true
+		}
+	}
+}
+
+// shardReorder is a circular buffer restoring prepared order over the
+// out-of-order completions of the shard workers; the sharded twin of the
+// engine's reorderBuf. It grows to the in-flight bound once and then
+// operates allocation-free.
+type shardReorder struct {
+	items []shardResult
+	full  []bool
+	head  int
+}
+
+func (b *shardReorder) grow(min int) {
+	capNew := 8
+	for capNew < min {
+		capNew *= 2
+	}
+	items := make([]shardResult, capNew)
+	full := make([]bool, capNew)
+	for i := range b.items {
+		src := (b.head + i) % len(b.items)
+		items[i] = b.items[src]
+		full[i] = b.full[src]
+	}
+	b.items, b.full, b.head = items, full, 0
+}
+
+func (b *shardReorder) put(offset int, r shardResult) {
+	if offset >= len(b.items) {
+		b.grow(offset + 1)
+	}
+	i := (b.head + offset) % len(b.items)
+	b.items[i] = r
+	b.full[i] = true
+}
+
+func (b *shardReorder) takeNext() (shardResult, bool) {
+	if len(b.items) == 0 || !b.full[b.head] {
+		return shardResult{}, false
+	}
+	r := b.items[b.head]
+	b.items[b.head] = shardResult{}
+	b.full[b.head] = false
+	b.head = (b.head + 1) % len(b.items)
+	return r, true
+}
+
+// hashKey maps a key value to a deterministic 64-bit hash (FNV-1a over
+// the kind tag and raw payload), allocation-free for every kind — in
+// particular it never renders floats or timestamps to strings on the
+// hot path.
+func hashKey(v stream.Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	h ^= uint64(v.Kind())
+	h *= prime64
+	switch v.Kind() {
+	case stream.KindFloat:
+		f, _ := v.AsFloat()
+		mix(math.Float64bits(f))
+	case stream.KindInt:
+		i, _ := v.AsInt()
+		mix(uint64(i))
+	case stream.KindString:
+		str, _ := v.AsString()
+		for i := 0; i < len(str); i++ {
+			h ^= uint64(str[i])
+			h *= prime64
+		}
+	case stream.KindBool:
+		b, _ := v.AsBool()
+		if b {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	case stream.KindTime:
+		t, _ := v.AsTime()
+		mix(uint64(t.UnixNano()))
+	}
+	return h
+}

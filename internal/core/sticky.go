@@ -41,6 +41,15 @@ func (c *Sticky) Eval(t stream.Tuple, tau time.Time) bool {
 	return false
 }
 
+// Reset clears the hold state, returning the condition to its
+// just-constructed state. Per-key factories that hand pre-built sticky
+// conditions to fresh instances (e.g. when stamping per-shard pipelines
+// from a prototype) call Reset to guarantee the instance starts cold.
+func (c *Sticky) Reset() {
+	c.active = false
+	c.activeUntil = time.Time{}
+}
+
 // Describe implements Condition.
 func (c *Sticky) Describe() string {
 	return fmt.Sprintf("sticky(%s, hold %s)", c.Trigger.Describe(), c.Hold)

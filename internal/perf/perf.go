@@ -1,0 +1,297 @@
+// Package perf is the machine-readable performance harness of the
+// repository: it parses `go test -bench` output into a JSON report
+// (BENCH_*.json), compares reports against a committed baseline, and
+// powers the CI perf-regression gate (`make bench` / `make perfgate`).
+// It is a minimal, stdlib-only take on what golang.org/x/perf/benchstat
+// does for full statistical workflows.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is the aggregated measurement of one benchmark.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (sub-benchmark paths are preserved).
+	Name string `json:"name"`
+	// Iterations is the total b.N across all samples.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the mean ns/op across samples.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BPerOp is the mean B/op (present only with -benchmem).
+	BPerOp float64 `json:"b_per_op,omitempty"`
+	// AllocsPerOp is the mean allocs/op (present only with -benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// MBPerS is the mean MB/s (present only for benchmarks that call
+	// b.SetBytes).
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// Samples is the number of result lines aggregated (e.g. -count=N).
+	Samples int `json:"samples"`
+}
+
+// Report is one benchmark run rendered machine-readable.
+type Report struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPU        string            `json:"cpu,omitempty"`
+	When       time.Time         `json:"when"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// NewReport returns an empty report stamped with the current toolchain.
+func NewReport() *Report {
+	return &Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		When:       time.Now().UTC(),
+		Benchmarks: map[string]Result{},
+	}
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix go test appends
+// to benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo"), leaving
+// sub-benchmark paths ("BenchmarkFoo/n=10-8" → "BenchmarkFoo/n=10")
+// intact.
+func normalizeName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	iterations int64
+	nsPerOp    float64
+	bPerOp     float64
+	hasB       bool
+	allocs     float64
+	hasAllocs  bool
+	mbPerS     float64
+	hasMB      bool
+}
+
+// parseLine parses one `BenchmarkX-N  iters  123 ns/op ...` line. ok is
+// false for non-benchmark lines.
+func parseLine(line string) (name string, s sample, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s.iterations = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+		case "B/op":
+			s.bPerOp, s.hasB = v, true
+		case "allocs/op":
+			s.allocs, s.hasAllocs = v, true
+		case "MB/s":
+			s.mbPerS, s.hasMB = v, true
+		}
+	}
+	if s.nsPerOp == 0 && s.iterations == 0 {
+		return "", sample{}, false
+	}
+	return normalizeName(fields[0]), s, true
+}
+
+// Parse reads `go test -bench` text output and aggregates it into a
+// Report. Repeated samples of the same benchmark (-count=N) are
+// averaged. Context lines (goos/goarch/cpu) are captured when present.
+func Parse(r io.Reader) (*Report, error) {
+	rep := NewReport()
+	type agg struct {
+		sum     sample
+		samples int
+	}
+	aggs := map[string]*agg{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		}
+		name, s, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		a := aggs[name]
+		if a == nil {
+			a = &agg{}
+			aggs[name] = a
+		}
+		a.sum.iterations += s.iterations
+		a.sum.nsPerOp += s.nsPerOp
+		a.sum.bPerOp += s.bPerOp
+		a.sum.hasB = a.sum.hasB || s.hasB
+		a.sum.allocs += s.allocs
+		a.sum.hasAllocs = a.sum.hasAllocs || s.hasAllocs
+		a.sum.mbPerS += s.mbPerS
+		a.sum.hasMB = a.sum.hasMB || s.hasMB
+		a.samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: scan bench output: %w", err)
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("perf: no benchmark results found in input")
+	}
+	for name, a := range aggs {
+		k := float64(a.samples)
+		res := Result{
+			Name:       name,
+			Iterations: a.sum.iterations,
+			NsPerOp:    a.sum.nsPerOp / k,
+			Samples:    a.samples,
+		}
+		if a.sum.hasB {
+			res.BPerOp = a.sum.bPerOp / k
+		}
+		if a.sum.hasAllocs {
+			res.AllocsPerOp = a.sum.allocs / k
+		}
+		if a.sum.hasMB {
+			res.MBPerS = a.sum.mbPerS / k
+		}
+		rep.Benchmarks[name] = res
+	}
+	return rep, nil
+}
+
+// WriteFile persists the report as indented JSON with a trailing
+// newline, so BENCH_*.json diffs cleanly in git.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perf: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse report %s: %w", path, err)
+	}
+	if r.Benchmarks == nil {
+		return nil, fmt.Errorf("perf: report %s has no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// Delta is one baseline-vs-current benchmark comparison.
+type Delta struct {
+	Name string
+	// Base and Cur are the two measurements.
+	Base, Cur Result
+	// NsRatio is cur.NsPerOp / base.NsPerOp (>1 means slower).
+	NsRatio float64
+	// AllocRatio is cur.AllocsPerOp / base.AllocsPerOp (>1 means more
+	// allocations); 0 when the baseline records no allocations.
+	AllocRatio float64
+}
+
+// Speedup returns how many times faster the current run is (>1 is an
+// improvement).
+func (d Delta) Speedup() float64 {
+	if d.Cur.NsPerOp == 0 {
+		return 0
+	}
+	return d.Base.NsPerOp / d.Cur.NsPerOp
+}
+
+// Compare pairs up the benchmarks present in both reports, sorted by
+// name. Benchmarks present in only one report are skipped — new
+// benchmarks must not fail the gate against an older baseline.
+func Compare(base, cur *Report) []Delta {
+	var out []Delta
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		d := Delta{Name: name, Base: b, Cur: c}
+		if b.NsPerOp > 0 {
+			d.NsRatio = c.NsPerOp / b.NsPerOp
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocRatio = c.AllocsPerOp / b.AllocsPerOp
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Gate checks current against baseline and returns the deltas whose
+// ns/op regressed by more than maxRegress (0.20 = +20%). An empty
+// result means the gate passes.
+func Gate(base, cur *Report, maxRegress float64) []Delta {
+	var bad []Delta
+	for _, d := range Compare(base, cur) {
+		if d.NsRatio > 1+maxRegress {
+			bad = append(bad, d)
+		}
+	}
+	return bad
+}
+
+// FormatTable renders deltas as an aligned text table for gate output.
+func FormatTable(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "cur ns/op", "ratio", "allocs")
+	for _, d := range deltas {
+		alloc := "n/a"
+		if d.Base.AllocsPerOp > 0 {
+			alloc = fmt.Sprintf("%.2fx", d.AllocRatio)
+		}
+		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %7.2fx %10s\n",
+			d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, d.NsRatio, alloc)
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package perf
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchFixture = `goos: linux
+goarch: amd64
+pkg: icewafl
+cpu: AMD EPYC 7B13
+BenchmarkPollutionTupleWise-8   	     402	   2993971 ns/op	 2560723 B/op	   20019 allocs/op
+BenchmarkPollutionTupleWise-8   	     400	   3006029 ns/op	 2560723 B/op	   20019 allocs/op
+BenchmarkPollutionMicroBatch-8  	     478	   2503626 ns/op	 2460884 B/op	   10184 allocs/op
+BenchmarkFigure8RuntimeOverhead/polluters=1-8         	     537	   2231270 ns/op
+BenchmarkThroughput-8           	    1000	   1048576 ns/op	 100.00 MB/s
+PASS
+ok  	icewafl	8.456s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Errorf("context lines not captured: goos=%q goarch=%q", rep.GOOS, rep.GOARCH)
+	}
+	if rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4: %v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	tw, ok := rep.Benchmarks["BenchmarkPollutionTupleWise"]
+	if !ok {
+		t.Fatal("BenchmarkPollutionTupleWise missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if tw.Samples != 2 {
+		t.Errorf("samples = %d, want 2", tw.Samples)
+	}
+	wantNs := (2993971.0 + 3006029.0) / 2
+	if math.Abs(tw.NsPerOp-wantNs) > 1 {
+		t.Errorf("ns/op = %f, want %f", tw.NsPerOp, wantNs)
+	}
+	if tw.AllocsPerOp != 20019 {
+		t.Errorf("allocs/op = %f, want 20019", tw.AllocsPerOp)
+	}
+	if tw.BPerOp != 2560723 {
+		t.Errorf("B/op = %f, want 2560723", tw.BPerOp)
+	}
+	if tw.Iterations != 802 {
+		t.Errorf("iterations = %d, want 802", tw.Iterations)
+	}
+
+	sub, ok := rep.Benchmarks["BenchmarkFigure8RuntimeOverhead/polluters=1"]
+	if !ok {
+		t.Fatal("sub-benchmark name not preserved")
+	}
+	if sub.NsPerOp != 2231270 {
+		t.Errorf("sub ns/op = %f", sub.NsPerOp)
+	}
+
+	thr := rep.Benchmarks["BenchmarkThroughput"]
+	if thr.MBPerS != 100 {
+		t.Errorf("MB/s = %f, want 100", thr.MBPerS)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok  \ticewafl\t0.001s\n")); err == nil {
+		t.Fatal("Parse accepted input without benchmark lines")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo/n=10-8": "BenchmarkFoo/n=10",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d vs %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	for name, want := range rep.Benchmarks {
+		got, ok := back.Benchmarks[name]
+		if !ok {
+			t.Errorf("benchmark %s lost in round trip", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("benchmark %s changed: %+v vs %+v", name, got, want)
+		}
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("ReadFile accepted a missing file")
+	}
+}
+
+func mkReport(benches map[string][2]float64) *Report {
+	r := NewReport()
+	for name, v := range benches {
+		r.Benchmarks[name] = Result{Name: name, NsPerOp: v[0], AllocsPerOp: v[1], Samples: 1}
+	}
+	return r
+}
+
+func TestCompareAndGate(t *testing.T) {
+	base := mkReport(map[string][2]float64{
+		"BenchmarkA": {1000, 10},
+		"BenchmarkB": {2000, 0},
+		"BenchmarkC": {3000, 5}, // absent from current: must be skipped
+	})
+	cur := mkReport(map[string][2]float64{
+		"BenchmarkA": {1300, 5}, // +30% slower, half the allocs
+		"BenchmarkB": {1000, 0}, // 2x faster
+		"BenchmarkD": {99, 1},   // new benchmark: must be skipped
+	})
+
+	deltas := Compare(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("Compare returned %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	// Sorted by name.
+	if deltas[0].Name != "BenchmarkA" || deltas[1].Name != "BenchmarkB" {
+		t.Errorf("deltas not sorted by name: %s, %s", deltas[0].Name, deltas[1].Name)
+	}
+	if math.Abs(deltas[0].NsRatio-1.3) > 1e-9 {
+		t.Errorf("NsRatio = %f, want 1.3", deltas[0].NsRatio)
+	}
+	if math.Abs(deltas[0].AllocRatio-0.5) > 1e-9 {
+		t.Errorf("AllocRatio = %f, want 0.5", deltas[0].AllocRatio)
+	}
+	if deltas[1].AllocRatio != 0 {
+		t.Errorf("AllocRatio with zero-alloc baseline = %f, want 0", deltas[1].AllocRatio)
+	}
+	if s := deltas[1].Speedup(); math.Abs(s-2) > 1e-9 {
+		t.Errorf("Speedup = %f, want 2", s)
+	}
+
+	bad := Gate(base, cur, 0.20)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkA" {
+		t.Fatalf("Gate(0.20) = %+v, want only BenchmarkA", bad)
+	}
+	if bad = Gate(base, cur, 0.50); len(bad) != 0 {
+		t.Errorf("Gate(0.50) flagged %+v, want none", bad)
+	}
+
+	table := FormatTable(Gate(base, cur, 0.20))
+	if !strings.Contains(table, "BenchmarkA") || !strings.Contains(table, "1.30x") {
+		t.Errorf("FormatTable output missing expected content:\n%s", table)
+	}
+}

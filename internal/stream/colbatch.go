@@ -1,0 +1,341 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file implements the columnar micro-batch representation of the
+// hot-path engine. A ColumnBatch stores a micro-batch of tuples
+// column-wise — one dense payload array per attribute and kind — instead
+// of row-wise []Value slices. The layout has two purposes:
+//
+//   - Micro-batch pipelines stop allocating per tuple: a batch is a
+//     handful of flat arrays that are reused (Reset) across batches, and
+//     row views materialise into caller-provided or pooled buffers.
+//   - Columnar kernels (validation, statistics, vectorised pollution)
+//     can scan a float column as a plain []float64 without unboxing one
+//     dynamically typed Value per cell.
+//
+// Mixed-kind columns are supported — pollution routinely turns a float
+// cell into NULL or an outlier of another kind — by keeping a per-cell
+// kind tag next to the per-kind payload arrays. Payload arrays are
+// allocated lazily per kind, so a clean float column costs exactly one
+// []float64 and one []Kind.
+
+// ColumnBatch is a columnar micro-batch over one schema. The zero value
+// is not usable; construct with NewColumnBatch.
+type ColumnBatch struct {
+	schema *Schema
+	n      int
+	cols   []batchColumn
+
+	// Row metadata, parallel to the rows.
+	ids         []uint64
+	subStreams  []int32
+	eventTimes  []time.Time
+	arrivals    []time.Time
+	dropped     []bool
+	quarantined []bool
+}
+
+// batchColumn holds one attribute column: a per-cell kind tag plus
+// lazily allocated per-kind payload arrays indexed by row.
+type batchColumn struct {
+	kinds  []Kind
+	floats []float64
+	ints   []int64
+	strs   []string
+	bools  []bool
+	times  []time.Time
+}
+
+// NewColumnBatch returns an empty batch over schema with capacity for
+// the given number of rows (grown automatically beyond it).
+func NewColumnBatch(schema *Schema, capacity int) *ColumnBatch {
+	if capacity < 0 {
+		capacity = 0
+	}
+	b := &ColumnBatch{schema: schema, cols: make([]batchColumn, schema.Len())}
+	b.ids = make([]uint64, 0, capacity)
+	b.subStreams = make([]int32, 0, capacity)
+	b.eventTimes = make([]time.Time, 0, capacity)
+	b.arrivals = make([]time.Time, 0, capacity)
+	b.dropped = make([]bool, 0, capacity)
+	b.quarantined = make([]bool, 0, capacity)
+	for i := range b.cols {
+		b.cols[i].kinds = make([]Kind, 0, capacity)
+	}
+	return b
+}
+
+// Schema returns the batch schema.
+func (b *ColumnBatch) Schema() *Schema { return b.schema }
+
+// Len returns the number of rows.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// Reset empties the batch while keeping every backing array, so the same
+// ColumnBatch is reused batch after batch with zero steady-state
+// allocation.
+func (b *ColumnBatch) Reset() {
+	b.n = 0
+	b.ids = b.ids[:0]
+	b.subStreams = b.subStreams[:0]
+	b.eventTimes = b.eventTimes[:0]
+	b.arrivals = b.arrivals[:0]
+	b.dropped = b.dropped[:0]
+	b.quarantined = b.quarantined[:0]
+	for i := range b.cols {
+		c := &b.cols[i]
+		c.kinds = c.kinds[:0]
+		c.floats = c.floats[:0]
+		c.ints = c.ints[:0]
+		// Clear string/time payloads so pooled batches don't pin memory.
+		for j := range c.strs {
+			c.strs[j] = ""
+		}
+		c.strs = c.strs[:0]
+		c.bools = c.bools[:0]
+		c.times = c.times[:0]
+	}
+}
+
+// grow appends one zero row to every payload array a column already
+// carries, keeping the arrays row-aligned.
+func (c *batchColumn) grow(row int) {
+	c.kinds = append(c.kinds, KindNull)
+	if c.floats != nil || cap(c.floats) > 0 {
+		c.floats = append(c.floats, 0)
+	}
+	if c.ints != nil || cap(c.ints) > 0 {
+		c.ints = append(c.ints, 0)
+	}
+	if c.strs != nil || cap(c.strs) > 0 {
+		c.strs = append(c.strs, "")
+	}
+	if c.bools != nil || cap(c.bools) > 0 {
+		c.bools = append(c.bools, false)
+	}
+	if c.times != nil || cap(c.times) > 0 {
+		c.times = append(c.times, time.Time{})
+	}
+	_ = row
+}
+
+// ensure makes the payload array for kind k row-aligned with the column,
+// allocating it on first use.
+func (c *batchColumn) ensure(k Kind, rows int) {
+	switch k {
+	case KindFloat:
+		for len(c.floats) < rows {
+			c.floats = append(c.floats, 0)
+		}
+	case KindInt:
+		for len(c.ints) < rows {
+			c.ints = append(c.ints, 0)
+		}
+	case KindString:
+		for len(c.strs) < rows {
+			c.strs = append(c.strs, "")
+		}
+	case KindBool:
+		for len(c.bools) < rows {
+			c.bools = append(c.bools, false)
+		}
+	case KindTime:
+		for len(c.times) < rows {
+			c.times = append(c.times, time.Time{})
+		}
+	}
+}
+
+// set stores v at row (which must already exist in the column).
+func (c *batchColumn) set(row int, v Value) {
+	k := v.Kind()
+	c.kinds[row] = k
+	switch k {
+	case KindFloat:
+		c.ensure(KindFloat, row+1)
+		c.floats[row], _ = v.AsFloat()
+	case KindInt:
+		c.ensure(KindInt, row+1)
+		c.ints[row], _ = v.AsInt()
+	case KindString:
+		c.ensure(KindString, row+1)
+		c.strs[row], _ = v.AsString()
+	case KindBool:
+		c.ensure(KindBool, row+1)
+		c.bools[row], _ = v.AsBool()
+	case KindTime:
+		c.ensure(KindTime, row+1)
+		c.times[row], _ = v.AsTime()
+	}
+}
+
+// value reads the cell at row.
+func (c *batchColumn) value(row int) Value {
+	switch c.kinds[row] {
+	case KindFloat:
+		return Float(c.floats[row])
+	case KindInt:
+		return Int(c.ints[row])
+	case KindString:
+		return Str(c.strs[row])
+	case KindBool:
+		return Bool(c.bools[row])
+	case KindTime:
+		return Time(c.times[row])
+	}
+	return Null()
+}
+
+// AppendTuple appends one row copied from t. The tuple's schema must
+// match the batch schema (same width; the caller guarantees field
+// compatibility, as everywhere else in the engine).
+func (b *ColumnBatch) AppendTuple(t Tuple) error {
+	if t.Len() != b.schema.Len() {
+		return fmt.Errorf("stream: column batch of width %d cannot hold tuple of width %d", b.schema.Len(), t.Len())
+	}
+	row := b.n
+	b.ids = append(b.ids, t.ID)
+	b.subStreams = append(b.subStreams, int32(t.SubStream))
+	b.eventTimes = append(b.eventTimes, t.EventTime)
+	b.arrivals = append(b.arrivals, t.Arrival)
+	b.dropped = append(b.dropped, t.Dropped)
+	b.quarantined = append(b.quarantined, t.Quarantined)
+	for i := range b.cols {
+		b.cols[i].grow(row)
+		b.cols[i].set(row, t.At(i))
+	}
+	b.n++
+	return nil
+}
+
+// Value returns the cell at (row, col).
+func (b *ColumnBatch) Value(row, col int) Value { return b.cols[col].value(row) }
+
+// SetValue overwrites the cell at (row, col).
+func (b *ColumnBatch) SetValue(row, col int, v Value) { b.cols[col].set(row, v) }
+
+// ID returns the tuple ID of row.
+func (b *ColumnBatch) ID(row int) uint64 { return b.ids[row] }
+
+// EventTime returns τ of row.
+func (b *ColumnBatch) EventTime(row int) time.Time { return b.eventTimes[row] }
+
+// Floats returns the dense float payload of column col together with the
+// per-row kind tags. A cell holds a valid float only where kinds[row] ==
+// KindFloat; columnar kernels branch on the tag. The returned slices
+// alias the batch and are invalidated by Reset.
+func (b *ColumnBatch) Floats(col int) (payload []float64, kinds []Kind) {
+	c := &b.cols[col]
+	c.ensure(KindFloat, b.n)
+	return c.floats[:b.n], c.kinds[:b.n]
+}
+
+// RowInto materialises row into a Tuple whose values live in buf (grown
+// if needed). The metadata (ID, sub-stream, event time, arrival, flags)
+// is restored exactly, so batching a stream and replaying it is
+// lossless.
+func (b *ColumnBatch) RowInto(buf []Value, row int) Tuple {
+	w := b.schema.Len()
+	if cap(buf) < w {
+		buf = make([]Value, w)
+	}
+	buf = buf[:w]
+	for i := range b.cols {
+		buf[i] = b.cols[i].value(row)
+	}
+	t := NewTuple(b.schema, buf)
+	t.ID = b.ids[row]
+	t.SubStream = int(b.subStreams[row])
+	t.EventTime = b.eventTimes[row]
+	t.Arrival = b.arrivals[row]
+	t.Dropped = b.dropped[row]
+	t.Quarantined = b.quarantined[row]
+	return t
+}
+
+// Row materialises row into a freshly allocated tuple.
+func (b *ColumnBatch) Row(row int) Tuple { return b.RowInto(nil, row) }
+
+// BatchColumnar groups a bounded stream into columnar micro-batches of
+// at most size rows each. It is the columnar analogue of Batch.
+func BatchColumnar(src Source, size int) ([]*ColumnBatch, error) {
+	if size < 1 {
+		size = 1
+	}
+	var batches []*ColumnBatch
+	cur := NewColumnBatch(src.Schema(), size)
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := cur.AppendTuple(t); err != nil {
+			return nil, err
+		}
+		if cur.Len() == size {
+			batches = append(batches, cur)
+			cur = NewColumnBatch(src.Schema(), size)
+		}
+	}
+	if cur.Len() > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// FromColumnBatches replays columnar micro-batches as a tuple-wise
+// stream. With a non-nil pool the source follows loan semantics: every
+// emitted tuple's buffer is drawn from (and, on the following Next,
+// returned to) the pool, so replay allocates nothing in steady state;
+// consumers must not retain emitted tuples across pulls. With a nil pool
+// each row materialises into a fresh buffer.
+func FromColumnBatches(schema *Schema, batches []*ColumnBatch, pool *TuplePool) Source {
+	return &columnBatchSource{schema: schema, batches: batches, pool: pool}
+}
+
+type columnBatchSource struct {
+	schema  *Schema
+	batches []*ColumnBatch
+	pool    *TuplePool
+	bi, ri  int
+	prev    Tuple
+	held    bool
+}
+
+// Schema implements Source.
+func (s *columnBatchSource) Schema() *Schema { return s.schema }
+
+// Next implements Source.
+func (s *columnBatchSource) Next() (Tuple, error) {
+	if s.held {
+		s.pool.ReleaseTuple(s.prev)
+		s.held = false
+		s.prev = Tuple{}
+	}
+	for s.bi < len(s.batches) && s.ri >= s.batches[s.bi].Len() {
+		s.bi++
+		s.ri = 0
+	}
+	if s.bi >= len(s.batches) {
+		return Tuple{}, io.EOF
+	}
+	var buf []Value
+	if s.pool != nil {
+		buf = s.pool.Get()
+	}
+	t := s.batches[s.bi].RowInto(buf, s.ri)
+	s.ri++
+	if s.pool != nil {
+		s.prev = t
+		s.held = true
+	}
+	return t, nil
+}

@@ -37,9 +37,58 @@ type parallelMapSource struct {
 	done     chan struct{}
 	stopOnce sync.Once
 	err      error
-	pending  map[uint64]Tuple
+	pending  reorderBuf
 	nextSeq  uint64
 	closed   bool
+}
+
+// reorderBuf is a circular buffer restoring input order over the
+// out-of-order completions of the worker pool. Results are stored at
+// their distance from the next sequence number to emit. The buffer grows
+// to the pipeline's in-flight bound once and is then reused for the rest
+// of the stream — unlike the map it replaces, steady-state operation
+// performs no per-tuple allocation.
+type reorderBuf struct {
+	items []Tuple
+	full  []bool
+	head  int
+}
+
+func (b *reorderBuf) grow(min int) {
+	capNew := 8
+	for capNew < min {
+		capNew *= 2
+	}
+	items := make([]Tuple, capNew)
+	full := make([]bool, capNew)
+	for i := range b.items {
+		src := (b.head + i) % len(b.items)
+		items[i] = b.items[src]
+		full[i] = b.full[src]
+	}
+	b.items, b.full, b.head = items, full, 0
+}
+
+// put stores t at the given distance from the next emission slot.
+func (b *reorderBuf) put(offset int, t Tuple) {
+	if offset >= len(b.items) {
+		b.grow(offset + 1)
+	}
+	i := (b.head + offset) % len(b.items)
+	b.items[i] = t
+	b.full[i] = true
+}
+
+// takeNext removes and returns the next in-order result, if present.
+func (b *reorderBuf) takeNext() (Tuple, bool) {
+	if len(b.items) == 0 || !b.full[b.head] {
+		return Tuple{}, false
+	}
+	t := b.items[b.head]
+	b.items[b.head] = Tuple{}
+	b.full[b.head] = false
+	b.head = (b.head + 1) % len(b.items)
+	return t, true
 }
 
 type parallelResult struct {
@@ -52,7 +101,6 @@ func (p *parallelMapSource) Schema() *Schema { return p.schema }
 
 func (p *parallelMapSource) start() {
 	p.started = true
-	p.pending = make(map[uint64]Tuple)
 	p.out = make(chan parallelResult, p.workers*2)
 	p.done = make(chan struct{})
 	in := make(chan parallelResult, p.workers*2)
@@ -120,8 +168,7 @@ func (p *parallelMapSource) Next() (Tuple, error) {
 	}
 	for {
 		if p.err == nil {
-			if t, ok := p.pending[p.nextSeq]; ok {
-				delete(p.pending, p.nextSeq)
+			if t, ok := p.pending.takeNext(); ok {
 				p.nextSeq++
 				return t, nil
 			}
@@ -148,7 +195,9 @@ func (p *parallelMapSource) Next() (Tuple, error) {
 			continue
 		}
 		if p.err == nil {
-			p.pending[res.seq] = res.t
+			// res.seq >= p.nextSeq always holds: sequences are unique and
+			// emitted sequences never re-enter the pipeline.
+			p.pending.put(int(res.seq-p.nextSeq), res.t)
 		}
 	}
 }

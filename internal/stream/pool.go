@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file implements the allocation-lean tuple hot path: a buffer pool
+// for the []Value backing arrays of tuples, plus the two operators that
+// put it to work — a pooled deep-copy map stage and a recycling stage
+// that returns buffers to the pool once the consumer has moved past
+// them. Together they turn the per-tuple "clone, pollute, discard" cycle
+// of a pollution run from two heap allocations per tuple into zero
+// steady-state allocations: the same handful of buffers circulates
+// between the clone stage and the recycler for the whole run.
+//
+// Ownership protocol. A buffer obtained from a TuplePool is owned by
+// exactly one tuple at a time. CloneTuple transfers a fresh buffer to
+// the returned tuple; ReleaseTuple (or the Recycle operator) hands it
+// back. Returning a buffer that is still referenced elsewhere is a
+// use-after-free class bug — the standard streaming discipline applies:
+// operators own the tuples they emit until the consumer pulls the next
+// one.
+
+// TuplePool recycles equally sized []Value backing arrays. It is safe
+// for concurrent use; the per-Get cost is one uncontended mutex
+// acquisition, and no allocation happens on either Get or Put once the
+// pool has warmed up. (A sync.Pool is deliberately not used here: slices
+// are not pointer-shaped, so every Put through a sync.Pool would box the
+// slice header and re-introduce the very allocation the pool exists to
+// remove.)
+type TuplePool struct {
+	width   int
+	maxFree int
+
+	// fast is a single-buffer fast path: the data pointer of the most
+	// recently returned buffer. The steady state of a pollution run is
+	// one buffer circulating between the clone stage and the recycler,
+	// so almost every Get/Put pair is served by one atomic swap and one
+	// compare-and-swap instead of two mutex round trips. All buffers
+	// share the pool width, so the slice is reconstructed losslessly
+	// with unsafe.Slice(ptr, width).
+	fast     atomic.Pointer[Value]
+	fastHits atomic.Uint64
+
+	mu     sync.Mutex
+	free   [][]Value
+	hits   uint64
+	misses uint64
+}
+
+// DefaultPoolRetain is the default cap on the number of idle buffers a
+// TuplePool retains. It comfortably covers the deepest in-flight window
+// of the engine (reorder buffers, parallel workers, micro-batches)
+// while bounding idle memory.
+const DefaultPoolRetain = 4096
+
+// NewTuplePool returns a pool of value buffers for tuples of the given
+// width (schema.Len()).
+func NewTuplePool(width int) *TuplePool {
+	if width < 0 {
+		width = 0
+	}
+	return &TuplePool{width: width, maxFree: DefaultPoolRetain}
+}
+
+// NewTuplePoolFor returns a pool sized for tuples of schema.
+func NewTuplePoolFor(schema *Schema) *TuplePool { return NewTuplePool(schema.Len()) }
+
+// Width returns the buffer width the pool serves.
+func (p *TuplePool) Width() int { return p.width }
+
+// Get returns a value buffer of length Width. The contents are
+// unspecified; callers overwrite every slot.
+func (p *TuplePool) Get() []Value {
+	if p.width > 0 {
+		if ptr := p.fast.Swap(nil); ptr != nil {
+			p.fastHits.Add(1)
+			return unsafe.Slice(ptr, p.width)
+		}
+	}
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		vs := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.hits++
+		p.mu.Unlock()
+		return vs
+	}
+	p.misses++
+	p.mu.Unlock()
+	return make([]Value, p.width)
+}
+
+// Put returns a buffer to the pool. Buffers of the wrong width (e.g.
+// from a tuple that never came from this pool) are dropped silently, so
+// Put is always safe to call on owned buffers.
+func (p *TuplePool) Put(vs []Value) {
+	if cap(vs) < p.width {
+		return
+	}
+	vs = vs[:p.width]
+	// Drop string references so pooled buffers don't pin payloads. The
+	// other fields need no clearing (Get's contract leaves contents
+	// unspecified), and a full Value{} store per slot would cost a
+	// duffzero on the hot path.
+	for i := range vs {
+		vs[i].s = ""
+	}
+	if p.width > 0 && p.fast.CompareAndSwap(nil, &vs[0]) {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.maxFree {
+		p.free = append(p.free, vs)
+	}
+	p.mu.Unlock()
+}
+
+// CloneTuple returns a deep copy of t whose value buffer comes from the
+// pool. Metadata (ID, event time, arrival, flags) is copied verbatim.
+func (p *TuplePool) CloneTuple(t Tuple) Tuple {
+	c := t
+	buf := p.Get()
+	if len(buf) != len(t.values) {
+		// Width mismatch (schema narrower/wider than the pool): fall back
+		// to an exact-size private buffer; Put will drop it later.
+		buf = make([]Value, len(t.values))
+	}
+	copy(buf, t.values)
+	c.values = buf
+	return c
+}
+
+// ReleaseTuple returns t's value buffer to the pool. The caller must not
+// use t (or any alias of its values) afterwards.
+func (p *TuplePool) ReleaseTuple(t Tuple) { p.Put(t.values) }
+
+// Stats reports pool effectiveness: hits are Gets served from the free
+// list, misses are Gets that had to allocate.
+func (p *TuplePool) Stats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits + p.fastHits.Load(), p.misses
+}
+
+// Idle returns the number of buffers currently retained (including the
+// single-buffer fast slot).
+func (p *TuplePool) Idle() int {
+	n := 0
+	if p.fast.Load() != nil {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return n + len(p.free)
+}
+
+// PooledClone returns a MapFunc that deep-copies every tuple into a
+// pooled buffer — the allocation-free analogue of Tuple.Clone for
+// protecting a shared backing slice from in-place pollution. Pair it
+// with Recycle downstream to return the buffers.
+func PooledClone(p *TuplePool) MapFunc {
+	return func(t Tuple) Tuple { return p.CloneTuple(t) }
+}
+
+// Recycle wraps src with loan semantics: each call to Next first returns
+// the previously emitted tuple's value buffer to the pool, then pulls
+// the next tuple. The consumer therefore owns an emitted tuple only
+// until its next pull — exactly the contract of Copy, Drain-free sinks,
+// and serialising writers. Consumers that retain tuples (CollectSink,
+// Drain) must clone them first or must not use Recycle.
+func Recycle(src Source, p *TuplePool) Source {
+	return &recycleSource{src: src, pool: p}
+}
+
+type recycleSource struct {
+	src  Source
+	pool *TuplePool
+	// prev holds only the loaned buffer of the previously emitted tuple —
+	// not the whole (fat) Tuple — so the hot loop copies 24 bytes instead
+	// of a full struct per emission.
+	prev []Value
+}
+
+// Schema implements Source.
+func (r *recycleSource) Schema() *Schema { return r.src.Schema() }
+
+// Next implements Source.
+func (r *recycleSource) Next() (Tuple, error) {
+	if r.prev != nil {
+		r.pool.Put(r.prev)
+		r.prev = nil
+	}
+	t, err := r.src.Next()
+	if err != nil {
+		return t, err
+	}
+	r.prev = t.values
+	return t, nil
+}
+
+// Stop implements Stopper, releasing the in-flight buffer.
+func (r *recycleSource) Stop() {
+	if r.prev != nil {
+		r.pool.Put(r.prev)
+		r.prev = nil
+	}
+	stopSource(r.src)
+}

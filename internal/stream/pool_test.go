@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func poolTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema("ts",
+		Field{Name: "ts", Kind: KindTime},
+		Field{Name: "v", Kind: KindFloat},
+	)
+}
+
+func TestTuplePoolRecyclesBuffers(t *testing.T) {
+	p := NewTuplePool(2)
+	a := p.Get()
+	if len(a) != 2 {
+		t.Fatalf("Get returned len %d, want 2", len(a))
+	}
+	a[0] = Str("payload")
+	p.Put(a)
+	if idle := p.Idle(); idle != 1 {
+		t.Fatalf("idle = %d, want 1", idle)
+	}
+	b := p.Get()
+	if &b[0] != &a[0] {
+		t.Fatal("Get did not reuse the returned buffer")
+	}
+	// Get's contract leaves contents unspecified, but Put must drop
+	// string references so pooled buffers never pin payloads.
+	if s, _ := b[0].AsString(); s != "" {
+		t.Fatalf("Put did not drop the string payload: %q", s)
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestTuplePoolPutWrongWidth(t *testing.T) {
+	p := NewTuplePool(3)
+	p.Put(make([]Value, 1)) // too narrow: dropped
+	if p.Idle() != 0 {
+		t.Fatal("narrow buffer was retained")
+	}
+	p.Put(make([]Value, 5)) // wide enough: truncated and kept
+	if p.Idle() != 1 {
+		t.Fatal("wide buffer was not retained")
+	}
+	if got := p.Get(); len(got) != 3 {
+		t.Fatalf("reused buffer has len %d, want 3", len(got))
+	}
+}
+
+func TestPooledCloneIsDeep(t *testing.T) {
+	schema := poolTestSchema(t)
+	pool := NewTuplePoolFor(schema)
+	orig := NewTuple(schema, []Value{Time(time.Unix(9, 0).UTC()), Float(1.5)})
+	orig.ID = 7
+	c := pool.CloneTuple(orig)
+	c.SetAt(1, Float(99))
+	if got := orig.At(1).MustFloat(); got != 1.5 {
+		t.Fatalf("clone aliased the original: %v", got)
+	}
+	if c.ID != 7 {
+		t.Fatalf("clone lost metadata: ID = %d", c.ID)
+	}
+}
+
+func TestRecycleReturnsBuffersToPool(t *testing.T) {
+	schema := poolTestSchema(t)
+	pool := NewTuplePoolFor(schema)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	src := NewGeneratorSource(schema, 100, func(i int) Tuple {
+		return NewTuple(schema, []Value{Time(base.Add(time.Duration(i) * time.Second)), Float(float64(i))})
+	})
+	recycled := Recycle(Map(src, nil, PooledClone(pool)), pool)
+	n, err := Copy(DiscardSink{}, recycled)
+	if err != nil || n != 100 {
+		t.Fatalf("Copy = (%d, %v), want (100, nil)", n, err)
+	}
+	hits, misses := pool.Stats()
+	if misses > 2 {
+		t.Fatalf("pool missed %d times over 100 tuples; want the buffers to circulate", misses)
+	}
+	if hits < 98 {
+		t.Fatalf("pool hit only %d times over 100 tuples", hits)
+	}
+}
+
+func TestRecycleStopReleasesHeldBuffer(t *testing.T) {
+	schema := poolTestSchema(t)
+	pool := NewTuplePoolFor(schema)
+	src := NewGeneratorSource(schema, 10, func(i int) Tuple {
+		return NewTuple(schema, []Value{Time(time.Unix(int64(i), 0)), Float(0)})
+	})
+	r := Recycle(Map(src, nil, PooledClone(pool)), pool)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	r.(interface{ Stop() }).Stop()
+	if pool.Idle() != 1 {
+		t.Fatalf("Stop left %d idle buffers, want 1", pool.Idle())
+	}
+}
+
+func TestCloneIntoReusesBuffer(t *testing.T) {
+	schema := poolTestSchema(t)
+	orig := NewTuple(schema, []Value{Time(time.Unix(1, 0)), Float(2)})
+	buf := make([]Value, 2)
+	c := orig.CloneInto(buf)
+	if &c.Values()[0] != &buf[0] {
+		t.Fatal("CloneInto did not use the provided buffer")
+	}
+	c.SetAt(1, Float(3))
+	if orig.At(1).MustFloat() != 2 {
+		t.Fatal("CloneInto aliased the original")
+	}
+	// Undersized buffer falls back to allocation.
+	c2 := orig.CloneInto(make([]Value, 0))
+	if !c2.Equal(orig) {
+		t.Fatal("CloneInto fallback lost values")
+	}
+}
+
+func TestRecycleEmptyStream(t *testing.T) {
+	schema := poolTestSchema(t)
+	pool := NewTuplePoolFor(schema)
+	r := Recycle(NewSliceSource(schema, nil), pool)
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next on empty = %v, want EOF", err)
+	}
+}

@@ -63,7 +63,7 @@ func NewSchema(timestamp string, fields ...Field) (*Schema, error) {
 func MustSchema(timestamp string, fields ...Field) *Schema {
 	s, err := NewSchema(timestamp, fields...)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allowpanic Must* contract
 	}
 	return s
 }

@@ -47,7 +47,7 @@ type Tuple struct {
 // always a programming error in a generator or source.
 func NewTuple(schema *Schema, values []Value) Tuple {
 	if len(values) != schema.Len() {
-		panic(fmt.Sprintf("stream: tuple has %d values for schema of %d fields", len(values), schema.Len()))
+		panic(fmt.Sprintf("stream: tuple has %d values for schema of %d fields", len(values), schema.Len())) //lint:allowpanic construction contract
 	}
 	return Tuple{schema: schema, values: values}
 }
@@ -78,7 +78,7 @@ func (t Tuple) Get(name string) (Value, bool) {
 func (t Tuple) MustGet(name string) Value {
 	v, ok := t.Get(name)
 	if !ok {
-		panic(fmt.Sprintf("stream: no attribute %q in schema", name))
+		panic(fmt.Sprintf("stream: no attribute %q in schema", name)) //lint:allowpanic Must* contract
 	}
 	return v
 }
@@ -126,6 +126,20 @@ func (t *Tuple) SetTimestamp(ts time.Time) {
 func (t Tuple) Clone() Tuple {
 	c := t
 	c.values = append([]Value(nil), t.values...)
+	return c
+}
+
+// CloneInto returns a deep copy of the tuple whose values live in buf
+// when buf has sufficient capacity, avoiding the per-clone allocation of
+// Clone. The caller owns buf and must not alias it with t's values.
+func (t Tuple) CloneInto(buf []Value) Tuple {
+	c := t
+	if cap(buf) >= len(t.values) {
+		c.values = buf[:len(t.values)]
+		copy(c.values, t.values)
+	} else {
+		c.values = append([]Value(nil), t.values...)
+	}
 	return c
 }
 

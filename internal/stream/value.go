@@ -157,7 +157,7 @@ func (v Value) AsTime() (time.Time, bool) {
 func (v Value) MustFloat() float64 {
 	f, ok := v.AsFloat()
 	if !ok {
-		panic(fmt.Sprintf("stream: value %v is not numeric", v))
+		panic(fmt.Sprintf("stream: value %v is not numeric", v)) //lint:allowpanic Must* contract
 	}
 	return f
 }
@@ -166,7 +166,7 @@ func (v Value) MustFloat() float64 {
 func (v Value) MustTime() time.Time {
 	t, ok := v.AsTime()
 	if !ok {
-		panic(fmt.Sprintf("stream: value %v is not a timestamp", v))
+		panic(fmt.Sprintf("stream: value %v is not a timestamp", v)) //lint:allowpanic Must* contract
 	}
 	return t
 }
