@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt lint race ci cover bench perfgate fuzz clean
+.PHONY: build test vet fmt lint race racehot ci cover bench perfgate fuzz clean
 
 build:
 	$(GO) build ./...
@@ -36,24 +36,34 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the concurrent hot paths the observability
+# layer instruments (lock-free counters under sharded workers). Runs
+# with -count=2 so the second pass exercises warmed per-worker cells.
+racehot:
+	$(GO) test -race -count=2 ./internal/obs/ ./internal/core/ ./internal/stream/
+
 ci: fmt vet lint race
 
 # Coverage floor for the engine packages. The threshold is deliberately
 # conservative; raise it as the suites grow.
-COVER_MIN ?= 80
+COVER_MIN ?= 82
 
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/stream/ ./internal/core/
+	$(GO) test -coverprofile=cover.out ./internal/stream/ ./internal/core/ ./internal/obs/
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk "BEGIN { exit !($$total >= $(COVER_MIN)) }" || \
 		{ echo "cover: total coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
 # Perf-regression gate. `bench` runs the fixed benchmark subset with
-# -benchmem and records BENCH_pr2.json; `perfgate` diffs it against the
-# committed BENCH_baseline.json and fails on >20% ns/op regressions.
-BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool
-BENCH_OUT ?= BENCH_pr2.json
+# -benchmem and records BENCH_pr3.json; `perfgate` diffs it against the
+# committed BENCH_pr2.json baseline and fails on >20% ns/op regressions
+# or ANY allocs/op growth on zero-alloc-class benchmarks (the pooled
+# hot paths — this is what keeps the nil-registry observability hooks
+# honest).
+BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead
+BENCH_BASELINE ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 MAX_REGRESS ?= 0.20
 
 bench:
@@ -61,15 +71,18 @@ bench:
 	$(GO) run ./cmd/perf record -out $(BENCH_OUT) < bench.txt
 
 perfgate:
-	$(GO) run ./cmd/perf gate -baseline BENCH_baseline.json -current $(BENCH_OUT) -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/perf gate -baseline $(BENCH_BASELINE) -current $(BENCH_OUT) -max-regress $(MAX_REGRESS)
 
-# Short fuzz pass over every fuzz target (value parsing and the
-# quarantine of malformed tuples). Extend FUZZTIME for deeper runs.
+# Short fuzz pass over every fuzz target (value parsing, the quarantine
+# of malformed tuples, and the metrics codec round-trips). Extend
+# FUZZTIME for deeper runs.
 FUZZTIME ?= 15s
 
 fuzz:
 	$(GO) test ./internal/stream/ -run '^$$' -fuzz FuzzParseValue -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/csvio/ -run '^$$' -fuzz FuzzQuarantine -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzPrometheusExposition -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzMetricsJSON -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

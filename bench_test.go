@@ -14,6 +14,7 @@ import (
 	"icewafl/internal/core"
 	"icewafl/internal/dataset"
 	"icewafl/internal/experiments"
+	"icewafl/internal/obs"
 	"icewafl/internal/rng"
 	"icewafl/internal/stream"
 )
@@ -181,6 +182,94 @@ func BenchmarkPollutionTupleWise(b *testing.B) {
 		}
 	}
 	b.SetBytes(10000)
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on
+// the pooled tuple-wise hot path (DESIGN.md §9). Three variants:
+//
+//   - off: proc.Obs is nil — the path every uninstrumented run takes.
+//     Must match BenchmarkPollutionTupleWise within the perf-gate noise
+//     budget and add zero allocations (the instrumentation compiles in
+//     at the cost of one nil check per site).
+//   - on: a live registry with tracing disabled — counters only, no
+//     clock reads, still allocation-free in steady state.
+//   - traced: additionally samples 1-in-64 tuples into the span ring,
+//     paying two clock reads per sampled tuple.
+func BenchmarkObsOverhead(b *testing.B) {
+	schema, tuples := benchStream(10000)
+	run := func(b *testing.B, reg *obs.Registry) {
+		pool := stream.NewTuplePoolFor(schema)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			proc := core.NewProcess(noisePipe(int64(i)))
+			proc.DisableLog = true
+			proc.Obs = reg
+			src := stream.Map(stream.NewSliceSource(schema, tuples), nil, stream.PooledClone(pool))
+			out, _, err := proc.RunStream(src, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := stream.Copy(stream.DiscardSink{}, stream.Recycle(out, pool)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(10000)
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, obs.NewRegistry()) })
+	b.Run("traced", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		reg.SetTraceSampling(64, obs.DefaultTraceCap)
+		run(b, reg)
+	})
+}
+
+// TestObsHotPathAllocFree asserts the tentpole overhead contract as a
+// plain test so `go test` catches alloc regressions without the perf
+// gate: in steady state the pooled hot path performs only per-run setup
+// allocations (process, runner, source chain — a small constant),
+// never per-tuple ones, and attaching a live registry adds none at all.
+func TestObsHotPathAllocFree(t *testing.T) {
+	schema, tuples := benchStream(1000)
+	pool := stream.NewTuplePoolFor(schema)
+	run := func(reg *obs.Registry) func() {
+		seed := int64(0)
+		return func() {
+			seed++
+			proc := core.NewProcess(noisePipe(seed))
+			proc.DisableLog = true
+			proc.Obs = reg
+			src := stream.Map(stream.NewSliceSource(schema, tuples), nil, stream.PooledClone(pool))
+			out, _, err := proc.RunStream(src, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := stream.Copy(stream.DiscardSink{}, stream.Recycle(out, pool)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the pool so the measured runs are steady-state.
+	run(nil)()
+	nilAllocs := testing.AllocsPerRun(10, run(nil))
+	reg := obs.NewRegistry()
+	run(reg)() // warm the registry's lazy structures too
+	onAllocs := testing.AllocsPerRun(10, run(reg))
+	// 1000 tuples flow per run; a per-tuple alloc would cost >=1000.
+	// The setup constant is ~19 (see BENCH_pr2.json); leave headroom.
+	const setupCeiling = 64
+	if nilAllocs > setupCeiling {
+		t.Fatalf("nil-registry hot path allocates %v/run, want <= %d (per-tuple allocation crept in)", nilAllocs, setupCeiling)
+	}
+	// An enabled registry pays O(1) wrapper allocations at run setup
+	// (the observed-source adapter, the DLQ gauge closure) but must stay
+	// allocation-free per tuple: the counters are preallocated padded
+	// cells and the sampler is pure arithmetic.
+	const wrapperBudget = 8
+	if onAllocs > nilAllocs+wrapperBudget {
+		t.Fatalf("enabled registry allocates %v/run vs %v/run with nil registry; per-tuple instrumentation must be alloc-free", onAllocs, nilAllocs)
+	}
 }
 
 // benchSink keeps cloned tuples observable so the compiler cannot

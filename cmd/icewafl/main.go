@@ -32,6 +32,7 @@ import (
 	"icewafl/internal/config"
 	"icewafl/internal/core"
 	"icewafl/internal/csvio"
+	"icewafl/internal/obs"
 	"icewafl/internal/report"
 	"icewafl/internal/schemafile"
 	"icewafl/internal/stream"
@@ -54,6 +55,10 @@ func main() {
 	resume := flag.Bool("resume", false, "continue an interrupted run from the -checkpoint file")
 	checkpointEvery := flag.Int("checkpoint-interval", 0, "tuples between checkpoints (0 = fault_policy's checkpoint_interval, default 5000)")
 	deadOut := flag.String("dead-letters", "", "optional JSON-lines output for quarantined tuples (requires fault_policy.quarantine)")
+	metricsOut := flag.String("metrics", "", "optional metrics snapshot output; written atomically when the run finishes (and periodically with -metrics-interval)")
+	metricsFormat := flag.String("metrics-format", "json", "metrics encoding: json or prom (Prometheus text exposition)")
+	metricsInterval := flag.Duration("metrics-interval", 0, "rewrite the -metrics file this often while the run is live (0 = only at the end)")
+	traceSample := flag.Uint64("trace-sample", 0, "deterministically trace 1 in N tuples through the pipeline stages (0 = off; requires -metrics)")
 	flag.Parse()
 
 	if *schemaPath == "" || *configPath == "" || *inPath == "" || *outPath == "" {
@@ -95,6 +100,11 @@ func main() {
 	if *resume && *checkpointPath == "" {
 		log.Fatal("-resume requires -checkpoint")
 	}
+	if *traceSample > 0 && *metricsOut == "" {
+		log.Fatal("-trace-sample requires -metrics")
+	}
+	metrics := setupMetrics(*metricsOut, *metricsFormat, *metricsInterval, *traceSample)
+	proc.Obs = metrics.registry()
 
 	in := os.Stdin
 	if *inPath != "-" {
@@ -108,7 +118,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	src := withRetry(reader, doc)
+	src := withRetry(reader, doc, metrics.registry())
 
 	if *streaming {
 		if *cleanOut != "" || *reportOut != "" {
@@ -119,6 +129,7 @@ func main() {
 			if interval <= 0 {
 				interval = doc.Fault.Interval()
 			}
+			metrics.start()
 			runCheckpointed(proc, src, schema, checkpointedRun{
 				outPath:  *outPath,
 				logOut:   *logOut,
@@ -129,11 +140,16 @@ func main() {
 				interval: interval,
 				reorder:  *reorder,
 			})
+			metrics.finish()
 			return
 		}
+		metrics.start()
 		runStreaming(proc, src, schema, *outPath, *logOut, *deadOut, *meta, *reorder)
+		metrics.finish()
 		return
 	}
+
+	metrics.start()
 
 	result, err := proc.Run(src)
 	if err != nil {
@@ -155,6 +171,7 @@ func main() {
 	if err := writeAll(out, schema, result.Polluted); err != nil {
 		log.Fatal(err)
 	}
+	proc.Obs.Add(obs.CSinkWrites, uint64(len(result.Polluted)))
 
 	if *cleanOut != "" {
 		cf, err := os.Create(*cleanOut)
@@ -203,13 +220,74 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	metrics.finish()
 	log.Printf("wrote %d tuples (%d errors injected, %d dropped, %d quarantined)",
 		len(result.Polluted), result.Log.Len(), result.DroppedTuples, len(result.Quarantined))
 }
 
+// metricsExport bundles the optional observability wiring of one CLI
+// run: the registry every runner reports into, the snapshot file sink,
+// and the optional live-rewrite ticker. The zero export (no -metrics)
+// is inert: registry() returns nil, start/finish are no-ops.
+type metricsExport struct {
+	reg  *obs.Registry
+	fn   obs.SinkFunc
+	tick *obs.MetricsSink
+}
+
+// setupMetrics builds the export for the given flags. path == ""
+// disables metrics entirely.
+func setupMetrics(path, format string, interval time.Duration, traceSample uint64) *metricsExport {
+	if path == "" {
+		return &metricsExport{}
+	}
+	fn, err := obs.FileSink(path, format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := &metricsExport{reg: obs.NewRegistry(), fn: fn}
+	if traceSample > 0 {
+		m.reg.SetTraceSampling(traceSample, 0)
+	}
+	if interval > 0 {
+		m.tick, err = obs.NewMetricsSink(m.reg, interval, fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return m
+}
+
+// registry returns the run's registry (nil when metrics are off — the
+// engine's hooks are nil-safe).
+func (m *metricsExport) registry() *obs.Registry { return m.reg }
+
+// start launches the periodic rewrite, when configured.
+func (m *metricsExport) start() {
+	if m.tick != nil {
+		m.tick.Start()
+	}
+}
+
+// finish writes the final snapshot (stopping the ticker first).
+func (m *metricsExport) finish() {
+	if m.reg == nil {
+		return
+	}
+	if m.tick != nil {
+		if err := m.tick.Stop(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := m.fn(m.reg.Snapshot()); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // withRetry wraps src in a RetrySource when the configuration enables
-// source retrying.
-func withRetry(src stream.Source, doc *config.Document) stream.Source {
+// source retrying, instrumenting it against the run's registry.
+func withRetry(src stream.Source, doc *config.Document, reg *obs.Registry) stream.Source {
 	policy, ok, err := doc.Fault.RetryPolicy()
 	if err != nil {
 		log.Fatal(err)
@@ -217,7 +295,9 @@ func withRetry(src stream.Source, doc *config.Document) stream.Source {
 	if !ok {
 		return src
 	}
-	return stream.NewRetrySource(src, policy)
+	rs := stream.NewRetrySource(src, policy)
+	rs.Instrument(reg)
+	return rs
 }
 
 // writeDeadLetters persists quarantined tuples as JSON lines.
@@ -256,7 +336,7 @@ func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schem
 	if meta {
 		sink = csvio.NewMetaWriter(out, schema)
 	}
-	n, err := stream.Copy(sink, src)
+	n, err := stream.Copy(stream.ObserveSink(sink, proc.Obs), src)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -395,6 +475,7 @@ func runCheckpointed(proc *core.Process, reader stream.Source, schema *stream.Sc
 		if err := sink.Write(t); err != nil {
 			log.Fatal(err)
 		}
+		proc.Obs.Inc(obs.CSinkWrites)
 		n++
 		if n%opt.interval == 0 {
 			if err := capture(); err != nil {

@@ -89,9 +89,9 @@ func gate(args []string) {
 	}
 	fmt.Print(perf.FormatTable(deltas))
 	if bad := perf.Gate(base, cur, *maxRegress); len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "\nperf gate FAILED: %d benchmark(s) regressed more than %.0f%%:\n%s",
+		fmt.Fprintf(os.Stderr, "\nperf gate FAILED: %d benchmark(s) regressed (ns/op beyond +%.0f%%, or allocs/op growth on a zero-alloc-class benchmark):\n%s",
 			len(bad), *maxRegress*100, perf.FormatTable(bad))
 		os.Exit(1)
 	}
-	fmt.Printf("\nperf gate passed (%d benchmarks within +%.0f%%)\n", len(deltas), *maxRegress*100)
+	fmt.Printf("\nperf gate passed (%d benchmarks within +%.0f%%, no zero-alloc regressions)\n", len(deltas), *maxRegress*100)
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"icewafl/internal/obs"
 	"icewafl/internal/rng"
 	"icewafl/internal/stream"
 )
@@ -670,6 +671,7 @@ type Checkpointer struct {
 	log      *Log
 	dlq      *stream.DeadLetterQueue
 	out      *outputCounter
+	reg      *obs.Registry
 
 	baseIn          uint64
 	baseOut         uint64
@@ -684,9 +686,17 @@ func (c *Checkpointer) DeadLetters() *stream.DeadLetterQueue { return c.dlq }
 // Capture snapshots the run. The returned checkpoint's Offsets map is
 // empty; harnesses add their own file positions before persisting.
 func (c *Checkpointer) Capture() (*Checkpoint, error) {
+	var start time.Time
+	if c.reg != nil {
+		start = time.Now()
+	}
 	st, err := SnapshotPipeline(c.pipeline)
 	if err != nil {
 		return nil, err
+	}
+	if c.reg != nil {
+		c.reg.Inc(obs.CCheckpointWrites)
+		c.reg.ObserveStage(obs.StageCheckpoint, time.Since(start))
 	}
 	logLen := c.baseLog
 	if c.log != nil {
@@ -779,18 +789,15 @@ func (pr *Process) RunStreamCheckpointed(src stream.Source, resume *Checkpoint) 
 		ck.baseLog = resume.LogLen
 		ck.baseQuarantined = resume.Quarantined
 	}
-	var log *Log
-	if !pr.DisableLog {
-		log = NewLog()
-	}
-	dlq := pr.Fault.queue()
+	log := pr.newLog()
+	dlq := pr.instrumentDLQ(pr.Fault.queue())
 	counted := &inputCounter{src: src}
-	var in stream.Source = counted
+	var in stream.Source = stream.ObserveSource(counted, pr.Obs)
 	if pr.Fault.Quarantine {
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
 	prep := stream.NewPrepare(in, firstID)
-	runner := &streamRunner{src: prep, p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq}
+	runner := &streamRunner{src: prep, p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled()}
 	out := &outputCounter{src: runner}
 	ck.input = counted
 	ck.prepare = prep
@@ -798,6 +805,7 @@ func (pr *Process) RunStreamCheckpointed(src stream.Source, resume *Checkpoint) 
 	ck.log = log
 	ck.dlq = dlq
 	ck.out = out
+	ck.reg = pr.Obs
 	return out, log, ck, nil
 }
 

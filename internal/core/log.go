@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"icewafl/internal/obs"
 )
 
 // Entry records one injected error: which polluter hit which tuple, which
@@ -24,6 +26,15 @@ type Entry struct {
 // the pollution process keeps one log per sub-stream and merges them.
 type Log struct {
 	Entries []Entry
+	// Obs, when set, mirrors the log's ground truth into metrics:
+	// Record counts log_entries_total and the per-polluter pollution
+	// counters, Truncate unwinds them, and the polluters report their
+	// condition hit/miss tallies through it. The counters therefore
+	// satisfy sum(polluted_by) == log_entries_total == len(Entries)
+	// exactly, including under quarantine rollback. Merge deliberately
+	// does NOT count: merged entries were already counted by the
+	// sub-stream log that recorded them.
+	Obs *obs.Registry
 }
 
 // NewLog returns an empty log.
@@ -35,6 +46,44 @@ func (l *Log) Record(e Entry) {
 		return
 	}
 	l.Entries = append(l.Entries, e)
+	if l.Obs != nil {
+		l.Obs.Inc(obs.CLogEntries)
+		l.Obs.AddPolluted(e.Polluter, 1)
+	}
+}
+
+// Truncate discards the entries from mark on — the fault-rollback
+// primitive: when a tuple's pollution fails mid-pipeline, the runner
+// rolls the log back to the mark it took before the tuple, so the
+// ground truth only describes delivered tuples. Attached metrics are
+// unwound symmetrically.
+func (l *Log) Truncate(mark int) {
+	if l == nil || mark < 0 || mark >= len(l.Entries) {
+		return
+	}
+	if l.Obs != nil {
+		l.Obs.Sub(obs.CLogEntries, uint64(len(l.Entries)-mark))
+		for i := mark; i < len(l.Entries); i++ {
+			l.Obs.AddPolluted(l.Entries[i].Polluter, -1)
+		}
+	}
+	l.Entries = l.Entries[:mark]
+}
+
+// condHit / condMiss count polluter-gate condition evaluations. They
+// ride on the log because the log is the one object already threaded
+// through every Pollute call; with logging disabled (or no registry
+// attached) they are no-ops.
+func (l *Log) condHit() {
+	if l != nil && l.Obs != nil {
+		l.Obs.Inc(obs.CCondHits)
+	}
+}
+
+func (l *Log) condMiss() {
+	if l != nil && l.Obs != nil {
+		l.Obs.Inc(obs.CCondMisses)
+	}
 }
 
 // Len returns the number of recorded errors.

@@ -42,8 +42,10 @@ func (p *Standard) Name() string { return p.PolluterName }
 // Pollute implements Polluter.
 func (p *Standard) Pollute(t *stream.Tuple, tau time.Time, log *Log) {
 	if !p.Cond.Eval(*t, tau) {
+		log.condMiss()
 		return
 	}
+	log.condHit()
 	p.Err.Apply(t, p.Attrs, tau)
 	if log != nil {
 		log.Record(Entry{
@@ -109,9 +111,14 @@ func (p *Composite) Name() string { return p.PolluterName }
 
 // Pollute implements Polluter.
 func (p *Composite) Pollute(t *stream.Tuple, tau time.Time, log *Log) {
-	if len(p.Children) == 0 || !p.Cond.Eval(*t, tau) {
+	if len(p.Children) == 0 {
 		return
 	}
+	if !p.Cond.Eval(*t, tau) {
+		log.condMiss()
+		return
+	}
+	log.condHit()
 	switch p.Mode {
 	case ModeSequence:
 		for _, c := range p.Children {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"icewafl/internal/obs"
 	"icewafl/internal/stream"
 )
 
@@ -69,6 +70,27 @@ type Process struct {
 	DisableLog bool
 	// Fault selects the fault-tolerance behaviour (zero = fail fast).
 	Fault FaultPolicy
+	// Obs, when non-nil, receives per-stage metrics and sampled traces
+	// for every run of this process. All hooks are nil-safe, so the
+	// uninstrumented hot path pays only a nil check.
+	Obs *obs.Registry
+}
+
+// newLog returns a fresh pollution log wired into the process's
+// registry (nil when logging is disabled).
+func (pr *Process) newLog() *Log {
+	if pr.DisableLog {
+		return nil
+	}
+	l := NewLog()
+	l.Obs = pr.Obs
+	return l
+}
+
+// instrumentDLQ wires a run's dead-letter queue into the registry.
+func (pr *Process) instrumentDLQ(dlq *stream.DeadLetterQueue) *stream.DeadLetterQueue {
+	dlq.Instrument(pr.Obs)
+	return dlq
 }
 
 // Result is the output of one pollution run.
@@ -111,13 +133,15 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 	if firstID == 0 {
 		firstID = 1
 	}
-	dlq := pr.Fault.queue()
+	dlq := pr.instrumentDLQ(pr.Fault.queue())
 
 	// Step 1: prepare and materialise. Materialising the prepared stream
 	// keeps the clean copy D and feeds the sub-stream extraction. With
 	// quarantine enabled, malformed input rows become dead letters
-	// instead of aborting the run.
-	var in stream.Source = stream.WithContext(ctx, src)
+	// instead of aborting the run. Source observation sits between the
+	// raw source and the quarantine wrapper so tuple-level failures are
+	// counted as source errors before they become dead letters.
+	var in stream.Source = stream.ObserveSource(stream.WithContext(ctx, src), pr.Obs)
 	if pr.Fault.Quarantine {
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
@@ -136,14 +160,17 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 	}
 
 	subs := make([][]stream.Tuple, m)
+	tuplesIn := uint64(0)
 	for _, t := range prepared {
 		for _, tgt := range route(t, m) {
 			if tgt < 0 || tgt >= m {
 				continue
 			}
 			subs[tgt] = append(subs[tgt], t.Clone())
+			tuplesIn++
 		}
 	}
+	pr.Obs.Add(obs.CTuplesIn, tuplesIn)
 
 	// Step 2: pollute every sub-stream with its pipeline.
 	logs := make([]*Log, m)
@@ -152,7 +179,8 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 		for i := 0; i < m; i++ {
 			go func(i int) {
 				logs[i] = NewLog()
-				errs <- polluteSub(subs[i], pr.Pipelines[i], logs[i], pr.Fault, dlq)
+				logs[i].Obs = pr.Obs
+				errs <- polluteSub(subs[i], pr.Pipelines[i], logs[i], pr.Fault, dlq, pr.Obs)
 			}(i)
 		}
 		for i := 0; i < m; i++ {
@@ -169,7 +197,8 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 				return nil, fmt.Errorf("core: pollute: %w", stream.ErrStopped)
 			}
 			logs[i] = NewLog()
-			if err := polluteSub(subs[i], pr.Pipelines[i], logs[i], pr.Fault, dlq); err != nil {
+			logs[i].Obs = pr.Obs
+			if err := polluteSub(subs[i], pr.Pipelines[i], logs[i], pr.Fault, dlq, pr.Obs); err != nil {
 				return nil, err
 			}
 		}
@@ -186,10 +215,12 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 			}
 			if t.Dropped {
 				res.DroppedTuples++
+				pr.Obs.Inc(obs.CTuplesDropped)
 				continue
 			}
 			t.SubStream = i
 			res.Polluted = append(res.Polluted, t)
+			pr.Obs.Inc(obs.CTuplesOut)
 		}
 	}
 	stream.SortByArrival(res.Polluted)
@@ -199,16 +230,25 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 	return res, nil
 }
 
-func polluteSub(tuples []stream.Tuple, p *Pipeline, log *Log, fault FaultPolicy, dlq *stream.DeadLetterQueue) error {
+func polluteSub(tuples []stream.Tuple, p *Pipeline, log *Log, fault FaultPolicy, dlq *stream.DeadLetterQueue, reg *obs.Registry) error {
 	if p == nil {
 		return fmt.Errorf("core: nil pipeline")
 	}
+	trace := reg.TraceEnabled()
 	for i := range tuples {
 		before := 0
 		if log != nil {
 			before = len(log.Entries)
 		}
-		ok, dl := polluteOne(p, &tuples[i], log, before, fault)
+		var ok bool
+		var dl *stream.DeadLetter
+		if trace && reg.Sampled(tuples[i].ID) {
+			start := time.Now()
+			ok, dl = polluteOne(p, &tuples[i], log, before, fault)
+			reg.ObserveSpan(obs.StagePollute, tuples[i].ID, time.Since(start))
+		} else {
+			ok, dl = polluteOne(p, &tuples[i], log, before, fault)
+		}
 		if !ok {
 			if err := fault.record(dlq, *dl); err != nil {
 				return err
@@ -264,21 +304,18 @@ func (pr *Process) RunStream(src stream.Source, reorderWindow int) (stream.Sourc
 	if firstID == 0 {
 		firstID = 1
 	}
-	var log *Log
-	if !pr.DisableLog {
-		log = NewLog()
-	}
+	log := pr.newLog()
 	// Streaming mode takes ownership of the source's tuples: sources
 	// produce a fresh tuple per Next call, so in-place pollution is safe
 	// and the per-tuple clone of batch mode is unnecessary. Preparation,
 	// pollution and drop-filtering are fused into one operator to keep
 	// the per-tuple cost minimal.
-	dlq := pr.Fault.queue()
-	var in stream.Source = src
+	dlq := pr.instrumentDLQ(pr.Fault.queue())
+	var in stream.Source = stream.ObserveSource(src, pr.Obs)
 	if pr.Fault.Quarantine {
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
-	polluted := &streamRunner{src: stream.NewPrepare(in, firstID), p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq}
+	polluted := &streamRunner{src: stream.NewPrepare(in, firstID), p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled()}
 	if reorderWindow > 1 {
 		return stream.NewBoundedReorder(polluted, reorderWindow), log, nil
 	}
@@ -308,19 +345,16 @@ func (pr *Process) RunStreamMulti(src stream.Source, reorderWindow int) (stream.
 	if route == nil {
 		route = stream.RouteAll
 	}
-	var log *Log
-	if !pr.DisableLog {
-		log = NewLog()
-	}
-	dlq := pr.Fault.queue()
-	var in stream.Source = src
+	log := pr.newLog()
+	dlq := pr.instrumentDLQ(pr.Fault.queue())
+	var in stream.Source = stream.ObserveSource(src, pr.Obs)
 	if pr.Fault.Quarantine {
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
 	subs := stream.Split(stream.NewPrepare(in, firstID), m, route)
 	branches := make([]stream.Source, m)
 	for i := range subs {
-		runner := &subStreamRunner{src: subs[i], p: pr.Pipelines[i], log: log, sub: i, fault: pr.Fault, dlq: dlq}
+		runner := &subStreamRunner{src: subs[i], p: pr.Pipelines[i], log: log, sub: i, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled()}
 		if reorderWindow > 1 {
 			branches[i] = stream.NewBoundedReorder(runner, reorderWindow)
 		} else {
@@ -344,6 +378,8 @@ type subStreamRunner struct {
 	sub   int
 	fault FaultPolicy
 	dlq   *stream.DeadLetterQueue
+	reg   *obs.Registry
+	trace bool
 }
 
 // Schema implements stream.Source.
@@ -356,11 +392,20 @@ func (r *subStreamRunner) Next() (stream.Tuple, error) {
 		if err != nil {
 			return t, err
 		}
+		r.reg.Inc(obs.CTuplesIn)
 		before := 0
 		if r.log != nil {
 			before = len(r.log.Entries)
 		}
-		ok, ferr := applyWithFault(r.p, &t, r.log, r.fault, r.dlq, before)
+		var ok bool
+		var ferr error
+		if r.trace && r.reg.Sampled(t.ID) {
+			start := time.Now()
+			ok, ferr = applyWithFault(r.p, &t, r.log, r.fault, r.dlq, before)
+			r.reg.ObserveSpan(obs.StagePollute, t.ID, time.Since(start))
+		} else {
+			ok, ferr = applyWithFault(r.p, &t, r.log, r.fault, r.dlq, before)
+		}
 		if ferr != nil {
 			return stream.Tuple{}, ferr
 		}
@@ -373,9 +418,11 @@ func (r *subStreamRunner) Next() (stream.Tuple, error) {
 			}
 		}
 		if t.Dropped {
+			r.reg.Inc(obs.CTuplesDropped)
 			continue
 		}
 		t.SubStream = r.sub
+		r.reg.Inc(obs.CTuplesOut)
 		return t, nil
 	}
 }
@@ -388,6 +435,8 @@ type streamRunner struct {
 	log   *Log
 	fault FaultPolicy
 	dlq   *stream.DeadLetterQueue
+	reg   *obs.Registry
+	trace bool
 
 	// cur is the tuple in flight. Polluters receive *Tuple through an
 	// interface call, which would force a stack-local tuple to escape —
@@ -407,17 +456,31 @@ func (r *streamRunner) Next() (stream.Tuple, error) {
 			return t, err
 		}
 		r.cur = t
+		r.reg.Inc(obs.CTuplesIn)
 		before := 0
 		if r.log != nil {
 			before = len(r.log.Entries)
 		}
-		ok, ferr := applyWithFault(r.p, &r.cur, r.log, r.fault, r.dlq, before)
+		var ok bool
+		var ferr error
+		if r.trace && r.reg.Sampled(r.cur.ID) {
+			start := time.Now()
+			ok, ferr = applyWithFault(r.p, &r.cur, r.log, r.fault, r.dlq, before)
+			r.reg.ObserveSpan(obs.StagePollute, r.cur.ID, time.Since(start))
+		} else {
+			ok, ferr = applyWithFault(r.p, &r.cur, r.log, r.fault, r.dlq, before)
+		}
 		if ferr != nil {
 			return stream.Tuple{}, ferr
 		}
-		if !ok || r.cur.Dropped {
+		if !ok {
 			continue
 		}
+		if r.cur.Dropped {
+			r.reg.Inc(obs.CTuplesDropped)
+			continue
+		}
+		r.reg.Inc(obs.CTuplesOut)
 		return r.cur, nil
 	}
 }
@@ -437,9 +500,7 @@ func polluteOne(p *Pipeline, t *stream.Tuple, log *Log, logMark int, fault Fault
 		return true, nil
 	}
 	if err := safePollute(p, t, t.EventTime, log); err != nil {
-		if log != nil {
-			log.Entries = log.Entries[:logMark]
-		}
+		log.Truncate(logMark)
 		t.Quarantined = true
 		dl := deadLetterFor(*t, "pollute", err)
 		return false, &dl

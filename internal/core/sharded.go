@@ -5,7 +5,9 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
+	"icewafl/internal/obs"
 	"icewafl/internal/stream"
 )
 
@@ -94,12 +96,17 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 	if firstID == 0 {
 		firstID = 1
 	}
+	// The merged log deliberately carries no registry: its entries are
+	// recorded (and counted) by the per-worker scratch logs and appended
+	// here by the merger, so attaching the registry twice would double
+	// count.
 	var log *Log
 	if !pr.DisableLog {
 		log = NewLog()
 	}
-	dlq := pr.Fault.queue()
-	var in stream.Source = src
+	dlq := pr.instrumentDLQ(pr.Fault.queue())
+	pr.Obs.SetShards(cfg.Shards)
+	var in stream.Source = stream.ObserveSource(src, pr.Obs)
 	if pr.Fault.Quarantine {
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
@@ -119,6 +126,8 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 		log:    log,
 		fault:  pr.Fault,
 		dlq:    dlq,
+		reg:    pr.Obs,
+		trace:  pr.Obs.TraceEnabled(),
 	}
 	if reorderWindow > 1 {
 		return stream.NewBoundedReorder(sh, reorderWindow), log, nil
@@ -180,6 +189,8 @@ type shardedSource struct {
 	log    *Log
 	fault  FaultPolicy
 	dlq    *stream.DeadLetterQueue
+	reg    *obs.Registry
+	trace  bool
 
 	started  bool
 	out      chan []shardResult
@@ -248,6 +259,8 @@ func (s *shardedSource) start() {
 				break
 			}
 			shard := int(hashKey(t.At(s.keyIdx)) % uint64(n))
+			s.reg.Inc(obs.CTuplesIn)
+			s.reg.AddShard(shard, 1)
 			if batches[shard] == nil {
 				batches[shard] = make([]shardItem, 0, shardBatchSize)
 			}
@@ -277,7 +290,12 @@ func (s *shardedSource) worker(pipe *Pipeline, in chan []shardItem, wg *sync.Wai
 	defer wg.Done()
 	var scratch *Log
 	if s.log != nil {
+		// The scratch log carries the registry, so entry counts (and
+		// condition hit/miss tallies) are booked — and rolled back — at
+		// recording time; the merger then appends the surviving entries
+		// to the uncounted merged log.
 		scratch = NewLog()
+		scratch.Obs = s.reg
 	}
 	for batch := range in {
 		results := make([]shardResult, 0, len(batch))
@@ -287,6 +305,11 @@ func (s *shardedSource) worker(pipe *Pipeline, in chan []shardItem, wg *sync.Wai
 			res := shardResult{seq: item.seq}
 			if scratch != nil {
 				scratch.Entries = scratch.Entries[:0]
+			}
+			var span func()
+			if s.trace && s.reg.Sampled(item.t.ID) {
+				id, start := item.t.ID, time.Now()
+				span = func() { s.reg.ObserveSpan(obs.StagePollute, id, time.Since(start)) }
 			}
 			if s.fault.Quarantine {
 				// The one shared fault/rollback code path (polluteOne) — the
@@ -302,6 +325,9 @@ func (s *shardedSource) worker(pipe *Pipeline, in chan []shardItem, wg *sync.Wai
 					res.err = fmt.Errorf("core: shard pollute tuple %d: %w", item.t.ID, err)
 					fatal = true
 				}
+			}
+			if span != nil {
+				span()
 			}
 			res.t = item.t
 			if res.err == nil && scratch != nil && len(scratch.Entries) > 0 {
@@ -348,9 +374,14 @@ func (s *shardedSource) Next() (stream.Tuple, error) {
 						continue
 					}
 				}
-				if res.t.Quarantined || res.t.Dropped {
+				if res.t.Quarantined {
 					continue
 				}
+				if res.t.Dropped {
+					s.reg.Inc(obs.CTuplesDropped)
+					continue
+				}
+				s.reg.Inc(obs.CTuplesOut)
 				return res.t, nil
 			}
 		}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// StageID identifies one instrumented pipeline stage.
+type StageID int
+
+// The instrumented stages.
+const (
+	// StageSource is the raw source read (Next on the input reader).
+	StageSource StageID = iota
+	// StagePollute is one pipeline application over one tuple.
+	StagePollute
+	// StageSink is one sink write.
+	StageSink
+	// StageCheckpoint is one checkpoint capture.
+	StageCheckpoint
+
+	numStages
+)
+
+var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint"}
+
+// StageName returns the exposition name of a stage.
+func StageName(s StageID) string { return stageNames[s] }
+
+// histBuckets is the number of log2 latency buckets: bucket i counts
+// durations whose nanosecond value has bit length i, i.e. the range
+// [2^(i-1), 2^i - 1] (bucket 0 counts zero-duration observations).
+const histBuckets = 65
+
+// Histogram is a lock-free log2-bucketed latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[bits.Len64(ns)].Add(1)
+}
+
+// Bucket is one non-empty histogram bucket: N observations with
+// nanosecond durations <= Le (and greater than the previous bucket's
+// bound).
+type Bucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: total count,
+// nanosecond sum, and the non-empty log2 buckets in ascending order.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumNs   uint64   `json:"sum_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// bucketLe returns the inclusive upper bound of log2 bucket i.
+func bucketLe(i int) uint64 {
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << i) - 1
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), SumNs: h.sumNs.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketLe(i), N: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// SinkFunc consumes one metrics snapshot (periodic export target).
+type SinkFunc func(*Snapshot) error
+
+// MetricsSink periodically snapshots a registry and hands the snapshot
+// to a SinkFunc. Stop flushes one final snapshot so short runs still
+// export their totals.
+type MetricsSink struct {
+	reg      *Registry
+	interval time.Duration
+	fn       SinkFunc
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	lastErr error
+}
+
+// NewMetricsSink builds a sink over the registry. The interval must be
+// positive; the function must be non-nil.
+func NewMetricsSink(reg *Registry, interval time.Duration, fn SinkFunc) (*MetricsSink, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("obs: metrics sink interval must be positive, got %v", interval)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("obs: metrics sink func must be non-nil")
+	}
+	return &MetricsSink{reg: reg, interval: interval, fn: fn}, nil
+}
+
+// Start launches the ticker goroutine. Starting a started sink is a
+// no-op.
+func (m *MetricsSink) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.run(m.stop, m.done)
+}
+
+func (m *MetricsSink) run(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.flush()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func (m *MetricsSink) flush() {
+	if err := m.fn(m.reg.Snapshot()); err != nil {
+		m.mu.Lock()
+		m.lastErr = err
+		m.mu.Unlock()
+	}
+}
+
+// Stop halts the ticker, writes one final snapshot, and returns the
+// last export error (if any). Stopping a stopped or never-started sink
+// still performs the final flush, so callers can rely on Stop as the
+// single "export the totals now" point.
+func (m *MetricsSink) Stop() error {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	m.flush()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// FileSink returns a SinkFunc that atomically rewrites path on every
+// snapshot (write to a temp file in the same directory, then rename),
+// so readers never observe a torn file. format selects "json" or
+// "prom" (Prometheus text exposition).
+func FileSink(path, format string) (SinkFunc, error) {
+	if format != "json" && format != "prom" {
+		return nil, fmt.Errorf("obs: unknown metrics format %q (want json or prom)", format)
+	}
+	return func(s *Snapshot) error {
+		dir := filepath.Dir(path)
+		tmp, err := os.CreateTemp(dir, ".metrics-*")
+		if err != nil {
+			return fmt.Errorf("obs: create temp metrics file: %w", err)
+		}
+		defer os.Remove(tmp.Name())
+		var werr error
+		if format == "json" {
+			werr = s.WriteJSON(tmp)
+		} else {
+			werr = s.WritePrometheus(tmp)
+		}
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("obs: write metrics file: %w", werr)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			return fmt.Errorf("obs: publish metrics file: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -224,6 +224,15 @@ func ReadFile(path string) (*Report, error) {
 	return &r, nil
 }
 
+// ZeroAllocCeiling classifies a benchmark as "zero-alloc class": when
+// the baseline records at most this many allocs/op, the benchmark is a
+// hand-tuned hot path whose allocations are per-run setup constants
+// (process, runner, source chain), and the gate fails on ANY allocs/op
+// growth — not just ns/op regressions. The committed baselines record
+// ~20 allocs/op for the pooled hot paths, while the first per-tuple
+// allocation costs thousands; 128 leaves headroom between the two.
+const ZeroAllocCeiling = 128
+
 // Delta is one baseline-vs-current benchmark comparison.
 type Delta struct {
 	Name string
@@ -234,6 +243,8 @@ type Delta struct {
 	// AllocRatio is cur.AllocsPerOp / base.AllocsPerOp (>1 means more
 	// allocations); 0 when the baseline records no allocations.
 	AllocRatio float64
+	// Reason is set by Gate on failing deltas: why this delta failed.
+	Reason string
 }
 
 // Speedup returns how many times faster the current run is (>1 is an
@@ -268,13 +279,23 @@ func Compare(base, cur *Report) []Delta {
 	return out
 }
 
-// Gate checks current against baseline and returns the deltas whose
-// ns/op regressed by more than maxRegress (0.20 = +20%). An empty
-// result means the gate passes.
+// Gate checks current against baseline and returns the deltas that
+// fail either check, with Reason set. An empty result means the gate
+// passes. Two checks apply:
+//
+//   - ns/op regressed by more than maxRegress (0.20 = +20%);
+//   - the benchmark is zero-alloc class (baseline allocs/op <=
+//     ZeroAllocCeiling) and allocs/op grew at all — hand-tuned paths
+//     must not gain even one allocation.
 func Gate(base, cur *Report, maxRegress float64) []Delta {
 	var bad []Delta
 	for _, d := range Compare(base, cur) {
-		if d.NsRatio > 1+maxRegress {
+		switch {
+		case d.NsRatio > 1+maxRegress:
+			d.Reason = fmt.Sprintf("ns/op +%.0f%% exceeds +%.0f%% budget", (d.NsRatio-1)*100, maxRegress*100)
+			bad = append(bad, d)
+		case d.Base.AllocsPerOp <= ZeroAllocCeiling && d.Cur.AllocsPerOp > d.Base.AllocsPerOp:
+			d.Reason = fmt.Sprintf("allocs/op grew %.0f -> %.0f on a zero-alloc-class benchmark", d.Base.AllocsPerOp, d.Cur.AllocsPerOp)
 			bad = append(bad, d)
 		}
 	}
@@ -290,8 +311,12 @@ func FormatTable(deltas []Delta) string {
 		if d.Base.AllocsPerOp > 0 {
 			alloc = fmt.Sprintf("%.2fx", d.AllocRatio)
 		}
-		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %7.2fx %10s\n",
+		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %7.2fx %10s",
 			d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, d.NsRatio, alloc)
+		if d.Reason != "" {
+			fmt.Fprintf(&b, "  [%s]", d.Reason)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

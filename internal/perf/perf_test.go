@@ -178,3 +178,66 @@ func TestCompareAndGate(t *testing.T) {
 		t.Errorf("FormatTable output missing expected content:\n%s", table)
 	}
 }
+
+// TestGateZeroAllocGrowth exercises the allocs/op arm of the gate:
+// zero-alloc-class benchmarks (baseline allocs/op <= ZeroAllocCeiling)
+// fail on any allocation growth even when ns/op is flat, while
+// allocation-heavy benchmarks are judged on ns/op alone.
+func TestGateZeroAllocGrowth(t *testing.T) {
+	base := mkReport(map[string][2]float64{
+		"BenchmarkHotPath":   {1000, 19},    // zero-alloc class
+		"BenchmarkNoAllocs":  {1000, 0},     // zero-alloc class, literal zero
+		"BenchmarkBatchPath": {1000, 20000}, // allocation-heavy: not gated on allocs
+	})
+
+	// Flat ns/op, but the hot path gained one allocation: must fail.
+	cur := mkReport(map[string][2]float64{
+		"BenchmarkHotPath":   {1000, 20},
+		"BenchmarkNoAllocs":  {1000, 0},
+		"BenchmarkBatchPath": {1000, 40000},
+	})
+	bad := Gate(base, cur, 0.20)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkHotPath" {
+		t.Fatalf("Gate = %+v, want only BenchmarkHotPath", bad)
+	}
+	if !strings.Contains(bad[0].Reason, "allocs/op grew 19 -> 20") {
+		t.Errorf("Reason = %q, want allocs/op growth message", bad[0].Reason)
+	}
+	if table := FormatTable(bad); !strings.Contains(table, "zero-alloc-class") {
+		t.Errorf("FormatTable does not surface the failure reason:\n%s", table)
+	}
+
+	// A benchmark that was truly zero-alloc gaining its first
+	// allocation must fail too (omitempty makes 0 and absent look the
+	// same in the JSON, so the ceiling — not presence — is the class
+	// test).
+	cur = mkReport(map[string][2]float64{
+		"BenchmarkHotPath":   {1000, 19},
+		"BenchmarkNoAllocs":  {1000, 1},
+		"BenchmarkBatchPath": {1000, 20000},
+	})
+	bad = Gate(base, cur, 0.20)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkNoAllocs" {
+		t.Fatalf("Gate = %+v, want only BenchmarkNoAllocs", bad)
+	}
+
+	// Fewer allocations and flat timings: clean pass.
+	cur = mkReport(map[string][2]float64{
+		"BenchmarkHotPath":   {1010, 18},
+		"BenchmarkNoAllocs":  {990, 0},
+		"BenchmarkBatchPath": {1000, 19000},
+	})
+	if bad = Gate(base, cur, 0.20); len(bad) != 0 {
+		t.Errorf("Gate flagged %+v, want none", bad)
+	}
+
+	// When both arms fail, the ns/op reason wins (it subsumes the
+	// alloc growth in the report).
+	cur = mkReport(map[string][2]float64{
+		"BenchmarkHotPath": {2000, 25},
+	})
+	bad = Gate(base, cur, 0.20)
+	if len(bad) != 1 || !strings.Contains(bad[0].Reason, "ns/op") {
+		t.Fatalf("Gate = %+v, want ns/op failure for BenchmarkHotPath", bad)
+	}
+}

@@ -3,6 +3,8 @@ package stream
 import (
 	"io"
 	"sync"
+
+	"icewafl/internal/obs"
 )
 
 // ParallelMap applies fn to every tuple of src using the given number of
@@ -17,13 +19,28 @@ import (
 // error on every call. A consumer abandoning the stream early should call
 // Stop to release the worker goroutines.
 func ParallelMap(src Source, outSchema *Schema, workers int, fn MapFunc) Source {
+	return ParallelMapObs(src, outSchema, workers, fn, nil)
+}
+
+// ParallelMapObs is ParallelMap with metrics: each processed tuple
+// counts toward parallel_items_total on the processing worker's private
+// counter cell, so the count costs no cross-core cache-line traffic. A
+// nil registry is exactly ParallelMap.
+func ParallelMapObs(src Source, outSchema *Schema, workers int, fn MapFunc, reg *obs.Registry) Source {
 	if workers <= 1 {
+		if reg != nil {
+			inner := fn
+			fn = func(t Tuple) Tuple {
+				reg.Inc(obs.CParallelItems)
+				return inner(t)
+			}
+		}
 		return Map(src, outSchema, fn)
 	}
 	if outSchema == nil {
 		outSchema = src.Schema()
 	}
-	return &parallelMapSource{src: src, schema: outSchema, fn: fn, workers: workers}
+	return &parallelMapSource{src: src, schema: outSchema, fn: fn, workers: workers, reg: reg}
 }
 
 type parallelMapSource struct {
@@ -31,6 +48,7 @@ type parallelMapSource struct {
 	schema  *Schema
 	fn      MapFunc
 	workers int
+	reg     *obs.Registry
 
 	started  bool
 	out      chan parallelResult
@@ -108,10 +126,11 @@ func (p *parallelMapSource) start() {
 	var wg sync.WaitGroup
 	wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for item := range in {
 				t, err := callSafely(p.fn, item.t)
+				p.reg.AddAt(obs.CParallelItems, w, 1)
 				if err != nil {
 					item.err = &TupleError{Tuple: item.t, Offset: item.seq, Stage: "parallel-map", Err: err}
 				} else {
@@ -123,7 +142,7 @@ func (p *parallelMapSource) start() {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		var seq uint64

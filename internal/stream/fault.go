@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"icewafl/internal/obs"
 	"icewafl/internal/rng"
 )
 
@@ -86,10 +87,25 @@ type DeadLetter struct {
 type DeadLetterQueue struct {
 	mu      sync.Mutex
 	letters []DeadLetter
+	reg     *obs.Registry
 }
 
 // NewDeadLetterQueue returns an empty queue.
 func NewDeadLetterQueue() *DeadLetterQueue { return &DeadLetterQueue{} }
+
+// Instrument wires the queue into a metrics registry: every quarantined
+// tuple increments dead_letters_total, and a dlq_depth gauge exposes
+// the current queue length at snapshot time. Call before the run
+// starts; a nil queue or registry is a no-op.
+func (q *DeadLetterQueue) Instrument(reg *obs.Registry) {
+	if q == nil || reg == nil {
+		return
+	}
+	q.mu.Lock()
+	q.reg = reg
+	q.mu.Unlock()
+	reg.RegisterFunc("dlq_depth", func() uint64 { return uint64(q.Len()) })
+}
 
 // Add records one dead letter. A nil queue discards silently, so
 // quarantining operators work without a configured queue.
@@ -99,7 +115,9 @@ func (q *DeadLetterQueue) Add(d DeadLetter) {
 	}
 	q.mu.Lock()
 	q.letters = append(q.letters, d)
+	reg := q.reg
 	q.mu.Unlock()
+	reg.Inc(obs.CDeadLetters)
 }
 
 // AddError records err as a dead letter, extracting tuple and position
@@ -418,6 +436,7 @@ type RetrySource struct {
 	// Attempts counts total underlying Next invocations (observability).
 	attempts uint64
 	retries  uint64
+	reg      *obs.Registry
 }
 
 type retryResult struct {
@@ -439,6 +458,11 @@ func (r *RetrySource) Attempts() uint64 { return r.attempts }
 // Retries returns the number of re-attempts performed so far.
 func (r *RetrySource) Retries() uint64 { return r.retries }
 
+// Instrument wires the source into a metrics registry: underlying Next
+// attempts count toward retry_attempts_total, re-attempts toward
+// retries_total. Call before the run starts.
+func (r *RetrySource) Instrument(reg *obs.Registry) { r.reg = reg }
+
 // Next implements Source.
 func (r *RetrySource) Next() (Tuple, error) {
 	var lastErr error
@@ -448,6 +472,7 @@ func (r *RetrySource) Next() (Tuple, error) {
 		}
 		if attempt > 0 {
 			r.retries++
+			r.reg.Inc(obs.CRetries)
 			r.policy.Sleep(r.policy.delay(attempt - 1))
 		}
 		t, err := r.attemptNext()
@@ -466,12 +491,14 @@ func (r *RetrySource) Next() (Tuple, error) {
 func (r *RetrySource) attemptNext() (Tuple, error) {
 	if r.policy.AttemptTimeout <= 0 {
 		r.attempts++
+		r.reg.Inc(obs.CRetryAttempts)
 		return r.src.Next()
 	}
 	ch := r.pending
 	if ch == nil {
 		ch = make(chan retryResult, 1)
 		r.attempts++
+		r.reg.Inc(obs.CRetryAttempts)
 		go func(ch chan retryResult) {
 			t, err := r.src.Next()
 			ch <- retryResult{t: t, err: err}

@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"time"
+
+	"icewafl/internal/obs"
+)
+
+// This file wires the stream layer into the observability registry
+// (internal/obs). All hooks follow the same contract: a nil registry
+// yields the original, uninstrumented component, so observability costs
+// nothing unless switched on — and even when on, latency is recorded
+// only for tuples selected by the registry's deterministic sampler.
+
+// ObserveSource wraps src with source-stage metrics: every delivered
+// row counts toward source_rows; every tuple-level failure counts one
+// source_errors AND one source_rows (a row was consumed from the
+// input); end-of-stream and fatal errors pass through uncounted. When
+// trace sampling is enabled, sampled rows additionally record
+// source-stage latency spans. A nil registry returns src unchanged.
+func ObserveSource(src Source, reg *obs.Registry) Source {
+	if reg == nil {
+		return src
+	}
+	return &observedSource{src: src, reg: reg, trace: reg.TraceEnabled()}
+}
+
+type observedSource struct {
+	src   Source
+	reg   *obs.Registry
+	trace bool
+	row   uint64
+}
+
+// Schema implements Source.
+func (s *observedSource) Schema() *Schema { return s.src.Schema() }
+
+// Next implements Source.
+func (s *observedSource) Next() (Tuple, error) {
+	row := s.row
+	var t Tuple
+	var err error
+	// Rows are sampled by their 0-based position (raw rows carry no
+	// tuple ID yet); positions are as deterministic as IDs, so re-runs
+	// trace the same rows.
+	if s.trace && s.reg.Sampled(row) {
+		start := time.Now()
+		t, err = s.src.Next()
+		d := time.Since(start)
+		if err == nil || !IsEndOfStream(err) {
+			s.reg.ObserveSpan(obs.StageSource, spanID(t, row), d)
+		}
+	} else {
+		t, err = s.src.Next()
+	}
+	if err == nil {
+		s.row++
+		s.reg.Inc(obs.CSourceRows)
+		return t, nil
+	}
+	if _, ok := AsTupleError(err); ok {
+		s.row++
+		s.reg.Inc(obs.CSourceRows)
+		s.reg.Inc(obs.CSourceErrors)
+	}
+	return t, err
+}
+
+// Stop implements Stopper by forwarding to the inner source.
+func (s *observedSource) Stop() { stopSource(s.src) }
+
+// spanID picks the trace identifier of a source span: the prepared
+// tuple ID when the row already carries one, the row position
+// otherwise.
+func spanID(t Tuple, row uint64) uint64 {
+	if t.ID != 0 {
+		return t.ID
+	}
+	return row
+}
+
+// ObserveSink wraps sink with sink-stage metrics: every Write counts
+// one sink_writes; sampled tuples (by tuple ID) record sink-stage
+// latency spans. A nil registry returns sink unchanged.
+func ObserveSink(sink Sink, reg *obs.Registry) Sink {
+	if reg == nil {
+		return sink
+	}
+	return &observedSink{sink: sink, reg: reg, trace: reg.TraceEnabled()}
+}
+
+type observedSink struct {
+	sink  Sink
+	reg   *obs.Registry
+	trace bool
+}
+
+// Write implements Sink.
+func (s *observedSink) Write(t Tuple) error {
+	if s.trace && s.reg.Sampled(t.ID) {
+		start := time.Now()
+		err := s.sink.Write(t)
+		d := time.Since(start)
+		if err == nil {
+			s.reg.Inc(obs.CSinkWrites)
+			s.reg.ObserveSpan(obs.StageSink, t.ID, d)
+		}
+		return err
+	}
+	err := s.sink.Write(t)
+	if err == nil {
+		s.reg.Inc(obs.CSinkWrites)
+	}
+	return err
+}
+
+// Close implements Sink.
+func (s *observedSink) Close() error { return s.sink.Close() }

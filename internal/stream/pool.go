@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"icewafl/internal/obs"
 )
 
 // This file implements the allocation-lean tuple hot path: a buffer pool
@@ -137,6 +139,19 @@ func (p *TuplePool) CloneTuple(t Tuple) Tuple {
 // ReleaseTuple returns t's value buffer to the pool. The caller must not
 // use t (or any alias of its values) afterwards.
 func (p *TuplePool) ReleaseTuple(t Tuple) { p.Put(t.values) }
+
+// Instrument registers the pool's statistics as gauges on a metrics
+// registry: pool_hits / pool_misses (Gets served from vs. past the free
+// list) and pool_idle (buffers currently retained). Gauges are read at
+// snapshot time, so instrumentation adds nothing to the Get/Put path.
+func (p *TuplePool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterFunc("pool_hits", func() uint64 { h, _ := p.Stats(); return h })
+	reg.RegisterFunc("pool_misses", func() uint64 { _, m := p.Stats(); return m })
+	reg.RegisterFunc("pool_idle", func() uint64 { return uint64(p.Idle()) })
+}
 
 // Stats reports pool effectiveness: hits are Gets served from the free
 // list, misses are Gets that had to allocate.
