@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt lint race racehot ci cover bench perfgate fuzz clean
+.PHONY: build test vet fmt lint race racehot integration ci cover bench perfgate fuzz clean
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,15 @@ race:
 racehot:
 	$(GO) test -race -count=2 ./internal/obs/ ./internal/core/ ./internal/stream/
 
-ci: fmt vet lint race
+# Service-layer integration pass: the netstream hub/server/client suite
+# plus the real icewafld binary serving the golden examples/cli pipeline
+# over loopback to concurrent subscribers (one deliberately slow), under
+# the race detector. Asserts byte-identical streams across clients and
+# flow conservation (frames received == frames published).
+integration:
+	$(GO) test -race -count=1 ./internal/netstream/ ./cmd/icewafld/
+
+ci: fmt vet lint race integration
 
 # Coverage floor for the engine packages. The threshold is deliberately
 # conservative; raise it as the suites grow.

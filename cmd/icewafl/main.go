@@ -24,8 +24,10 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"time"
 
@@ -37,6 +39,20 @@ import (
 	"icewafl/internal/schemafile"
 	"icewafl/internal/stream"
 )
+
+// maxTraceSample bounds -trace-sample: the sampler selects 1 in N
+// tuples by ID, so an N beyond 2^32 can never fire on a realistic
+// stream and is certainly a typo.
+const maxTraceSample = math.MaxUint32
+
+// fatalUsage prints the error and the flag usage, exiting with the
+// conventional usage status (2) so scripts can distinguish bad
+// invocations from runtime failures.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "icewafl: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -62,8 +78,36 @@ func main() {
 	flag.Parse()
 
 	if *schemaPath == "" || *configPath == "" || *inPath == "" || *outPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fatalUsage("-schema, -config, -in and -out are required")
+	}
+	// Flag range and combination validation happens before any I/O so a
+	// bad invocation never partially creates output files.
+	if *reorder < 1 {
+		fatalUsage("-reorder must be at least 1, got %d", *reorder)
+	}
+	if *checkpointEvery < 0 {
+		fatalUsage("-checkpoint-interval must be non-negative, got %d", *checkpointEvery)
+	}
+	if *metricsInterval < 0 {
+		fatalUsage("-metrics-interval must be non-negative, got %v", *metricsInterval)
+	}
+	if *metricsInterval > 0 && *metricsOut == "" {
+		fatalUsage("-metrics-interval requires -metrics")
+	}
+	if *traceSample > maxTraceSample {
+		fatalUsage("-trace-sample must be at most %d (1 in N sampling by tuple ID), got %d", uint64(maxTraceSample), *traceSample)
+	}
+	if *traceSample > 0 && *metricsOut == "" {
+		fatalUsage("-trace-sample requires -metrics")
+	}
+	if *checkpointPath != "" && !*streaming {
+		fatalUsage("-checkpoint requires -stream")
+	}
+	if *resume && *checkpointPath == "" {
+		fatalUsage("-resume requires -checkpoint")
+	}
+	if *streaming && (*cleanOut != "" || *reportOut != "") {
+		fatalUsage("-stream cannot materialise -clean-out or -report; drop those flags")
 	}
 
 	schema, err := schemafile.Load(*schemaPath)
@@ -94,15 +138,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *checkpointPath != "" && !*streaming {
-		log.Fatal("-checkpoint requires -stream")
-	}
-	if *resume && *checkpointPath == "" {
-		log.Fatal("-resume requires -checkpoint")
-	}
-	if *traceSample > 0 && *metricsOut == "" {
-		log.Fatal("-trace-sample requires -metrics")
-	}
 	metrics := setupMetrics(*metricsOut, *metricsFormat, *metricsInterval, *traceSample)
 	proc.Obs = metrics.registry()
 
@@ -121,9 +156,6 @@ func main() {
 	src := withRetry(reader, doc, metrics.registry())
 
 	if *streaming {
-		if *cleanOut != "" || *reportOut != "" {
-			log.Fatal("-stream cannot materialise -clean-out or -report; drop those flags")
-		}
 		if *checkpointPath != "" {
 			interval := *checkpointEvery
 			if interval <= 0 {

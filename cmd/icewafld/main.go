@@ -1,0 +1,253 @@
+// Command icewafld is the networked pollution service: it runs one
+// configured pollution pipeline over a CSV input and streams the dirty
+// stream, the clean stream, and the pollution log to any number of
+// subscribed clients — over raw TCP (length-prefixed JSON frames) and
+// HTTP (NDJSON chunks, SSE, plus /metrics and /healthz).
+//
+// Usage:
+//
+//	icewafld -schema schema.json -config pollution.json -in clean.csv \
+//	         [-listen :7077] [-http :7078] [-policy block|drop-oldest|disconnect-slow] \
+//	         [-buffer 256] [-replay 65536] [-reorder 64] [-linger 0]
+//
+// The configuration's optional "serve" block provides defaults for the
+// service flags; explicit flags win. The daemon runs the pipeline once,
+// keeps serving results from its replay ring, and drains gracefully on
+// SIGINT/SIGTERM: connected clients get -drain-timeout to finish
+// reading before connections close. With -linger > 0 the daemon
+// additionally exits that long after the pipeline completes, which
+// makes scripted runs self-terminating.
+//
+// Remote pipelines consume the service with netstream.ClientSource
+// (wrapped in stream.RetrySource for reconnect-with-backoff).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"icewafl/internal/config"
+	"icewafl/internal/csvio"
+	"icewafl/internal/netstream"
+	"icewafl/internal/obs"
+	"icewafl/internal/schemafile"
+	"icewafl/internal/stream"
+)
+
+// fatalUsage prints the error and the flag usage, exiting non-zero with
+// the conventional usage status.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "icewafld: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("icewafld: ")
+	schemaPath := flag.String("schema", "", "path to the JSON schema file (required)")
+	configPath := flag.String("config", "", "path to the JSON pollution configuration (required)")
+	inPath := flag.String("in", "", "input CSV (required)")
+	listen := flag.String("listen", "", "raw-TCP listen address (default from serve block, \":7077\"; \"off\" disables)")
+	httpAddr := flag.String("http", "", "HTTP listen address for NDJSON/SSE//metrics (default from serve block; \"off\" disables)")
+	policyFlag := flag.String("policy", "", "backpressure policy: block, drop-oldest or disconnect-slow (default from serve block)")
+	buffer := flag.Int("buffer", 0, "per-subscriber send queue capacity in frames (default from serve block)")
+	replay := flag.Int("replay", 0, "frames retained per channel for late subscribers (default from serve block)")
+	reorder := flag.Int("reorder", 0, "bounded reordering window in tuples (default from serve block)")
+	drain := flag.Duration("drain-timeout", 0, "graceful-drain bound on shutdown (default from serve block)")
+	linger := flag.Duration("linger", 0, "exit this long after the pipeline completes (0 = serve until SIGTERM)")
+	traceSample := flag.Uint64("trace-sample", 0, "deterministically trace 1 in N tuples (0 = off)")
+	flag.Parse()
+
+	if *schemaPath == "" || *configPath == "" || *inPath == "" {
+		fatalUsage("-schema, -config and -in are required")
+	}
+	if *buffer < 0 {
+		fatalUsage("-buffer must be positive, got %d", *buffer)
+	}
+	if *replay < 0 {
+		fatalUsage("-replay must be positive, got %d", *replay)
+	}
+	if *reorder < 0 {
+		fatalUsage("-reorder must be positive, got %d", *reorder)
+	}
+	if *drain < 0 {
+		fatalUsage("-drain-timeout must be positive, got %v", *drain)
+	}
+	if *linger < 0 {
+		fatalUsage("-linger must be non-negative, got %v", *linger)
+	}
+
+	schema, err := schemafile.Load(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cf, err := os.Open(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := config.Parse(cf)
+	cf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc, err := config.Build(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(proc.Pipelines) != 1 {
+		log.Fatalf("the service runs the streaming engine: configuration must have exactly one pipeline, got %d", len(proc.Pipelines))
+	}
+	if err := proc.ValidateAttrs(schema); err != nil {
+		log.Fatal(err)
+	}
+	if proc.Fault.Quarantine {
+		proc.Fault.DLQ = stream.NewDeadLetterQueue()
+	}
+	proc.KeepClean = false // the clean channel is fed by the server's tap
+
+	spec, err := doc.Serve.Normalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *listen != "" {
+		spec.Listen = *listen
+	}
+	if *httpAddr != "" {
+		spec.HTTP = *httpAddr
+	}
+	if *policyFlag != "" {
+		spec.Policy = *policyFlag
+	}
+	if *buffer > 0 {
+		spec.Buffer = *buffer
+	}
+	if *replay > 0 {
+		spec.Replay = *replay
+	}
+	if *reorder > 0 {
+		spec.Reorder = *reorder
+	}
+	policy, err := netstream.ParsePolicy(spec.Policy)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	drainTimeout := *drain
+	if drainTimeout == 0 {
+		drainTimeout, _ = time.ParseDuration(spec.DrainTimeout)
+	}
+
+	reg := obs.NewRegistry()
+	if *traceSample > 0 {
+		reg.SetTraceSampling(*traceSample, 0)
+	}
+	proc.Obs = reg
+
+	newSource := func() (stream.Source, error) {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return nil, err
+		}
+		reader, err := csvio.NewReader(f, schema)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return withRetry(reader, doc, reg), nil
+	}
+
+	srv, err := netstream.NewServer(netstream.Config{
+		Schema:       schema,
+		Proc:         proc,
+		NewSource:    newSource,
+		Reorder:      spec.Reorder,
+		Buffer:       spec.Buffer,
+		Replay:       spec.Replay,
+		Policy:       policy,
+		DrainTimeout: drainTimeout,
+		Reg:          reg,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tcpLn, httpLn net.Listener
+	if spec.Listen != "" && spec.Listen != "off" {
+		tcpLn, err = net.Listen("tcp", spec.Listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if spec.HTTP != "" && spec.HTTP != "off" {
+		httpLn, err = net.Listen("tcp", spec.HTTP)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tcpLn == nil && httpLn == nil {
+		fatalUsage("both listeners disabled; enable -listen or -http")
+	}
+
+	// Announce the bound addresses (":0" picks random ports) in a
+	// stable, machine-parseable form for scripts and the CI harness.
+	tcpAddr, httpURL := "off", "off"
+	if tcpLn != nil {
+		tcpAddr = tcpLn.Addr().String()
+	}
+	if httpLn != nil {
+		httpURL = httpLn.Addr().String()
+	}
+	log.Printf("listening tcp=%s http=%s policy=%s buffer=%d replay=%d", tcpAddr, httpURL, policy, spec.Buffer, spec.Replay)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *linger > 0 {
+		go func() {
+			select {
+			case <-srv.PipelineDone():
+				select {
+				case <-time.After(*linger):
+					cancel()
+				case <-ctx.Done():
+				}
+			case <-ctx.Done():
+			}
+		}()
+	}
+	go func() {
+		<-srv.PipelineDone()
+		if err := srv.PipelineErr(); err != nil {
+			log.Printf("pipeline: %v", err)
+		} else {
+			log.Printf("pipeline done: dirty=%d clean=%d log=%d frames",
+				srv.Hub().Seq(netstream.ChannelDirty), srv.Hub().Seq(netstream.ChannelClean), srv.Hub().Seq(netstream.ChannelLog))
+		}
+	}()
+
+	if err := srv.Serve(ctx, tcpLn, httpLn); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}
+
+// withRetry wraps src in a RetrySource when the configuration enables
+// source retrying (same contract as the single-process CLI).
+func withRetry(src stream.Source, doc *config.Document, reg *obs.Registry) stream.Source {
+	policy, ok, err := doc.Fault.RetryPolicy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		return src
+	}
+	rs := stream.NewRetrySource(src, policy)
+	rs.Instrument(reg)
+	return rs
+}

@@ -34,6 +34,84 @@ type Document struct {
 	Fault *FaultPolicySpec `json:"fault_policy,omitempty"`
 	// Pipelines holds one pollution pipeline per sub-stream.
 	Pipelines []PipelineSpec `json:"pipelines"`
+	// Serve configures the networked service (cmd/icewafld): where to
+	// listen and how to treat slow subscribers. Ignored by the
+	// single-process CLI.
+	Serve *ServeSpec `json:"serve,omitempty"`
+}
+
+// ServeSpec is the JSON form of the service-layer knobs consumed by
+// cmd/icewafld. Flags override every field.
+type ServeSpec struct {
+	// Listen is the raw-TCP address serving length-prefixed frames
+	// (default ":7077").
+	Listen string `json:"listen,omitempty"`
+	// HTTP is the HTTP address serving NDJSON/SSE streams and /metrics
+	// ("" disables HTTP).
+	HTTP string `json:"http,omitempty"`
+	// Buffer is the per-subscriber send queue capacity in frames
+	// (default 256).
+	Buffer int `json:"buffer,omitempty"`
+	// Replay is the number of frames retained per channel for late
+	// subscribers and reconnects (default 65536).
+	Replay int `json:"replay,omitempty"`
+	// Policy selects the backpressure behaviour towards slow
+	// subscribers: "block" (default), "drop-oldest" or
+	// "disconnect-slow".
+	Policy string `json:"policy,omitempty"`
+	// Reorder is the streaming runner's bounded reordering window
+	// (default 64).
+	Reorder int `json:"reorder,omitempty"`
+	// DrainTimeout bounds the graceful drain on SIGTERM (Go duration,
+	// default "5s").
+	DrainTimeout string `json:"drain_timeout,omitempty"`
+}
+
+// Normalize applies the documented defaults and validates the spec. It
+// is nil-safe: a nil spec yields the full default configuration.
+func (s *ServeSpec) Normalize() (ServeSpec, error) {
+	out := ServeSpec{Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block", Reorder: 64, DrainTimeout: "5s"}
+	if s == nil {
+		return out, nil
+	}
+	if s.Listen != "" {
+		out.Listen = s.Listen
+	}
+	out.HTTP = s.HTTP
+	if s.Buffer != 0 {
+		if s.Buffer < 1 {
+			return out, fmt.Errorf("config: serve.buffer must be positive, got %d", s.Buffer)
+		}
+		out.Buffer = s.Buffer
+	}
+	if s.Replay != 0 {
+		if s.Replay < 1 {
+			return out, fmt.Errorf("config: serve.replay must be positive, got %d", s.Replay)
+		}
+		out.Replay = s.Replay
+	}
+	if s.Policy != "" {
+		switch s.Policy {
+		case "block", "drop-oldest", "disconnect-slow":
+			out.Policy = s.Policy
+		default:
+			return out, fmt.Errorf("config: serve.policy %q (want block, drop-oldest or disconnect-slow)", s.Policy)
+		}
+	}
+	if s.Reorder != 0 {
+		if s.Reorder < 1 {
+			return out, fmt.Errorf("config: serve.reorder must be positive, got %d", s.Reorder)
+		}
+		out.Reorder = s.Reorder
+	}
+	if s.DrainTimeout != "" {
+		d, err := time.ParseDuration(s.DrainTimeout)
+		if err != nil || d <= 0 {
+			return out, fmt.Errorf("config: serve.drain_timeout %q is not a positive duration", s.DrainTimeout)
+		}
+		out.DrainTimeout = s.DrainTimeout
+	}
+	return out, nil
 }
 
 // FaultPolicySpec is the JSON form of the fault-tolerance knobs: how a

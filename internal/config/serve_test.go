@@ -1,0 +1,92 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeSpecDefaults: a nil or empty serve block yields the full
+// documented defaults.
+func TestServeSpecDefaults(t *testing.T) {
+	want := ServeSpec{Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block", Reorder: 64, DrainTimeout: "5s"}
+	var nilSpec *ServeSpec
+	got, err := nilSpec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("nil spec: got %+v, want %+v", got, want)
+	}
+	got, err = (&ServeSpec{}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("empty spec: got %+v, want %+v", got, want)
+	}
+}
+
+// TestServeSpecOverridesAndValidation: explicit fields win, invalid ones
+// are rejected with a field-naming error.
+func TestServeSpecOverridesAndValidation(t *testing.T) {
+	got, err := (&ServeSpec{
+		Listen:       ":9999",
+		HTTP:         ":9998",
+		Buffer:       8,
+		Replay:       1024,
+		Policy:       "disconnect-slow",
+		Reorder:      1,
+		DrainTimeout: "250ms",
+	}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ServeSpec{Listen: ":9999", HTTP: ":9998", Buffer: 8, Replay: 1024, Policy: "disconnect-slow", Reorder: 1, DrainTimeout: "250ms"}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+
+	bad := []struct {
+		spec ServeSpec
+		want string
+	}{
+		{ServeSpec{Buffer: -1}, "serve.buffer"},
+		{ServeSpec{Replay: -2}, "serve.replay"},
+		{ServeSpec{Policy: "bogus"}, "serve.policy"},
+		{ServeSpec{Reorder: -1}, "serve.reorder"},
+		{ServeSpec{DrainTimeout: "fast"}, "serve.drain_timeout"},
+		{ServeSpec{DrainTimeout: "-1s"}, "serve.drain_timeout"},
+	}
+	for _, tc := range bad {
+		if _, err := tc.spec.Normalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%+v: err = %v, want mention of %s", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestServeBlockParses: the serve block round-trips through the JSON
+// configuration parser.
+func TestServeBlockParses(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`{
+		"pipelines": [{"name": "p", "polluters": [
+			{"name": "x", "error": {"type": "missing_value"}, "attrs": ["v"]}
+		]}],
+		"serve": {"listen": ":7171", "policy": "drop-oldest", "buffer": 32}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Serve == nil {
+		t.Fatal("serve block not parsed")
+	}
+	spec, err := doc.Serve.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Listen != ":7171" || spec.Policy != "drop-oldest" || spec.Buffer != 32 {
+		t.Errorf("unexpected spec %+v", spec)
+	}
+	if spec.Replay != 65536 || spec.Reorder != 64 {
+		t.Errorf("defaults not applied: %+v", spec)
+	}
+}

@@ -772,6 +772,11 @@ func (pr *Process) RunStreamCheckpointed(src stream.Source, resume *Checkpoint) 
 	if firstID == 0 {
 		firstID = 1
 	}
+	// Per-run reset first, so a previous run's leftover state (frozen
+	// values, sticky holds, advanced RNG streams) never leaks into this
+	// one; with resume != nil the restore below then overwrites the
+	// pristine state with the checkpointed one.
+	pr.resetPipelines()
 	ck := &Checkpointer{pipeline: pr.Pipelines[0]}
 	if resume != nil {
 		if resume.Version != CheckpointVersion {

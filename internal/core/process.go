@@ -74,6 +74,13 @@ type Process struct {
 	// for every run of this process. All hooks are nil-safe, so the
 	// uninstrumented hot path pays only a nil check.
 	Obs *obs.Registry
+	// CleanTap, when non-nil, observes a clone of every prepared (clean)
+	// tuple before pollution. It lets a caller — the network server in
+	// particular — stream the clean side D without a second pass over
+	// the input, even in streaming mode where the fused runner never
+	// materialises it. The tap runs synchronously on the runner
+	// goroutine; it must not retain the clone beyond its own use.
+	CleanTap func(stream.Tuple)
 }
 
 // newLog returns a fresh pollution log wired into the process's
@@ -129,6 +136,7 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 	if m == 0 {
 		return nil, fmt.Errorf("core: process needs at least one pipeline")
 	}
+	pr.resetPipelines()
 	firstID := pr.FirstID
 	if firstID == 0 {
 		firstID = 1
@@ -148,6 +156,11 @@ func (pr *Process) RunContext(ctx context.Context, src stream.Source) (*Result, 
 	prepared, err := stream.Drain(stream.NewPrepare(in, firstID))
 	if err != nil {
 		return nil, fmt.Errorf("core: prepare: %w", err)
+	}
+	if pr.CleanTap != nil {
+		for _, t := range prepared {
+			pr.CleanTap(t.Clone())
+		}
 	}
 
 	route := pr.Route
@@ -300,6 +313,7 @@ func (pr *Process) RunStream(src stream.Source, reorderWindow int) (stream.Sourc
 	if len(pr.Pipelines) != 1 {
 		return nil, nil, fmt.Errorf("core: streaming mode supports exactly one pipeline, got %d", len(pr.Pipelines))
 	}
+	pr.resetPipelines()
 	firstID := pr.FirstID
 	if firstID == 0 {
 		firstID = 1
@@ -315,7 +329,7 @@ func (pr *Process) RunStream(src stream.Source, reorderWindow int) (stream.Sourc
 	if pr.Fault.Quarantine {
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
-	polluted := &streamRunner{src: stream.NewPrepare(in, firstID), p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled()}
+	polluted := &streamRunner{src: stream.NewPrepare(in, firstID), p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled(), tap: pr.CleanTap}
 	if reorderWindow > 1 {
 		return stream.NewBoundedReorder(polluted, reorderWindow), log, nil
 	}
@@ -337,6 +351,7 @@ func (pr *Process) RunStreamMulti(src stream.Source, reorderWindow int) (stream.
 	if m == 1 {
 		return pr.RunStream(src, reorderWindow)
 	}
+	pr.resetPipelines()
 	firstID := pr.FirstID
 	if firstID == 0 {
 		firstID = 1
@@ -351,7 +366,11 @@ func (pr *Process) RunStreamMulti(src stream.Source, reorderWindow int) (stream.
 	if pr.Fault.Quarantine {
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
-	subs := stream.Split(stream.NewPrepare(in, firstID), m, route)
+	var prep stream.Source = stream.NewPrepare(in, firstID)
+	if pr.CleanTap != nil {
+		prep = &tapSource{src: prep, tap: pr.CleanTap}
+	}
+	subs := stream.Split(prep, m, route)
 	branches := make([]stream.Source, m)
 	for i := range subs {
 		runner := &subStreamRunner{src: subs[i], p: pr.Pipelines[i], log: log, sub: i, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled()}
@@ -366,6 +385,28 @@ func (pr *Process) RunStreamMulti(src stream.Source, reorderWindow int) (stream.
 		return nil, nil, err
 	}
 	return merged, log, nil
+}
+
+// tapSource forwards its inner source unchanged while handing a clone of
+// every tuple to the tap (Process.CleanTap for multi-pipeline streaming,
+// where the tap must observe the prepared stream before Split fans it
+// out, not the per-sub-stream copies).
+type tapSource struct {
+	src stream.Source
+	tap func(stream.Tuple)
+}
+
+// Schema implements stream.Source.
+func (s *tapSource) Schema() *stream.Schema { return s.src.Schema() }
+
+// Next implements stream.Source.
+func (s *tapSource) Next() (stream.Tuple, error) {
+	t, err := s.src.Next()
+	if err != nil {
+		return t, err
+	}
+	s.tap(t.Clone())
+	return t, nil
 }
 
 // subStreamRunner pollutes one sub-stream of a multi-pipeline streaming
@@ -437,6 +478,9 @@ type streamRunner struct {
 	dlq   *stream.DeadLetterQueue
 	reg   *obs.Registry
 	trace bool
+	// tap, when non-nil, receives a clone of every prepared tuple before
+	// pollution (Process.CleanTap).
+	tap func(stream.Tuple)
 
 	// cur is the tuple in flight. Polluters receive *Tuple through an
 	// interface call, which would force a stack-local tuple to escape —
@@ -456,6 +500,9 @@ func (r *streamRunner) Next() (stream.Tuple, error) {
 			return t, err
 		}
 		r.cur = t
+		if r.tap != nil {
+			r.tap(r.cur.Clone())
+		}
 		r.reg.Inc(obs.CTuplesIn)
 		before := 0
 		if r.log != nil {

@@ -64,6 +64,7 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 	if len(pr.Pipelines) != 1 && cfg.NewPipeline == nil {
 		return nil, nil, fmt.Errorf("core: sharded streaming supports exactly one pipeline, got %d", len(pr.Pipelines))
 	}
+	pr.resetPipelines()
 	if cfg.Shards <= 1 {
 		// Shared sequential code path: the sharded runner at 1 shard IS
 		// RunStream, so the fault/rollback behaviour cannot diverge.

@@ -32,9 +32,13 @@ func NewStreamingValidator(suite *Suite, window time.Duration) *StreamingValidat
 	return &StreamingValidator{Suite: suite, Window: window}
 }
 
-// Run consumes src fully and returns one result per non-empty window.
+// Run consumes src fully and returns one result per non-empty window. A
+// non-positive Window is a configuration error.
 func (v *StreamingValidator) Run(src stream.Source) ([]WindowResult, error) {
-	windows := stream.NewTumblingWindows(src, v.Window)
+	windows, err := stream.NewTumblingWindows(src, v.Window)
+	if err != nil {
+		return nil, err
+	}
 	var out []WindowResult
 	for {
 		win, err := windows.Next()

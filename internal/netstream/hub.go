@@ -1,0 +1,452 @@
+package netstream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"icewafl/internal/obs"
+)
+
+// Policy selects how the hub reacts when a subscriber's bounded send
+// buffer is full — the backpressure contract of the service.
+type Policy int
+
+const (
+	// PolicyBlock stalls the publisher until the slow subscriber drains
+	// (lossless; one slow client throttles the pipeline and therefore
+	// every other client).
+	PolicyBlock Policy = iota
+	// PolicyDropOldest evicts the subscriber's oldest queued frame to
+	// make room (lossy for the slow client only; the pipeline and fast
+	// clients are unaffected; drops are counted per client).
+	PolicyDropOldest
+	// PolicyDisconnectSlow closes the slow subscriber's subscription
+	// (the client may reconnect and resume from its last sequence
+	// number via the replay ring).
+	PolicyDisconnectSlow
+)
+
+// ParsePolicy parses the configuration spelling of a policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "block":
+		return PolicyBlock, nil
+	case "drop-oldest":
+		return PolicyDropOldest, nil
+	case "disconnect-slow":
+		return PolicyDisconnectSlow, nil
+	}
+	return 0, fmt.Errorf("netstream: unknown backpressure policy %q (want block, drop-oldest or disconnect-slow)", s)
+}
+
+// String returns the configuration spelling.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyDropOldest:
+		return "drop-oldest"
+	case PolicyDisconnectSlow:
+		return "disconnect-slow"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ErrSlowClient terminates a subscription under PolicyDisconnectSlow.
+var ErrSlowClient = errors.New("netstream: subscriber too slow, disconnected by backpressure policy")
+
+// ErrGap reports that a subscription's from_seq is no longer retained in
+// the replay ring — the client reconnected too late to resume without
+// loss.
+var ErrGap = errors.New("netstream: requested sequence no longer retained (replay gap)")
+
+// ErrHubClosed reports that the hub shut down (graceful drain finished).
+var ErrHubClosed = errors.New("netstream: hub closed")
+
+// savedFrame is one published, already-encoded frame.
+type savedFrame struct {
+	seq      uint64
+	data     []byte
+	terminal bool
+}
+
+// channel is one named broadcast stream inside the hub.
+type channel struct {
+	name string
+	seq  uint64
+	// ring retains the most recent frames for replay, oldest first.
+	ring []savedFrame
+	// hello is the channel's opening frame, replayed to every new
+	// subscriber (it is not part of the sequence space).
+	hello []byte
+	subs  map[*Subscriber]struct{}
+	// done is set once a terminal frame was published.
+	done bool
+}
+
+// Hub fans published frames out to per-channel subscribers with bounded
+// buffers and a configurable backpressure policy. Publishing is safe
+// from one goroutine per channel; subscribing and unsubscribing are safe
+// from any goroutine.
+type Hub struct {
+	mu       sync.Mutex
+	channels map[string]*channel
+	buffer   int
+	replay   int
+	policy   Policy
+	closed   bool
+
+	nextSubID atomic.Uint64
+
+	// Aggregate counters, exported as obs gauges.
+	framesSent      atomic.Uint64
+	framesDropped   atomic.Uint64
+	slowDisconnects atomic.Uint64
+	subscribers     atomic.Int64
+
+	reg *obs.Registry
+}
+
+// NewHub builds a hub for the standard channels. buffer is the
+// per-subscriber queue capacity (minimum 1), replay the number of frames
+// retained per channel for late subscribers and reconnects (minimum
+// buffer).
+func NewHub(buffer, replay int, policy Policy, reg *obs.Registry) *Hub {
+	if buffer < 1 {
+		buffer = 64
+	}
+	if replay < buffer {
+		replay = buffer
+	}
+	h := &Hub{
+		channels: make(map[string]*channel),
+		buffer:   buffer,
+		replay:   replay,
+		policy:   policy,
+		reg:      reg,
+	}
+	for _, name := range Channels() {
+		h.channels[name] = &channel{name: name, subs: make(map[*Subscriber]struct{})}
+	}
+	reg.RegisterFunc("net_subscribers", func() uint64 {
+		n := h.subscribers.Load()
+		if n < 0 {
+			return 0
+		}
+		return uint64(n)
+	})
+	reg.RegisterFunc("net_frames_sent_total", h.framesSent.Load)
+	reg.RegisterFunc("net_frames_dropped_total", h.framesDropped.Load)
+	reg.RegisterFunc("net_slow_disconnects_total", h.slowDisconnects.Load)
+	return h
+}
+
+// Policy returns the hub's backpressure policy.
+func (h *Hub) Policy() Policy { return h.policy }
+
+// SetHello stores the channel's opening frame, delivered to every new
+// subscriber before any data frame.
+func (h *Hub) SetHello(channelName string, f *Frame) error {
+	data, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.channels[channelName]
+	if !ok {
+		return fmt.Errorf("netstream: unknown channel %q", channelName)
+	}
+	ch.hello = data
+	return nil
+}
+
+// Publish broadcasts f on the named channel, assigning the next sequence
+// number. Terminal frames (eof/error) are retained like data frames, so
+// late subscribers observe the stream's end. The call applies the hub's
+// backpressure policy per subscriber.
+func (h *Hub) Publish(channelName string, f *Frame) error {
+	terminal := f.Type == FrameEOF || f.Type == FrameError
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrHubClosed
+	}
+	ch, ok := h.channels[channelName]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("netstream: unknown channel %q", channelName)
+	}
+	if ch.done {
+		h.mu.Unlock()
+		return fmt.Errorf("netstream: channel %q already terminated", channelName)
+	}
+	ch.seq++
+	f.Seq = ch.seq
+	f.Channel = channelName
+	data, err := EncodeFrame(f)
+	if err != nil {
+		ch.seq--
+		h.mu.Unlock()
+		return err
+	}
+	sf := savedFrame{seq: ch.seq, data: data, terminal: terminal}
+	ch.ring = append(ch.ring, sf)
+	if len(ch.ring) > h.replay {
+		// Never evict the hello-equivalent head beyond capacity; plain
+		// sliding eviction, oldest first.
+		ch.ring = ch.ring[len(ch.ring)-h.replay:]
+	}
+	if terminal {
+		ch.done = true
+	}
+	subs := make([]*Subscriber, 0, len(ch.subs))
+	for s := range ch.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+
+	for _, s := range subs {
+		h.deliver(s, sf)
+	}
+	return nil
+}
+
+// deliver hands one frame to one subscriber under the backpressure
+// policy.
+func (h *Hub) deliver(s *Subscriber, sf savedFrame) {
+	switch h.policy {
+	case PolicyBlock:
+		select {
+		case s.ch <- sf:
+			h.framesSent.Add(1)
+		case <-s.closed:
+		}
+	case PolicyDropOldest:
+		for {
+			select {
+			case s.ch <- sf:
+				h.framesSent.Add(1)
+				return
+			case <-s.closed:
+				return
+			default:
+			}
+			select {
+			case <-s.ch:
+				s.droppedN.Add(1)
+				h.framesDropped.Add(1)
+			default:
+			}
+		}
+	case PolicyDisconnectSlow:
+		select {
+		case s.ch <- sf:
+			h.framesSent.Add(1)
+		case <-s.closed:
+		default:
+			h.slowDisconnects.Add(1)
+			s.fail(ErrSlowClient)
+			h.unsubscribe(s)
+		}
+	}
+}
+
+// Subscriber is one client's bounded subscription to a channel.
+type Subscriber struct {
+	id        uint64
+	hub       *Hub
+	channel   string
+	ch        chan savedFrame
+	closed    chan struct{}
+	once      sync.Once
+	closeOnce sync.Once
+	err       atomic.Value // error
+
+	// replay frames delivered before any live frame.
+	replay []savedFrame
+
+	droppedN atomic.Uint64
+}
+
+// Subscribe registers a subscriber on the named channel, resuming at
+// fromSeq (0 = from the beginning). The returned subscriber already
+// holds every retained frame with seq >= fromSeq; frames published after
+// the call are queued into its bounded buffer under the hub's policy.
+// Subscribe fails with ErrGap when fromSeq (or the beginning) is no
+// longer retained.
+func (h *Hub) Subscribe(channelName string, fromSeq uint64) (*Subscriber, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrHubClosed
+	}
+	ch, ok := h.channels[channelName]
+	if !ok {
+		return nil, fmt.Errorf("netstream: unknown channel %q", channelName)
+	}
+	start := fromSeq
+	if start == 0 {
+		start = 1
+	}
+	if len(ch.ring) > 0 && ch.ring[0].seq > start {
+		return nil, fmt.Errorf("%w: channel %q retains from seq %d, requested %d", ErrGap, channelName, ch.ring[0].seq, start)
+	}
+	if len(ch.ring) == 0 && ch.seq >= start {
+		return nil, fmt.Errorf("%w: channel %q retains nothing, requested %d", ErrGap, channelName, start)
+	}
+	s := &Subscriber{
+		id:      h.nextSubID.Add(1),
+		hub:     h,
+		channel: channelName,
+		ch:      make(chan savedFrame, h.buffer),
+		closed:  make(chan struct{}),
+	}
+	if ch.hello != nil {
+		s.replay = append(s.replay, savedFrame{data: ch.hello})
+	}
+	for _, sf := range ch.ring {
+		if sf.seq >= start {
+			s.replay = append(s.replay, sf)
+		}
+	}
+	if !ch.done {
+		ch.subs[s] = struct{}{}
+	}
+	h.subscribers.Add(1)
+	h.reg.RegisterFunc(fmt.Sprintf("net_queue_depth_client_%d", s.id), func() uint64 {
+		return uint64(len(s.ch)) + uint64(len(s.replay))
+	})
+	h.reg.RegisterFunc(fmt.Sprintf("net_dropped_client_%d", s.id), s.droppedN.Load)
+	return s, nil
+}
+
+// unsubscribe removes s from its channel's live set.
+func (h *Hub) unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ch, ok := h.channels[s.channel]; ok {
+		if _, live := ch.subs[s]; live {
+			delete(ch.subs, s)
+		}
+	}
+}
+
+// ID returns the subscriber's hub-unique identifier.
+func (s *Subscriber) ID() uint64 { return s.id }
+
+// Dropped returns how many frames the backpressure policy evicted from
+// this subscriber's queue.
+func (s *Subscriber) Dropped() uint64 { return s.droppedN.Load() }
+
+// fail records the terminal error and stops deliveries.
+func (s *Subscriber) fail(err error) {
+	s.once.Do(func() {
+		s.err.Store(err)
+		close(s.closed)
+	})
+}
+
+// Close detaches the subscriber (idempotent). Queued frames already
+// buffered remain readable via Recv until drained.
+func (s *Subscriber) Close() {
+	s.fail(ErrHubClosed)
+	s.closeOnce.Do(func() {
+		s.hub.unsubscribe(s)
+		s.hub.subscribers.Add(-1)
+	})
+}
+
+// termErr returns the subscription's terminal error.
+func (s *Subscriber) termErr() error {
+	if e, ok := s.err.Load().(error); ok && e != nil {
+		return e
+	}
+	return ErrHubClosed
+}
+
+// Recv returns the next frame's encoded bytes and whether it is
+// terminal (eof/error). After the subscription ends, Recv drains any
+// still-buffered frames and then returns the terminal cause
+// (ErrSlowClient under disconnect-slow, ErrHubClosed after Close or hub
+// shutdown).
+func (s *Subscriber) Recv() (data []byte, terminal bool, err error) {
+	if len(s.replay) > 0 {
+		sf := s.replay[0]
+		s.replay = s.replay[1:]
+		return sf.data, sf.terminal, nil
+	}
+	select {
+	case sf := <-s.ch:
+		return sf.data, sf.terminal, nil
+	case <-s.closed:
+		// Drain whatever was queued before the close.
+		select {
+		case sf := <-s.ch:
+			return sf.data, sf.terminal, nil
+		default:
+			return nil, false, s.termErr()
+		}
+	}
+}
+
+// RecvContext is Recv with cancellation: it additionally returns
+// ctx.Err() once ctx is done (used by HTTP handlers tied to the request
+// context).
+func (s *Subscriber) RecvContext(ctx context.Context) (data []byte, terminal bool, err error) {
+	if len(s.replay) > 0 {
+		sf := s.replay[0]
+		s.replay = s.replay[1:]
+		return sf.data, sf.terminal, nil
+	}
+	select {
+	case sf := <-s.ch:
+		return sf.data, sf.terminal, nil
+	case <-s.closed:
+		select {
+		case sf := <-s.ch:
+			return sf.data, sf.terminal, nil
+		default:
+			return nil, false, s.termErr()
+		}
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// Close shuts the hub down: every subscriber's subscription terminates
+// (after draining its buffered frames) and future Publish/Subscribe
+// calls fail with ErrHubClosed.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	var all []*Subscriber
+	for _, ch := range h.channels {
+		for s := range ch.subs {
+			all = append(all, s)
+		}
+		ch.subs = make(map[*Subscriber]struct{})
+	}
+	h.mu.Unlock()
+	for _, s := range all {
+		s.fail(ErrHubClosed)
+	}
+}
+
+// Seq returns the channel's current sequence number (frames published so
+// far).
+func (h *Hub) Seq(channelName string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ch, ok := h.channels[channelName]; ok {
+		return ch.seq
+	}
+	return 0
+}

@@ -1,0 +1,465 @@
+package netstream
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/obs"
+	"icewafl/internal/stream"
+)
+
+// Config configures one pollution service: a compiled process, the
+// source it consumes, and the fan-out behaviour.
+type Config struct {
+	// Schema is the input schema (announced to clients in hello frames).
+	Schema *stream.Schema
+	// Proc is the compiled pollution process (exactly one pipeline; the
+	// server drives it through the streaming runner). The server owns
+	// Proc.CleanTap for the duration of the run.
+	Proc *core.Process
+	// NewSource opens the input stream for the run.
+	NewSource func() (stream.Source, error)
+	// Reorder is the bounded reordering window of the streaming runner.
+	Reorder int
+	// Buffer is the per-subscriber send queue capacity (frames).
+	Buffer int
+	// Replay is the number of frames retained per channel for late
+	// subscribers and reconnects.
+	Replay int
+	// Policy selects the backpressure behaviour for slow subscribers.
+	Policy Policy
+	// DrainTimeout bounds the graceful drain on shutdown: how long the
+	// server waits for subscribers to finish reading after the pipeline
+	// ends (default 5s).
+	DrainTimeout time.Duration
+	// Reg receives service metrics (nil-safe).
+	Reg *obs.Registry
+	// Logf, when set, receives service diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server runs one pollution pipeline and streams its outputs to
+// subscribed clients.
+type Server struct {
+	cfg Config
+	hub *Hub
+
+	mu        sync.Mutex
+	listeners []net.Listener
+
+	pipelineDone chan struct{}
+	pipelineErr  error
+	wg           sync.WaitGroup
+}
+
+// NewServer validates cfg and builds the server (hub and hello frames
+// included, so clients may subscribe before the pipeline starts).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("netstream: config needs a schema")
+	}
+	if cfg.Proc == nil {
+		return nil, fmt.Errorf("netstream: config needs a process")
+	}
+	if cfg.NewSource == nil {
+		return nil, fmt.Errorf("netstream: config needs a source factory")
+	}
+	if cfg.Reorder < 1 {
+		cfg.Reorder = 1
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	s := &Server{
+		cfg:          cfg,
+		hub:          NewHub(cfg.Buffer, cfg.Replay, cfg.Policy, cfg.Reg),
+		pipelineDone: make(chan struct{}),
+	}
+	doc := SchemaDocument(cfg.Schema)
+	for _, name := range Channels() {
+		if err := s.hub.SetHello(name, &Frame{Type: FrameHello, Channel: name, Schema: doc}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Hub exposes the server's broadcast hub (tests and embedders).
+func (s *Server) Hub() *Hub { return s.hub }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// runPipeline executes the pollution process once, publishing every
+// output to the hub, and finishes each channel with a terminal frame.
+// Client-side failures never reach the pipeline: a disconnected or slow
+// subscriber only affects its own subscription (per the backpressure
+// policy), while source-side faults keep the PR-1 contract — quarantine
+// and DLQ work unchanged under the server runner.
+func (s *Server) runPipeline(ctx context.Context) error {
+	proc := s.cfg.Proc
+	proc.CleanTap = func(t stream.Tuple) {
+		if err := s.hub.Publish(ChannelClean, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
+			s.logf("clean publish: %v", err)
+		}
+	}
+	defer func() { proc.CleanTap = nil }()
+
+	fail := func(err error) error {
+		msg := err.Error()
+		for _, name := range Channels() {
+			if perr := s.hub.Publish(name, &Frame{Type: FrameError, Error: msg}); perr != nil && !errors.Is(perr, ErrHubClosed) {
+				s.logf("error publish on %s: %v", name, perr)
+			}
+		}
+		return err
+	}
+
+	src, err := s.cfg.NewSource()
+	if err != nil {
+		return fail(fmt.Errorf("netstream: open source: %w", err))
+	}
+	defer stopSource(src)
+
+	polluted, plog, err := proc.RunStream(stream.WithContext(ctx, src), s.cfg.Reorder)
+	if err != nil {
+		return fail(err)
+	}
+	flushed := 0
+	flushLog := func() error {
+		if plog == nil {
+			return nil
+		}
+		for ; flushed < len(plog.Entries); flushed++ {
+			e := plog.Entries[flushed]
+			if err := s.hub.Publish(ChannelLog, &Frame{Type: FrameLog, Entry: &e}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		t, err := polluted.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if _, ok := stream.AsTupleError(err); ok {
+				// Tuple-level failure without quarantine: skip the tuple,
+				// the stream remains usable (Source error contract).
+				s.logf("tuple error: %v", err)
+				continue
+			}
+			return fail(err)
+		}
+		// The log trails the polluted stream by at most the reorder
+		// window; flushing per emitted tuple keeps subscribers current
+		// without observing entries that could still be rolled back
+		// (rollback happens inside Next, before the tuple is emitted).
+		if err := flushLog(); err != nil {
+			return fail(err)
+		}
+		if err := s.hub.Publish(ChannelDirty, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
+			return fail(err)
+		}
+	}
+	if err := flushLog(); err != nil {
+		return fail(err)
+	}
+	for _, name := range Channels() {
+		if err := s.hub.Publish(name, &Frame{Type: FrameEOF}); err != nil && !errors.Is(err, ErrHubClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// stopSource stops a source implementing stream.Stopper.
+func stopSource(src stream.Source) {
+	if st, ok := src.(stream.Stopper); ok {
+		st.Stop()
+	}
+}
+
+// Serve runs the pipeline and serves subscribers until ctx is cancelled
+// (SIGTERM in the daemon), then drains gracefully: subscribers get
+// DrainTimeout to finish reading their queues before connections close.
+// tcpLn and httpLn are optional (nil disables that listener). Serve
+// returns the pipeline's error, if any.
+func (s *Server) Serve(ctx context.Context, tcpLn, httpLn net.Listener) error {
+	if tcpLn != nil {
+		s.track(tcpLn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.acceptLoop(tcpLn)
+		}()
+	}
+	var httpSrv *http.Server
+	if httpLn != nil {
+		s.track(httpLn)
+		httpSrv = &http.Server{Handler: s.HTTPHandler()}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				s.logf("http: %v", err)
+			}
+		}()
+	}
+
+	err := s.runPipeline(ctx)
+	s.mu.Lock()
+	s.pipelineErr = err
+	s.mu.Unlock()
+	close(s.pipelineDone)
+
+	// The pipeline has published its terminal frames. Keep serving until
+	// the caller cancels, so late clients can still fetch results from
+	// the replay ring.
+	<-ctx.Done()
+
+	// Graceful drain: give connected subscribers DrainTimeout to empty
+	// their queues, then close everything.
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for time.Now().Before(deadline) && s.hub.subscribers.Load() > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.hub.Close()
+	s.mu.Lock()
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	if httpSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shCtx)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// PipelineDone reports completion of the pollution run (closed channel)
+// and its error.
+func (s *Server) PipelineDone() <-chan struct{} { return s.pipelineDone }
+
+// PipelineErr returns the pipeline's terminal error (nil before
+// completion or on success).
+func (s *Server) PipelineErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipelineErr
+}
+
+func (s *Server) track(ln net.Listener) {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+}
+
+// acceptLoop serves raw-TCP subscribers.
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn speaks the TCP protocol: one subscribe frame in, then a
+// stream of length-prefixed frames out until a terminal frame.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	var req SubscribeRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		s.writeErrorFrame(conn, fmt.Errorf("netstream: bad subscribe request: %w", err))
+		return
+	}
+	if req.Channel == "" {
+		req.Channel = ChannelDirty
+	}
+	sub, err := s.hub.Subscribe(req.Channel, req.FromSeq)
+	if err != nil {
+		s.writeErrorFrame(conn, err)
+		return
+	}
+	defer sub.Close()
+	bw := bufio.NewWriter(conn)
+	for {
+		data, terminal, err := sub.Recv()
+		if err != nil {
+			if errors.Is(err, ErrSlowClient) {
+				s.writeErrorFrame(conn, err)
+			}
+			return
+		}
+		start := time.Now()
+		if err := WriteFrame(bw, data); err != nil {
+			return // client went away; pipeline unaffected
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		s.cfg.Reg.ObserveStage(obs.StageNetSend, time.Since(start))
+		if terminal {
+			return
+		}
+	}
+}
+
+// writeErrorFrame best-effort reports err to the peer as a terminal
+// frame.
+func (s *Server) writeErrorFrame(conn net.Conn, err error) {
+	data, merr := EncodeFrame(&Frame{Type: FrameError, Error: err.Error()})
+	if merr != nil {
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_ = WriteFrame(conn, data)
+}
+
+// HTTPHandler returns the service's HTTP interface:
+//
+//	GET /stream?channel=dirty|clean|log&from_seq=N  — NDJSON (chunked)
+//	GET /sse?channel=...&from_seq=N                 — Server-Sent Events
+//	GET /metrics                                    — Prometheus text
+//	GET /healthz                                    — liveness + run state
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		s.serveHTTPStream(w, r, false)
+	})
+	mux.HandleFunc("/sse", func(w http.ResponseWriter, r *http.Request) {
+		s.serveHTTPStream(w, r, true)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.cfg.Reg.Snapshot()
+		if snap == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WritePrometheus(w); err != nil {
+			s.logf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		state := "running"
+		select {
+		case <-s.pipelineDone:
+			if s.PipelineErr() != nil {
+				state = "failed"
+			} else {
+				state = "done"
+			}
+		default:
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"state\":%q,\"dirty_seq\":%d,\"clean_seq\":%d,\"log_seq\":%d}\n",
+			state, s.hub.Seq(ChannelDirty), s.hub.Seq(ChannelClean), s.hub.Seq(ChannelLog))
+	})
+	return mux
+}
+
+// serveHTTPStream subscribes the request and streams frames as NDJSON
+// lines or SSE events until a terminal frame.
+func (s *Server) serveHTTPStream(w http.ResponseWriter, r *http.Request, sse bool) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		channel = ChannelDirty
+	}
+	var fromSeq uint64
+	if raw := r.URL.Query().Get("from_seq"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad from_seq", http.StatusBadRequest)
+			return
+		}
+		fromSeq = v
+	}
+	sub, err := s.hub.Subscribe(channel, fromSeq)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrGap) {
+			status = http.StatusGone
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	defer sub.Close()
+	flusher, _ := w.(http.Flusher)
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	ctx := r.Context()
+	for {
+		data, terminal, err := sub.RecvContext(ctx)
+		if err != nil {
+			if errors.Is(err, ErrSlowClient) {
+				s.writeHTTPFrame(w, flusher, sse, slowClientFrame())
+			}
+			return
+		}
+		start := time.Now()
+		if !s.writeHTTPFrame(w, flusher, sse, data) {
+			return
+		}
+		s.cfg.Reg.ObserveStage(obs.StageNetSend, time.Since(start))
+		if terminal {
+			return
+		}
+	}
+}
+
+// slowClientFrame renders the disconnect-slow terminal frame.
+func slowClientFrame() []byte {
+	data, _ := EncodeFrame(&Frame{Type: FrameError, Error: ErrSlowClient.Error()})
+	return data
+}
+
+// writeHTTPFrame writes one frame in the chosen HTTP encoding.
+func (s *Server) writeHTTPFrame(w http.ResponseWriter, flusher http.Flusher, sse bool, data []byte) bool {
+	if sse {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+	} else {
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return false
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return true
+}

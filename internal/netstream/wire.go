@@ -1,0 +1,215 @@
+// Package netstream turns a compiled pollution process into a networked
+// service: cmd/icewafld runs the pipeline once and streams its three
+// outputs — the dirty stream D^p, the clean stream D, and the pollution
+// log — to any number of subscribed clients, over raw TCP
+// (length-prefixed JSON frames) or HTTP (NDJSON chunks or SSE). A
+// ClientSource implements stream.Source over the wire, so pipelines can
+// chain across processes and compose with stream.RetrySource for
+// reconnect-with-backoff.
+//
+// The wire format is deliberately simple and debuggable: every frame is
+// one JSON object. On TCP each frame is preceded by a 4-byte big-endian
+// payload length; on HTTP each frame is one newline-terminated line
+// (NDJSON) or one SSE data event. The first frame of every subscription
+// is a hello carrying the stream schema (the schemafile document); tuple
+// and log frames follow in sequence order; an eof or error frame is
+// terminal. Frames carry a per-channel sequence number so a reconnecting
+// client can resume exactly where it left off (subscribe with from_seq),
+// as long as the server still retains that frame in its replay ring.
+package netstream
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/schemafile"
+	"icewafl/internal/stream"
+)
+
+// The three published channels.
+const (
+	// ChannelDirty carries the polluted stream D^p.
+	ChannelDirty = "dirty"
+	// ChannelClean carries the prepared clean stream D.
+	ChannelClean = "clean"
+	// ChannelLog carries the pollution log (ground truth).
+	ChannelLog = "log"
+)
+
+// Channels lists every published channel.
+func Channels() []string { return []string{ChannelDirty, ChannelClean, ChannelLog} }
+
+// Frame types.
+const (
+	// FrameHello opens a subscription: it carries the stream schema.
+	FrameHello = "hello"
+	// FrameTuple carries one tuple (dirty or clean channel).
+	FrameTuple = "tuple"
+	// FrameLog carries one pollution-log entry (log channel).
+	FrameLog = "log"
+	// FrameEOF is terminal: the pipeline completed normally.
+	FrameEOF = "eof"
+	// FrameError is terminal: the pipeline failed or the subscription
+	// cannot be served (e.g. a replay gap after reconnecting too late).
+	FrameError = "error"
+)
+
+// Frame is one wire message. Exactly one payload field is set, selected
+// by Type.
+type Frame struct {
+	Type    string `json:"type"`
+	Channel string `json:"channel,omitempty"`
+	// Seq is the 1-based per-channel sequence number of data frames
+	// (tuple/log). Hello and terminal frames carry the channel's current
+	// sequence so clients can detect replay gaps.
+	Seq    uint64               `json:"seq,omitempty"`
+	Schema *schemafile.Document `json:"schema,omitempty"`
+	Tuple  *WireTuple           `json:"tuple,omitempty"`
+	Entry  *core.Entry          `json:"entry,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+// WireTuple is the network rendering of a stream.Tuple. Values use the
+// same textual encoding as CSV output (Value.String), so NULL and the
+// empty string collapse — exactly as they do in the CLI's CSV files.
+type WireTuple struct {
+	ID      uint64   `json:"id"`
+	Sub     int      `json:"sub,omitempty"`
+	Event   string   `json:"event"`
+	Arrival string   `json:"arrival"`
+	Values  []string `json:"values"`
+}
+
+// wireTime is the tuple timestamp encoding: RFC3339 with nanoseconds, so
+// delayed arrivals survive the round trip exactly.
+const wireTime = time.RFC3339Nano
+
+// EncodeTuple renders t for the wire.
+func EncodeTuple(t stream.Tuple) *WireTuple {
+	wt := &WireTuple{
+		ID:      t.ID,
+		Sub:     t.SubStream,
+		Event:   t.EventTime.UTC().Format(wireTime),
+		Arrival: t.Arrival.UTC().Format(wireTime),
+		Values:  make([]string, t.Len()),
+	}
+	for i := 0; i < t.Len(); i++ {
+		wt.Values[i] = t.At(i).String()
+	}
+	return wt
+}
+
+// DecodeTuple rebuilds a tuple from its wire rendering against schema.
+func DecodeTuple(wt *WireTuple, schema *stream.Schema) (stream.Tuple, error) {
+	if wt == nil {
+		return stream.Tuple{}, fmt.Errorf("netstream: nil tuple payload")
+	}
+	if len(wt.Values) != schema.Len() {
+		return stream.Tuple{}, fmt.Errorf("netstream: tuple %d has %d values, schema has %d", wt.ID, len(wt.Values), schema.Len())
+	}
+	values := make([]stream.Value, schema.Len())
+	for i := range wt.Values {
+		v, err := stream.ParseValue(wt.Values[i], schema.Field(i).Kind)
+		if err != nil {
+			return stream.Tuple{}, fmt.Errorf("netstream: tuple %d attr %q: %w", wt.ID, schema.Field(i).Name, err)
+		}
+		values[i] = v
+	}
+	t := stream.NewTuple(schema, values)
+	t.ID = wt.ID
+	t.SubStream = wt.Sub
+	var err error
+	if t.EventTime, err = time.Parse(wireTime, wt.Event); err != nil {
+		return stream.Tuple{}, fmt.Errorf("netstream: tuple %d event time: %w", wt.ID, err)
+	}
+	if t.Arrival, err = time.Parse(wireTime, wt.Arrival); err != nil {
+		return stream.Tuple{}, fmt.Errorf("netstream: tuple %d arrival: %w", wt.ID, err)
+	}
+	return t, nil
+}
+
+// SchemaDocument renders schema as the wire schemafile document carried
+// by hello frames.
+func SchemaDocument(schema *stream.Schema) *schemafile.Document {
+	doc := &schemafile.Document{Timestamp: schema.Timestamp()}
+	for _, f := range schema.Fields() {
+		doc.Fields = append(doc.Fields, schemafile.Field{Name: f.Name, Kind: f.Kind.String()})
+	}
+	return doc
+}
+
+// SchemaFromDocument rebuilds the stream schema from a hello payload.
+func SchemaFromDocument(doc *schemafile.Document) (*stream.Schema, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("netstream: hello frame carries no schema")
+	}
+	fields := make([]stream.Field, 0, len(doc.Fields))
+	for _, fd := range doc.Fields {
+		kind, err := stream.ParseKind(fd.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("netstream: schema field %q: %w", fd.Name, err)
+		}
+		fields = append(fields, stream.Field{Name: fd.Name, Kind: kind})
+	}
+	return stream.NewSchema(doc.Timestamp, fields...)
+}
+
+// SubscribeRequest is the client's opening message on a TCP connection
+// (one length-prefixed JSON frame). FromSeq selects where delivery
+// starts: 0 means from the beginning of the channel, n > 0 resumes with
+// the frame whose sequence number is n.
+type SubscribeRequest struct {
+	Channel string `json:"channel"`
+	FromSeq uint64 `json:"from_seq,omitempty"`
+}
+
+// MaxFrameBytes bounds a single frame (tuples are small; this is a
+// defence against corrupt or hostile length prefixes).
+const MaxFrameBytes = 16 << 20
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("netstream: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("netstream: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeFrame marshals f.
+func EncodeFrame(f *Frame) ([]byte, error) { return json.Marshal(f) }
+
+// DecodeFrame unmarshals one frame payload.
+func DecodeFrame(payload []byte) (*Frame, error) {
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, fmt.Errorf("netstream: decode frame: %w", err)
+	}
+	return &f, nil
+}

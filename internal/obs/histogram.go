@@ -19,11 +19,15 @@ const (
 	StageSink
 	// StageCheckpoint is one checkpoint capture.
 	StageCheckpoint
+	// StageNetSend is one framed write to a network subscriber (the
+	// icewafld service layer). Appended last so existing snapshot goldens
+	// — which omit empty histograms — are unchanged for local runs.
+	StageNetSend
 
 	numStages
 )
 
-var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint"}
+var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint", "net_send"}
 
 // StageName returns the exposition name of a stage.
 func StageName(s StageID) string { return stageNames[s] }

@@ -24,6 +24,9 @@ type Stream struct {
 	// cached spare normal deviate for Box-Muller
 	hasSpare bool
 	spare    float64
+	// init is the construction-time state, so a stream can rewind to its
+	// first draw (per-run pipeline reset).
+	init [4]uint64
 }
 
 // New returns a Stream seeded from seed.
@@ -64,6 +67,17 @@ func (s *Stream) reseed(seed uint64) {
 		s.s[i] = z ^ (z >> 31)
 	}
 	s.hasSpare = false
+	s.init = s.s
+}
+
+// Reset rewinds the stream to its construction-time state, so the next
+// draw repeats the very first draw. It is the basis of per-run pipeline
+// resets: re-running a compiled pipeline after Reset replays exactly the
+// random sequence of its first run.
+func (s *Stream) Reset() {
+	s.s = s.init
+	s.hasSpare = false
+	s.spare = 0
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"io"
 	"time"
 )
@@ -23,28 +24,43 @@ type TumblingWindows struct {
 	src   Source
 	width time.Duration
 
-	cur     *Window
-	pending []Tuple
-	done    bool
+	cur  *Window
+	done bool
+	// err latches the stream's terminal error. Once the source fails
+	// fatally or the final partial window has been handed out, every
+	// further Next call returns the latched error — the final window can
+	// never be emitted twice, and a drained operator stays drained.
+	err error
 }
 
-// NewTumblingWindows wraps src with windows of the given width.
-func NewTumblingWindows(src Source, width time.Duration) *TumblingWindows {
+// NewTumblingWindows wraps src with windows of the given width. A
+// non-positive width is a configuration error (historically it was
+// silently coerced to one second, hiding misconfigured pipelines).
+func NewTumblingWindows(src Source, width time.Duration) (*TumblingWindows, error) {
 	if width <= 0 {
-		width = time.Second
+		return nil, fmt.Errorf("stream: tumbling window width must be positive, got %v", width)
 	}
-	return &TumblingWindows{src: src, width: width}
+	return &TumblingWindows{src: src, width: width}, nil
 }
 
-// Next returns the next closed window or io.EOF.
+// Next returns the next closed window or io.EOF. After a fatal source
+// error or EOF the operator is terminal: subsequent calls return the
+// same error and never re-emit the final partial window. Tuple-level
+// source errors (*TupleError) are passed through without terminating
+// the operator, matching the Source error contract.
 func (w *TumblingWindows) Next() (Window, error) {
 	for {
+		if w.err != nil {
+			return Window{}, w.err
+		}
 		if w.done {
 			if w.cur != nil {
 				out := *w.cur
 				w.cur = nil
+				w.err = io.EOF
 				return out, nil
 			}
+			w.err = io.EOF
 			return Window{}, io.EOF
 		}
 		t, err := w.src.Next()
@@ -53,6 +69,15 @@ func (w *TumblingWindows) Next() (Window, error) {
 			continue
 		}
 		if err != nil {
+			if _, ok := AsTupleError(err); ok {
+				// Tuple-level failure: the source remains usable, so the
+				// window state is kept and the caller may continue.
+				return Window{}, err
+			}
+			// Fatal: latch and discard the partial window — its contents
+			// are not known to be complete.
+			w.cur = nil
+			w.err = err
 			return Window{}, err
 		}
 		if w.cur == nil {
@@ -96,13 +121,18 @@ func CollectWindows(w *TumblingWindows) ([]Window, error) {
 
 // SlidingWindows groups a bounded stream into overlapping event-time
 // windows of the given width, advancing by slide per window (slide <
-// width produces overlap; slide == width degrades to tumbling). Windows
-// align to the first tuple's arrival; empty windows are skipped.
+// width produces overlap; slide == width degrades to tumbling; slide 0
+// defaults to width). Windows align to the first tuple's arrival; empty
+// windows are skipped. A non-positive width or negative slide is a
+// configuration error.
 func SlidingWindows(src Source, width, slide time.Duration) ([]Window, error) {
 	if width <= 0 {
-		width = time.Second
+		return nil, fmt.Errorf("stream: sliding window width must be positive, got %v", width)
 	}
-	if slide <= 0 {
+	if slide < 0 {
+		return nil, fmt.Errorf("stream: sliding window slide must be non-negative, got %v", slide)
+	}
+	if slide == 0 {
 		slide = width
 	}
 	tuples, err := Drain(src)
