@@ -40,7 +40,7 @@ race:
 # layer instruments (lock-free counters under sharded workers). Runs
 # with -count=2 so the second pass exercises warmed per-worker cells.
 racehot:
-	$(GO) test -race -count=2 ./internal/obs/ ./internal/core/ ./internal/stream/
+	$(GO) test -race -count=2 ./internal/obs/ ./internal/core/ ./internal/stream/ ./internal/dq/
 
 # Service-layer integration pass: the netstream hub/server/client suite
 # plus the real icewafld binary serving the golden examples/cli pipeline
@@ -69,9 +69,9 @@ cover:
 # or ANY allocs/op growth on zero-alloc-class benchmarks (the pooled
 # hot paths — this is what keeps the nil-registry observability hooks
 # honest).
-BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead
-BENCH_BASELINE ?= BENCH_pr2.json
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead|BenchmarkDQIncremental|BenchmarkDQBatchRevalidate
+BENCH_BASELINE ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr5.json
 MAX_REGRESS ?= 0.20
 
 bench:
@@ -91,6 +91,7 @@ fuzz:
 	$(GO) test ./internal/csvio/ -run '^$$' -fuzz FuzzQuarantine -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzPrometheusExposition -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzMetricsJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dq/ -run '^$$' -fuzz FuzzSuiteJSON -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -13,6 +13,7 @@ import (
 	"icewafl/internal/anomaly"
 	"icewafl/internal/core"
 	"icewafl/internal/dataset"
+	"icewafl/internal/dq"
 	"icewafl/internal/experiments"
 	"icewafl/internal/obs"
 	"icewafl/internal/rng"
@@ -650,6 +651,75 @@ func BenchmarkSuiteValidation(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(res.Polluted)))
+}
+
+// dqWindowedInput builds the shared input for the windowed-DQ pair: the
+// software-update suite over the polluted wearable stream, validated in
+// overlapping sliding windows (8h wide, 1h slide: every tuple belongs to
+// 8 windows).
+func dqWindowedInput(b *testing.B) (*dq.Suite, []stream.Tuple) {
+	b.Helper()
+	proc := experiments.SoftwareUpdateProcess(experiments.DefaultDataSeed)
+	res, err := proc.Run(experiments.WearableSource(experiments.DefaultDataSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return experiments.SoftwareUpdateSuite(), res.Polluted
+}
+
+// BenchmarkDQIncremental measures the streaming monitor's sliding-window
+// validation: each tuple is observed exactly once into its pane and
+// windows close by merging pane partials — the per-tuple cost is
+// independent of the window width.
+func BenchmarkDQIncremental(b *testing.B) {
+	suite, polluted := dqWindowedInput(b)
+	schema := polluted[0].Schema()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := dq.NewSlidingMonitor(suite, 8*time.Hour, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows := 0
+		err = m.Run(stream.NewSliceSource(schema, polluted), func(dq.WindowResult) error {
+			windows++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if windows == 0 {
+			b.Fatal("no windows closed")
+		}
+	}
+	b.SetBytes(int64(len(polluted)))
+}
+
+// BenchmarkDQBatchRevalidate measures the pre-monitor model the
+// incremental engine replaces: buffer every sliding window and re-run
+// the batch Check over its tuples, re-scanning each tuple once per
+// overlapping window.
+func BenchmarkDQBatchRevalidate(b *testing.B) {
+	suite, polluted := dqWindowedInput(b)
+	schema := polluted[0].Schema()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wins, err := stream.SlidingWindows(stream.NewSliceSource(schema, polluted), 8*time.Hour, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(wins) == 0 {
+			b.Fatal("no windows")
+		}
+		for _, w := range wins {
+			if res := suite.Validate(w.Tuples); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	}
+	b.SetBytes(int64(len(polluted)))
 }
 
 // BenchmarkAnomalyDetection measures online detector throughput over the

@@ -1,0 +1,193 @@
+// End-to-end acceptance for live monitoring: dqcheck -follow against a
+// real icewafld daemon must emit byte-identical NDJSON verdicts to an
+// offline dqcheck -window run over the same dirty stream captured to a
+// metadata CSV with the `_arrival` column. Arrival preservation is the
+// crux — without it a delayed tuple's window assignment (and therefore
+// the verdict stream) would silently differ between live and offline.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"icewafl/internal/csvio"
+	"icewafl/internal/netstream"
+	"icewafl/internal/schemafile"
+	"icewafl/internal/stream"
+)
+
+// buildDaemonBin compiles icewafld into a scratch dir.
+func buildDaemonBin(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "icewafld")
+	cmd := exec.Command("go", "build", "-o", bin, "../icewafld")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build icewafld: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon serves the examples/cli scenario on a random port and
+// returns the bound TCP address. Shutdown is registered as a cleanup.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	bin := buildDaemonBin(t)
+	ex := filepath.Join("..", "..", "examples", "cli")
+	cmd := exec.Command(bin,
+		"-schema", filepath.Join(ex, "schema.json"),
+		"-config", filepath.Join(ex, "pollution.json"),
+		"-in", filepath.Join(ex, "clean.csv"),
+		"-listen", "127.0.0.1:0",
+		"-http", "127.0.0.1:0",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var tcpAddr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening tcp="); i >= 0 {
+			fields := strings.Fields(line[i:])
+			if len(fields) >= 2 {
+				tcpAddr = strings.TrimPrefix(fields[1], "tcp=")
+			}
+			break
+		}
+	}
+	go func() {
+		for sc.Scan() {
+		}
+		done <- cmd.Wait()
+	}()
+	if tcpAddr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon never announced its address (scan err: %v)", sc.Err())
+	}
+	var once sync.Once
+	t.Cleanup(func() {
+		once.Do(func() {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Error("daemon did not exit after SIGTERM")
+			}
+		})
+	})
+	return tcpAddr
+}
+
+// TestFollowMatchesOfflineVerdicts is the PR's acceptance test: live
+// follow output ≡ offline windowed output, byte for byte.
+func TestFollowMatchesOfflineVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binaries")
+	}
+	dqcheck := buildDQCheck(t)
+	addr := startDaemon(t)
+	ex := filepath.Join("..", "..", "examples", "cli")
+	schemaPath := filepath.Join(ex, "schema.json")
+	suitePath := filepath.Join(ex, "suite.json")
+	const window = "24h"
+
+	// Capture the dirty channel to a metadata CSV carrying `_arrival`,
+	// exactly as an archival consumer of the live stream would.
+	schema, err := schemafile.Load(schemaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := netstream.Dial(addr, netstream.ChannelDirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := stream.Drain(cs)
+	cs.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) == 0 {
+		t.Fatal("dirty channel is empty")
+	}
+	metaPath := filepath.Join(t.TempDir(), "dirty_meta.csv")
+	mf, err := os.Create(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := csvio.NewMetaWriter(mf, schema)
+	mw.IncludeArrival()
+	for _, tp := range tuples {
+		if err := mw.Write(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live: follow the daemon until it serves EOF.
+	live := exec.Command(dqcheck,
+		"-schema", schemaPath, "-suite", suitePath,
+		"-follow", addr, "-window", window,
+	)
+	live.Stderr = os.Stderr
+	liveOut, err := live.Output()
+	if err != nil {
+		t.Fatalf("dqcheck -follow: %v", err)
+	}
+
+	// Offline: same windows over the captured stream.
+	offline := exec.Command(dqcheck,
+		"-schema", schemaPath, "-suite", suitePath,
+		"-in", metaPath, "-meta", "-window", window, "-ndjson",
+	)
+	offline.Stderr = os.Stderr
+	offlineOut, err := offline.Output()
+	if err != nil {
+		t.Fatalf("dqcheck -window over capture: %v", err)
+	}
+
+	if !bytes.Equal(liveOut, offlineOut) {
+		t.Fatalf("live and offline verdicts differ:\nlive:\n%s\noffline:\n%s", liveOut, offlineOut)
+	}
+
+	// Sanity: the verdict stream is non-trivial — multiple windows, and
+	// the polluted example flags at least one window.
+	lines := bytes.Split(bytes.TrimSpace(liveOut), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("only %d verdict line(s):\n%s", len(lines), liveOut)
+	}
+	if !bytes.Contains(liveOut, []byte(`"unexpected":`)) {
+		t.Fatalf("verdicts carry no unexpected counts:\n%s", liveOut)
+	}
+	flagged := false
+	for _, ln := range lines {
+		if bytes.Contains(ln, []byte(`"success":false`)) {
+			flagged = true
+			break
+		}
+	}
+	if !flagged {
+		t.Fatal("no window flagged any pollution; the example pipeline should produce violations")
+	}
+}

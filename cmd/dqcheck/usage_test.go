@@ -1,0 +1,97 @@
+// Flag-validation tests: bad invocations must exit with the
+// conventional usage status (2), print a one-line diagnostic naming the
+// offending flag, and show the flag usage — before any file or network
+// I/O (the bogus -follow address below would hang or error differently
+// if it were dialled).
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDQCheck compiles dqcheck into a scratch dir.
+func buildDQCheck(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "dqcheck")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDQCheckFlagValidation exercises every rejected flag range and
+// combination against the real binary.
+func TestDQCheckFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildDQCheck(t)
+	ex := filepath.Join("..", "..", "examples", "cli")
+	base := []string{
+		"-schema", filepath.Join(ex, "schema.json"),
+		"-suite", filepath.Join(ex, "suite.json"),
+		"-in", filepath.Join(ex, "clean.csv"),
+	}
+	noIn := []string{
+		"-schema", filepath.Join(ex, "schema.json"),
+		"-suite", filepath.Join(ex, "suite.json"),
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the diagnostic
+	}{
+		{"missing required", nil, "required"},
+		{"in and follow", append(base, "-follow", "127.0.0.1:1"), "mutually exclusive"},
+		{"profile with suite", append(base, "-profile", "p.json"), "-profile cannot be combined with -suite"},
+		{"profile with truth", []string{
+			"-schema", filepath.Join(ex, "schema.json"),
+			"-in", filepath.Join(ex, "clean.csv"),
+			"-profile", "p.json", "-truth", "log.jsonl",
+		}, "-profile cannot be combined with -truth"},
+		{"profile with window", []string{
+			"-schema", filepath.Join(ex, "schema.json"),
+			"-in", filepath.Join(ex, "clean.csv"),
+			"-profile", "p.json", "-window", "1h",
+		}, "-profile cannot be combined with -follow or -window"},
+		{"negative window", append(base, "-window", "-1h"), "-window must be positive"},
+		{"follow without window", append(noIn, "-follow", "127.0.0.1:1"), "-follow requires a positive -window"},
+		{"follow with zero window", append(noIn, "-follow", "127.0.0.1:1", "-window", "0s"), "-follow requires a positive -window"},
+		{"slide without window", append(base, "-slide", "1h"), "-slide and -ndjson require a positive -window"},
+		{"ndjson without window", append(base, "-ndjson"), "-slide and -ndjson require a positive -window"},
+		{"negative slide", append(base, "-window", "1h", "-slide", "-5m"), "-slide must be positive"},
+		{"slide exceeds window", append(base, "-window", "1h", "-slide", "2h"), "must not exceed -window"},
+		{"window not multiple of slide", append(base, "-window", "1h", "-slide", "25m"), "must be a multiple of -slide"},
+		{"truth without meta", append(base, "-truth", "log.jsonl"), "-truth requires -meta"},
+		{"truth live without follow", append(base, "-meta", "-truth", "live"), "-truth live requires -follow"},
+		{"follow with file truth", append(noIn, "-follow", "127.0.0.1:1", "-window", "1h", "-truth", "log.jsonl"), "-truth must be the literal 'live'"},
+		{"metrics without window", append(base, "-metrics", "m.prom"), "-metrics requires a positive -window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected non-zero exit, got err=%v\n%s", err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Errorf("exit code = %d, want 2 (usage)\n%s", code, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+			if !strings.Contains(string(out), "Usage") && !strings.Contains(string(out), "-schema string") {
+				t.Errorf("usage text not printed:\n%s", out)
+			}
+		})
+	}
+}

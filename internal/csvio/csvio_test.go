@@ -204,6 +204,75 @@ func TestMetaRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMetaArrivalRoundTrip: with IncludeArrival the delivery timestamp
+// survives the round trip exactly — a delayed tuple's arrival is NOT
+// its event time, and without the column the reader would erase the
+// delay by re-deriving arrival from the timestamp attribute.
+func TestMetaArrivalRoundTrip(t *testing.T) {
+	tuples := sample()
+	for i := range tuples {
+		tuples[i].ID = uint64(1 + i)
+		ts, _ := tuples[i].Timestamp()
+		tuples[i].EventTime = ts
+		tuples[i].Arrival = ts
+	}
+	// Tuple 2 is delayed: it arrives 90 minutes after its event time.
+	tuples[2].Arrival = tuples[2].EventTime.Add(90 * time.Minute)
+
+	var buf bytes.Buffer
+	w := NewMetaWriter(&buf, schema)
+	w.IncludeArrival()
+	for _, tp := range tuples {
+		if err := w.Write(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasPrefix(header, "_id,_substream,_arrival,ts,") {
+		t.Fatalf("meta header %q", header)
+	}
+	r, err := NewMetaReader(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := stream.Drain(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if !back[i].Arrival.Equal(tuples[i].Arrival) {
+			t.Fatalf("arrival lost at %d: %v vs %v", i, back[i].Arrival, tuples[i].Arrival)
+		}
+		if !back[i].EventTime.Equal(tuples[i].EventTime) {
+			t.Fatalf("event time changed at %d", i)
+		}
+	}
+	if back[2].Arrival.Equal(back[2].EventTime) {
+		t.Fatal("the delayed tuple's delay was erased")
+	}
+
+	// Without the column, arrival is re-derived from the timestamp —
+	// the delay is (by design) not representable.
+	var plain bytes.Buffer
+	if err := WriteAllMeta(&plain, schema, tuples); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewMetaReader(&plain, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := stream.Drain(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back2[2].Arrival.Equal(back2[2].EventTime) {
+		t.Fatal("arrival not re-derived without _arrival column")
+	}
+}
+
 func TestMetaReaderErrors(t *testing.T) {
 	if _, err := NewMetaReader(strings.NewReader("wrong,header\n"), schema); err == nil {
 		t.Fatal("bad meta header accepted")
@@ -233,6 +302,15 @@ func TestMetaReaderErrors(t *testing.T) {
 	}
 	if _, err := r2.Next(); err == nil {
 		t.Fatal("bad _substream accepted")
+	}
+	// Bad _arrival cell.
+	bad3 := "_id,_substream,_arrival,ts,value,count,label,ok\n1,0,yesterday,2020-05-01T00:00:00Z,1,1,x,true\n"
+	r3, err := NewMetaReader(strings.NewReader(bad3), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r3.Next(); err == nil {
+		t.Fatal("bad _arrival accepted")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
 	"icewafl/internal/stream"
 )
@@ -14,16 +15,29 @@ import (
 // with the data so downstream consumers can join the polluted stream
 // back to the clean one. MetaWriter/MetaReader implement that format as
 // CSV: two leading columns `_id` and `_substream` before the schema's
-// attributes.
+// attributes, optionally followed by `_arrival` — the delivery
+// timestamp. Without `_arrival`, the reader re-derives Arrival from the
+// timestamp attribute, which erases delayed-tuple pollution (a delayed
+// tuple's arrival is precisely NOT its event time); with it, windowed
+// consumers reproduce the live stream's window boundaries exactly.
 
 // MetaColumns are the reserved metadata column names.
 var MetaColumns = []string{"_id", "_substream"}
 
+// ArrivalColumn is the optional third metadata column carrying the
+// tuple's arrival time (RFC3339 with nanoseconds).
+const ArrivalColumn = "_arrival"
+
+// arrivalTime is the `_arrival` encoding: RFC3339Nano, matching the
+// netstream wire format so round trips are exact.
+const arrivalTime = time.RFC3339Nano
+
 // MetaWriter encodes tuples with their identity metadata.
 type MetaWriter struct {
-	schema *stream.Schema
-	csv    *csv.Writer
-	wrote  bool
+	schema  *stream.Schema
+	csv     *csv.Writer
+	wrote   bool
+	arrival bool
 }
 
 // NewMetaWriter wraps w.
@@ -31,12 +45,20 @@ func NewMetaWriter(w io.Writer, schema *stream.Schema) *MetaWriter {
 	return &MetaWriter{schema: schema, csv: csv.NewWriter(w)}
 }
 
+// IncludeArrival adds the `_arrival` column so delayed arrivals survive
+// the round trip. Must be called before the first Write.
+func (w *MetaWriter) IncludeArrival() { w.arrival = true }
+
 func (w *MetaWriter) writeHeader() error {
 	if w.wrote {
 		return nil
 	}
 	w.wrote = true
-	header := append(append([]string{}, MetaColumns...), w.schema.Names()...)
+	header := append([]string{}, MetaColumns...)
+	if w.arrival {
+		header = append(header, ArrivalColumn)
+	}
+	header = append(header, w.schema.Names()...)
 	return w.csv.Write(header)
 }
 
@@ -57,11 +79,14 @@ func (w *MetaWriter) Write(t stream.Tuple) error {
 	if err := w.writeHeader(); err != nil {
 		return fmt.Errorf("csvio: write meta header: %w", err)
 	}
-	rec := make([]string, 0, t.Len()+2)
+	rec := make([]string, 0, t.Len()+3)
 	rec = append(rec,
 		strconv.FormatUint(t.ID, 10),
 		strconv.Itoa(t.SubStream),
 	)
+	if w.arrival {
+		rec = append(rec, t.Arrival.UTC().Format(arrivalTime))
+	}
 	for i := 0; i < t.Len(); i++ {
 		rec = append(rec, t.At(i).String())
 	}
@@ -84,34 +109,47 @@ func (w *MetaWriter) Close() error {
 }
 
 // MetaReader decodes the metadata format back into tuples with ID and
-// SubStream restored (EventTime and Arrival are re-derived from the
-// timestamp attribute).
+// SubStream restored. When the header carries the optional `_arrival`
+// column, Arrival is restored exactly; otherwise EventTime and Arrival
+// are re-derived from the timestamp attribute.
 type MetaReader struct {
-	schema *stream.Schema
-	csv    *csv.Reader
-	row    int
+	schema  *stream.Schema
+	csv     *csv.Reader
+	row     int
+	arrival bool
 }
 
-// NewMetaReader wraps r, validating the header.
+// NewMetaReader wraps r, validating the header (the `_arrival` column
+// is detected from it).
 func NewMetaReader(r io.Reader, schema *stream.Schema) (*MetaReader, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = schema.Len() + len(MetaColumns)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("csvio: read meta header: %w", err)
 	}
 	for i, name := range MetaColumns {
-		if header[i] != name {
-			return nil, fmt.Errorf("csvio: meta column %d is %q, want %q", i, header[i], name)
+		if i >= len(header) || header[i] != name {
+			return nil, fmt.Errorf("csvio: meta column %d is missing or not %q", i, name)
 		}
+	}
+	meta := len(MetaColumns)
+	arrival := false
+	if len(header) > meta && header[meta] == ArrivalColumn {
+		arrival = true
+		meta++
+	}
+	if len(header) != meta+schema.Len() {
+		return nil, fmt.Errorf("csvio: meta header has %d columns, want %d", len(header), meta+schema.Len())
 	}
 	for i, name := range schema.Names() {
-		if header[len(MetaColumns)+i] != name {
+		if header[meta+i] != name {
 			return nil, fmt.Errorf("csvio: header column %d is %q, schema expects %q",
-				len(MetaColumns)+i, header[len(MetaColumns)+i], name)
+				meta+i, header[meta+i], name)
 		}
 	}
-	return &MetaReader{schema: schema, csv: cr, row: 1}, nil
+	// Every data row must match the header's shape.
+	cr.FieldsPerRecord = meta + schema.Len()
+	return &MetaReader{schema: schema, csv: cr, row: 1, arrival: arrival}, nil
 }
 
 // Schema implements stream.Source.
@@ -135,9 +173,18 @@ func (r *MetaReader) Next() (stream.Tuple, error) {
 	if err != nil {
 		return stream.Tuple{}, fmt.Errorf("csvio: meta row %d: bad _substream %q: %w", r.row, rec[1], err)
 	}
+	meta := len(MetaColumns)
+	var arrival time.Time
+	if r.arrival {
+		arrival, err = time.Parse(arrivalTime, rec[meta])
+		if err != nil {
+			return stream.Tuple{}, fmt.Errorf("csvio: meta row %d: bad %s %q: %w", r.row, ArrivalColumn, rec[meta], err)
+		}
+		meta++
+	}
 	values := make([]stream.Value, r.schema.Len())
 	for i := range values {
-		v, err := stream.ParseValue(rec[len(MetaColumns)+i], r.schema.Field(i).Kind)
+		v, err := stream.ParseValue(rec[meta+i], r.schema.Field(i).Kind)
 		if err != nil {
 			return stream.Tuple{}, fmt.Errorf("csvio: meta row %d column %q: %w", r.row, r.schema.Field(i).Name, err)
 		}
@@ -149,6 +196,9 @@ func (r *MetaReader) Next() (stream.Tuple, error) {
 	if ts, ok := t.Timestamp(); ok {
 		t.EventTime = ts
 		t.Arrival = ts
+	}
+	if r.arrival {
+		t.Arrival = arrival
 	}
 	return t, nil
 }

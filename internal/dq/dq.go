@@ -8,6 +8,7 @@ package dq
 
 import (
 	"fmt"
+	"math"
 	"regexp"
 
 	"icewafl/internal/stream"
@@ -114,19 +115,26 @@ type NotBeNull struct {
 // Name implements Expectation.
 func (e NotBeNull) Name() string { return "expect_column_values_to_not_be_null" }
 
+// eval is the per-row predicate shared by the batch and incremental
+// engines: (evaluated, unexpected).
+func (e NotBeNull) eval(t stream.Tuple) (bool, bool) {
+	v, ok := t.Get(e.Column)
+	if !ok {
+		return false, false
+	}
+	return true, v.IsNull()
+}
+
 // Check implements Expectation.
 func (e NotBeNull) Check(tuples []stream.Tuple) Result {
-	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
-		v, ok := t.Get(e.Column)
-		if !ok {
-			return false, false
-		}
-		return true, v.IsNull()
-	})
+	return rowCheck(e.Name(), tuples, e.eval)
 }
 
 // BeBetween expects numeric column values in [Min, Max] —
 // expect_column_values_to_be_between. NULLs are not evaluated.
+// Non-finite values (NaN, ±Inf) are always unexpected: NaN compares
+// false against both bounds, so the naive `f < Min || f > Max` test
+// would silently let it pass the range check.
 type BeBetween struct {
 	Column   string
 	Min, Max float64
@@ -135,19 +143,26 @@ type BeBetween struct {
 // Name implements Expectation.
 func (e BeBetween) Name() string { return "expect_column_values_to_be_between" }
 
+// eval is the per-row predicate shared by the batch and incremental
+// engines.
+func (e BeBetween) eval(t stream.Tuple) (bool, bool) {
+	v, ok := t.Get(e.Column)
+	if !ok || v.IsNull() {
+		return false, false
+	}
+	f, isNum := v.AsFloat()
+	if !isNum {
+		return true, true
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return true, true
+	}
+	return true, f < e.Min || f > e.Max
+}
+
 // Check implements Expectation.
 func (e BeBetween) Check(tuples []stream.Tuple) Result {
-	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
-		v, ok := t.Get(e.Column)
-		if !ok || v.IsNull() {
-			return false, false
-		}
-		f, isNum := v.AsFloat()
-		if !isNum {
-			return true, true
-		}
-		return true, f < e.Min || f > e.Max
-	})
+	return rowCheck(e.Name(), tuples, e.eval)
 }
 
 // PairAGreaterThanB expects column A's value to exceed column B's in
@@ -163,23 +178,27 @@ func (e PairAGreaterThanB) Name() string {
 	return "expect_column_pair_values_a_to_be_greater_than_b"
 }
 
+// eval is the per-row predicate shared by the batch and incremental
+// engines.
+func (e PairAGreaterThanB) eval(t stream.Tuple) (bool, bool) {
+	a, okA := t.Get(e.A)
+	b, okB := t.Get(e.B)
+	if !okA || !okB || a.IsNull() || b.IsNull() {
+		return false, false
+	}
+	cmp, comparable := a.Compare(b)
+	if !comparable {
+		return true, true
+	}
+	if e.OrEqual {
+		return true, cmp < 0
+	}
+	return true, cmp <= 0
+}
+
 // Check implements Expectation.
 func (e PairAGreaterThanB) Check(tuples []stream.Tuple) Result {
-	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
-		a, okA := t.Get(e.A)
-		b, okB := t.Get(e.B)
-		if !okA || !okB || a.IsNull() || b.IsNull() {
-			return false, false
-		}
-		cmp, comparable := a.Compare(b)
-		if !comparable {
-			return true, true
-		}
-		if e.OrEqual {
-			return true, cmp < 0
-		}
-		return true, cmp <= 0
-	})
+	return rowCheck(e.Name(), tuples, e.eval)
 }
 
 // MatchRegex expects the textual rendering of column values to match the
@@ -202,15 +221,19 @@ func NewMatchRegex(column, pattern string) (MatchRegex, error) {
 // Name implements Expectation.
 func (e MatchRegex) Name() string { return "expect_column_values_to_match_regex" }
 
+// eval is the per-row predicate shared by the batch and incremental
+// engines.
+func (e MatchRegex) eval(t stream.Tuple) (bool, bool) {
+	v, ok := t.Get(e.Column)
+	if !ok || v.IsNull() {
+		return false, false
+	}
+	return true, !e.Pattern.MatchString(v.String())
+}
+
 // Check implements Expectation.
 func (e MatchRegex) Check(tuples []stream.Tuple) Result {
-	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
-		v, ok := t.Get(e.Column)
-		if !ok || v.IsNull() {
-			return false, false
-		}
-		return true, !e.Pattern.MatchString(v.String())
-	})
+	return rowCheck(e.Name(), tuples, e.eval)
 }
 
 // MulticolumnSumToEqual expects the sum of the listed numeric columns to
@@ -227,27 +250,36 @@ type MulticolumnSumToEqual struct {
 // Name implements Expectation.
 func (e MulticolumnSumToEqual) Name() string { return "expect_multicolumn_sum_to_equal" }
 
+// eval is the per-row predicate shared by the batch and incremental
+// engines.
+func (e MulticolumnSumToEqual) eval(t stream.Tuple) (bool, bool) {
+	sum := 0.0
+	for _, c := range e.Columns {
+		v, ok := t.Get(c)
+		if !ok || v.IsNull() {
+			return false, false
+		}
+		f, isNum := v.AsFloat()
+		if !isNum {
+			return true, true
+		}
+		sum += f
+	}
+	diff := sum - e.Total
+	if diff < 0 {
+		diff = -diff
+	}
+	// A NaN among the addends makes diff NaN, which compares false
+	// against the tolerance — catch it explicitly.
+	if math.IsNaN(diff) {
+		return true, true
+	}
+	return true, diff > e.Tolerance
+}
+
 // Check implements Expectation.
 func (e MulticolumnSumToEqual) Check(tuples []stream.Tuple) Result {
-	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
-		sum := 0.0
-		for _, c := range e.Columns {
-			v, ok := t.Get(c)
-			if !ok || v.IsNull() {
-				return false, false
-			}
-			f, isNum := v.AsFloat()
-			if !isNum {
-				return true, true
-			}
-			sum += f
-		}
-		diff := sum - e.Total
-		if diff < 0 {
-			diff = -diff
-		}
-		return true, diff > e.Tolerance
-	})
+	return rowCheck(e.Name(), tuples, e.eval)
 }
 
 // BeIncreasing expects column values to increase along the stream —
@@ -263,30 +295,44 @@ type BeIncreasing struct {
 // Name implements Expectation.
 func (e BeIncreasing) Name() string { return "expect_column_values_to_be_increasing" }
 
+// chainState is the monotonicity chain shared by the batch and
+// incremental engines: the last accepted value. The incremental engine
+// deliberately carries it across window boundaries, which is what makes
+// boundary-straddling decreases visible to the streaming monitor.
+type chainState struct {
+	prev     stream.Value
+	havePrev bool
+}
+
+// step evaluates v against the chain and reports whether it is
+// unexpected. prev advances only when v is accepted: a single delayed
+// tuple flags itself, not its successors.
+func (s *chainState) step(v stream.Value, strictly bool) bool {
+	if s.havePrev {
+		cmp, comparable := v.Compare(s.prev)
+		if !comparable || cmp < 0 || (strictly && cmp == 0) {
+			return true
+		}
+	}
+	s.prev = v
+	s.havePrev = true
+	return false
+}
+
 // Check implements Expectation.
 func (e BeIncreasing) Check(tuples []stream.Tuple) Result {
 	res := Result{Expectation: e.Name()}
-	var prev stream.Value
-	havePrev := false
+	var st chainState
 	for _, t := range tuples {
 		v, ok := t.Get(e.Column)
 		if !ok || v.IsNull() {
 			continue
 		}
 		res.Evaluated++
-		if havePrev {
-			cmp, comparable := v.Compare(prev)
-			bad := !comparable || cmp < 0 || (e.Strictly && cmp == 0)
-			if bad {
-				res.Unexpected++
-				res.UnexpectedIDs = append(res.UnexpectedIDs, t.ID)
-				// Do not advance prev on a violation: a single delayed
-				// tuple flags itself, not its successors.
-				continue
-			}
+		if st.step(v, e.Strictly) {
+			res.Unexpected++
+			res.UnexpectedIDs = append(res.UnexpectedIDs, t.ID)
 		}
-		prev = v
-		havePrev = true
 	}
 	res.Success = res.Unexpected == 0
 	return res
@@ -294,23 +340,34 @@ func (e BeIncreasing) Check(tuples []stream.Tuple) Result {
 
 // BeUnique expects no duplicate values in the column —
 // expect_column_values_to_be_unique. Every occurrence beyond the first of
-// a value is unexpected. NULLs are skipped.
+// a value is unexpected. NULLs are skipped. The seen-set is keyed on
+// (kind, canonical rendering), so values of different kinds that render
+// identically — int 1 vs string "1" — are not false duplicates.
 type BeUnique struct {
 	Column string
 }
+
+// uniqueKey identifies a value by kind and canonical string, so
+// cross-kind renderings never collide.
+type uniqueKey struct {
+	kind stream.Kind
+	s    string
+}
+
+func keyOf(v stream.Value) uniqueKey { return uniqueKey{kind: v.Kind(), s: v.String()} }
 
 // Name implements Expectation.
 func (e BeUnique) Name() string { return "expect_column_values_to_be_unique" }
 
 // Check implements Expectation.
 func (e BeUnique) Check(tuples []stream.Tuple) Result {
-	seen := make(map[string]bool)
+	seen := make(map[uniqueKey]bool)
 	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
 		v, ok := t.Get(e.Column)
 		if !ok || v.IsNull() {
 			return false, false
 		}
-		key := v.String()
+		key := keyOf(v)
 		if seen[key] {
 			return true, true
 		}
@@ -329,15 +386,19 @@ type BeInSet struct {
 // Name implements Expectation.
 func (e BeInSet) Name() string { return "expect_column_values_to_be_in_set" }
 
+// eval is the per-row predicate shared by the batch and incremental
+// engines.
+func (e BeInSet) eval(t stream.Tuple) (bool, bool) {
+	v, ok := t.Get(e.Column)
+	if !ok || v.IsNull() {
+		return false, false
+	}
+	return true, !e.Allowed[v.String()]
+}
+
 // Check implements Expectation.
 func (e BeInSet) Check(tuples []stream.Tuple) Result {
-	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
-		v, ok := t.Get(e.Column)
-		if !ok || v.IsNull() {
-			return false, false
-		}
-		return true, !e.Allowed[v.String()]
-	})
+	return rowCheck(e.Name(), tuples, e.eval)
 }
 
 // BeOfType expects every non-null value in the column to have the given
@@ -350,23 +411,70 @@ type BeOfType struct {
 // Name implements Expectation.
 func (e BeOfType) Name() string { return "expect_column_values_to_be_of_type" }
 
+// eval is the per-row predicate shared by the batch and incremental
+// engines.
+func (e BeOfType) eval(t stream.Tuple) (bool, bool) {
+	v, ok := t.Get(e.Column)
+	if !ok || v.IsNull() {
+		return false, false
+	}
+	return true, v.Kind() != e.Kind
+}
+
 // Check implements Expectation.
 func (e BeOfType) Check(tuples []stream.Tuple) Result {
-	return rowCheck(e.Name(), tuples, func(t stream.Tuple) (bool, bool) {
-		v, ok := t.Get(e.Column)
-		if !ok || v.IsNull() {
-			return false, false
-		}
-		return true, v.Kind() != e.Kind
-	})
+	return rowCheck(e.Name(), tuples, e.eval)
 }
 
 // MeanToBeBetween expects the column mean in [Min, Max] — the aggregate
 // expectation expect_column_mean_to_be_between. NULLs are excluded from
-// the mean.
+// the mean. Non-finite values (NaN, ±Inf) are *reported* — counted
+// evaluated, flagged unexpected with their tuple IDs — rather than
+// silently folded into the sum, where a single NaN would poison the mean
+// (and, because NaN fails every comparison, fail the expectation without
+// ever saying which row did it).
 type MeanToBeBetween struct {
 	Column   string
 	Min, Max float64
+}
+
+// meanState is the running aggregate shared by the batch and incremental
+// engines: O(1) per tuple, mergeable by field-wise addition.
+type meanState struct {
+	evaluated int
+	finite    int
+	sum       float64
+	badIDs    []uint64
+}
+
+// observe folds one tuple into the aggregate.
+func (m *meanState) observe(t stream.Tuple, column string) {
+	v, ok := t.Get(column)
+	if !ok || v.IsNull() {
+		return
+	}
+	f, isNum := v.AsFloat()
+	if !isNum {
+		return
+	}
+	m.evaluated++
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		m.badIDs = append(m.badIDs, t.ID)
+		return
+	}
+	m.finite++
+	m.sum += f
+}
+
+// result renders the aggregate as a Result against [min, max].
+func (m *meanState) result(name string, min, max float64) Result {
+	res := Result{Expectation: name, Evaluated: m.evaluated, Unexpected: len(m.badIDs)}
+	res.UnexpectedIDs = append([]uint64(nil), m.badIDs...)
+	if m.finite > 0 {
+		res.Observed = m.sum / float64(m.finite)
+	}
+	res.Success = m.finite > 0 && res.Unexpected == 0 && res.Observed >= min && res.Observed <= max
+	return res
 }
 
 // Name implements Expectation.
@@ -374,23 +482,9 @@ func (e MeanToBeBetween) Name() string { return "expect_column_mean_to_be_betwee
 
 // Check implements Expectation.
 func (e MeanToBeBetween) Check(tuples []stream.Tuple) Result {
-	res := Result{Expectation: e.Name()}
-	sum := 0.0
+	var st meanState
 	for _, t := range tuples {
-		v, ok := t.Get(e.Column)
-		if !ok || v.IsNull() {
-			continue
-		}
-		f, isNum := v.AsFloat()
-		if !isNum {
-			continue
-		}
-		res.Evaluated++
-		sum += f
+		st.observe(t, e.Column)
 	}
-	if res.Evaluated > 0 {
-		res.Observed = sum / float64(res.Evaluated)
-	}
-	res.Success = res.Evaluated > 0 && res.Observed >= e.Min && res.Observed <= e.Max
-	return res
+	return st.result(e.Name(), e.Min, e.Max)
 }

@@ -1,7 +1,6 @@
 package dq
 
 import (
-	"io"
 	"time"
 
 	"icewafl/internal/stream"
@@ -21,7 +20,13 @@ type WindowResult struct {
 func (w WindowResult) Unexpected() int { return TotalUnexpected(w.Results) }
 
 // StreamingValidator validates a stream window by window against a
-// suite, emitting one WindowResult per closed window.
+// suite, emitting one WindowResult per closed window. It runs on the
+// incremental engine: per-tuple O(1)-amortised state instead of
+// buffering each window and re-scanning it with the batch Check path,
+// and cross-window chain state that is carried across boundaries — a
+// decrease whose two tuples straddle a window boundary is flagged in
+// the receiving window, where per-window batch re-validation is blind
+// to it by construction.
 type StreamingValidator struct {
 	Suite  *Suite
 	Window time.Duration
@@ -35,26 +40,16 @@ func NewStreamingValidator(suite *Suite, window time.Duration) *StreamingValidat
 // Run consumes src fully and returns one result per non-empty window. A
 // non-positive Window is a configuration error.
 func (v *StreamingValidator) Run(src stream.Source) ([]WindowResult, error) {
-	windows, err := stream.NewTumblingWindows(src, v.Window)
+	m, err := NewMonitor(v.Suite, v.Window)
 	if err != nil {
 		return nil, err
 	}
 	var out []WindowResult
-	for {
-		win, err := windows.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, WindowResult{
-			Start:   win.Start,
-			End:     win.End,
-			Tuples:  len(win.Tuples),
-			Results: v.Suite.Validate(win.Tuples),
-		})
-	}
+	err = m.Run(src, func(wr WindowResult) error {
+		out = append(out, wr)
+		return nil
+	})
+	return out, err
 }
 
 // WorstWindow returns the index of the window with the highest

@@ -1,0 +1,111 @@
+// FuzzSuiteJSON drives the suite codec with arbitrary documents. Two
+// properties: LoadSuite never panics on malformed input, and a document
+// that loads reaches a serialisation fixed point — Save(Load(doc))
+// re-loads to an equivalent suite whose second serialisation is
+// byte-identical to the first. The fixed point is the contract dqcheck
+// -profile relies on: a profiled suite written to disk must mean the
+// same thing when read back.
+package dq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzSuiteJSON(f *testing.F) {
+	seeds := []string{
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_between", "column": "a", "min": 0, "max": 10}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_pair_values_a_to_be_greater_than_b", "a": "a", "b": "b", "or_equal": true}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_match_regex", "column": "label", "regex": "^x+$"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_multicolumn_sum_to_equal", "columns": ["a", "b"], "total": 5, "tolerance": 0.001}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_increasing", "column": "ts", "strictly": true}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_unique", "column": "a"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_in_set", "column": "label", "allowed": ["x", "y"]}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_be_of_type", "column": "a", "kind": "float"}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_mean_to_be_between", "column": "a", "min": 0, "max": 100}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a",
+		  "where": {"column": "label", "op": "==", "value": "check"}}]}`,
+		`{"name": "s", "expectations": [{"expectation": "expect_column_values_to_not_be_null", "column": "a",
+		  "where": {"column": "b", "op": "!=", "value": null}}]}`,
+		`{`,
+		`{"name": "empty", "expectations": []}`,
+		`{"name": "s", "expectations": [{"expectation": "nope"}]}`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		suite, err := LoadSuite(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input may be rejected, never panic
+		}
+		var first bytes.Buffer
+		if err := SaveSuite(&first, suite); err != nil {
+			t.Fatalf("loaded suite does not serialise: %v", err)
+		}
+		back, err := LoadSuite(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialised suite does not re-load: %v\n%s", err, first.Bytes())
+		}
+		if back.SuiteName != suite.SuiteName || len(back.Expectations) != len(suite.Expectations) {
+			t.Fatalf("round trip changed shape: %q/%d vs %q/%d",
+				back.SuiteName, len(back.Expectations), suite.SuiteName, len(suite.Expectations))
+		}
+		for i := range suite.Expectations {
+			if back.Expectations[i].Name() != suite.Expectations[i].Name() {
+				t.Fatalf("expectation %d renamed: %q vs %q",
+					i, back.Expectations[i].Name(), suite.Expectations[i].Name())
+			}
+		}
+		var second bytes.Buffer
+		if err := SaveSuite(&second, back); err != nil {
+			t.Fatalf("re-serialise: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("not a fixed point:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+		// The loaded suite must also be runnable by the incremental
+		// engine — every serialisable expectation has an incremental form.
+		if _, err := suite.Incrementals(); err != nil {
+			t.Fatalf("loaded suite has no incremental form: %v", err)
+		}
+	})
+}
+
+// TestSuiteJSONFixedPointCorpus runs the fixed-point property over the
+// seed corpus without the fuzzer, so `go test` exercises it too.
+func TestSuiteJSONFixedPointCorpus(t *testing.T) {
+	docs := []string{
+		`{"name": "all", "expectations": [
+		  {"expectation": "expect_column_values_to_not_be_null", "column": "a"},
+		  {"expectation": "expect_column_values_to_be_between", "column": "a", "min": 0, "max": 10},
+		  {"expectation": "expect_column_values_to_be_in_set", "column": "label", "allowed": ["y", "x"]},
+		  {"expectation": "expect_column_mean_to_be_between", "column": "a", "min": 0, "max": 100,
+		   "where": {"column": "label", "op": "!=", "value": "skip"}}
+		]}`,
+	}
+	for _, doc := range docs {
+		suite, err := LoadSuite(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first, second bytes.Buffer
+		if err := SaveSuite(&first, suite); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadSuite(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveSuite(&second, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("not a fixed point:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+	}
+}

@@ -219,16 +219,42 @@ func TestRowConditionOps(t *testing.T) {
 			t.Errorf("case %d: %v", i, got)
 		}
 	}
-	// NULL semantics.
+	// NULL semantics: only ==/!= are defined against NULL on either
+	// side; ordering comparisons against NULL never match.
 	nullRow := row(2, 0, stream.Null(), f(0), f(0), "x")
 	if !(RowCondition{"a", "==", stream.Null()}).Match(nullRow) {
 		t.Error("null == null failed")
+	}
+	if (RowCondition{"a", "!=", stream.Null()}).Match(nullRow) {
+		t.Error("null != null matched")
 	}
 	if (RowCondition{"a", "==", stream.Float(1)}).Match(nullRow) {
 		t.Error("null == 1 matched")
 	}
 	if !(RowCondition{"a", "!=", stream.Float(1)}).Match(nullRow) {
 		t.Error("null != 1 failed")
+	}
+	if (RowCondition{"a", "<", stream.Float(1)}).Match(nullRow) {
+		t.Error("null < 1 matched")
+	}
+	if (RowCondition{"a", ">=", stream.Null()}).Match(nullRow) {
+		t.Error("null >= null matched")
+	}
+	if (RowCondition{"b", "==", stream.Null()}).Match(nullRow) {
+		t.Error("non-null == null matched")
+	}
+	if !(RowCondition{"b", "!=", stream.Null()}).Match(nullRow) {
+		t.Error("non-null != null failed")
+	}
+	// Missing columns never match, whatever the operator — a row without
+	// the column is outside the condition's domain, not unequal to it.
+	for _, op := range []string{"==", "!=", "<", "<=", ">", ">="} {
+		if (RowCondition{"zzz", op, stream.Float(1)}).Match(tp) {
+			t.Errorf("missing column matched op %q", op)
+		}
+	}
+	if (RowCondition{"zzz", "==", stream.Null()}).Match(tp) {
+		t.Error("missing column matched == null")
 	}
 }
 

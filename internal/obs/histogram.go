@@ -23,11 +23,15 @@ const (
 	// icewafld service layer). Appended last so existing snapshot goldens
 	// — which omit empty histograms — are unchanged for local runs.
 	StageNetSend
+	// StageDQWindow is one window evaluation of the streaming DQ
+	// monitor (snapshotting every expectation at window close). Appended
+	// after StageNetSend for the same golden-stability reason.
+	StageDQWindow
 
 	numStages
 )
 
-var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint", "net_send"}
+var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint", "net_send", "dq_window"}
 
 // StageName returns the exposition name of a stage.
 func StageName(s StageID) string { return stageNames[s] }

@@ -156,6 +156,8 @@ type Registry struct {
 
 	mu       sync.RWMutex
 	polluted map[string]*Counter
+	dqEval   map[string]*Counter
+	dqUnexp  map[string]*Counter
 	shards   []*Counter
 	funcs    map[string]GaugeFunc
 }
@@ -164,6 +166,8 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		polluted: make(map[string]*Counter),
+		dqEval:   make(map[string]*Counter),
+		dqUnexp:  make(map[string]*Counter),
 		funcs:    make(map[string]GaugeFunc),
 	}
 }
@@ -231,6 +235,56 @@ func (r *Registry) polCounter(name string) *Counter {
 		r.polluted[name] = c
 	}
 	return c
+}
+
+// AddDQ accumulates one window's evaluated/unexpected row counts for
+// the named expectation — the per-expectation counter families of the
+// streaming DQ monitor (dq_evaluated_total / dq_unexpected_total).
+func (r *Registry) AddDQ(expectation string, evaluated, unexpected uint64) {
+	if r == nil {
+		return
+	}
+	r.namedCounter(&r.dqEval, expectation).Add(evaluated)
+	r.namedCounter(&r.dqUnexp, expectation).Add(unexpected)
+}
+
+// namedCounter lazily creates a counter in a named family map (same
+// double-checked pattern as polCounter).
+func (r *Registry) namedCounter(m *map[string]*Counter, name string) *Counter {
+	r.mu.RLock()
+	c := (*m)[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if *m == nil {
+		*m = make(map[string]*Counter)
+	}
+	if c = (*m)[name]; c == nil {
+		c = &Counter{}
+		(*m)[name] = c
+	}
+	return c
+}
+
+// DQCounts returns the per-expectation evaluated and unexpected counts.
+func (r *Registry) DQCounts() (evaluated, unexpected map[string]uint64) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	evaluated = make(map[string]uint64, len(r.dqEval))
+	for name, c := range r.dqEval {
+		evaluated[name] = c.Value()
+	}
+	unexpected = make(map[string]uint64, len(r.dqUnexp))
+	for name, c := range r.dqUnexp {
+		unexpected[name] = c.Value()
+	}
+	return evaluated, unexpected
 }
 
 // PollutedCounts returns the per-polluter pollution counts.
@@ -399,6 +453,14 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	if pc := r.PollutedCounts(); len(pc) > 0 {
 		s.PollutedBy = pc
+	}
+	if ev, un := r.DQCounts(); len(ev) > 0 || len(un) > 0 {
+		if len(ev) > 0 {
+			s.DQEvaluated = ev
+		}
+		if len(un) > 0 {
+			s.DQUnexpected = un
+		}
 	}
 	s.ShardTuples = r.ShardCounts()
 	r.mu.RLock()

@@ -30,6 +30,10 @@ type Snapshot struct {
 	Gauges map[string]uint64 `json:"gauges,omitempty"`
 	// PollutedBy counts pollution-log entries per polluter ID.
 	PollutedBy map[string]uint64 `json:"polluted_by,omitempty"`
+	// DQEvaluated / DQUnexpected count rows the streaming DQ monitor
+	// inspected / flagged, per expectation.
+	DQEvaluated  map[string]uint64 `json:"dq_evaluated,omitempty"`
+	DQUnexpected map[string]uint64 `json:"dq_unexpected,omitempty"`
 	// ShardTuples counts tuples per shard of a sharded run.
 	ShardTuples []uint64 `json:"shard_tuples,omitempty"`
 	// Histograms holds the per-stage latency histograms (sampled).
@@ -86,6 +90,8 @@ func ParseJSON(data []byte) (*Snapshot, error) {
 
 const (
 	pollutedMetric = "icewafl_polluted_tuples_total"
+	dqEvalMetric   = "icewafl_dq_evaluated_total"
+	dqUnexpMetric  = "icewafl_dq_unexpected_total"
 	shardMetric    = "icewafl_shard_tuples_total"
 	latencyMetric  = "icewafl_stage_latency_ns"
 )
@@ -151,6 +157,18 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# TYPE %s counter\n", pollutedMetric)
 		for _, name := range sortedKeys(s.PollutedBy) {
 			fmt.Fprintf(bw, "%s{polluter=\"%s\"} %d\n", pollutedMetric, escapeLabel(name), s.PollutedBy[name])
+		}
+	}
+	for _, fam := range []struct {
+		metric string
+		counts map[string]uint64
+	}{{dqEvalMetric, s.DQEvaluated}, {dqUnexpMetric, s.DQUnexpected}} {
+		if len(fam.counts) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# TYPE %s counter\n", fam.metric)
+		for _, name := range sortedKeys(fam.counts) {
+			fmt.Fprintf(bw, "%s{expectation=\"%s\"} %d\n", fam.metric, escapeLabel(name), fam.counts[name])
 		}
 	}
 	if len(s.ShardTuples) > 0 {
@@ -224,6 +242,22 @@ func ParsePrometheus(r io.Reader) (*Snapshot, error) {
 				s.PollutedBy = map[string]uint64{}
 			}
 			s.PollutedBy[p] = value
+		case name == dqEvalMetric || name == dqUnexpMetric:
+			ex, ok := labels["expectation"]
+			if !ok {
+				return nil, fmt.Errorf("obs: %s sample without expectation label", name)
+			}
+			if name == dqEvalMetric {
+				if s.DQEvaluated == nil {
+					s.DQEvaluated = map[string]uint64{}
+				}
+				s.DQEvaluated[ex] = value
+			} else {
+				if s.DQUnexpected == nil {
+					s.DQUnexpected = map[string]uint64{}
+				}
+				s.DQUnexpected[ex] = value
+			}
 		case name == shardMetric:
 			sh, ok := labels["shard"]
 			if !ok {
