@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt lint race racehot integration ci cover bench perfgate fuzz clean
+.PHONY: build test vet fmt lint race racehot integration chaos ci cover bench perfgate fuzz clean
 
 build:
 	$(GO) build ./...
@@ -37,10 +37,12 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the concurrent hot paths the observability
-# layer instruments (lock-free counters under sharded workers). Runs
-# with -count=2 so the second pass exercises warmed per-worker cells.
+# layer instruments (lock-free counters under sharded workers) plus the
+# service runtime's hub/WAL/supervisor machinery and the chaos harness
+# that hammers it. Runs with -count=2 so the second pass exercises
+# warmed per-worker cells.
 racehot:
-	$(GO) test -race -count=2 ./internal/obs/ ./internal/core/ ./internal/stream/ ./internal/dq/
+	$(GO) test -race -count=2 ./internal/obs/ ./internal/core/ ./internal/stream/ ./internal/dq/ ./internal/netstream/ ./internal/chaos/
 
 # Service-layer integration pass: the netstream hub/server/client suite
 # plus the real icewafld binary serving the golden examples/cli pipeline
@@ -49,6 +51,13 @@ racehot:
 # flow conservation (frames received == frames published).
 integration:
 	$(GO) test -race -count=1 ./internal/netstream/ ./cmd/icewafld/
+
+# Chaos pass: the fault-injection suite (proxy faults, disk faults,
+# kill-and-recover e2e) under the race detector with a short schedule —
+# every run crosses real SIGKILLs, torn WAL tails and mid-frame
+# connection kills.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/ ./cmd/icewafld/ -run 'Chaos|Proxy|FaultFS|CrashRecovery|WAL'
 
 ci: fmt vet lint race integration
 
@@ -69,9 +78,9 @@ cover:
 # or ANY allocs/op growth on zero-alloc-class benchmarks (the pooled
 # hot paths — this is what keeps the nil-registry observability hooks
 # honest).
-BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead|BenchmarkDQIncremental|BenchmarkDQBatchRevalidate
-BENCH_BASELINE ?= BENCH_pr3.json
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead|BenchmarkDQIncremental|BenchmarkDQBatchRevalidate|BenchmarkWALAppend|BenchmarkHubReplayFromWAL
+BENCH_BASELINE ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 MAX_REGRESS ?= 0.20
 
 bench:
@@ -92,6 +101,8 @@ fuzz:
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzPrometheusExposition -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzMetricsJSON -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dq/ -run '^$$' -fuzz FuzzSuiteJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netstream/ -run '^$$' -fuzz FuzzWALRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netstream/ -run '^$$' -fuzz FuzzWALTornTail -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"icewafl/internal/dataset"
 	"icewafl/internal/dq"
 	"icewafl/internal/experiments"
+	"icewafl/internal/netstream"
 	"icewafl/internal/obs"
 	"icewafl/internal/rng"
 	"icewafl/internal/stream"
@@ -737,4 +738,83 @@ func BenchmarkAnomalyDetection(b *testing.B) {
 		anomaly.Run(det, data)
 	}
 	b.SetBytes(8760)
+}
+
+// BenchmarkWALAppend measures the durable log's append path with the
+// default fsync batching — the per-frame cost the service pays when
+// -wal is enabled (DESIGN.md §12).
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := netstream.OpenWAL(b.TempDir(), netstream.WALOptions{FsyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := []byte(`{"type":"tuple","seq":1,"tuple":{"id":1,"sub":0,"ts":"2021-06-01T00:00:00Z","values":["2021-06-01T00:00:00Z",3.14,"s1"]}}`)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(uint64(i+1), false, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHubReplayFromWAL measures serving a full channel replay to a
+// late subscriber out of the durable log (the restart-resume read
+// path): one subscribe plus draining 10k frames per iteration.
+func BenchmarkHubReplayFromWAL(b *testing.B) {
+	const frames = 10000
+	dir := b.TempDir()
+	payload := []byte(`{"type":"tuple","seq":1,"tuple":{"id":1,"sub":0,"ts":"2021-06-01T00:00:00Z","values":["2021-06-01T00:00:00Z",3.14,"s1"]}}`)
+	w, err := netstream.OpenWAL(dir, netstream.WALOptions{FsyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for i := 1; i <= frames; i++ {
+		if err := w.Append(uint64(i), false, payload); err != nil {
+			b.Fatal(err)
+		}
+		total += int64(len(payload))
+	}
+	if err := w.Append(frames+1, true, []byte(`{"type":"eof","seq":10001}`)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	w, err = netstream.OpenWAL(dir, netstream.WALOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	hub := netstream.NewHub(64, 64, netstream.PolicyBlock, nil)
+	if err := hub.AttachWAL(netstream.ChannelDirty, w); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := hub.Subscribe(netstream.ChannelDirty, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, terminal, err := sub.Recv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+			if terminal {
+				break
+			}
+		}
+		if n < frames {
+			b.Fatalf("replayed %d frames, want >= %d", n, frames)
+		}
+		sub.Close()
+	}
 }

@@ -18,11 +18,19 @@
 // same stream are byte-comparable. `-truth live` in follow mode scores
 // the flagged tuples against the pollution-log channel served by the
 // same daemon.
+//
+// A long-outage reconnect can land past the server's replay retention:
+// the daemon then reports a permanent replay gap. -resume-policy
+// chooses the reaction: "fail" (default) exits with the typed gap error
+// (last acked and server-minimum sequence numbers), "restart" logs the
+// gap and re-subscribes at the server's oldest retained frame, trading
+// the lost windows for continued monitoring.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -62,6 +70,7 @@ func main() {
 	truthPath := flag.String("truth", "", "pollution log (JSON lines from icewafl -log) to score detections against; requires -meta. With -follow, the literal 'live' scores against the served log channel")
 	metaIn := flag.Bool("meta", false, "input carries icewafl's _id/_substream metadata columns (and _arrival when present)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus metrics snapshot of the monitor here at exit (windowed mode)")
+	resumePolicy := flag.String("resume-policy", "fail", "reaction to a permanent replay gap in -follow mode: fail (exit) or restart (re-subscribe at the server's oldest retained frame)")
 	flag.Parse()
 
 	// Flag validation: every rejected range and combination exits 2 with
@@ -117,6 +126,14 @@ func main() {
 	if *metricsOut != "" && *window <= 0 {
 		fatalUsage("-metrics requires a positive -window (it snapshots the streaming monitor)")
 	}
+	switch *resumePolicy {
+	case "fail", "restart":
+	default:
+		fatalUsage("-resume-policy must be fail or restart, got %q", *resumePolicy)
+	}
+	if *resumePolicy != "fail" && *follow == "" {
+		fatalUsage("-resume-policy applies to -follow mode only")
+	}
 
 	schema, err := schemafile.Load(*schemaPath)
 	if err != nil {
@@ -139,7 +156,7 @@ func main() {
 	}
 
 	if *follow != "" {
-		runFollow(suite, *follow, *window, *slide, *truthPath == "live", *metricsOut)
+		runFollow(suite, *follow, *window, *slide, *truthPath == "live", *metricsOut, *resumePolicy)
 		return
 	}
 
@@ -301,8 +318,11 @@ func runWindowed(suite *dq.Suite, src stream.Source, window, slide time.Duration
 // runFollow subscribes to a live icewafld dirty channel and streams one
 // NDJSON verdict per closed window. The subscription survives
 // connection loss: the ClientSource resumes at the next sequence number
-// and RetrySource adds backoff between attempts.
-func runFollow(suite *dq.Suite, addr string, window, slide time.Duration, truthLive bool, metricsOut string) {
+// and RetrySource adds backoff between attempts. A replay gap (resume
+// point past the server's retention) is permanent and ends the run,
+// unless resumePolicy is "restart", which re-subscribes at the server's
+// oldest retained frame and keeps monitoring.
+func runFollow(suite *dq.Suite, addr string, window, slide time.Duration, truthLive bool, metricsOut, resumePolicy string) {
 	m := newMonitor(suite, window, slide)
 	reg := obs.NewRegistry()
 	m.SetObs(reg)
@@ -312,12 +332,16 @@ func runFollow(suite *dq.Suite, addr string, window, slide time.Duration, truthL
 		log.Fatal(err)
 	}
 	defer cs.Stop()
-	src := stream.NewRetrySource(cs, stream.RetryPolicy{
+	retry := stream.NewRetrySource(cs, stream.RetryPolicy{
 		MaxRetries: 10,
 		BaseDelay:  50 * time.Millisecond,
 		MaxDelay:   2 * time.Second,
 	})
-	src.Instrument(reg)
+	retry.Instrument(reg)
+	var src stream.Source = retry
+	if resumePolicy == "restart" {
+		src = &gapRestartSource{Source: retry, cs: cs}
+	}
 
 	out := bufio.NewWriter(os.Stdout)
 	flagged := make(map[uint64]bool)
@@ -347,6 +371,31 @@ func runFollow(suite *dq.Suite, addr string, window, slide time.Duration, truthL
 		scoreTruth(flagged, plog)
 	}
 	writeMetrics(reg, metricsOut)
+}
+
+// gapRestartSource implements -resume-policy restart: when the wrapped
+// follow chain fails with a permanent replay gap, it moves the
+// subscription to the server's oldest retained frame and keeps going.
+// The frames between the last acked and the server minimum are lost —
+// that trade is the policy's point, so each restart is logged.
+type gapRestartSource struct {
+	stream.Source
+	cs       *netstream.ClientSource
+	restarts int
+}
+
+func (g *gapRestartSource) Next() (stream.Tuple, error) {
+	for {
+		t, err := g.Source.Next()
+		var gap *netstream.GapError
+		if err == nil || !errors.As(err, &gap) {
+			return t, err
+		}
+		g.restarts++
+		log.Printf("replay gap on %s (last acked seq %d, server retains from %d): restarting at server minimum (restart %d)",
+			gap.Channel, gap.LastAcked, gap.ServerMin, g.restarts)
+		g.cs.RestartAt(gap.ServerMin)
+	}
 }
 
 // readServedLog drains the daemon's pollution-log channel over raw TCP

@@ -74,6 +74,8 @@ func TestDQCheckFlagValidation(t *testing.T) {
 		{"truth live without follow", append(base, "-meta", "-truth", "live"), "-truth live requires -follow"},
 		{"follow with file truth", append(noIn, "-follow", "127.0.0.1:1", "-window", "1h", "-truth", "log.jsonl"), "-truth must be the literal 'live'"},
 		{"metrics without window", append(base, "-metrics", "m.prom"), "-metrics requires a positive -window"},
+		{"bogus resume policy", append(noIn, "-follow", "127.0.0.1:1", "-window", "1h", "-resume-policy", "retry"), "-resume-policy must be fail or restart"},
+		{"resume policy without follow", append(base, "-resume-policy", "restart"), "-resume-policy applies to -follow mode only"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -309,6 +309,10 @@ func TestDaemonUsageErrors(t *testing.T) {
 		{"bad policy", append(base, "-policy", "bogus"), "unknown backpressure policy"},
 		{"negative buffer", append(base, "-buffer", "-1"), "-buffer must be positive"},
 		{"both listeners off", append(base, "-listen", "off", "-http", "off"), "both listeners disabled"},
+		{"checkpoint without wal", append(base, "-checkpoint", "ck.json"), "-checkpoint requires -wal"},
+		{"negative wal segment", append(base, "-wal-segment-bytes", "-1"), "-wal-segment-bytes must be positive"},
+		{"negative restart budget", append(base, "-restart-budget", "-1"), "-restart-budget must be positive"},
+		{"negative checkpoint every", append(base, "-checkpoint-every", "-1"), "-checkpoint-every must be positive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

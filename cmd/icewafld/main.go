@@ -8,7 +8,18 @@
 //
 //	icewafld -schema schema.json -config pollution.json -in clean.csv \
 //	         [-listen :7077] [-http :7078] [-policy block|drop-oldest|disconnect-slow] \
-//	         [-buffer 256] [-replay 65536] [-reorder 64] [-linger 0]
+//	         [-buffer 256] [-replay 65536] [-reorder 64] [-linger 0] \
+//	         [-wal DIR] [-checkpoint PATH] [-supervise]
+//
+// With -wal the replay ring is backed by a segmented, checksummed
+// write-ahead log: from_seq resume survives daemon restarts, and a
+// restarted daemon continues the frame sequence exactly where the
+// durable log ends. Adding -checkpoint makes the pipeline itself
+// resumable (kill -9 mid-run, restart, and clients see one seamless
+// stream). -supervise restarts the session in-process after a panic or
+// fatal error, with an exponential-backoff restart budget
+// (-restart-budget per -restart-window) after which the session is
+// quarantined and reported on /healthz.
 //
 // The configuration's optional "serve" block provides defaults for the
 // service flags; explicit flags win. The daemon runs the pipeline once,
@@ -64,6 +75,17 @@ func main() {
 	drain := flag.Duration("drain-timeout", 0, "graceful-drain bound on shutdown (default from serve block)")
 	linger := flag.Duration("linger", 0, "exit this long after the pipeline completes (0 = serve until SIGTERM)")
 	traceSample := flag.Uint64("trace-sample", 0, "deterministically trace 1 in N tuples (0 = off)")
+	walDir := flag.String("wal", "", "directory for the durable write-ahead log backing replay (default from serve block; \"\" = in-memory only)")
+	walSegment := flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size (default 8 MiB)")
+	walRetain := flag.Int64("wal-retain-bytes", 0, "cap on closed WAL segments per channel (default 256 MiB)")
+	walRetainAge := flag.Duration("wal-retain-age", 0, "drop WAL segments older than this (0 = keep regardless of age)")
+	walFsyncEvery := flag.Int("wal-fsync-every", 0, "batch fsync to one per this many appends (default 64)")
+	checkpointPath := flag.String("checkpoint", "", "durable pipeline checkpoint path for resume-after-crash (requires -wal)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "capture a checkpoint every this many emitted tuples (default 256)")
+	supervise := flag.Bool("supervise", false, "restart the pipeline session after a panic or fatal error")
+	restartBudget := flag.Int("restart-budget", 0, "quarantine the session after this many restarts per window (default 3)")
+	restartWindow := flag.Duration("restart-window", 0, "sliding window for the restart budget (default 1m)")
+	restartBackoff := flag.Duration("restart-backoff", 0, "base exponential backoff between restarts (default 100ms)")
 	flag.Parse()
 
 	if *schemaPath == "" || *configPath == "" || *inPath == "" {
@@ -83,6 +105,30 @@ func main() {
 	}
 	if *linger < 0 {
 		fatalUsage("-linger must be non-negative, got %v", *linger)
+	}
+	if *walSegment < 0 {
+		fatalUsage("-wal-segment-bytes must be positive, got %d", *walSegment)
+	}
+	if *walRetain < 0 {
+		fatalUsage("-wal-retain-bytes must be positive, got %d", *walRetain)
+	}
+	if *walRetainAge < 0 {
+		fatalUsage("-wal-retain-age must be positive, got %v", *walRetainAge)
+	}
+	if *walFsyncEvery < 0 {
+		fatalUsage("-wal-fsync-every must be positive, got %d", *walFsyncEvery)
+	}
+	if *checkpointEvery < 0 {
+		fatalUsage("-checkpoint-every must be positive, got %d", *checkpointEvery)
+	}
+	if *restartBudget < 0 {
+		fatalUsage("-restart-budget must be positive, got %d", *restartBudget)
+	}
+	if *restartWindow < 0 {
+		fatalUsage("-restart-window must be positive, got %v", *restartWindow)
+	}
+	if *restartBackoff < 0 {
+		fatalUsage("-restart-backoff must be positive, got %v", *restartBackoff)
 	}
 
 	schema, err := schemafile.Load(*schemaPath)
@@ -135,6 +181,42 @@ func main() {
 	if *reorder > 0 {
 		spec.Reorder = *reorder
 	}
+	if *walDir != "" {
+		spec.WALDir = *walDir
+	}
+	if *walSegment > 0 {
+		spec.WALSegmentBytes = *walSegment
+	}
+	if *walRetain > 0 {
+		spec.WALRetainBytes = *walRetain
+	}
+	if *walRetainAge > 0 {
+		spec.WALRetainAge = walRetainAge.String()
+	}
+	if *walFsyncEvery > 0 {
+		spec.WALFsyncEvery = *walFsyncEvery
+	}
+	if *checkpointPath != "" {
+		spec.Checkpoint = *checkpointPath
+	}
+	if *checkpointEvery > 0 {
+		spec.CheckpointEvery = *checkpointEvery
+	}
+	if *supervise {
+		spec.Supervise = true
+	}
+	if *restartBudget > 0 {
+		spec.RestartBudget = *restartBudget
+	}
+	if *restartWindow > 0 {
+		spec.RestartWindow = restartWindow.String()
+	}
+	if *restartBackoff > 0 {
+		spec.RestartBackoff = restartBackoff.String()
+	}
+	if spec.Checkpoint != "" && spec.WALDir == "" {
+		fatalUsage("-checkpoint requires -wal (a checkpoint without a durable log cannot resume)")
+	}
 	policy, err := netstream.ParsePolicy(spec.Policy)
 	if err != nil {
 		fatalUsage("%v", err)
@@ -143,6 +225,9 @@ func main() {
 	if drainTimeout == 0 {
 		drainTimeout, _ = time.ParseDuration(spec.DrainTimeout)
 	}
+	retainAge, _ := time.ParseDuration(spec.WALRetainAge)
+	rWindow, _ := time.ParseDuration(spec.RestartWindow)
+	rBackoff, _ := time.ParseDuration(spec.RestartBackoff)
 
 	reg := obs.NewRegistry()
 	if *traceSample > 0 {
@@ -174,6 +259,19 @@ func main() {
 		DrainTimeout: drainTimeout,
 		Reg:          reg,
 		Logf:         log.Printf,
+		WALDir:       spec.WALDir,
+		WAL: netstream.WALOptions{
+			SegmentBytes: spec.WALSegmentBytes,
+			RetainBytes:  spec.WALRetainBytes,
+			RetainAge:    retainAge,
+			FsyncEvery:   spec.WALFsyncEvery,
+		},
+		CheckpointPath:  spec.Checkpoint,
+		CheckpointEvery: spec.CheckpointEvery,
+		Supervise:       spec.Supervise,
+		RestartBudget:   spec.RestartBudget,
+		RestartWindow:   rWindow,
+		RestartBackoff:  rBackoff,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -234,6 +332,13 @@ func main() {
 
 	if err := srv.Serve(ctx, tcpLn, httpLn); err != nil && ctx.Err() == nil {
 		log.Fatal(err)
+	}
+	if srv.DrainExpired() {
+		// Subscribers were force-disconnected mid-stream when the drain
+		// deadline fired; exit non-zero so orchestration notices the
+		// shutdown was not clean.
+		log.Printf("drain deadline expired with subscribers connected")
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,236 @@
+// Package chaos is the fault-injection harness of the service runtime:
+// a TCP proxy that degrades the network between a client and an
+// icewafld server (latency, jitter, byte corruption, mid-frame
+// connection kills, slow-reader throttling, periodic partitions), and a
+// filesystem wrapper that degrades the disk under the write-ahead log
+// (short writes, fsync failures, ENOSPC). Both are deterministic for a
+// given seed and schedule, so chaos tests reproduce.
+//
+// The harness drives the kill-and-recover suite: a client reading
+// through a misbehaving proxy from a repeatedly-killed daemon must
+// still observe a byte-identical stream.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icewafl/internal/rng"
+)
+
+// ProxyConfig tunes the fault schedule of a Proxy. The zero value
+// forwards transparently.
+type ProxyConfig struct {
+	// Target is the upstream address to forward to (required).
+	Target string
+	// Seed drives the deterministic fault randomness.
+	Seed int64
+	// Latency is added to every forwarded chunk; Jitter is a uniform
+	// random extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// CorruptProb is the per-chunk probability of flipping one byte of
+	// server→client traffic (checksum/decode chaos downstream).
+	CorruptProb float64
+	// KillAfterBytes abruptly closes each connection once this many
+	// server→client bytes have been forwarded — deliberately mid-frame
+	// (0 = never). Each subsequent connection gets the same budget, so a
+	// resuming client makes progress.
+	KillAfterBytes int64
+	// ThrottleBytesPerSec caps server→client throughput per connection,
+	// emulating a slow reader (0 = unthrottled).
+	ThrottleBytesPerSec int
+	// PartitionEvery/PartitionFor open a periodic partition: every
+	// PartitionEvery of connection lifetime, forwarding stalls for
+	// PartitionFor (both must be > 0 to enable).
+	PartitionEvery time.Duration
+	PartitionFor   time.Duration
+}
+
+// Proxy is a fault-injecting TCP forwarder. Create with NewProxy, stop
+// with Close.
+type Proxy struct {
+	cfg ProxyConfig
+	ln  net.Listener
+
+	mu   sync.Mutex
+	rand *rng.Stream
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	conns     atomic.Uint64
+	kills     atomic.Uint64
+	corrupted atomic.Uint64
+	forwarded atomic.Uint64
+}
+
+// NewProxy starts a proxy listening on addr (e.g. "127.0.0.1:0")
+// forwarding to cfg.Target.
+func NewProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaos: proxy needs a target address")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &Proxy{cfg: cfg, ln: ln, rand: rng.Derive(cfg.Seed, "chaos/proxy")}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.acceptLoop()
+	}()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (dial this instead of the
+// server).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Conns returns how many connections the proxy accepted.
+func (p *Proxy) Conns() uint64 { return p.conns.Load() }
+
+// Kills returns how many connections were killed by the byte budget.
+func (p *Proxy) Kills() uint64 { return p.kills.Load() }
+
+// Corrupted returns how many chunks had a byte flipped.
+func (p *Proxy) Corrupted() uint64 { return p.corrupted.Load() }
+
+// Forwarded returns the total server→client bytes forwarded.
+func (p *Proxy) Forwarded() uint64 { return p.forwarded.Load() }
+
+// Close stops accepting and tears down active connections.
+func (p *Proxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.conns.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// float64 draws one deterministic uniform sample under the proxy lock
+// (multiple connection pumps share the stream).
+func (p *Proxy) float64() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rand.Float64()
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer client.Close()
+	server, err := net.DialTimeout("tcp", p.cfg.Target, 10*time.Second)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+
+	// Client→server traffic (the subscribe frame) is forwarded
+	// transparently; the fault schedule applies to the server→client
+	// stream, where the data flows.
+	done := make(chan struct{}, 2)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		io.Copy(server, client)
+		// Half-close toward the server so it observes the client's EOF.
+		if tc, ok := server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		p.pump(client, server)
+		client.Close()
+		server.Close()
+	}()
+	<-done
+	<-done
+}
+
+// pump forwards server→client applying the fault schedule.
+func (p *Proxy) pump(client net.Conn, server net.Conn) {
+	// Small chunks so throttling, kills and corruption act mid-frame.
+	buf := make([]byte, 1024)
+	var sent int64
+	start := time.Now()
+	for {
+		n, err := server.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			p.maybePartition(start)
+			p.delay(len(chunk))
+			if p.cfg.CorruptProb > 0 && p.float64() < p.cfg.CorruptProb {
+				i := int(p.float64() * float64(len(chunk)))
+				if i >= len(chunk) {
+					i = len(chunk) - 1
+				}
+				chunk[i] ^= 0xA5
+				p.corrupted.Add(1)
+			}
+			if p.cfg.KillAfterBytes > 0 && sent+int64(len(chunk)) > p.cfg.KillAfterBytes {
+				// Forward a partial chunk, then kill the connection in the
+				// middle of whatever frame was in flight.
+				cut := p.cfg.KillAfterBytes - sent
+				if cut > 0 {
+					client.Write(chunk[:cut])
+					p.forwarded.Add(uint64(cut))
+				}
+				p.kills.Add(1)
+				return
+			}
+			if _, werr := client.Write(chunk); werr != nil {
+				return
+			}
+			sent += int64(len(chunk))
+			p.forwarded.Add(uint64(len(chunk)))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// delay applies latency, jitter and throttling for one chunk.
+func (p *Proxy) delay(chunkLen int) {
+	d := p.cfg.Latency
+	if p.cfg.Jitter > 0 {
+		d += time.Duration(p.float64() * float64(p.cfg.Jitter))
+	}
+	if p.cfg.ThrottleBytesPerSec > 0 {
+		d += time.Duration(float64(chunkLen) / float64(p.cfg.ThrottleBytesPerSec) * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// maybePartition stalls forwarding while a scheduled partition is open.
+func (p *Proxy) maybePartition(start time.Time) {
+	if p.cfg.PartitionEvery <= 0 || p.cfg.PartitionFor <= 0 {
+		return
+	}
+	period := p.cfg.PartitionEvery + p.cfg.PartitionFor
+	phase := time.Since(start) % period
+	if phase >= p.cfg.PartitionEvery {
+		time.Sleep(period - phase)
+	}
+}

@@ -65,12 +65,50 @@ type ServeSpec struct {
 	// DrainTimeout bounds the graceful drain on SIGTERM (Go duration,
 	// default "5s").
 	DrainTimeout string `json:"drain_timeout,omitempty"`
+	// WALDir enables the durable write-ahead log backing the replay
+	// ring: one sub-directory per channel ("" = in-memory only, replay
+	// does not survive restarts).
+	WALDir string `json:"wal_dir,omitempty"`
+	// WALSegmentBytes rotates WAL segments at this size (0 = the
+	// netstream default, 8 MiB).
+	WALSegmentBytes int64 `json:"wal_segment_bytes,omitempty"`
+	// WALRetainBytes caps the closed WAL segments kept per channel
+	// (0 = the netstream default, 256 MiB).
+	WALRetainBytes int64 `json:"wal_retain_bytes,omitempty"`
+	// WALRetainAge drops WAL segments older than this Go duration
+	// ("" = keep regardless of age).
+	WALRetainAge string `json:"wal_retain_age,omitempty"`
+	// WALFsyncEvery batches fsync to one per this many appends (0 = the
+	// netstream default, 64).
+	WALFsyncEvery int `json:"wal_fsync_every,omitempty"`
+	// Checkpoint is the path of the durable pipeline checkpoint enabling
+	// resume-after-crash (requires wal_dir; "" disables).
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// CheckpointEvery captures a checkpoint every this many emitted
+	// tuples (default 256).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Supervise restarts the pipeline session after a panic or fatal
+	// error instead of leaving the daemon serving a dead stream.
+	Supervise bool `json:"supervise,omitempty"`
+	// RestartBudget quarantines the session after this many restarts
+	// within restart_window (default 3).
+	RestartBudget int `json:"restart_budget,omitempty"`
+	// RestartWindow is the sliding window for the restart budget (Go
+	// duration, default "1m").
+	RestartWindow string `json:"restart_window,omitempty"`
+	// RestartBackoff is the base exponential backoff between restarts
+	// (Go duration, default "100ms").
+	RestartBackoff string `json:"restart_backoff,omitempty"`
 }
 
 // Normalize applies the documented defaults and validates the spec. It
 // is nil-safe: a nil spec yields the full default configuration.
 func (s *ServeSpec) Normalize() (ServeSpec, error) {
-	out := ServeSpec{Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block", Reorder: 64, DrainTimeout: "5s"}
+	out := ServeSpec{
+		Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block",
+		Reorder: 64, DrainTimeout: "5s", CheckpointEvery: 256,
+		RestartBudget: 3, RestartWindow: "1m", RestartBackoff: "100ms",
+	}
 	if s == nil {
 		return out, nil
 	}
@@ -110,6 +148,63 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 			return out, fmt.Errorf("config: serve.drain_timeout %q is not a positive duration", s.DrainTimeout)
 		}
 		out.DrainTimeout = s.DrainTimeout
+	}
+	out.WALDir = s.WALDir
+	if s.WALSegmentBytes != 0 {
+		if s.WALSegmentBytes < 1 {
+			return out, fmt.Errorf("config: serve.wal_segment_bytes must be positive, got %d", s.WALSegmentBytes)
+		}
+		out.WALSegmentBytes = s.WALSegmentBytes
+	}
+	if s.WALRetainBytes != 0 {
+		if s.WALRetainBytes < 1 {
+			return out, fmt.Errorf("config: serve.wal_retain_bytes must be positive, got %d", s.WALRetainBytes)
+		}
+		out.WALRetainBytes = s.WALRetainBytes
+	}
+	if s.WALRetainAge != "" {
+		d, err := time.ParseDuration(s.WALRetainAge)
+		if err != nil || d <= 0 {
+			return out, fmt.Errorf("config: serve.wal_retain_age %q is not a positive duration", s.WALRetainAge)
+		}
+		out.WALRetainAge = s.WALRetainAge
+	}
+	if s.WALFsyncEvery != 0 {
+		if s.WALFsyncEvery < 1 {
+			return out, fmt.Errorf("config: serve.wal_fsync_every must be positive, got %d", s.WALFsyncEvery)
+		}
+		out.WALFsyncEvery = s.WALFsyncEvery
+	}
+	out.Checkpoint = s.Checkpoint
+	if out.Checkpoint != "" && out.WALDir == "" {
+		return out, fmt.Errorf("config: serve.checkpoint requires serve.wal_dir (a checkpoint without a durable log cannot resume)")
+	}
+	if s.CheckpointEvery != 0 {
+		if s.CheckpointEvery < 1 {
+			return out, fmt.Errorf("config: serve.checkpoint_every must be positive, got %d", s.CheckpointEvery)
+		}
+		out.CheckpointEvery = s.CheckpointEvery
+	}
+	out.Supervise = s.Supervise
+	if s.RestartBudget != 0 {
+		if s.RestartBudget < 1 {
+			return out, fmt.Errorf("config: serve.restart_budget must be positive, got %d", s.RestartBudget)
+		}
+		out.RestartBudget = s.RestartBudget
+	}
+	if s.RestartWindow != "" {
+		d, err := time.ParseDuration(s.RestartWindow)
+		if err != nil || d <= 0 {
+			return out, fmt.Errorf("config: serve.restart_window %q is not a positive duration", s.RestartWindow)
+		}
+		out.RestartWindow = s.RestartWindow
+	}
+	if s.RestartBackoff != "" {
+		d, err := time.ParseDuration(s.RestartBackoff)
+		if err != nil || d <= 0 {
+			return out, fmt.Errorf("config: serve.restart_backoff %q is not a positive duration", s.RestartBackoff)
+		}
+		out.RestartBackoff = s.RestartBackoff
 	}
 	return out, nil
 }

@@ -8,7 +8,11 @@ import (
 // TestServeSpecDefaults: a nil or empty serve block yields the full
 // documented defaults.
 func TestServeSpecDefaults(t *testing.T) {
-	want := ServeSpec{Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block", Reorder: 64, DrainTimeout: "5s"}
+	want := ServeSpec{
+		Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block",
+		Reorder: 64, DrainTimeout: "5s", CheckpointEvery: 256,
+		RestartBudget: 3, RestartWindow: "1m", RestartBackoff: "100ms",
+	}
 	var nilSpec *ServeSpec
 	got, err := nilSpec.Normalize()
 	if err != nil {
@@ -41,7 +45,12 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := ServeSpec{Listen: ":9999", HTTP: ":9998", Buffer: 8, Replay: 1024, Policy: "disconnect-slow", Reorder: 1, DrainTimeout: "250ms"}
+	want := ServeSpec{
+		Listen: ":9999", HTTP: ":9998", Buffer: 8, Replay: 1024,
+		Policy: "disconnect-slow", Reorder: 1, DrainTimeout: "250ms",
+		CheckpointEvery: 256, RestartBudget: 3, RestartWindow: "1m",
+		RestartBackoff: "100ms",
+	}
 	if got != want {
 		t.Errorf("got %+v, want %+v", got, want)
 	}
@@ -56,6 +65,15 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 		{ServeSpec{Reorder: -1}, "serve.reorder"},
 		{ServeSpec{DrainTimeout: "fast"}, "serve.drain_timeout"},
 		{ServeSpec{DrainTimeout: "-1s"}, "serve.drain_timeout"},
+		{ServeSpec{WALSegmentBytes: -1}, "serve.wal_segment_bytes"},
+		{ServeSpec{WALRetainBytes: -1}, "serve.wal_retain_bytes"},
+		{ServeSpec{WALDir: "d", WALRetainAge: "never"}, "serve.wal_retain_age"},
+		{ServeSpec{WALDir: "d", WALFsyncEvery: -1}, "serve.wal_fsync_every"},
+		{ServeSpec{Checkpoint: "ck.json"}, "serve.checkpoint"},
+		{ServeSpec{CheckpointEvery: -5}, "serve.checkpoint_every"},
+		{ServeSpec{RestartBudget: -1}, "serve.restart_budget"},
+		{ServeSpec{RestartWindow: "-1m"}, "serve.restart_window"},
+		{ServeSpec{RestartBackoff: "soon"}, "serve.restart_backoff"},
 	}
 	for _, tc := range bad {
 		if _, err := tc.spec.Normalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -88,5 +106,43 @@ func TestServeBlockParses(t *testing.T) {
 	}
 	if spec.Replay != 65536 || spec.Reorder != 64 {
 		t.Errorf("defaults not applied: %+v", spec)
+	}
+}
+
+// TestServeSpecDurability: the WAL/checkpoint/supervision fields parse
+// from JSON, normalize with their documented defaults, and the
+// checkpoint-requires-wal coupling is enforced.
+func TestServeSpecDurability(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`{
+		"pipelines": [{"name": "p", "polluters": [
+			{"name": "x", "error": {"type": "missing_value"}, "attrs": ["v"]}
+		]}],
+		"serve": {
+			"wal_dir": "/var/lib/icewafl/wal",
+			"wal_segment_bytes": 1048576,
+			"wal_fsync_every": 8,
+			"checkpoint": "/var/lib/icewafl/ck.json",
+			"checkpoint_every": 64,
+			"supervise": true,
+			"restart_budget": 5,
+			"restart_window": "30s",
+			"restart_backoff": "50ms"
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := doc.Serve.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.WALDir != "/var/lib/icewafl/wal" || spec.WALSegmentBytes != 1048576 || spec.WALFsyncEvery != 8 {
+		t.Errorf("WAL fields not normalized: %+v", spec)
+	}
+	if spec.Checkpoint != "/var/lib/icewafl/ck.json" || spec.CheckpointEvery != 64 {
+		t.Errorf("checkpoint fields not normalized: %+v", spec)
+	}
+	if !spec.Supervise || spec.RestartBudget != 5 || spec.RestartWindow != "30s" || spec.RestartBackoff != "50ms" {
+		t.Errorf("supervision fields not normalized: %+v", spec)
 	}
 }

@@ -802,7 +802,7 @@ func (pr *Process) RunStreamCheckpointed(src stream.Source, resume *Checkpoint) 
 		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
 	}
 	prep := stream.NewPrepare(in, firstID)
-	runner := &streamRunner{src: prep, p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled()}
+	runner := &streamRunner{src: prep, p: pr.Pipelines[0], log: log, fault: pr.Fault, dlq: dlq, reg: pr.Obs, trace: pr.Obs.TraceEnabled(), tap: pr.CleanTap}
 	out := &outputCounter{src: runner}
 	ck.input = counted
 	ck.prepare = prep

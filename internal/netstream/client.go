@@ -62,13 +62,20 @@ func Dial(addr, channel string) (*ClientSource, error) {
 // DialTimeout is Dial with a per-connection timeout (also applied to
 // reconnects).
 func DialTimeout(addr, channel string, timeout time.Duration) (*ClientSource, error) {
+	return DialFrom(addr, channel, 0, timeout)
+}
+
+// DialFrom is Dial resuming at fromSeq (0 or 1 = from the beginning) —
+// the recovery entry point after a GapError: re-subscribe at the
+// error's ServerMin, accepting the lost frames in between.
+func DialFrom(addr, channel string, fromSeq uint64, timeout time.Duration) (*ClientSource, error) {
 	if channel == "" {
 		channel = ChannelDirty
 	}
 	if channel != ChannelDirty && channel != ChannelClean {
 		return nil, fmt.Errorf("netstream: ClientSource reads tuple channels (dirty, clean), not %q", channel)
 	}
-	c := &ClientSource{addr: addr, channel: channel, dialTimeout: timeout}
+	c := &ClientSource{addr: addr, channel: channel, dialTimeout: timeout, nextSeq: fromSeq}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -107,6 +114,17 @@ func (c *ClientSource) connect() error {
 	case FrameHello:
 	case FrameError:
 		conn.Close()
+		if f.Gap != nil {
+			// A replay gap is permanent for this from_seq: retrying the
+			// same resume point can never succeed, so surface a typed,
+			// non-retryable error (stream.PermanentError) instead of
+			// letting a retry layer loop forever.
+			lastAcked := uint64(0)
+			if c.nextSeq > 0 {
+				lastAcked = c.nextSeq - 1
+			}
+			return &GapError{Channel: c.channel, Requested: f.Gap.Requested, LastAcked: lastAcked, ServerMin: f.Gap.ServerMin}
+		}
 		return fmt.Errorf("netstream: server rejected subscription: %s", f.Error)
 	default:
 		conn.Close()
@@ -165,6 +183,18 @@ func (c *ClientSource) Schema() *stream.Schema {
 // Reconnects returns how many times the source re-subscribed after a
 // connection loss.
 func (c *ClientSource) Reconnects() uint64 { return c.reconnects.Load() }
+
+// RestartAt moves the resume point to seq (0 or 1 = from the beginning)
+// and clears a previous end-of-stream, so the next Next call
+// re-subscribes there. This is the recovery hook for a GapError under a
+// restart resume policy: tuples between the last acked sequence and seq
+// are lost (or duplicated, when seq rewinds) — the caller accepts that
+// trade by calling RestartAt. Call from the consumer goroutine only.
+func (c *ClientSource) RestartAt(seq uint64) {
+	c.disconnect()
+	c.nextSeq = seq
+	c.eof = false
+}
 
 // disconnect tears the connection down without ending the stream.
 func (c *ClientSource) disconnect() {

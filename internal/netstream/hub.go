@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"icewafl/internal/obs"
 )
@@ -63,6 +65,33 @@ var ErrSlowClient = errors.New("netstream: subscriber too slow, disconnected by 
 // loss.
 var ErrGap = errors.New("netstream: requested sequence no longer retained (replay gap)")
 
+// GapError is the typed form of ErrGap: the requested resume point fell
+// behind the server's retention. It is permanent — retrying the same
+// from_seq can never succeed — so retry layers (stream.RetrySource)
+// must surface it instead of looping.
+type GapError struct {
+	// Channel is the subscribed channel.
+	Channel string
+	// Requested is the from_seq the subscriber asked for.
+	Requested uint64
+	// LastAcked is the last sequence the subscriber had received
+	// (Requested-1; 0 when it had received nothing).
+	LastAcked uint64
+	// ServerMin is the oldest sequence the server still retains (0 when
+	// it retains nothing).
+	ServerMin uint64
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("netstream: channel %q retains from seq %d, requested %d (replay gap)", e.Channel, e.ServerMin, e.Requested)
+}
+
+// Unwrap makes errors.Is(err, ErrGap) hold.
+func (e *GapError) Unwrap() error { return ErrGap }
+
+// Permanent marks the error non-retryable (stream.PermanentError).
+func (e *GapError) Permanent() bool { return true }
+
 // ErrHubClosed reports that the hub shut down (graceful drain finished).
 var ErrHubClosed = errors.New("netstream: hub closed")
 
@@ -85,6 +114,15 @@ type channel struct {
 	subs  map[*Subscriber]struct{}
 	// done is set once a terminal frame was published.
 	done bool
+	// wal, when attached, durably persists every published frame (except
+	// error frames, which are live-delivery only so a crashed run can
+	// resume after restart) and serves replay past the in-memory ring.
+	wal *WAL
+	// recoverMax is the recovery suppression boundary: while seq <=
+	// recoverMax, the deterministic re-run is regenerating frames that
+	// were already durably published before a restart, so Publish assigns
+	// the sequence number but neither persists nor delivers the frame.
+	recoverMax uint64
 }
 
 // Hub fans published frames out to per-channel subscribers with bounded
@@ -98,6 +136,11 @@ type Hub struct {
 	replay   int
 	policy   Policy
 	closed   bool
+	// resumable marks the hub as backing a restartable session (durable
+	// or supervised): error frames are then live-delivery only — they
+	// consume no sequence number and never mark a channel done, so a
+	// restarted session continues the sequence with no gap.
+	resumable bool
 
 	nextSubID atomic.Uint64
 
@@ -106,6 +149,7 @@ type Hub struct {
 	framesDropped   atomic.Uint64
 	slowDisconnects atomic.Uint64
 	subscribers     atomic.Int64
+	recovered       atomic.Uint64
 
 	reg *obs.Registry
 }
@@ -141,11 +185,131 @@ func NewHub(buffer, replay int, policy Policy, reg *obs.Registry) *Hub {
 	reg.RegisterFunc("net_frames_sent_total", h.framesSent.Load)
 	reg.RegisterFunc("net_frames_dropped_total", h.framesDropped.Load)
 	reg.RegisterFunc("net_slow_disconnects_total", h.slowDisconnects.Load)
+	reg.RegisterFunc("net_recovery_frames_replayed_total", h.recovered.Load)
+	reg.RegisterFunc("net_wal_fsyncs_total", h.walFsyncs)
+	reg.RegisterFunc("net_wal_appends_total", h.walAppends)
 	return h
+}
+
+// walFsyncs sums fsync counts across the attached channel WALs.
+func (h *Hub) walFsyncs() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n uint64
+	for _, ch := range h.channels {
+		if ch.wal != nil {
+			n += ch.wal.Fsyncs()
+		}
+	}
+	return n
+}
+
+// walAppends sums append counts across the attached channel WALs.
+func (h *Hub) walAppends() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n uint64
+	for _, ch := range h.channels {
+		if ch.wal != nil {
+			n += ch.wal.Appends()
+		}
+	}
+	return n
+}
+
+// Recovered returns how many regenerated frames the recovery suppression
+// boundary absorbed (frames already durable before a restart).
+func (h *Hub) Recovered() uint64 { return h.recovered.Load() }
+
+// AttachWAL backs the named channel with a durable log. The channel's
+// sequence cursor advances to the log's newest record, the replay ring
+// is warmed from the log's tail, and a durably-terminal log marks the
+// channel done. Attach before serving traffic (it does not retrofit
+// already-published frames).
+func (h *Hub) AttachWAL(channelName string, w *WAL) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.channels[channelName]
+	if !ok {
+		return fmt.Errorf("netstream: unknown channel %q", channelName)
+	}
+	if ch.seq != 0 || ch.wal != nil {
+		return fmt.Errorf("netstream: channel %q already has frames or a wal", channelName)
+	}
+	ch.wal = w
+	ch.seq = w.MaxSeq()
+	ch.done = w.Terminal()
+	// Warm the in-memory ring from the log tail so ring-level consumers
+	// (and the common resume window) stay memory-served.
+	if maxSeq := w.MaxSeq(); maxSeq > 0 {
+		start := w.MinSeq()
+		if maxSeq-start+1 > uint64(h.replay) {
+			start = maxSeq - uint64(h.replay) + 1
+		}
+		r, err := w.ReadFrom(start)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("netstream: warm ring for %q: %w", channelName, err)
+			}
+			data := append([]byte(nil), rec.Payload...)
+			ch.ring = append(ch.ring, savedFrame{seq: rec.Seq, data: data, terminal: rec.Terminal})
+		}
+	}
+	return nil
+}
+
+// WAL returns the channel's attached log (nil when memory-only).
+func (h *Hub) WAL(channelName string) *WAL {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ch, ok := h.channels[channelName]; ok {
+		return ch.wal
+	}
+	return nil
+}
+
+// BeginRecovery rewinds the named channel's publish cursor to a
+// checkpoint's frame count and arms the suppression boundary at the
+// current maximum: the deterministic re-run between cursor and the
+// boundary regenerates frames that are already durable (or already in
+// the ring), so Publish consumes their sequence numbers silently —
+// subscribers never see a duplicate, and the first genuinely new frame
+// continues the sequence with no gap.
+func (h *Hub) BeginRecovery(channelName string, cursor uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.channels[channelName]
+	if !ok {
+		return fmt.Errorf("netstream: unknown channel %q", channelName)
+	}
+	if cursor > ch.seq {
+		return fmt.Errorf("netstream: channel %q recovery cursor %d ahead of durable seq %d", channelName, cursor, ch.seq)
+	}
+	ch.recoverMax = ch.seq
+	ch.seq = cursor
+	return nil
 }
 
 // Policy returns the hub's backpressure policy.
 func (h *Hub) Policy() Policy { return h.policy }
+
+// SetResumable marks the hub as backing a restartable session: error
+// frames become live-delivery only (no sequence number, no retention,
+// no terminal marking), so a restarted session continues each channel's
+// sequence with no duplicates or gaps. Set before serving traffic.
+func (h *Hub) SetResumable(v bool) {
+	h.mu.Lock()
+	h.resumable = v
+	h.mu.Unlock()
+}
 
 // SetHello stores the channel's opening frame, delivered to every new
 // subscriber before any data frame.
@@ -180,6 +344,39 @@ func (h *Hub) Publish(channelName string, f *Frame) error {
 		h.mu.Unlock()
 		return fmt.Errorf("netstream: unknown channel %q", channelName)
 	}
+	if f.Type == FrameError && (h.resumable || ch.seq < ch.recoverMax) {
+		// A restartable session failed (or the re-run died inside the
+		// recovery window). The error is not part of the durable stream, so
+		// it takes no sequence number, is never persisted, and does not
+		// mark the channel done — connected subscribers learn the session
+		// failed, while the sequence stays resumable for the next restart.
+		f.Channel = channelName
+		data, err := EncodeFrame(f)
+		if err != nil {
+			h.mu.Unlock()
+			return err
+		}
+		subs := make([]*Subscriber, 0, len(ch.subs))
+		for s := range ch.subs {
+			subs = append(subs, s)
+		}
+		h.mu.Unlock()
+		for _, s := range subs {
+			h.deliver(s, savedFrame{data: data, terminal: true})
+		}
+		return nil
+	}
+	if ch.seq < ch.recoverMax {
+		// Recovery suppression: this frame was durably published before a
+		// restart; the deterministic re-run regenerates it byte-identically,
+		// so consume its sequence number without persisting or delivering.
+		// Checked before the done guard so a channel whose terminal frame
+		// was already durable replays cleanly.
+		ch.seq++
+		h.recovered.Add(1)
+		h.mu.Unlock()
+		return nil
+	}
 	if ch.done {
 		h.mu.Unlock()
 		return fmt.Errorf("netstream: channel %q already terminated", channelName)
@@ -192,6 +389,19 @@ func (h *Hub) Publish(channelName string, f *Frame) error {
 		ch.seq--
 		h.mu.Unlock()
 		return err
+	}
+	if ch.wal != nil && f.Type != FrameError {
+		// Error frames are live-delivery only: keeping them out of the log
+		// lets a restarted daemon resume a crashed run instead of replaying
+		// its failure. Only eof is durably terminal.
+		t0 := time.Now()
+		werr := ch.wal.Append(ch.seq, f.Type == FrameEOF, data)
+		h.reg.ObserveStage(obs.StageWALAppend, time.Since(t0))
+		if werr != nil {
+			ch.seq--
+			h.mu.Unlock()
+			return fmt.Errorf("netstream: durable publish on %q: %w", channelName, werr)
+		}
 	}
 	sf := savedFrame{seq: ch.seq, data: data, terminal: terminal}
 	ch.ring = append(ch.ring, sf)
@@ -266,8 +476,12 @@ type Subscriber struct {
 	closeOnce sync.Once
 	err       atomic.Value // error
 
-	// replay frames delivered before any live frame.
-	replay []savedFrame
+	// Locally-buffered frames, delivered in order before any live frame:
+	// the hello, then the durable log from the resume point, then ring
+	// frames past the log. All are consumed by the single Recv goroutine.
+	hello   []byte
+	walIter *WALReader
+	replay  []savedFrame
 
 	droppedN atomic.Uint64
 }
@@ -292,11 +506,33 @@ func (h *Hub) Subscribe(channelName string, fromSeq uint64) (*Subscriber, error)
 	if start == 0 {
 		start = 1
 	}
-	if len(ch.ring) > 0 && ch.ring[0].seq > start {
-		return nil, fmt.Errorf("%w: channel %q retains from seq %d, requested %d", ErrGap, channelName, ch.ring[0].seq, start)
+	lastAcked := uint64(0)
+	if fromSeq > 0 {
+		lastAcked = fromSeq - 1
 	}
-	if len(ch.ring) == 0 && ch.seq >= start {
-		return nil, fmt.Errorf("%w: channel %q retains nothing, requested %d", ErrGap, channelName, start)
+	var walIter *WALReader
+	var walUntil uint64
+	if ch.wal != nil {
+		// Durable replay: the log is authoritative for everything it
+		// retains; the ring only adds frames past the log (error frames).
+		walMin, walMax := ch.wal.MinSeq(), ch.wal.MaxSeq()
+		if walMax >= start {
+			if walMin > start {
+				return nil, &GapError{Channel: channelName, Requested: start, LastAcked: lastAcked, ServerMin: walMin}
+			}
+			iter, err := ch.wal.ReadFrom(start)
+			if err != nil {
+				return nil, err
+			}
+			walIter, walUntil = iter, walMax
+		}
+	} else {
+		if len(ch.ring) > 0 && ch.ring[0].seq > start {
+			return nil, &GapError{Channel: channelName, Requested: start, LastAcked: lastAcked, ServerMin: ch.ring[0].seq}
+		}
+		if len(ch.ring) == 0 && ch.seq >= start {
+			return nil, &GapError{Channel: channelName, Requested: start, LastAcked: lastAcked}
+		}
 	}
 	s := &Subscriber{
 		id:      h.nextSubID.Add(1),
@@ -304,12 +540,11 @@ func (h *Hub) Subscribe(channelName string, fromSeq uint64) (*Subscriber, error)
 		channel: channelName,
 		ch:      make(chan savedFrame, h.buffer),
 		closed:  make(chan struct{}),
-	}
-	if ch.hello != nil {
-		s.replay = append(s.replay, savedFrame{data: ch.hello})
+		hello:   ch.hello,
+		walIter: walIter,
 	}
 	for _, sf := range ch.ring {
-		if sf.seq >= start {
+		if sf.seq >= start && sf.seq > walUntil {
 			s.replay = append(s.replay, sf)
 		}
 	}
@@ -355,6 +590,12 @@ func (s *Subscriber) fail(err error) {
 func (s *Subscriber) Close() {
 	s.fail(ErrHubClosed)
 	s.closeOnce.Do(func() {
+		// Close is issued by the Recv goroutine (the subscription owner),
+		// so releasing the log iterator here does not race with pending.
+		if s.walIter != nil {
+			s.walIter.Close()
+			s.walIter = nil
+		}
 		s.hub.unsubscribe(s)
 		s.hub.subscribers.Add(-1)
 	})
@@ -368,16 +609,45 @@ func (s *Subscriber) termErr() error {
 	return ErrHubClosed
 }
 
+// pending pops the next locally-buffered frame: the hello, then the
+// durable log replay, then ring frames past the log. ok is false once
+// only live frames remain. Data served from the log replay is valid
+// until the next Recv call.
+func (s *Subscriber) pending() (data []byte, terminal bool, ok bool, err error) {
+	if s.hello != nil {
+		data, s.hello = s.hello, nil
+		return data, false, true, nil
+	}
+	for s.walIter != nil {
+		rec, rerr := s.walIter.Next()
+		if rerr == io.EOF {
+			s.walIter.Close()
+			s.walIter = nil
+			break
+		}
+		if rerr != nil {
+			s.walIter.Close()
+			s.walIter = nil
+			return nil, false, true, rerr
+		}
+		return rec.Payload, rec.Terminal, true, nil
+	}
+	if len(s.replay) > 0 {
+		sf := s.replay[0]
+		s.replay = s.replay[1:]
+		return sf.data, sf.terminal, true, nil
+	}
+	return nil, false, false, nil
+}
+
 // Recv returns the next frame's encoded bytes and whether it is
 // terminal (eof/error). After the subscription ends, Recv drains any
 // still-buffered frames and then returns the terminal cause
 // (ErrSlowClient under disconnect-slow, ErrHubClosed after Close or hub
 // shutdown).
 func (s *Subscriber) Recv() (data []byte, terminal bool, err error) {
-	if len(s.replay) > 0 {
-		sf := s.replay[0]
-		s.replay = s.replay[1:]
-		return sf.data, sf.terminal, nil
+	if data, terminal, ok, err := s.pending(); ok {
+		return data, terminal, err
 	}
 	select {
 	case sf := <-s.ch:
@@ -397,10 +667,8 @@ func (s *Subscriber) Recv() (data []byte, terminal bool, err error) {
 // ctx.Err() once ctx is done (used by HTTP handlers tied to the request
 // context).
 func (s *Subscriber) RecvContext(ctx context.Context) (data []byte, terminal bool, err error) {
-	if len(s.replay) > 0 {
-		sf := s.replay[0]
-		s.replay = s.replay[1:]
-		return sf.data, sf.terminal, nil
+	if data, terminal, ok, err := s.pending(); ok {
+		return data, terminal, err
 	}
 	select {
 	case sf := <-s.ch:

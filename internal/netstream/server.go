@@ -9,8 +9,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icewafl/internal/core"
@@ -40,8 +43,39 @@ type Config struct {
 	Policy Policy
 	// DrainTimeout bounds the graceful drain on shutdown: how long the
 	// server waits for subscribers to finish reading after the pipeline
-	// ends (default 5s).
+	// ends (default 5s). When the deadline fires with subscribers still
+	// connected, their connections are force-closed and DrainExpired
+	// reports true.
 	DrainTimeout time.Duration
+	// WALDir enables durable replay: every published frame is persisted
+	// to a per-channel write-ahead log under WALDir/<channel>, so
+	// from_seq resume survives daemon restarts and ErrGap only occurs
+	// past the log's retention. Empty = memory-only (the replay ring).
+	WALDir string
+	// WAL tunes the write-ahead logs (zero value = defaults); only
+	// meaningful with WALDir.
+	WAL WALOptions
+	// CheckpointPath enables checkpointed sessions (requires WALDir and
+	// Reorder <= 1): pipeline state is captured there every
+	// CheckpointEvery emitted tuples, so a restarted daemon resumes the
+	// run from the checkpoint instead of replaying the whole input.
+	CheckpointPath string
+	// CheckpointEvery is the capture cadence in emitted tuples (default
+	// 256).
+	CheckpointEvery int
+	// Supervise runs the pipeline as a restartable session: a failed or
+	// panicked run is restarted with exponential backoff until the
+	// restart budget is exhausted, then quarantined (surfaced on
+	// /healthz).
+	Supervise bool
+	// RestartBudget is the number of restarts tolerated per
+	// RestartWindow before quarantine (default 3).
+	RestartBudget int
+	// RestartWindow is the sliding restart-budget window (default 1m).
+	RestartWindow time.Duration
+	// RestartBackoff is the base restart delay, doubled per consecutive
+	// failure (default 100ms).
+	RestartBackoff time.Duration
 	// Reg receives service metrics (nil-safe).
 	Reg *obs.Registry
 	// Logf, when set, receives service diagnostics.
@@ -53,9 +87,13 @@ type Config struct {
 type Server struct {
 	cfg Config
 	hub *Hub
+	sup *Supervisor
 
 	mu        sync.Mutex
 	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+
+	drainExpired atomic.Bool
 
 	pipelineDone chan struct{}
 	pipelineErr  error
@@ -80,10 +118,41 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	if cfg.CheckpointPath != "" {
+		if cfg.WALDir == "" {
+			return nil, fmt.Errorf("netstream: checkpointed sessions require a wal directory")
+		}
+		if cfg.Reorder > 1 {
+			return nil, fmt.Errorf("netstream: checkpointed sessions require a reorder window of 1, got %d", cfg.Reorder)
+		}
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 256
+		}
+	}
 	s := &Server{
 		cfg:          cfg,
 		hub:          NewHub(cfg.Buffer, cfg.Replay, cfg.Policy, cfg.Reg),
+		conns:        make(map[net.Conn]struct{}),
 		pipelineDone: make(chan struct{}),
+	}
+	if cfg.WALDir != "" {
+		for _, name := range Channels() {
+			w, err := OpenWAL(filepath.Join(cfg.WALDir, name), cfg.WAL)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.hub.AttachWAL(name, w); err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+	}
+	if cfg.Supervise || cfg.WALDir != "" {
+		s.hub.SetResumable(true)
+	}
+	if cfg.Supervise {
+		s.sup = NewSupervisor(cfg.RestartBudget, cfg.RestartWindow, cfg.RestartBackoff, cfg.Logf)
+		cfg.Reg.RegisterFunc("net_session_restarts", s.sup.Restarts)
 	}
 	doc := SchemaDocument(cfg.Schema)
 	for _, name := range Channels() {
@@ -94,6 +163,14 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Supervisor returns the session supervisor (nil unless Supervise).
+func (s *Server) Supervisor() *Supervisor { return s.sup }
+
+// DrainExpired reports whether the shutdown drain deadline fired with
+// subscribers still connected (their connections were force-closed; the
+// daemon exits nonzero).
+func (s *Server) DrainExpired() bool { return s.drainExpired.Load() }
+
 // Hub exposes the server's broadcast hub (tests and embedders).
 func (s *Server) Hub() *Hub { return s.hub }
 
@@ -103,14 +180,91 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// allTerminal reports whether every channel's durable log ends in a
+// terminal frame (a previous run completed durably — nothing to rerun).
+func (s *Server) allTerminal() bool {
+	for _, name := range Channels() {
+		w := s.hub.WAL(name)
+		if w == nil || !w.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// armRecovery rewinds every channel's publish cursor to the checkpoint
+// (or zero) and arms the suppression boundary at the current durable
+// maximum, so the deterministic re-run regenerates the already-durable
+// region without duplicating it.
+func (s *Server) armRecovery(resume *core.Checkpoint) error {
+	for _, name := range Channels() {
+		cursor := uint64(0)
+		if resume != nil {
+			if v := resume.Offsets["net."+name]; v > 0 {
+				cursor = uint64(v)
+			}
+		}
+		if err := s.hub.BeginRecovery(name, cursor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// captureCheckpoint persists a consistent run snapshot. The logs are
+// synced first so the durable checkpoint never runs ahead of the
+// durable frames it references.
+func (s *Server) captureCheckpoint(ckr *core.Checkpointer) error {
+	for _, name := range Channels() {
+		if w := s.hub.WAL(name); w != nil {
+			if err := w.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	ck, err := ckr.Capture()
+	if err != nil {
+		return err
+	}
+	for _, name := range Channels() {
+		ck.Offsets["net."+name] = int64(s.hub.Seq(name))
+	}
+	return core.WriteCheckpoint(s.cfg.CheckpointPath, ck)
+}
+
 // runPipeline executes the pollution process once, publishing every
 // output to the hub, and finishes each channel with a terminal frame.
 // Client-side failures never reach the pipeline: a disconnected or slow
 // subscriber only affects its own subscription (per the backpressure
 // policy), while source-side faults keep the PR-1 contract — quarantine
 // and DLQ work unchanged under the server runner.
+//
+// In durable mode (WALDir) each run first arms the hub's recovery
+// suppression: frames the deterministic (re-)run regenerates below the
+// durable maximum consume their sequence numbers silently, so a
+// restarted daemon resumes the stream with no duplicates or gaps. With
+// CheckpointPath the run additionally resumes pipeline state from the
+// last checkpoint instead of replaying the whole input.
 func (s *Server) runPipeline(ctx context.Context) error {
 	proc := s.cfg.Proc
+	durable := s.cfg.WALDir != ""
+	if durable && s.allTerminal() {
+		s.logf("durable run already complete; serving from wal")
+		return nil
+	}
+	var resume *core.Checkpoint
+	if s.cfg.CheckpointPath != "" {
+		ck, err := core.ReadCheckpoint(s.cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			resume = ck
+			s.logf("resuming from checkpoint: %d tuples in, %d out", ck.TuplesIn, ck.TuplesOut)
+		case errors.Is(err, os.ErrNotExist):
+		default:
+			s.logf("checkpoint unreadable, replaying from scratch: %v", err)
+		}
+	}
+
 	proc.CleanTap = func(t stream.Tuple) {
 		if err := s.hub.Publish(ChannelClean, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
 			s.logf("clean publish: %v", err)
@@ -128,13 +282,31 @@ func (s *Server) runPipeline(ctx context.Context) error {
 		return err
 	}
 
+	if durable || s.cfg.Supervise {
+		// Arm recovery on every attempt: the first run of a fresh log is a
+		// no-op (cursor and boundary both zero), later runs replay into the
+		// suppressed region.
+		if err := s.armRecovery(resume); err != nil {
+			return fail(err)
+		}
+	}
+
 	src, err := s.cfg.NewSource()
 	if err != nil {
 		return fail(fmt.Errorf("netstream: open source: %w", err))
 	}
 	defer stopSource(src)
 
-	polluted, plog, err := proc.RunStream(stream.WithContext(ctx, src), s.cfg.Reorder)
+	var (
+		polluted stream.Source
+		plog     *core.Log
+		ckr      *core.Checkpointer
+	)
+	if s.cfg.CheckpointPath != "" {
+		polluted, plog, ckr, err = proc.RunStreamCheckpointed(stream.WithContext(ctx, src), resume)
+	} else {
+		polluted, plog, err = proc.RunStream(stream.WithContext(ctx, src), s.cfg.Reorder)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -151,6 +323,7 @@ func (s *Server) runPipeline(ctx context.Context) error {
 		}
 		return nil
 	}
+	emitted := 0
 	for {
 		t, err := polluted.Next()
 		if err == io.EOF {
@@ -174,6 +347,15 @@ func (s *Server) runPipeline(ctx context.Context) error {
 		}
 		if err := s.hub.Publish(ChannelDirty, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
 			return fail(err)
+		}
+		emitted++
+		if ckr != nil && emitted%s.cfg.CheckpointEvery == 0 {
+			// Capture between Next calls, when no tuple is in flight; a
+			// failed capture only widens the replay window of the next
+			// restart, it does not corrupt the run.
+			if cerr := s.captureCheckpoint(ckr); cerr != nil {
+				s.logf("checkpoint: %v", cerr)
+			}
 		}
 	}
 	if err := flushLog(); err != nil {
@@ -221,27 +403,49 @@ func (s *Server) Serve(ctx context.Context, tcpLn, httpLn net.Listener) error {
 		}()
 	}
 
-	err := s.runPipeline(ctx)
-	s.mu.Lock()
-	s.pipelineErr = err
-	s.mu.Unlock()
-	close(s.pipelineDone)
+	// The pipeline runs concurrently with the shutdown watcher: a
+	// publisher wedged on a stuck subscriber (block policy, full TCP
+	// buffer) must not keep Serve from reaching the drain deadline —
+	// hub.Close below is exactly what unblocks it.
+	pipeRes := make(chan error, 1)
+	go func() {
+		var err error
+		if s.sup != nil {
+			err = s.sup.Run(ctx, s.runPipeline)
+		} else {
+			err = s.runPipeline(ctx)
+		}
+		s.mu.Lock()
+		s.pipelineErr = err
+		s.mu.Unlock()
+		close(s.pipelineDone)
+		pipeRes <- err
+	}()
 
-	// The pipeline has published its terminal frames. Keep serving until
-	// the caller cancels, so late clients can still fetch results from
-	// the replay ring.
+	// Keep serving until the caller cancels, so late clients can still
+	// fetch results from the replay ring after the pipeline completes.
 	<-ctx.Done()
 
 	// Graceful drain: give connected subscribers DrainTimeout to empty
-	// their queues, then close everything.
+	// their queues. When the deadline fires (e.g. a stuck slow reader
+	// under the block policy keeping a handler wedged in a TCP write),
+	// force-close the remaining connections — otherwise the handler
+	// goroutines never exit and shutdown hangs.
 	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	for time.Now().Before(deadline) && s.hub.subscribers.Load() > 0 {
 		time.Sleep(10 * time.Millisecond)
+	}
+	if n := s.hub.subscribers.Load(); n > 0 {
+		s.drainExpired.Store(true)
+		s.logf("drain deadline expired with %d subscriber(s) connected; force-closing", n)
 	}
 	s.hub.Close()
 	s.mu.Lock()
 	for _, ln := range s.listeners {
 		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
 	}
 	s.mu.Unlock()
 	if httpSrv != nil {
@@ -250,6 +454,16 @@ func (s *Server) Serve(ctx context.Context, tcpLn, httpLn net.Listener) error {
 		_ = httpSrv.Shutdown(shCtx)
 	}
 	s.wg.Wait()
+	// hub.Close above released any Publish still blocked on a stuck
+	// subscriber, so the pipeline goroutine finishes promptly.
+	err := <-pipeRes
+	for _, name := range Channels() {
+		if w := s.hub.WAL(name); w != nil {
+			if cerr := w.Close(); cerr != nil {
+				s.logf("wal close %s: %v", name, cerr)
+			}
+		}
+	}
 	return err
 }
 
@@ -290,6 +504,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // stream of length-prefixed frames out until a terminal frame.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	payload, err := ReadFrame(conn)
 	if err != nil {
@@ -334,9 +556,15 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // writeErrorFrame best-effort reports err to the peer as a terminal
-// frame.
+// frame. Replay-gap rejections carry machine-readable bounds so the
+// client maps them to a typed, non-retryable GapError.
 func (s *Server) writeErrorFrame(conn net.Conn, err error) {
-	data, merr := EncodeFrame(&Frame{Type: FrameError, Error: err.Error()})
+	f := &Frame{Type: FrameError, Error: err.Error()}
+	var gap *GapError
+	if errors.As(err, &gap) {
+		f.Gap = &GapInfo{Requested: gap.Requested, ServerMin: gap.ServerMin}
+	}
+	data, merr := EncodeFrame(f)
 	if merr != nil {
 		return
 	}
@@ -380,9 +608,17 @@ func (s *Server) HTTPHandler() http.Handler {
 			}
 		default:
 		}
+		var restarts uint64
+		if s.sup != nil {
+			restarts = s.sup.Restarts()
+			if s.sup.Quarantined() {
+				state = "quarantined"
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"state\":%q,\"dirty_seq\":%d,\"clean_seq\":%d,\"log_seq\":%d}\n",
-			state, s.hub.Seq(ChannelDirty), s.hub.Seq(ChannelClean), s.hub.Seq(ChannelLog))
+		fmt.Fprintf(w, "{\"state\":%q,\"dirty_seq\":%d,\"clean_seq\":%d,\"log_seq\":%d,\"restarts\":%d,\"recovered\":%d,\"wal\":%t}\n",
+			state, s.hub.Seq(ChannelDirty), s.hub.Seq(ChannelClean), s.hub.Seq(ChannelLog),
+			restarts, s.hub.Recovered(), s.cfg.WALDir != "")
 	})
 	return mux
 }
@@ -454,7 +690,13 @@ func (s *Server) writeHTTPFrame(w http.ResponseWriter, flusher http.Flusher, sse
 			return false
 		}
 	} else {
-		if _, err := w.Write(append(data, '\n')); err != nil {
+		// Two writes, never append: frames replayed from the WAL alias the
+		// reader's internal buffer, and appending in place would clobber
+		// the next record's length prefix.
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return false
 		}
 	}

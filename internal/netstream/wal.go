@@ -1,0 +1,818 @@
+package netstream
+
+// This file is the durability layer of the service: a segmented,
+// checksummed write-ahead log that backs the Hub's replay ring, so a
+// subscriber's from_seq resume survives daemon restarts and ErrGap only
+// occurs past the configured retention.
+//
+// On-disk layout: one directory per channel, holding segment files named
+// after the sequence number of their first record
+// (00000000000000000001.wal, ...). A segment starts with an 8-byte magic
+// and carries length-prefixed records:
+//
+//	[4B big-endian payload length n]
+//	[4B CRC32C over seq|flags|payload]
+//	[8B big-endian sequence number]
+//	[1B flags (bit0 = terminal)]
+//	[n payload bytes]
+//
+// Appends are single-Write calls (readers never observe a half-visible
+// record boundary inside a fully appended record) and fsync is batched:
+// every FsyncEvery appends plus explicit Sync calls at checkpoints and
+// terminal frames. A crash can therefore tear at most the record being
+// appended; OpenWAL scans the last segment and truncates the torn tail.
+// Retention deletes whole closed segments, oldest first, once the log
+// exceeds RetainBytes or a segment's records are older than RetainAge.
+//
+// All file I/O goes through the FS interface so the chaos harness can
+// inject short writes, fsync errors and ENOSPC (internal/chaos.FaultFS).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// File is the subset of *os.File the WAL needs. Writes must report the
+// number of bytes actually written (short writes leave a torn tail that
+// the self-healing append path truncates).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem under the WAL; chaos tests swap in a
+// fault-injecting implementation.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Remove(name string) error
+	MkdirAll(name string, perm os.FileMode) error
+	Stat(name string) (os.FileInfo, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// OSFS returns the real-filesystem implementation of FS.
+func OSFS() FS { return osFS{} }
+
+// Segment file format constants.
+const (
+	walMagic      = "IWFLWAL1"
+	walHeaderLen  = len(walMagic)
+	recHeaderLen  = 4 + 4 + 8 + 1 // length, crc, seq, flags
+	walSuffix     = ".wal"
+	flagTerminal  = 0x01
+	walFileDigits = 20
+)
+
+// crcTable is the Castagnoli polynomial (CRC32C), the checksum used by
+// most storage systems for its hardware support.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WALOptions tunes one channel's log. The zero value applies the
+// documented defaults.
+type WALOptions struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default 8 MiB).
+	SegmentBytes int64
+	// RetainBytes caps the total size of closed segments; the oldest are
+	// deleted first (default 256 MiB; the active segment never counts).
+	RetainBytes int64
+	// RetainAge deletes closed segments whose newest record is older
+	// (0 = keep regardless of age).
+	RetainAge time.Duration
+	// FsyncEvery batches fsync: one sync per this many appends (default
+	// 64; 1 = sync every append). Sync is also forced explicitly at
+	// checkpoints and terminal frames.
+	FsyncEvery int
+	// FS is the filesystem (default: the real one).
+	FS FS
+	// Now is the clock used for retention decisions (default time.Now).
+	Now func() time.Time
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.RetainBytes <= 0 {
+		o.RetainBytes = 256 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 64
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// WALRecord is one decoded log record.
+type WALRecord struct {
+	Seq      uint64
+	Terminal bool
+	Payload  []byte
+}
+
+// AppendRecord encodes one record and appends it to buf (the wire-level
+// codec, exported for the fuzz fixed-point suite).
+func AppendRecord(buf []byte, seq uint64, terminal bool, payload []byte) []byte {
+	var hdr [recHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[8:16], seq)
+	if terminal {
+		hdr[16] = flagTerminal
+	}
+	crc := crc32.Update(0, crcTable, hdr[8:17])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// ErrWALCorrupt reports a record that failed validation somewhere other
+// than the torn tail of the last segment.
+var ErrWALCorrupt = errors.New("netstream: wal record corrupt")
+
+// DecodeRecord decodes the first record in b, returning the record and
+// the number of bytes it occupies. Incomplete or corrupt prefixes return
+// an error wrapping ErrWALCorrupt; n is then the number of valid bytes
+// before the corruption (always 0 at a record boundary).
+func DecodeRecord(b []byte) (WALRecord, int, error) {
+	if len(b) < recHeaderLen {
+		return WALRecord{}, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrWALCorrupt, len(b))
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > MaxFrameBytes {
+		return WALRecord{}, 0, fmt.Errorf("%w: payload length %d exceeds limit", ErrWALCorrupt, n)
+	}
+	total := recHeaderLen + int(n)
+	if len(b) < total {
+		return WALRecord{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrWALCorrupt, len(b), total)
+	}
+	crc := crc32.Update(0, crcTable, b[8:17])
+	crc = crc32.Update(crc, crcTable, b[recHeaderLen:total])
+	if crc != binary.BigEndian.Uint32(b[4:8]) {
+		return WALRecord{}, 0, fmt.Errorf("%w: checksum mismatch", ErrWALCorrupt)
+	}
+	return WALRecord{
+		Seq:      binary.BigEndian.Uint64(b[8:16]),
+		Terminal: b[16]&flagTerminal != 0,
+		Payload:  b[recHeaderLen:total],
+	}, total, nil
+}
+
+// segment is one on-disk segment file's index entry.
+type segment struct {
+	path     string
+	firstSeq uint64 // sequence of the first record (also the file name)
+	lastSeq  uint64 // 0 while empty
+	bytes    int64
+	terminal bool      // last record is terminal
+	newest   time.Time // write time of the newest record (retention clock)
+}
+
+// WAL is one channel's durable frame log. Append and Sync are safe for
+// one writer; ReadFrom readers run concurrently with the writer.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu        sync.Mutex
+	segments  []segment // closed segments plus the active one (last)
+	active    File      // handle of segments[len-1]
+	sinceSync int
+	broken    bool // active handle is suspect; recover before next append
+
+	encBuf []byte // reusable append encoding buffer
+
+	fsyncs    atomic.Uint64
+	appends   atomic.Uint64
+	truncated atomic.Uint64 // torn bytes dropped across opens/recoveries
+}
+
+// OpenWAL opens (or creates) the log under dir, validating every
+// segment and truncating a torn tail on the last one. The returned WAL
+// is positioned to append the next sequence number after MaxSeq.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("netstream: wal mkdir: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts}
+	if err := w.load(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// load scans the directory, indexes segments and truncates the torn
+// tail of the last one.
+func (w *WAL) load() error {
+	entries, err := w.opts.FS.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("netstream: wal readdir: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, walSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, walSuffix), 10, 64)
+		if err != nil {
+			return fmt.Errorf("netstream: wal segment %q: bad name: %v", name, err)
+		}
+		segs = append(segs, segment{path: filepath.Join(w.dir, name), firstSeq: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	for i := range segs {
+		last := i == len(segs)-1
+		if err := w.scanSegment(&segs[i], last); err != nil {
+			return err
+		}
+	}
+	// An all-torn last segment (no surviving records) still serves as the
+	// active segment; appends continue at its firstSeq.
+	w.segments = segs
+	if len(segs) == 0 {
+		return w.startSegmentLocked(1)
+	}
+	// Reopen the last segment for appending.
+	act := &w.segments[len(w.segments)-1]
+	f, err := w.opts.FS.OpenFile(act.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("netstream: wal reopen active: %w", err)
+	}
+	if _, err := f.Seek(act.bytes, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("netstream: wal seek active: %w", err)
+	}
+	w.active = f
+	return nil
+}
+
+// scanSegment validates one segment. For the last segment a torn tail is
+// truncated away; for earlier segments any invalid record is corruption.
+func (w *WAL) scanSegment(s *segment, last bool) error {
+	fi, err := w.opts.FS.Stat(s.path)
+	if err != nil {
+		return fmt.Errorf("netstream: wal stat %s: %w", s.path, err)
+	}
+	s.newest = fi.ModTime()
+	f, err := w.opts.FS.OpenFile(s.path, os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("netstream: wal open %s: %w", s.path, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("netstream: wal read %s: %w", s.path, err)
+	}
+	valid := 0
+	if len(data) < walHeaderLen || string(data[:walHeaderLen]) != walMagic {
+		if !last {
+			return fmt.Errorf("netstream: wal segment %s: bad magic", s.path)
+		}
+		// Torn segment header: rewrite the whole file below.
+	} else {
+		valid = walHeaderLen
+		off := walHeaderLen
+		next := s.firstSeq
+		for off < len(data) {
+			rec, n, derr := DecodeRecord(data[off:])
+			if derr != nil {
+				if !last {
+					return fmt.Errorf("netstream: wal segment %s at offset %d: %w", s.path, off, derr)
+				}
+				break // torn tail; truncate at off
+			}
+			if rec.Seq != next {
+				if !last {
+					return fmt.Errorf("%w: segment %s at offset %d: seq %d, want %d", ErrWALCorrupt, s.path, off, rec.Seq, next)
+				}
+				break
+			}
+			s.lastSeq = rec.Seq
+			s.terminal = rec.Terminal
+			next = rec.Seq + 1
+			off += n
+			valid = off
+		}
+	}
+	s.bytes = int64(valid)
+	if int64(valid) != int64(len(data)) {
+		w.truncated.Add(uint64(len(data) - valid))
+		tf, err := w.opts.FS.OpenFile(s.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("netstream: wal truncate open %s: %w", s.path, err)
+		}
+		if valid < walHeaderLen {
+			// The magic itself was torn: rewrite it so the segment stays
+			// appendable.
+			if err := tf.Truncate(0); err == nil {
+				if _, werr := tf.Write([]byte(walMagic)); werr == nil {
+					s.bytes = int64(walHeaderLen)
+				} else {
+					tf.Close()
+					return fmt.Errorf("netstream: wal rewrite magic %s: %w", s.path, werr)
+				}
+			} else {
+				tf.Close()
+				return fmt.Errorf("netstream: wal truncate %s: %w", s.path, err)
+			}
+		} else if err := tf.Truncate(int64(valid)); err != nil {
+			tf.Close()
+			return fmt.Errorf("netstream: wal truncate %s: %w", s.path, err)
+		}
+		serr := tf.Sync()
+		tf.Close()
+		if serr != nil {
+			return fmt.Errorf("netstream: wal truncate sync %s: %w", s.path, serr)
+		}
+	}
+	return nil
+}
+
+// startSegmentLocked creates and activates a fresh segment whose first
+// record will carry firstSeq. Callers hold w.mu (or own the WAL
+// exclusively during load).
+func (w *WAL) startSegmentLocked(firstSeq uint64) error {
+	path := filepath.Join(w.dir, fmt.Sprintf("%0*d%s", walFileDigits, firstSeq, walSuffix))
+	f, err := w.opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("netstream: wal create segment: %w", err)
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		w.opts.FS.Remove(path)
+		return fmt.Errorf("netstream: wal segment header: %w", err)
+	}
+	if w.active != nil {
+		w.active.Sync()
+		w.active.Close()
+	}
+	w.active = f
+	w.segments = append(w.segments, segment{path: path, firstSeq: firstSeq, bytes: int64(walHeaderLen), newest: w.opts.Now()})
+	return nil
+}
+
+// MinSeq returns the oldest retained sequence number (0 when empty).
+func (w *WAL) MinSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.segments {
+		if w.segments[i].lastSeq != 0 {
+			return w.segments[i].firstSeq
+		}
+	}
+	return 0
+}
+
+// MaxSeq returns the newest retained sequence number (0 when empty).
+func (w *WAL) MaxSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.maxSeqLocked()
+}
+
+func (w *WAL) maxSeqLocked() uint64 {
+	for i := len(w.segments) - 1; i >= 0; i-- {
+		if w.segments[i].lastSeq != 0 {
+			return w.segments[i].lastSeq
+		}
+	}
+	return 0
+}
+
+// Terminal reports whether the newest retained record is terminal (the
+// stream completed durably).
+func (w *WAL) Terminal() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := len(w.segments) - 1; i >= 0; i-- {
+		if w.segments[i].lastSeq != 0 {
+			return w.segments[i].terminal
+		}
+	}
+	return false
+}
+
+// Fsyncs returns the number of fsync calls issued so far.
+func (w *WAL) Fsyncs() uint64 { return w.fsyncs.Load() }
+
+// Appends returns the number of records appended in this process.
+func (w *WAL) Appends() uint64 { return w.appends.Load() }
+
+// TruncatedBytes returns the torn bytes dropped by tail recovery.
+func (w *WAL) TruncatedBytes() uint64 { return w.truncated.Load() }
+
+// SizeBytes returns the total on-disk size of all retained segments.
+func (w *WAL) SizeBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var n int64
+	for i := range w.segments {
+		n += w.segments[i].bytes
+	}
+	return n
+}
+
+// Segments returns the number of retained segment files.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segments)
+}
+
+// Append durably adds one record. Sequence numbers must be contiguous
+// (MaxSeq+1); anything else is a programming error upstream. On an I/O
+// failure the append is rolled back (the torn tail truncated) so a
+// subsequent Append with the same sequence can succeed once the fault
+// clears.
+func (w *WAL) Append(seq uint64, terminal bool, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.active == nil || len(w.segments) == 0 {
+		return fmt.Errorf("netstream: wal closed")
+	}
+	if w.broken {
+		if err := w.recoverLocked(); err != nil {
+			return err
+		}
+		// A failed fsync leaves the previous append complete in the file;
+		// the caller retries the same sequence (publishing is
+		// deterministic across recovery), which after rescan is already
+		// the tail of the log — finish it idempotently by supplying the
+		// missing durability barrier.
+		if max := w.maxSeqLocked(); max != 0 && seq == max {
+			return w.syncLocked()
+		}
+	}
+	if max := w.maxSeqLocked(); max != 0 && seq != max+1 {
+		return fmt.Errorf("netstream: wal append seq %d, want %d", seq, max+1)
+	}
+	act := &w.segments[len(w.segments)-1]
+	if act.lastSeq == 0 && seq != act.firstSeq {
+		// Empty active segment: its name pins the first sequence. A
+		// mismatch can only happen on the very first append of a fresh
+		// log resuming at a later seq; restart the segment at seq.
+		if act.bytes == int64(walHeaderLen) && len(w.segments) == 1 {
+			w.active.Close()
+			w.opts.FS.Remove(act.path)
+			w.segments = w.segments[:0]
+			w.active = nil
+			if err := w.startSegmentLocked(seq); err != nil {
+				return err
+			}
+			act = &w.segments[len(w.segments)-1]
+		} else {
+			return fmt.Errorf("netstream: wal append seq %d into segment starting at %d", seq, act.firstSeq)
+		}
+	}
+	w.encBuf = AppendRecord(w.encBuf[:0], seq, terminal, payload)
+	n, err := w.active.Write(w.encBuf)
+	if err != nil || n != len(w.encBuf) {
+		// Torn append: roll the partial record back so the segment stays
+		// valid and the caller may retry the same sequence.
+		if n > 0 {
+			if terr := w.active.Truncate(act.bytes); terr != nil {
+				w.broken = true
+			} else if _, serr := w.active.Seek(act.bytes, io.SeekStart); serr != nil {
+				w.broken = true
+			} else {
+				w.truncated.Add(uint64(n))
+			}
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return fmt.Errorf("netstream: wal append: %w", err)
+	}
+	act.bytes += int64(n)
+	act.lastSeq = seq
+	act.terminal = terminal
+	act.newest = w.opts.Now()
+	w.appends.Add(1)
+	w.sinceSync++
+	if terminal || w.sinceSync >= w.opts.FsyncEvery {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if act.bytes >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverLocked reopens the active segment after a suspect failure,
+// truncating any torn tail.
+func (w *WAL) recoverLocked() error {
+	act := &w.segments[len(w.segments)-1]
+	if w.active != nil {
+		w.active.Close()
+		w.active = nil
+	}
+	if err := w.scanSegment(act, true); err != nil {
+		return err
+	}
+	f, err := w.opts.FS.OpenFile(act.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("netstream: wal recover reopen: %w", err)
+	}
+	if _, err := f.Seek(act.bytes, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("netstream: wal recover seek: %w", err)
+	}
+	w.active = f
+	w.broken = false
+	return nil
+}
+
+// Sync forces an fsync of the active segment (checkpoints call this so
+// a durable checkpoint never runs ahead of the durable log).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.active == nil {
+		return nil
+	}
+	if w.sinceSync == 0 {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.active.Sync(); err != nil {
+		w.broken = true
+		return fmt.Errorf("netstream: wal fsync: %w", err)
+	}
+	w.fsyncs.Add(1)
+	w.sinceSync = 0
+	return nil
+}
+
+// rotateLocked closes the active segment, starts the next one, and
+// applies retention.
+func (w *WAL) rotateLocked() error {
+	act := &w.segments[len(w.segments)-1]
+	next := act.lastSeq + 1
+	if act.lastSeq == 0 {
+		next = act.firstSeq
+	}
+	if w.sinceSync > 0 {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := w.startSegmentLocked(next); err != nil {
+		return err
+	}
+	w.retainLocked()
+	return nil
+}
+
+// retainLocked deletes the oldest closed segments past the byte and age
+// budgets. The active segment is never deleted.
+func (w *WAL) retainLocked() {
+	var total int64
+	for i := range w.segments {
+		total += w.segments[i].bytes
+	}
+	now := w.opts.Now()
+	drop := 0
+	for drop < len(w.segments)-1 {
+		s := &w.segments[drop]
+		overBytes := total > w.opts.RetainBytes
+		overAge := w.opts.RetainAge > 0 && now.Sub(s.newest) > w.opts.RetainAge
+		if !overBytes && !overAge {
+			break
+		}
+		if err := w.opts.FS.Remove(s.path); err != nil {
+			break // retry on the next rotation
+		}
+		total -= s.bytes
+		drop++
+	}
+	if drop > 0 {
+		w.segments = append(w.segments[:0], w.segments[drop:]...)
+	}
+}
+
+// Close releases the active segment (a final sync included).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.active == nil {
+		return nil
+	}
+	var err error
+	if w.sinceSync > 0 && !w.broken {
+		err = w.syncLocked()
+	}
+	cerr := w.active.Close()
+	w.active = nil
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WALReader iterates records with Seq >= the requested start, in
+// sequence order, validating checksums as it reads. It is safe to use
+// concurrently with the writer: it never reads past the max sequence
+// captured when the reader was created.
+type WALReader struct {
+	wal   *WAL
+	next  uint64 // next sequence to deliver
+	until uint64 // snapshot of MaxSeq at creation
+	f     File
+	buf   []byte
+	off   int
+	fill  int
+}
+
+// ReadFrom returns a reader positioned at the first retained record with
+// sequence >= start. Reading past the newest record at creation time
+// returns io.EOF (late records are the live hub's business).
+func (w *WAL) ReadFrom(start uint64) (*WALReader, error) {
+	if start == 0 {
+		start = 1
+	}
+	w.mu.Lock()
+	until := w.maxSeqLocked()
+	w.mu.Unlock()
+	return &WALReader{wal: w, next: start, until: until}, nil
+}
+
+// Next returns the next record. The payload is valid until the
+// following Next call. Returns io.EOF past the creation-time snapshot.
+func (r *WALReader) Next() (WALRecord, error) {
+	for {
+		if r.next > r.until || r.until == 0 {
+			r.Close()
+			return WALRecord{}, io.EOF
+		}
+		if r.f == nil {
+			if err := r.openSegmentFor(r.next); err != nil {
+				return WALRecord{}, err
+			}
+		}
+		rec, err := r.readRecord()
+		if err == io.EOF {
+			// Segment exhausted; move to the one holding r.next.
+			r.f.Close()
+			r.f = nil
+			continue
+		}
+		if err != nil {
+			r.Close()
+			return WALRecord{}, err
+		}
+		if rec.Seq < r.next {
+			continue // skipping toward start inside the first segment
+		}
+		if rec.Seq != r.next {
+			r.Close()
+			return WALRecord{}, fmt.Errorf("%w: reader at seq %d found %d", ErrWALCorrupt, r.next, rec.Seq)
+		}
+		r.next = rec.Seq + 1
+		return rec, nil
+	}
+}
+
+// openSegmentFor opens the segment containing seq and positions after
+// its magic.
+func (r *WALReader) openSegmentFor(seq uint64) error {
+	r.wal.mu.Lock()
+	var path string
+	for i := len(r.wal.segments) - 1; i >= 0; i-- {
+		s := &r.wal.segments[i]
+		if s.firstSeq <= seq {
+			if s.lastSeq == 0 || s.lastSeq < seq {
+				break // seq not in this or any older segment
+			}
+			path = s.path
+			break
+		}
+	}
+	minSeq := uint64(0)
+	for i := range r.wal.segments {
+		if r.wal.segments[i].lastSeq != 0 {
+			minSeq = r.wal.segments[i].firstSeq
+			break
+		}
+	}
+	r.wal.mu.Unlock()
+	if path == "" {
+		return fmt.Errorf("%w: wal retains from seq %d, requested %d", ErrGap, minSeq, seq)
+	}
+	f, err := r.wal.opts.FS.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("netstream: wal reader open: %w", err)
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != walMagic {
+		f.Close()
+		return fmt.Errorf("%w: reader segment magic", ErrWALCorrupt)
+	}
+	r.f = f
+	r.off, r.fill = 0, 0
+	return nil
+}
+
+// readRecord reads one record from the current segment file.
+func (r *WALReader) readRecord() (WALRecord, error) {
+	hdr, err := r.peek(recHeaderLen)
+	if err != nil {
+		return WALRecord{}, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[0:4]))
+	if n > MaxFrameBytes {
+		return WALRecord{}, fmt.Errorf("%w: reader payload length %d", ErrWALCorrupt, n)
+	}
+	full, err := r.peek(recHeaderLen + n)
+	if err != nil {
+		return WALRecord{}, err
+	}
+	rec, used, derr := DecodeRecord(full)
+	if derr != nil {
+		return WALRecord{}, derr
+	}
+	r.off += used
+	return rec, nil
+}
+
+// peek ensures at least n bytes are buffered at r.off and returns them.
+// io.EOF at a record boundary means the segment is exhausted.
+func (r *WALReader) peek(n int) ([]byte, error) {
+	for r.fill-r.off < n {
+		if r.off > 0 {
+			copy(r.buf, r.buf[r.off:r.fill])
+			r.fill -= r.off
+			r.off = 0
+		}
+		if cap(r.buf) < n {
+			nb := make([]byte, max(n, 64<<10))
+			copy(nb, r.buf[:r.fill])
+			r.buf = nb
+		}
+		r.buf = r.buf[:cap(r.buf)]
+		m, err := r.f.Read(r.buf[r.fill:])
+		r.fill += m
+		if err != nil {
+			if err == io.EOF && r.fill-r.off == 0 {
+				return nil, io.EOF
+			}
+			if err == io.EOF {
+				// A partial record at the end of a non-final segment (or a
+				// concurrent append not yet complete): treat as exhausted —
+				// records past the creation snapshot are never needed.
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("netstream: wal reader: %w", err)
+		}
+	}
+	return r.buf[r.off : r.off+n], nil
+}
+
+// Close releases the reader's file handle (idempotent).
+func (r *WALReader) Close() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}

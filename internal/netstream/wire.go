@@ -71,6 +71,19 @@ type Frame struct {
 	Tuple  *WireTuple           `json:"tuple,omitempty"`
 	Entry  *core.Entry          `json:"entry,omitempty"`
 	Error  string               `json:"error,omitempty"`
+	// Gap is set on error frames rejecting a subscription whose from_seq
+	// fell behind retention, so clients can map the rejection to a typed,
+	// non-retryable GapError.
+	Gap *GapInfo `json:"gap,omitempty"`
+}
+
+// GapInfo is the machine-readable payload of a replay-gap rejection.
+type GapInfo struct {
+	// Requested is the from_seq the client asked for.
+	Requested uint64 `json:"requested"`
+	// ServerMin is the oldest sequence the server still retains (0 when
+	// it retains nothing).
+	ServerMin uint64 `json:"server_min"`
 }
 
 // WireTuple is the network rendering of a stream.Tuple. Values use the

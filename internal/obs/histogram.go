@@ -27,11 +27,15 @@ const (
 	// monitor (snapshotting every expectation at window close). Appended
 	// after StageNetSend for the same golden-stability reason.
 	StageDQWindow
+	// StageWALAppend is one durable append to a channel's write-ahead
+	// log (the icewafld durability layer). Appended last for the same
+	// golden-stability reason.
+	StageWALAppend
 
 	numStages
 )
 
-var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint", "net_send", "dq_window"}
+var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint", "net_send", "dq_window", "wal_append"}
 
 // StageName returns the exposition name of a stage.
 func StageName(s StageID) string { return stageNames[s] }

@@ -329,6 +329,23 @@ func stopSource(src Source) {
 	}
 }
 
+// PermanentError marks an error as non-transient: retrying the failed
+// operation can never succeed (e.g. a replay gap — the server no longer
+// retains the requested resume point). Retry layers must surface such
+// errors instead of looping on them.
+type PermanentError interface {
+	error
+	// Permanent reports that no retry can succeed.
+	Permanent() bool
+}
+
+// IsPermanent reports whether any error in err's chain is marked
+// permanent.
+func IsPermanent(err error) bool {
+	var pe PermanentError
+	return errors.As(err, &pe) && pe.Permanent()
+}
+
 // RetryPolicy configures RetrySource. The zero value retries 3 times
 // with a 10ms base delay, doubling per attempt up to 1s, with ±50%
 // deterministic jitter and no per-attempt timeout.
@@ -352,8 +369,9 @@ type RetryPolicy struct {
 	// next attempt resumes waiting for it.
 	AttemptTimeout time.Duration
 	// Retryable decides whether an error is transient. nil retries every
-	// error except end-of-stream and tuple-level errors (which callers
-	// handle via Quarantine instead).
+	// error except end-of-stream, tuple-level errors (which callers
+	// handle via Quarantine instead), and errors marked permanent via
+	// PermanentError.
 	Retryable func(error) bool
 	// Sleep replaces time.Sleep, letting tests run without real delays.
 	Sleep func(time.Duration)
@@ -384,6 +402,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.Retryable == nil {
 		p.Retryable = func(err error) bool {
 			if IsEndOfStream(err) {
+				return false
+			}
+			if IsPermanent(err) {
 				return false
 			}
 			_, isTuple := AsTupleError(err)
