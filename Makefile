@@ -73,22 +73,32 @@ cover:
 		{ echo "cover: total coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
 # Perf-regression gate. `bench` runs the fixed benchmark subset with
-# -benchmem and records BENCH_pr3.json; `perfgate` diffs it against the
-# committed BENCH_pr2.json baseline and fails on >20% ns/op regressions
-# or ANY allocs/op growth on zero-alloc-class benchmarks (the pooled
-# hot paths — this is what keeps the nil-registry observability hooks
-# honest).
+# -benchmem and records the current report; `perfgate` diffs it against
+# the committed baseline and fails on >20% ns/op regressions or ANY
+# allocs/op growth on zero-alloc-class benchmarks (the pooled hot paths
+# — this is what keeps the nil-registry observability hooks honest).
+# It also checks the shard scaling curve of the current run: speedup at
+# the widest shard count must reach SCALING_FLOOR (prorated by the
+# procs the run actually had), and no shard count may fall below
+# SCALING_MIN of sequential throughput.
 BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead|BenchmarkDQIncremental|BenchmarkDQBatchRevalidate|BenchmarkWALAppend|BenchmarkHubReplayFromWAL
-BENCH_BASELINE ?= BENCH_pr5.json
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_BASELINE ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 MAX_REGRESS ?= 0.20
+SCALING_BENCH ?= BenchmarkShardedKeyed
+SCALING_FLOOR ?= 3.0
+SCALING_MIN ?= 0.45
+# Samples per benchmark: perf record averages repeated samples, which
+# keeps both gates out of single-sample noise.
+BENCH_COUNT ?= 3
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee bench.txt
 	$(GO) run ./cmd/perf record -out $(BENCH_OUT) < bench.txt
 
 perfgate:
-	$(GO) run ./cmd/perf gate -baseline $(BENCH_BASELINE) -current $(BENCH_OUT) -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/perf gate -baseline $(BENCH_BASELINE) -current $(BENCH_OUT) -max-regress $(MAX_REGRESS) \
+		-scaling-bench '$(SCALING_BENCH)' -scaling-floor $(SCALING_FLOOR) -scaling-min $(SCALING_MIN)
 
 # Short fuzz pass over every fuzz target (value parsing, the quarantine
 # of malformed tuples, and the metrics codec round-trips). Extend

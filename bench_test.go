@@ -334,6 +334,11 @@ func keyedBenchPipeline(seed int64) *core.Pipeline {
 // BenchmarkShardedKeyed measures the hash-sharded keyed execution path
 // at increasing shard counts (shards=1 is the shared sequential code
 // path). Output is identical at every degree; only wall-clock changes.
+// Arena mode clones each tuple into recycled per-shard value blocks, so
+// the shared tuple slice needs no defensive Clone stage and the steady
+// state allocates nothing per tuple. The scaling-curve perf gate
+// (cmd/perf gate -scaling-bench) enforces speedup(shards=N) on this
+// family's recorded numbers.
 func BenchmarkShardedKeyed(b *testing.B) {
 	schema, tuples := benchKeyedStream(20000, 64)
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -343,9 +348,38 @@ func BenchmarkShardedKeyed(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				proc := core.NewProcess(keyedBenchPipeline(1))
 				proc.DisableLog = true
-				src := stream.Map(stream.NewSliceSource(schema, tuples), nil, stream.Tuple.Clone)
+				src := stream.NewSliceSource(schema, tuples)
 				out, _, err := proc.RunStreamSharded(src, 1, core.ShardConfig{
-					KeyAttr: "sensor", Shards: shards,
+					KeyAttr: "sensor", Shards: shards, Arena: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := stream.Copy(stream.DiscardSink{}, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(20000)
+		})
+	}
+}
+
+// BenchmarkShardedKeyedRelaxed measures the same workload under
+// OrderRelaxed, which skips the sequence merge's ordering stalls —
+// the headroom left above the strict merge. A separate benchmark
+// family keeps the scaling gate's strict curve uncontaminated.
+func BenchmarkShardedKeyedRelaxed(b *testing.B) {
+	schema, tuples := benchKeyedStream(20000, 64)
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				proc := core.NewProcess(keyedBenchPipeline(1))
+				proc.DisableLog = true
+				src := stream.NewSliceSource(schema, tuples)
+				out, _, err := proc.RunStreamSharded(src, 1, core.ShardConfig{
+					KeyAttr: "sensor", Shards: shards, Arena: true, Order: core.OrderRelaxed,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -67,6 +67,9 @@ func main() {
 	reportOut := flag.String("report", "", "optional Markdown report output documenting the run")
 	streaming := flag.Bool("stream", false, "tuple-wise constant-memory execution for unbounded inputs (no -clean-out/-report; bounded reordering)")
 	reorder := flag.Int("reorder", 64, "streaming mode: bounded reordering window in tuples")
+	shards := flag.Int("shards", 1, "streaming mode: partition the keyed hot path across N parallel workers (requires -shard-key)")
+	shardKey := flag.String("shard-key", "", "attribute whose value routes tuples to shards (required with -shards > 1)")
+	shardOrder := flag.String("shard-order", "strict", "sharded merge order: strict (byte-identical to sequential) or relaxed (per-key order only)")
 	checkpointPath := flag.String("checkpoint", "", "streaming mode: checkpoint file; the run snapshots its state periodically so it can be resumed")
 	resume := flag.Bool("resume", false, "continue an interrupted run from the -checkpoint file")
 	checkpointEvery := flag.Int("checkpoint-interval", 0, "tuples between checkpoints (0 = fault_policy's checkpoint_interval, default 5000)")
@@ -108,6 +111,24 @@ func main() {
 	}
 	if *streaming && (*cleanOut != "" || *reportOut != "") {
 		fatalUsage("-stream cannot materialise -clean-out or -report; drop those flags")
+	}
+	if *shards < 1 {
+		fatalUsage("-shards must be at least 1, got %d", *shards)
+	}
+	order, err := core.ParseOrderPolicy(*shardOrder)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	if *shards > 1 {
+		if !*streaming {
+			fatalUsage("-shards requires -stream")
+		}
+		if *checkpointPath != "" {
+			fatalUsage("-shards is incompatible with -checkpoint; checkpoints cover the sequential path only")
+		}
+		if *shardKey == "" {
+			fatalUsage("-shards requires -shard-key")
+		}
 	}
 
 	schema, err := schemafile.Load(*schemaPath)
@@ -176,7 +197,8 @@ func main() {
 			return
 		}
 		metrics.start()
-		runStreaming(proc, src, schema, *outPath, *logOut, *deadOut, *meta, *reorder)
+		runStreaming(proc, src, schema, *outPath, *logOut, *deadOut, *meta, *reorder,
+			core.ShardConfig{KeyAttr: *shardKey, Shards: *shards, Order: order, Arena: true})
 		metrics.finish()
 		return
 	}
@@ -350,9 +372,21 @@ func writeDeadLetters(path string, letters []stream.DeadLetter) error {
 
 // runStreaming executes the constant-memory tuple-wise path: tuples are
 // polluted and written as they arrive, with only the bounded reordering
-// window buffered.
-func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schema, outPath, logOut, deadOut string, meta bool, reorder int) {
-	src, plog, err := proc.RunStreamMulti(reader, reorder)
+// window buffered. With sharding.Shards > 1 the keyed hot path is
+// partitioned across parallel workers; the CLI always runs the sharded
+// path in arena mode, which is safe because the sinks below never hold
+// a tuple across Next calls.
+func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schema, outPath, logOut, deadOut string, meta bool, reorder int, sharding core.ShardConfig) {
+	var (
+		src  stream.Source
+		plog *core.Log
+		err  error
+	)
+	if sharding.Shards > 1 {
+		src, plog, err = proc.RunStreamSharded(reader, reorder, sharding)
+	} else {
+		src, plog, err = proc.RunStreamMulti(reader, reorder)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

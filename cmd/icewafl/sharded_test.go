@@ -1,0 +1,130 @@
+// End-to-end test of the sharded streaming flags: the real binary run
+// with -shards N must produce byte-identical polluted CSV and pollution
+// log to the sequential run in strict order, and the same multiset of
+// rows in relaxed order.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// writeShardedScenario materialises a keyed pollution scenario in dir:
+// a schema with a sensor key attribute, a keyed polluter whose per-key
+// RNG makes the output deterministic regardless of sharding, and a CSV
+// input interleaving several sensors.
+func writeShardedScenario(t *testing.T, dir string, rows int) (schema, config, input string) {
+	t.Helper()
+	schema = filepath.Join(dir, "schema.json")
+	config = filepath.Join(dir, "pollution.json")
+	input = filepath.Join(dir, "clean.csv")
+
+	writeFile(t, schema, `{
+	  "timestamp": "Time",
+	  "fields": [
+	    {"name": "Time", "kind": "time"},
+	    {"name": "sensor", "kind": "string"},
+	    {"name": "v", "kind": "float"}
+	  ]
+	}`)
+	writeFile(t, config, `{
+	  "seed": 42,
+	  "pipelines": [{"name": "keyed", "polluters": [{
+	    "name": "per-sensor noise",
+	    "type": "keyed",
+	    "key_attr": "sensor",
+	    "template": {
+	      "name": "scale",
+	      "error": {"type": "scale_by_factor", "factor": 10},
+	      "condition": {"type": "random", "p": 0.5},
+	      "attrs": ["v"]
+	    }
+	  }]}]
+	}`)
+
+	var b strings.Builder
+	b.WriteString("Time,sensor,v\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "2024-01-01T00:%02d:%02dZ,s%d,%d.5\n", i/60, i%60, i%7, i)
+	}
+	writeFile(t, input, b.String())
+	return schema, config, input
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runShardedCLI executes one streaming run and returns the produced
+// polluted CSV and pollution log bytes.
+func runShardedCLI(t *testing.T, bin, schema, config, input string, extra ...string) (csv, plog string) {
+	t.Helper()
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "dirty.csv")
+	logOut := filepath.Join(tmp, "log.jsonl")
+	args := []string{
+		"-schema", schema, "-config", config, "-in", input,
+		"-out", out, "-log", logOut, "-stream",
+	}
+	args = append(args, extra...)
+	runCLI(t, bin, args...)
+	csvB, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logB, err := os.ReadFile(logOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(csvB), string(logB)
+}
+
+// TestCLISharded runs the same keyed scenario sequentially and sharded
+// through the real binary and asserts the documented ordering
+// guarantees of -shard-order.
+func TestCLISharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildCLI(t)
+	schema, config, input := writeShardedScenario(t, t.TempDir(), 240)
+
+	seqCSV, seqLog := runShardedCLI(t, bin, schema, config, input)
+	if !strings.Contains(seqLog, "scale_by_factor") {
+		t.Fatalf("scenario injected no errors; log:\n%.400s", seqLog)
+	}
+
+	for _, shards := range []int{2, 4, 8} {
+		csv, plog := runShardedCLI(t, bin, schema, config, input,
+			"-shards", fmt.Sprint(shards), "-shard-key", "sensor")
+		if csv != seqCSV {
+			t.Errorf("shards=%d strict CSV differs from sequential run", shards)
+		}
+		if plog != seqLog {
+			t.Errorf("shards=%d strict log differs from sequential run", shards)
+		}
+	}
+
+	// Relaxed order: same multiset of rows and log lines, any interleaving.
+	csv, plog := runShardedCLI(t, bin, schema, config, input,
+		"-shards", "4", "-shard-key", "sensor", "-shard-order", "relaxed")
+	if sortLines(csv) != sortLines(seqCSV) {
+		t.Error("relaxed CSV is not the sequential multiset of rows")
+	}
+	if sortLines(plog) != sortLines(seqLog) {
+		t.Error("relaxed log is not the sequential multiset of entries")
+	}
+}
+
+func sortLines(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -41,6 +41,11 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"reorder below one", append(base, "-stream", "-reorder", "0"), "-reorder must be at least 1"},
 		{"negative checkpoint-interval", append(base, "-stream", "-checkpoint", "x.ckpt", "-checkpoint-interval", "-5"), "-checkpoint-interval must be non-negative"},
 		{"stream with clean-out", append(base, "-stream", "-clean-out", "clean.csv"), "-stream cannot materialise"},
+		{"shards below one", append(base, "-stream", "-shards", "0"), "-shards must be at least 1"},
+		{"shards without stream", append(base, "-shards", "4", "-shard-key", "sensor"), "-shards requires -stream"},
+		{"shards without shard-key", append(base, "-stream", "-shards", "4"), "-shards requires -shard-key"},
+		{"shards with checkpoint", append(base, "-stream", "-checkpoint", "x.ckpt", "-shards", "4", "-shard-key", "sensor"), "-shards is incompatible with -checkpoint"},
+		{"bad shard-order", append(base, "-stream", "-shards", "4", "-shard-key", "sensor", "-shard-order", "chaotic"), "unknown order policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"icewafl/internal/config"
+	"icewafl/internal/core"
 	"icewafl/internal/csvio"
 	"icewafl/internal/netstream"
 	"icewafl/internal/obs"
@@ -72,6 +73,9 @@ func main() {
 	buffer := flag.Int("buffer", 0, "per-subscriber send queue capacity in frames (default from serve block)")
 	replay := flag.Int("replay", 0, "frames retained per channel for late subscribers (default from serve block)")
 	reorder := flag.Int("reorder", 0, "bounded reordering window in tuples (default from serve block)")
+	shards := flag.Int("shards", 0, "partition the keyed hot path across N parallel workers (default from serve block, 1)")
+	shardKey := flag.String("shard-key", "", "attribute routing tuples to shards (default from serve block; required with shards > 1)")
+	shardOrder := flag.String("shard-order", "", "sharded merge order: strict or relaxed (default from serve block, strict)")
 	drain := flag.Duration("drain-timeout", 0, "graceful-drain bound on shutdown (default from serve block)")
 	linger := flag.Duration("linger", 0, "exit this long after the pipeline completes (0 = serve until SIGTERM)")
 	traceSample := flag.Uint64("trace-sample", 0, "deterministically trace 1 in N tuples (0 = off)")
@@ -99,6 +103,9 @@ func main() {
 	}
 	if *reorder < 0 {
 		fatalUsage("-reorder must be positive, got %d", *reorder)
+	}
+	if *shards < 0 {
+		fatalUsage("-shards must be positive, got %d", *shards)
 	}
 	if *drain < 0 {
 		fatalUsage("-drain-timeout must be positive, got %v", *drain)
@@ -181,6 +188,15 @@ func main() {
 	if *reorder > 0 {
 		spec.Reorder = *reorder
 	}
+	if *shards > 0 {
+		spec.Shards = *shards
+	}
+	if *shardKey != "" {
+		spec.ShardKey = *shardKey
+	}
+	if *shardOrder != "" {
+		spec.ShardOrder = *shardOrder
+	}
 	if *walDir != "" {
 		spec.WALDir = *walDir
 	}
@@ -217,7 +233,17 @@ func main() {
 	if spec.Checkpoint != "" && spec.WALDir == "" {
 		fatalUsage("-checkpoint requires -wal (a checkpoint without a durable log cannot resume)")
 	}
+	if spec.Shards > 1 && spec.ShardKey == "" {
+		fatalUsage("-shards requires -shard-key (or serve.shard_key)")
+	}
+	if spec.Shards > 1 && spec.Checkpoint != "" {
+		fatalUsage("-shards is incompatible with -checkpoint; checkpoints cover the sequential path only")
+	}
 	policy, err := netstream.ParsePolicy(spec.Policy)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	order, err := core.ParseOrderPolicy(spec.ShardOrder)
 	if err != nil {
 		fatalUsage("%v", err)
 	}
@@ -253,6 +279,9 @@ func main() {
 		Proc:         proc,
 		NewSource:    newSource,
 		Reorder:      spec.Reorder,
+		Shards:       spec.Shards,
+		ShardKey:     spec.ShardKey,
+		ShardOrder:   order,
 		Buffer:       spec.Buffer,
 		Replay:       spec.Replay,
 		Policy:       policy,

@@ -9,6 +9,12 @@
 //	    compares the current report against the committed baseline and
 //	    exits non-zero when any shared benchmark's ns/op regressed by
 //	    more than max-regress.
+//
+// With -scaling-bench FAMILY, gate additionally checks the shard
+// scaling curve of the CURRENT report (family/shards=N entries): every
+// point must keep speedup >= -scaling-min over shards=1, and the
+// widest point must reach -scaling-floor prorated by the recorded
+// GOMAXPROCS (see perf.ScalingGate).
 package main
 
 import (
@@ -23,7 +29,10 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   perf record -out FILE        parse 'go test -bench' output on stdin into a JSON report
   perf gate -baseline FILE -current FILE [-max-regress FRAC]
-                               fail when ns/op regressed more than FRAC (default 0.20)
+            [-scaling-bench FAMILY -scaling-floor X -scaling-min Y]
+                               fail when ns/op regressed more than FRAC (default 0.20);
+                               with -scaling-bench, also fail when the FAMILY/shards=N
+                               curve of the current report scales worse than the floor
 `)
 	os.Exit(2)
 }
@@ -67,6 +76,9 @@ func gate(args []string) {
 	basePath := fs.String("baseline", "", "committed baseline report (required)")
 	curPath := fs.String("current", "", "report of the current run (required)")
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	scalingBench := fs.String("scaling-bench", "", "benchmark family with /shards=N sub-benchmarks to scaling-gate (empty = skip)")
+	scalingFloor := fs.Float64("scaling-floor", 3.0, "required speedup at the widest shard count, assuming as many procs as shards")
+	scalingMin := fs.Float64("scaling-min", 0.45, "speedup every shard count must keep over shards=1 (never-catastrophically-slower)")
 	fs.Parse(args)
 	if *basePath == "" || *curPath == "" {
 		fmt.Fprintln(os.Stderr, "perf gate: -baseline and -current are required")
@@ -92,6 +104,20 @@ func gate(args []string) {
 		fmt.Fprintf(os.Stderr, "\nperf gate FAILED: %d benchmark(s) regressed (ns/op beyond +%.0f%%, or allocs/op growth on a zero-alloc-class benchmark):\n%s",
 			len(bad), *maxRegress*100, perf.FormatTable(bad))
 		os.Exit(1)
+	}
+	if *scalingBench != "" {
+		pts, err := perf.ShardScaling(cur, *scalingBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s", perf.FormatScaling(*scalingBench, pts))
+		if err := perf.ScalingGate(cur, *scalingBench, *scalingFloor, *scalingMin); err != nil {
+			fmt.Fprintf(os.Stderr, "\nperf gate FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scaling gate passed (%s at %d procs, floor %.2fx, never-slower %.2fx)\n",
+			*scalingBench, max(cur.Procs, 1), *scalingFloor, *scalingMin)
 	}
 	fmt.Printf("\nperf gate passed (%d benchmarks within +%.0f%%, no zero-alloc regressions)\n", len(deltas), *maxRegress*100)
 }

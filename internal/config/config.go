@@ -62,6 +62,17 @@ type ServeSpec struct {
 	// Reorder is the streaming runner's bounded reordering window
 	// (default 64).
 	Reorder int `json:"reorder,omitempty"`
+	// Shards partitions the keyed pollution hot path across this many
+	// parallel workers (default 1 = sequential; > 1 requires shard_key
+	// and is incompatible with checkpoint).
+	Shards int `json:"shards,omitempty"`
+	// ShardKey names the attribute whose value routes tuples to shards
+	// (required when shards > 1).
+	ShardKey string `json:"shard_key,omitempty"`
+	// ShardOrder selects the sharded merge order: "strict"
+	// (byte-identical to sequential, the default) or "relaxed" (per-key
+	// order only).
+	ShardOrder string `json:"shard_order,omitempty"`
 	// DrainTimeout bounds the graceful drain on SIGTERM (Go duration,
 	// default "5s").
 	DrainTimeout string `json:"drain_timeout,omitempty"`
@@ -106,8 +117,9 @@ type ServeSpec struct {
 func (s *ServeSpec) Normalize() (ServeSpec, error) {
 	out := ServeSpec{
 		Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block",
-		Reorder: 64, DrainTimeout: "5s", CheckpointEvery: 256,
-		RestartBudget: 3, RestartWindow: "1m", RestartBackoff: "100ms",
+		Reorder: 64, Shards: 1, ShardOrder: "strict", DrainTimeout: "5s",
+		CheckpointEvery: 256,
+		RestartBudget:   3, RestartWindow: "1m", RestartBackoff: "100ms",
 	}
 	if s == nil {
 		return out, nil
@@ -141,6 +153,22 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 			return out, fmt.Errorf("config: serve.reorder must be positive, got %d", s.Reorder)
 		}
 		out.Reorder = s.Reorder
+	}
+	if s.Shards != 0 {
+		if s.Shards < 1 {
+			return out, fmt.Errorf("config: serve.shards must be positive, got %d", s.Shards)
+		}
+		out.Shards = s.Shards
+	}
+	out.ShardKey = s.ShardKey
+	if s.ShardOrder != "" {
+		if _, err := core.ParseOrderPolicy(s.ShardOrder); err != nil {
+			return out, fmt.Errorf("config: serve.shard_order: %w", err)
+		}
+		out.ShardOrder = s.ShardOrder
+	}
+	if out.Shards > 1 && out.ShardKey == "" {
+		return out, fmt.Errorf("config: serve.shards > 1 requires serve.shard_key")
 	}
 	if s.DrainTimeout != "" {
 		d, err := time.ParseDuration(s.DrainTimeout)
@@ -178,6 +206,9 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 	out.Checkpoint = s.Checkpoint
 	if out.Checkpoint != "" && out.WALDir == "" {
 		return out, fmt.Errorf("config: serve.checkpoint requires serve.wal_dir (a checkpoint without a durable log cannot resume)")
+	}
+	if out.Checkpoint != "" && out.Shards > 1 {
+		return out, fmt.Errorf("config: serve.shards > 1 is incompatible with serve.checkpoint; checkpoints cover the sequential path only")
 	}
 	if s.CheckpointEvery != 0 {
 		if s.CheckpointEvery < 1 {

@@ -10,8 +10,9 @@ import (
 func TestServeSpecDefaults(t *testing.T) {
 	want := ServeSpec{
 		Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block",
-		Reorder: 64, DrainTimeout: "5s", CheckpointEvery: 256,
-		RestartBudget: 3, RestartWindow: "1m", RestartBackoff: "100ms",
+		Reorder: 64, Shards: 1, ShardOrder: "strict", DrainTimeout: "5s",
+		CheckpointEvery: 256,
+		RestartBudget:   3, RestartWindow: "1m", RestartBackoff: "100ms",
 	}
 	var nilSpec *ServeSpec
 	got, err := nilSpec.Normalize()
@@ -40,6 +41,9 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 		Replay:       1024,
 		Policy:       "disconnect-slow",
 		Reorder:      1,
+		Shards:       8,
+		ShardKey:     "sensor",
+		ShardOrder:   "relaxed",
 		DrainTimeout: "250ms",
 	}).Normalize()
 	if err != nil {
@@ -47,7 +51,8 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 	}
 	want := ServeSpec{
 		Listen: ":9999", HTTP: ":9998", Buffer: 8, Replay: 1024,
-		Policy: "disconnect-slow", Reorder: 1, DrainTimeout: "250ms",
+		Policy: "disconnect-slow", Reorder: 1, Shards: 8,
+		ShardKey: "sensor", ShardOrder: "relaxed", DrainTimeout: "250ms",
 		CheckpointEvery: 256, RestartBudget: 3, RestartWindow: "1m",
 		RestartBackoff: "100ms",
 	}
@@ -63,6 +68,10 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 		{ServeSpec{Replay: -2}, "serve.replay"},
 		{ServeSpec{Policy: "bogus"}, "serve.policy"},
 		{ServeSpec{Reorder: -1}, "serve.reorder"},
+		{ServeSpec{Shards: -4}, "serve.shards"},
+		{ServeSpec{Shards: 4}, "serve.shard_key"},
+		{ServeSpec{Shards: 4, ShardKey: "sensor", ShardOrder: "chaotic"}, "serve.shard_order"},
+		{ServeSpec{Shards: 4, ShardKey: "sensor", WALDir: "d", Checkpoint: "ck.json"}, "sequential path"},
 		{ServeSpec{DrainTimeout: "fast"}, "serve.drain_timeout"},
 		{ServeSpec{DrainTimeout: "-1s"}, "serve.drain_timeout"},
 		{ServeSpec{WALSegmentBytes: -1}, "serve.wal_segment_bytes"},

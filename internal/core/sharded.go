@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -15,9 +16,20 @@ import (
 // path of a keyed pipeline partitioned across N shard workers. Tuples
 // are routed by a deterministic hash of their key attribute, each shard
 // owns an independent pipeline instance (per-key state, sticky holds,
-// frozen values, RNG streams), and an order-restoring merge re-emits
+// frozen values, RNG streams), and a sequence-number merge re-emits
 // tuples — and their pollution-log entries, dead letters and drops — in
 // exactly the prepared input order.
+//
+// Handoff architecture. The feeder accumulates routed tuples into
+// per-shard batches and hands each batch to its worker over a lock-free
+// SPSC ring (stream.SPSC); the worker pollutes the batch in place and
+// hands it to the merger over a second SPSC ring; the merger returns
+// exhausted batches through a third ring so batch buffers (items, log
+// entries, value arenas) recycle without allocation. Every
+// synchronisation cost — two ring operations and a couple of counter
+// updates — is paid once per batch (cfg.BatchSize tuples), not once per
+// tuple, which is what makes the parallelism win back more than the
+// fan-out/fan-in costs.
 //
 // Determinism argument. A keyed pipeline whose per-key instances derive
 // ALL their state and randomness from the key (KeyedPolluter with a
@@ -25,10 +37,64 @@ import (
 // function of the per-key subsequence only. Hash sharding partitions
 // the stream by key, so every shard sees each of its keys' subsequences
 // in the original order; the per-tuple results are therefore identical
-// to the sequential run, and the order-restoring merge (by prepared
-// sequence number) re-serialises tuples, log entries and dead letters
-// into the sequential order. The output is byte-identical to
-// RunStream — property-tested for 2/4/8 shards under -race.
+// to the sequential run, and the merge (by prepared sequence number)
+// re-serialises tuples, log entries and dead letters into the
+// sequential order. The output is byte-identical to RunStream —
+// property-tested for 2/4/8 shards under -race. Batch boundaries are a
+// function of the deterministic routing alone, and the merge never
+// depends on them, so batching does not perturb the guarantee.
+//
+// Deadlock-freedom of the bounded merge. The merger holds at most one
+// in-progress batch per shard and consumes strictly in sequence order,
+// so it can stall only while the next sequence number is still inside
+// the feeder's accumulators. The feeder therefore flushes accumulators
+// oldest-first (by their first pending sequence number): whenever it
+// blocks pushing a batch B, every sequence number below B's first is
+// already in the rings, the merger drains them (per-shard ring order is
+// sequence order), reaches B's first, and by then has emptied the very
+// ring B is blocked on. No cycle, bounded memory.
+
+// OrderPolicy selects how the sharded merger orders its output.
+type OrderPolicy int
+
+const (
+	// OrderStrict re-emits tuples, log entries and dead letters in
+	// exactly the prepared input order: output is byte-identical to the
+	// sequential run. This is the default.
+	OrderStrict OrderPolicy = iota
+	// OrderRelaxed preserves per-shard — and therefore per-key — order
+	// but lets shards interleave arbitrarily: the output is the same
+	// deterministic multiset of tuples, log entries and dead letters,
+	// not the same sequence. It removes the sequence-merge stall when
+	// one shard runs long, for callers that key their downstream
+	// processing and don't need byte-identical output.
+	OrderRelaxed
+)
+
+// String renders the policy as its flag spelling.
+func (o OrderPolicy) String() string {
+	switch o {
+	case OrderStrict:
+		return "strict"
+	case OrderRelaxed:
+		return "relaxed"
+	default:
+		return fmt.Sprintf("OrderPolicy(%d)", int(o))
+	}
+}
+
+// ParseOrderPolicy parses an OrderPolicy flag value; the empty string
+// means strict.
+func ParseOrderPolicy(s string) (OrderPolicy, error) {
+	switch s {
+	case "", "strict":
+		return OrderStrict, nil
+	case "relaxed":
+		return OrderRelaxed, nil
+	default:
+		return 0, fmt.Errorf("core: unknown order policy %q (want strict or relaxed)", s)
+	}
+}
 
 // ShardConfig configures RunStreamSharded.
 type ShardConfig struct {
@@ -45,11 +111,26 @@ type ShardConfig struct {
 	// streams. Nil is allowed when the process pipeline consists only of
 	// KeyedPolluters, which shard automatically.
 	NewPipeline func(shard int) *Pipeline
-	// Buffer is the per-shard in-flight tuple budget (default 64).
-	// Tuples travel between the feeder, the workers and the merger in
-	// batches, so the effective channel depth is Buffer/shardBatchSize
-	// batches (minimum 1).
+	// Order selects strict (byte-identical to sequential, the default)
+	// or relaxed (per-key order only) merge order.
+	Order OrderPolicy
+	// BatchSize is the number of tuples per ring handoff (default 128).
+	// Larger batches amortise the fan-out/fan-in synchronisation
+	// further at the cost of latency and per-shard memory.
+	BatchSize int
+	// Buffer is the per-shard in-flight tuple budget (default
+	// 2*BatchSize). Tuples travel in batches over rings of
+	// Buffer/BatchSize slots (minimum 2), so Buffer bounds memory and
+	// sets how far a fast shard may run ahead of the merge.
 	Buffer int
+	// Arena gives each shard a private value arena: workers clone
+	// incoming tuples into recycled per-batch value blocks instead of
+	// taking ownership of the source's buffers, eliminating both the
+	// per-tuple clone allocation and cross-shard freelist contention.
+	// Emitted tuples are loans — the consumer must be done with a tuple
+	// before its next Next call (stream.Copy and the CLI sinks are;
+	// buffering consumers must Clone).
+	Arena bool
 }
 
 // RunStreamSharded executes the single-pipeline streaming workflow with
@@ -57,9 +138,11 @@ type ShardConfig struct {
 // match RunStream exactly — same output, same pollution log, same
 // dead-letter order — with one deliberate difference: without
 // quarantine, a panicking pipeline surfaces as a fatal stream error
-// instead of a panic (a panic must not escape a shard goroutine).
-// Checkpointing is not supported in sharded mode; use
-// RunStreamCheckpointed on the sequential path instead.
+// instead of a panic (a panic must not escape a shard goroutine), and
+// the output is truncated at exactly the failing tuple's position, as
+// the sequential run would truncate it. Checkpointing is not supported
+// in sharded mode; use RunStreamCheckpointed on the sequential path
+// instead.
 func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg ShardConfig) (stream.Source, *Log, error) {
 	if len(pr.Pipelines) != 1 && cfg.NewPipeline == nil {
 		return nil, nil, fmt.Errorf("core: sharded streaming supports exactly one pipeline, got %d", len(pr.Pipelines))
@@ -72,7 +155,18 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 		if cfg.NewPipeline != nil {
 			p2.Pipelines = []*Pipeline{cfg.NewPipeline(0)}
 		}
-		return p2.RunStream(src, reorderWindow)
+		if !cfg.Arena {
+			return p2.RunStream(src, reorderWindow)
+		}
+		// Arena semantics at 1 shard: clone into a pool instead of
+		// polluting the source's tuples in place, recycling on the same
+		// loan contract as the sharded arena.
+		pool := stream.NewTuplePoolFor(src.Schema())
+		out, log, err := p2.RunStream(stream.Map(src, nil, stream.PooledClone(pool)), reorderWindow)
+		if err != nil {
+			return nil, nil, err
+		}
+		return stream.Recycle(out, pool), log, nil
 	}
 	newPipeline := cfg.NewPipeline
 	if newPipeline == nil {
@@ -89,9 +183,17 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 	if keyIdx < 0 {
 		return nil, nil, fmt.Errorf("core: shard key attribute %q not in schema", cfg.KeyAttr)
 	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 128
+	}
 	buffer := cfg.Buffer
 	if buffer <= 0 {
-		buffer = 64
+		buffer = 2 * batch
+	}
+	depth := buffer / batch
+	if depth < 2 {
+		depth = 2
 	}
 	firstID := pr.FirstID
 	if firstID == 0 {
@@ -118,12 +220,28 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 			return nil, nil, fmt.Errorf("core: ShardConfig.NewPipeline returned nil for shard %d", i)
 		}
 	}
+	var prep stream.Source = stream.NewPrepare(in, firstID)
+	if pr.CleanTap != nil {
+		prep = &tapSource{src: prep, tap: pr.CleanTap}
+	}
+	window := reorderWindow
+	if window < 1 {
+		window = 1
+	}
 	sh := &shardedSource{
-		src:    stream.NewPrepare(in, firstID),
+		src:    prep,
 		schema: src.Schema(),
 		pipes:  pipes,
 		keyIdx: keyIdx,
-		buffer: buffer,
+		batch:  batch,
+		depth:  depth,
+		order:  cfg.Order,
+		arena:  cfg.Arena,
+		width:  src.Schema().Len(),
+		// An arena batch may be reused only after the consumer can no
+		// longer reference its tuples: the bounded-reorder window plus
+		// the downstream consumer's one loaned tuple, plus one.
+		margin: uint64(window) + 2,
 		log:    log,
 		fault:  pr.Fault,
 		dlq:    dlq,
@@ -161,32 +279,65 @@ type shardItem struct {
 	t   stream.Tuple
 }
 
-// shardBatchSize is how many tuples travel per channel operation. On a
-// lightweight per-tuple workload the fan-out/fan-in channel round trips
-// dominate; batching amortises them ~shardBatchSize-fold without
-// affecting determinism (the merger orders by sequence number, not by
-// arrival).
-const shardBatchSize = 64
-
-// shardResult is one processed tuple on its way back to the merger.
-type shardResult struct {
-	seq     uint64
-	t       stream.Tuple
-	entries []Entry
-	dl      *stream.DeadLetter
-	err     error
+// shardBatch is the unit of handoff between the feeder, one worker and
+// the merger. It carries the routed tuples, their sequence numbers, the
+// pollution-log entries the worker recorded (a flat arena indexed by
+// per-item offsets, replacing a per-tuple entry-slice allocation), any
+// dead letters, and — in arena mode — the value block backing the
+// polluted tuples. Batches recycle through a per-shard free ring, so
+// the steady state allocates nothing.
+type shardBatch struct {
+	items    []shardItem
+	entryBuf []Entry              // flat log-entry arena for the whole batch
+	entryOff []int32              // entryOff[i]..entryOff[i+1] are item i's entries
+	dls      []*stream.DeadLetter // per-item dead letters (nil when none in batch)
+	vals     []stream.Value       // arena block backing cloned tuples (Arena mode)
+	err      error                // fatal pipeline error; items holds the valid prefix
+	errSeq   uint64               // sequence number of the failing tuple
 }
 
-// shardedSource fans prepared tuples out to shard workers and merges the
-// results back in prepared order. It follows the same consumer-driven
-// state machine as stream.ParallelMap: lazily started, stopping promptly
-// on the first fatal error, releasing all goroutines on Stop.
+// reset prepares a batch for reuse. clearItems drops the tuple
+// references so a recycled batch does not pin foreign values; arena
+// batches skip it — their tuples point into b.vals, which the batch
+// retains (and overwrites) anyway.
+func (b *shardBatch) reset(clearItems bool) {
+	if clearItems {
+		for i := range b.items {
+			b.items[i] = shardItem{}
+		}
+	}
+	b.items = b.items[:0]
+	b.entryBuf = b.entryBuf[:0]
+	b.entryOff = b.entryOff[:0]
+	b.dls = nil
+	b.err = nil
+	b.errSeq = 0
+}
+
+// retiredBatch is an exhausted arena batch awaiting recycling; mark is
+// the merger's emission count at retirement (see shardedSource.margin).
+type retiredBatch struct {
+	shard int
+	b     *shardBatch
+	mark  uint64
+}
+
+// shardedSource fans prepared tuples out to shard workers over SPSC
+// rings and merges the results back by sequence number. It follows the
+// same consumer-driven state machine as stream.ParallelMap: lazily
+// started, stopping promptly on the first fatal error, releasing all
+// goroutines on Stop.
 type shardedSource struct {
-	src    *stream.Prepare
+	src    stream.Source
 	schema *stream.Schema
 	pipes  []*Pipeline
 	keyIdx int
-	buffer int
+	batch  int
+	depth  int
+	order  OrderPolicy
+	arena  bool
+	width  int
+	margin uint64
 	log    *Log
 	fault  FaultPolicy
 	dlq    *stream.DeadLetterQueue
@@ -194,12 +345,24 @@ type shardedSource struct {
 	trace  bool
 
 	started  bool
-	out      chan []shardResult
 	done     chan struct{}
 	stopOnce sync.Once
-	err      error
-	pending  shardReorder
+	wg       sync.WaitGroup
+	ins      []*stream.SPSC[*shardBatch] // feeder -> worker
+	outs     []*stream.SPSC[*shardBatch] // worker -> merger
+	frees    []*stream.SPSC[*shardBatch] // merger -> feeder (recycling)
+	srcErr   error                       // feeder's fatal source error; written before ins close
+
+	// merger state; touched by the consumer goroutine only
+	cur      []*shardBatch
+	pos      []int
+	finished []bool
+	nFin     int
 	nextSeq  uint64
+	rr       int // relaxed-order round-robin cursor
+	emitted  uint64
+	retired  []retiredBatch
+	err      error
 	closed   bool
 }
 
@@ -209,86 +372,137 @@ func (s *shardedSource) Schema() *stream.Schema { return s.schema }
 func (s *shardedSource) start() {
 	s.started = true
 	n := len(s.pipes)
-	s.out = make(chan []shardResult, n*2)
 	s.done = make(chan struct{})
-	// Channel depth is measured in batches; keep roughly the configured
-	// per-shard tuple budget in flight.
-	depth := s.buffer / shardBatchSize
-	if depth < 1 {
-		depth = 1
+	s.ins = make([]*stream.SPSC[*shardBatch], n)
+	s.outs = make([]*stream.SPSC[*shardBatch], n)
+	s.frees = make([]*stream.SPSC[*shardBatch], n)
+	for i := 0; i < n; i++ {
+		s.ins[i] = stream.NewSPSC[*shardBatch](s.depth)
+		s.outs[i] = stream.NewSPSC[*shardBatch](s.depth)
+		// The free ring must absorb every batch the other two rings,
+		// the feeder, the merger and the retirement margin can hold.
+		s.frees[i] = stream.NewSPSC[*shardBatch](3*s.depth + 2)
 	}
-	ins := make([]chan []shardItem, n)
-	for i := range ins {
-		ins[i] = make(chan []shardItem, depth)
+	s.cur = make([]*shardBatch, n)
+	s.pos = make([]int, n)
+	s.finished = make([]bool, n)
+	for i := 0; i < n; i++ {
+		in, out := s.ins[i], s.outs[i]
+		s.reg.RegisterFunc(fmt.Sprintf("shard%d_in_ring_occupancy", i),
+			func() uint64 { return uint64(in.Len()) })
+		s.reg.RegisterFunc(fmt.Sprintf("shard%d_out_ring_occupancy", i),
+			func() uint64 { return uint64(out.Len()) })
 	}
-
-	var wg sync.WaitGroup
-	wg.Add(n)
+	s.wg.Add(n + 1)
 	for w := 0; w < n; w++ {
-		go s.worker(s.pipes[w], ins[w], &wg)
+		go s.worker(w)
 	}
-	go func() {
-		batches := make([][]shardItem, n)
-		flush := func(shard int) bool {
-			if len(batches[shard]) == 0 {
-				return true
+	go s.feed()
+}
+
+// grab returns a recycled batch for a shard, or a fresh one when the
+// free ring is empty (startup, or the merger is holding everything).
+func (s *shardedSource) grab(shard int) *shardBatch {
+	if b, ok := s.frees[shard].TryPop(); ok {
+		return b
+	}
+	return &shardBatch{items: make([]shardItem, 0, s.batch)}
+}
+
+// feed routes prepared tuples into per-shard batch accumulators and
+// dispatches full batches to the workers. Accumulators are flushed
+// oldest-first by their first pending sequence number — the invariant
+// the strict merge's deadlock-freedom rests on (see the file comment).
+func (s *shardedSource) feed() {
+	defer s.wg.Done()
+	n := len(s.pipes)
+	acc := make([]*shardBatch, n)
+	first := make([]uint64, n)
+	order := make([]int, 0, n)
+	var seq uint64
+
+	dispatch := func(shard int) bool {
+		b := acc[shard]
+		acc[shard] = nil
+		s.reg.Add(obs.CTuplesIn, uint64(len(b.items)))
+		s.reg.AddShard(shard, uint64(len(b.items)))
+		if !s.ins[shard].Push(b, s.done) {
+			// An abandoned ring means the worker hit a fatal error:
+			// every sequence number still routed here lies beyond the
+			// failure point, so the batch is discarded and feeding
+			// continues for the other shards. A done close means the
+			// whole run is stopping.
+			return s.ins[shard].Abandoned()
+		}
+		return true
+	}
+	// flushUpTo dispatches every accumulator whose first pending
+	// sequence number is <= limit, oldest first.
+	flushUpTo := func(limit uint64) bool {
+		order = order[:0]
+		for sh, b := range acc {
+			if b != nil && len(b.items) > 0 && first[sh] <= limit {
+				order = append(order, sh)
 			}
-			select {
-			case ins[shard] <- batches[shard]:
-				batches[shard] = nil
-				return true
-			case <-s.done:
+		}
+		// Insertion sort by first pending seq: n is tiny and this
+		// avoids a sort.Slice closure allocation per flush.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && first[order[j]] < first[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, sh := range order {
+			if !dispatch(sh) {
 				return false
 			}
 		}
-		var seq uint64
-	feed:
-		for {
-			select {
-			case <-s.done:
-				break feed
-			default:
-			}
-			t, err := s.src.Next()
-			if err != nil {
-				if err != io.EOF {
-					select {
-					case s.out <- []shardResult{{err: err}}:
-					case <-s.done:
-					}
-				}
-				break
-			}
-			shard := int(hashKey(t.At(s.keyIdx)) % uint64(n))
-			s.reg.Inc(obs.CTuplesIn)
-			s.reg.AddShard(shard, 1)
-			if batches[shard] == nil {
-				batches[shard] = make([]shardItem, 0, shardBatchSize)
-			}
-			batches[shard] = append(batches[shard], shardItem{seq: seq, t: t})
-			if len(batches[shard]) == shardBatchSize && !flush(shard) {
-				break feed
-			}
-			seq++
+		return true
+	}
+
+feed:
+	for {
+		select {
+		case <-s.done:
+			break feed
+		default:
 		}
-		for shard := range batches {
-			if !flush(shard) {
-				break
+		t, err := s.src.Next()
+		if err != nil {
+			if err != io.EOF {
+				s.srcErr = err
 			}
+			break
 		}
-		for _, in := range ins {
-			close(in)
+		shard := int(hashKey(t.At(s.keyIdx)) % uint64(n))
+		b := acc[shard]
+		if b == nil {
+			b = s.grab(shard)
+			acc[shard] = b
+			first[shard] = seq
 		}
-		wg.Wait()
-		close(s.out)
-	}()
+		b.items = append(b.items, shardItem{seq: seq, t: t})
+		seq++
+		if len(b.items) >= s.batch && !flushUpTo(first[shard]) {
+			break feed
+		}
+	}
+	flushUpTo(seq)
+	for _, in := range s.ins {
+		in.Close()
+	}
 }
 
-// worker pollutes the tuples of one shard with the shard's own pipeline
-// instance, logging into a scratch log whose entries travel with the
-// result so the merger can serialise them in prepared order.
-func (s *shardedSource) worker(pipe *Pipeline, in chan []shardItem, wg *sync.WaitGroup) {
-	defer wg.Done()
+// worker pollutes the batches of one shard with the shard's own
+// pipeline instance, then forwards them to the merger. On a fatal
+// pipeline error it ships the batch's valid prefix with the error
+// attached, abandons its inbound ring so the feeder stops queueing for
+// it, and exits.
+func (s *shardedSource) worker(shard int) {
+	defer s.wg.Done()
+	in, out := s.ins[shard], s.outs[shard]
+	defer out.Close()
+	pipe := s.pipes[shard]
 	var scratch *Log
 	if s.log != nil {
 		// The scratch log carries the registry, so entry counts (and
@@ -298,62 +512,95 @@ func (s *shardedSource) worker(pipe *Pipeline, in chan []shardItem, wg *sync.Wai
 		scratch = NewLog()
 		scratch.Obs = s.reg
 	}
-	for batch := range in {
-		results := make([]shardResult, 0, len(batch))
-		fatal := false
-		for i := range batch {
-			item := &batch[i]
-			res := shardResult{seq: item.seq}
-			if scratch != nil {
-				scratch.Entries = scratch.Entries[:0]
-			}
-			var span func()
-			if s.trace && s.reg.Sampled(item.t.ID) {
-				id, start := item.t.ID, time.Now()
-				span = func() { s.reg.ObserveSpan(obs.StagePollute, id, time.Since(start)) }
-			}
-			if s.fault.Quarantine {
-				// The one shared fault/rollback code path (polluteOne) — the
-				// merger books the returned dead letter in prepared order.
-				ok, dl := polluteOne(pipe, &item.t, scratch, 0, s.fault)
-				if !ok {
-					res.dl = dl
-				}
-			} else {
-				// Fail fast, but a panic must not escape a goroutine: it
-				// surfaces as a fatal stream error instead.
-				if err := safePollute(pipe, &item.t, item.t.EventTime, scratch); err != nil {
-					res.err = fmt.Errorf("core: shard pollute tuple %d: %w", item.t.ID, err)
-					fatal = true
-				}
-			}
-			if span != nil {
-				span()
-			}
-			res.t = item.t
-			if res.err == nil && scratch != nil && len(scratch.Entries) > 0 {
-				res.entries = append([]Entry(nil), scratch.Entries...)
-			}
-			results = append(results, res)
-			if fatal {
-				break
-			}
+	for {
+		b, ok := in.Pop(s.done)
+		if !ok {
+			return
 		}
-		select {
-		case s.out <- results:
-		case <-s.done:
+		fatal := s.pollute(pipe, b, scratch)
+		if !out.Push(b, s.done) {
 			return
 		}
 		if fatal {
+			in.Abandon()
 			return
 		}
 	}
 }
 
-// Next implements stream.Source. It restores prepared order, appends the
-// per-tuple log entries and dead letters in that order, filters dropped
-// and quarantined tuples, and — after the first fatal error —
-// consistently returns that error.
+// pollute runs one batch through the shard's pipeline in place,
+// recording log entries into the batch's flat entry arena. In arena
+// mode each tuple is first cloned into the batch's value block, so the
+// source's buffers are never written. Reports whether a fatal error
+// truncated the batch.
+func (s *shardedSource) pollute(pipe *Pipeline, b *shardBatch, scratch *Log) bool {
+	logged := scratch != nil
+	if logged {
+		b.entryOff = append(b.entryOff[:0], 0)
+	}
+	if s.arena {
+		if need := len(b.items) * s.width; cap(b.vals) < need {
+			b.vals = make([]stream.Value, need)
+		}
+	}
+	for i := range b.items {
+		item := &b.items[i]
+		if s.arena {
+			item.t.CloneValuesInto(b.vals[i*s.width : i*s.width : (i+1)*s.width])
+		}
+		if logged {
+			scratch.Entries = scratch.Entries[:0]
+		}
+		var span func()
+		if s.trace && s.reg.Sampled(item.t.ID) {
+			id, start := item.t.ID, time.Now()
+			span = func() { s.reg.ObserveSpan(obs.StagePollute, id, time.Since(start)) }
+		}
+		if s.fault.Quarantine {
+			// The one shared fault/rollback code path (polluteOne) — the
+			// merger books the returned dead letter in prepared order.
+			ok, dl := polluteOne(pipe, &item.t, scratch, 0, s.fault)
+			if !ok {
+				if b.dls == nil {
+					b.dls = make([]*stream.DeadLetter, len(b.items))
+				}
+				b.dls[i] = dl
+			}
+		} else {
+			// Fail fast, but a panic must not escape a goroutine: it
+			// surfaces as a fatal stream error instead, truncating the
+			// batch at the failing tuple so the merge stops exactly
+			// where the sequential run would.
+			if err := safePollute(pipe, &item.t, item.t.EventTime, scratch); err != nil {
+				b.err = fmt.Errorf("core: shard pollute tuple %d: %w", item.t.ID, err)
+				b.errSeq = item.seq
+				b.items = b.items[:i]
+				if logged {
+					b.entryOff = b.entryOff[:i+1]
+				}
+				return true
+			}
+		}
+		if span != nil {
+			span()
+		}
+		if logged {
+			b.entryBuf = append(b.entryBuf, scratch.Entries...)
+			b.entryOff = append(b.entryOff, int32(len(b.entryBuf)))
+		}
+	}
+	return false
+}
+
+// Next implements stream.Source: the merge. In strict mode it restores
+// prepared order by scanning the <= Shards current batch heads for the
+// next sequence number (each prepared seq is owned by exactly one
+// shard and per-shard output is seq-ordered, so the scan is exact); in
+// relaxed mode it drains whichever shards have output, preserving
+// per-shard order only. Either way it appends the per-tuple log
+// entries and dead letters in emission order, filters dropped and
+// quarantined tuples, and — after the first fatal error — consistently
+// returns that error.
 func (s *shardedSource) Next() (stream.Tuple, error) {
 	if !s.started {
 		if s.err != nil {
@@ -361,55 +608,203 @@ func (s *shardedSource) Next() (stream.Tuple, error) {
 		}
 		s.start()
 	}
-	for {
-		if s.err == nil {
-			if res, ok := s.pending.takeNext(); ok {
-				s.nextSeq++
-				if s.log != nil {
-					s.log.Entries = append(s.log.Entries, res.entries...)
-				}
-				if res.dl != nil {
-					if err := s.fault.record(s.dlq, *res.dl); err != nil {
-						s.err = err
-						s.stop()
-						continue
-					}
-				}
-				if res.t.Quarantined {
-					continue
-				}
-				if res.t.Dropped {
-					s.reg.Inc(obs.CTuplesDropped)
-					continue
-				}
-				s.reg.Inc(obs.CTuplesOut)
-				return res.t, nil
-			}
+	s.recycleRetired()
+	for spins := 0; ; {
+		if s.err != nil {
+			return stream.Tuple{}, s.err
 		}
 		if s.closed {
-			if s.err != nil {
-				return stream.Tuple{}, s.err
-			}
 			return stream.Tuple{}, io.EOF
 		}
-		batch, ok := <-s.out
-		if !ok {
+		progress := s.advance()
+		var (
+			t        stream.Tuple
+			emitted  bool
+			consumed bool
+		)
+		if s.order == OrderRelaxed {
+			t, emitted, consumed = s.serveRelaxed()
+		} else {
+			t, emitted, consumed = s.serveStrict()
+		}
+		if emitted {
+			return t, nil
+		}
+		if consumed {
+			spins = 0
+			continue
+		}
+		if s.nFin == len(s.cur) {
+			// All workers done and everything merged.
+			if s.srcErr != nil {
+				s.fail(s.srcErr)
+				continue
+			}
 			s.closed = true
 			continue
 		}
-		for _, res := range batch {
-			if res.err != nil {
-				if s.err == nil {
-					s.err = res.err
-				}
-				s.stop()
-				break
-			}
-			if s.err == nil {
-				s.pending.put(int(res.seq-s.nextSeq), res)
+		if progress {
+			spins = 0
+			continue
+		}
+		// Starved: the next batch is still being polluted. Yield
+		// briefly, then park in short sleeps — flooding the scheduler
+		// with spins is counterproductive when shards exceed cores.
+		spins++
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// advance retires exhausted current batches and pulls newly available
+// ones from the out rings, reporting whether anything changed. A batch
+// carrying a fatal error is held after exhaustion until the merge
+// reaches its error position.
+func (s *shardedSource) advance() bool {
+	progress := false
+	for sh := range s.cur {
+		b := s.cur[sh]
+		if b != nil && s.pos[sh] >= len(b.items) && b.err == nil {
+			s.retire(sh)
+			b = nil
+			progress = true
+		}
+		if b == nil && !s.finished[sh] {
+			if nb, ok := s.outs[sh].TryPop(); ok {
+				s.cur[sh], s.pos[sh] = nb, 0
+				progress = true
+			} else if s.outs[sh].Drained() {
+				s.finished[sh] = true
+				s.nFin++
+				progress = true
 			}
 		}
 	}
+	return progress
+}
+
+// serveStrict consumes the item carrying the next sequence number, if
+// it is available. Returns the tuple (when one was emitted), whether a
+// tuple was emitted, and whether any item was consumed.
+func (s *shardedSource) serveStrict() (stream.Tuple, bool, bool) {
+	for sh := range s.cur {
+		b := s.cur[sh]
+		if b == nil {
+			continue
+		}
+		if s.pos[sh] < len(b.items) {
+			if b.items[s.pos[sh]].seq == s.nextSeq {
+				t, ok := s.consume(sh)
+				return t, ok, true
+			}
+		} else if b.err != nil && b.errSeq == s.nextSeq {
+			// Every sequence number below the failure has been
+			// emitted; surface the error at exactly its position.
+			s.fail(b.err)
+			return stream.Tuple{}, false, true
+		}
+	}
+	return stream.Tuple{}, false, false
+}
+
+// serveRelaxed consumes from whichever shard has output, preferring to
+// finish the current shard's batch for locality.
+func (s *shardedSource) serveRelaxed() (stream.Tuple, bool, bool) {
+	n := len(s.cur)
+	for k := 0; k < n; k++ {
+		sh := (s.rr + k) % n
+		b := s.cur[sh]
+		if b == nil {
+			continue
+		}
+		if s.pos[sh] < len(b.items) {
+			s.rr = sh
+			t, ok := s.consume(sh)
+			return t, ok, true
+		}
+		if b.err != nil {
+			s.fail(b.err)
+			return stream.Tuple{}, false, true
+		}
+	}
+	return stream.Tuple{}, false, false
+}
+
+// consume takes the current item of shard sh: books its log entries
+// and dead letter, filters drops and quarantines, and returns the
+// tuple when it survives.
+func (s *shardedSource) consume(sh int) (stream.Tuple, bool) {
+	b := s.cur[sh]
+	i := s.pos[sh]
+	it := &b.items[i]
+	s.pos[sh] = i + 1
+	s.nextSeq = it.seq + 1
+	if s.log != nil && len(b.entryOff) > i+1 {
+		lo, hi := b.entryOff[i], b.entryOff[i+1]
+		if hi > lo {
+			s.log.Entries = append(s.log.Entries, b.entryBuf[lo:hi]...)
+		}
+	}
+	if b.dls != nil && b.dls[i] != nil {
+		if err := s.fault.record(s.dlq, *b.dls[i]); err != nil {
+			s.fail(err)
+			return stream.Tuple{}, false
+		}
+	}
+	if it.t.Quarantined {
+		return stream.Tuple{}, false
+	}
+	if it.t.Dropped {
+		s.reg.Inc(obs.CTuplesDropped)
+		return stream.Tuple{}, false
+	}
+	s.reg.Inc(obs.CTuplesOut)
+	s.emitted++
+	return it.t, true
+}
+
+// retire hands an exhausted batch back for recycling. Non-arena
+// batches recycle immediately (nothing references them once their
+// entries and dead letters are booked); arena batches wait in a small
+// FIFO until the consumer can no longer hold a loaned tuple backed by
+// their value block.
+func (s *shardedSource) retire(sh int) {
+	b := s.cur[sh]
+	s.cur[sh] = nil
+	if !s.arena {
+		b.reset(true)
+		s.frees[sh].TryPush(b) // a full free ring drops the batch to the GC
+		return
+	}
+	s.retired = append(s.retired, retiredBatch{shard: sh, b: b, mark: s.emitted})
+}
+
+// recycleRetired returns arena batches whose retirement margin has
+// passed to their shard's free ring. Called at the top of Next, when
+// the consumer has relinquished the previously loaned tuple.
+func (s *shardedSource) recycleRetired() {
+	n := 0
+	for _, rb := range s.retired {
+		if s.emitted-rb.mark < s.margin {
+			break
+		}
+		rb.b.reset(false)
+		s.frees[rb.shard].TryPush(rb.b)
+		n++
+	}
+	if n > 0 {
+		s.retired = append(s.retired[:0], s.retired[n:]...)
+	}
+}
+
+func (s *shardedSource) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.stop()
 }
 
 func (s *shardedSource) stop() {
@@ -421,63 +816,16 @@ func (s *shardedSource) stop() {
 // stream.ErrStopped (or the earlier fatal error, if any).
 func (s *shardedSource) Stop() {
 	if !s.started {
-		s.err = stream.ErrStopped
+		if s.err == nil {
+			s.err = stream.ErrStopped
+		}
 		return
 	}
 	if s.err == nil {
 		s.err = stream.ErrStopped
 	}
 	s.stop()
-	for !s.closed {
-		if _, ok := <-s.out; !ok {
-			s.closed = true
-		}
-	}
-}
-
-// shardReorder is a circular buffer restoring prepared order over the
-// out-of-order completions of the shard workers; the sharded twin of the
-// engine's reorderBuf. It grows to the in-flight bound once and then
-// operates allocation-free.
-type shardReorder struct {
-	items []shardResult
-	full  []bool
-	head  int
-}
-
-func (b *shardReorder) grow(min int) {
-	capNew := 8
-	for capNew < min {
-		capNew *= 2
-	}
-	items := make([]shardResult, capNew)
-	full := make([]bool, capNew)
-	for i := range b.items {
-		src := (b.head + i) % len(b.items)
-		items[i] = b.items[src]
-		full[i] = b.full[src]
-	}
-	b.items, b.full, b.head = items, full, 0
-}
-
-func (b *shardReorder) put(offset int, r shardResult) {
-	if offset >= len(b.items) {
-		b.grow(offset + 1)
-	}
-	i := (b.head + offset) % len(b.items)
-	b.items[i] = r
-	b.full[i] = true
-}
-
-func (b *shardReorder) takeNext() (shardResult, bool) {
-	if len(b.items) == 0 || !b.full[b.head] {
-		return shardResult{}, false
-	}
-	r := b.items[b.head]
-	b.items[b.head] = shardResult{}
-	b.full[b.head] = false
-	b.head = (b.head + 1) % len(b.items)
-	return r, true
+	s.wg.Wait()
 }
 
 // hashKey maps a key value to a deterministic 64-bit hash (FNV-1a over

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+// Adversarial coverage of the SPSC batch handoff and sequence merge:
+// key skew (every tuple on one shard), empty input, one-tuple batches,
+// relaxed-order mode, and the arena clone path.
+
+// runShardedCfg runs the keyed oracle pipeline with an explicit
+// ShardConfig and returns the rendered output and log.
+func runShardedCfg(t *testing.T, seed int64, n, keys int, reorder int, cfg ShardConfig) (string, string) {
+	t.Helper()
+	schema := shardedTestSchema()
+	factory := keyedStickyTemporalFactory(seed)
+	cfg.KeyAttr = "sensor"
+	cfg.NewPipeline = factory
+	proc := &Process{Pipelines: []*Pipeline{factory(0)}}
+	out, log, err := proc.RunStreamSharded(shardedTestSource(schema, n, keys), reorder, cfg)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", cfg.Shards, err)
+	}
+	// Arena tuples are loans: clone while collecting.
+	var tuples []stream.Tuple
+	for {
+		tup, err := out.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("shards=%d next: %v", cfg.Shards, err)
+		}
+		if cfg.Arena {
+			tup = tup.Clone()
+		}
+		tuples = append(tuples, tup)
+	}
+	return renderTuples(tuples), renderLog(log)
+}
+
+// TestShardedKeySkew routes every tuple to a single shard (one key):
+// all but one worker idle, and the merge must still be byte-identical
+// — the degenerate curve point of the scaling work.
+func TestShardedKeySkew(t *testing.T) {
+	const n, keys = 1200, 1
+	seed := int64(17)
+	wantOut, wantLog := runShardedCfg(t, seed, n, keys, 1, ShardConfig{Shards: 1})
+	if wantOut == "" {
+		t.Fatal("sequential run produced nothing")
+	}
+	for _, shards := range []int{2, 8} {
+		gotOut, gotLog := runShardedCfg(t, seed, n, keys, 1, ShardConfig{Shards: shards})
+		if gotOut != wantOut {
+			t.Errorf("shards=%d: skewed output differs from sequential", shards)
+		}
+		if gotLog != wantLog {
+			t.Errorf("shards=%d: skewed log differs from sequential", shards)
+		}
+	}
+}
+
+// TestShardedEmptyInput drives the merge with zero tuples: the feeder
+// closes the rings before any batch exists and the merger must report
+// EOF, not stall.
+func TestShardedEmptyInput(t *testing.T) {
+	for _, shards := range []int{2, 8} {
+		gotOut, gotLog := runShardedCfg(t, 5, 0, 3, 1, ShardConfig{Shards: shards})
+		if gotOut != "" {
+			t.Errorf("shards=%d: empty input produced output %q", shards, gotOut)
+		}
+		if strings.Contains(gotLog, "tuple_id") {
+			t.Errorf("shards=%d: empty input produced log entries", shards)
+		}
+	}
+}
+
+// TestShardedSingleTupleBatches forces BatchSize=1 — every handoff is
+// one tuple, maximising ring traffic and merge interleaving — and
+// still demands byte-identical output, log and dead letters.
+func TestShardedSingleTupleBatches(t *testing.T) {
+	const n, keys = 700, 5
+	seed := int64(23)
+	wantOut, wantLog := runShardedCfg(t, seed, n, keys, 1, ShardConfig{Shards: 1})
+	for _, shards := range []int{2, 4, 8} {
+		cfg := ShardConfig{Shards: shards, BatchSize: 1, Buffer: 2}
+		gotOut, gotLog := runShardedCfg(t, seed, n, keys, 1, cfg)
+		if gotOut != wantOut {
+			t.Errorf("shards=%d batch=1: output differs from sequential", shards)
+		}
+		if gotLog != wantLog {
+			t.Errorf("shards=%d batch=1: log differs from sequential", shards)
+		}
+	}
+}
+
+// TestShardedRelaxedOrderMultiset verifies OrderRelaxed: the emitted
+// tuples and log entries are the same multiset as the sequential run,
+// and each key's subsequence keeps its original relative order.
+func TestShardedRelaxedOrderMultiset(t *testing.T) {
+	const n, keys = 1500, 13
+	seed := int64(42)
+	schema := shardedTestSchema()
+	factory := keyedStickyTemporalFactory(seed)
+
+	collect := func(cfg ShardConfig) ([]stream.Tuple, *Log) {
+		proc := &Process{Pipelines: []*Pipeline{factory(0)}}
+		cfg.KeyAttr = "sensor"
+		cfg.NewPipeline = factory
+		out, log, err := proc.RunStreamSharded(shardedTestSource(schema, n, keys), 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples, err := stream.Drain(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tuples, log
+	}
+
+	seqTuples, seqLog := collect(ShardConfig{Shards: 1})
+	relTuples, relLog := collect(ShardConfig{Shards: 4, Order: OrderRelaxed})
+
+	sortedLines := func(ts []stream.Tuple) []string {
+		lines := strings.Split(strings.TrimSuffix(renderTuples(ts), "\n"), "\n")
+		sort.Strings(lines)
+		return lines
+	}
+	want, got := sortedLines(seqTuples), sortedLines(relTuples)
+	if len(want) != len(got) {
+		t.Fatalf("relaxed emitted %d tuples, sequential %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("relaxed tuple multiset differs at %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+
+	// Per-key subsequences keep their order (tuple IDs ascend per key).
+	lastID := map[string]uint64{}
+	for _, tu := range relTuples {
+		key, _ := tu.At(1).AsString()
+		if tu.ID <= lastID[key] {
+			t.Fatalf("key %s: tuple %d emitted after %d — per-key order broken", key, tu.ID, lastID[key])
+		}
+		lastID[key] = tu.ID
+	}
+
+	// The pollution log is the same multiset of entries.
+	entryKeys := func(l *Log) []string {
+		out := make([]string, 0, len(l.Entries))
+		for _, e := range l.Entries {
+			out = append(out, fmt.Sprintf("%d|%s|%s|%s", e.TupleID, e.Polluter, e.Error, strings.Join(e.Attrs, ",")))
+		}
+		sort.Strings(out)
+		return out
+	}
+	wantE, gotE := entryKeys(seqLog), entryKeys(relLog)
+	if len(wantE) != len(gotE) {
+		t.Fatalf("relaxed log has %d entries, sequential %d", len(gotE), len(wantE))
+	}
+	for i := range wantE {
+		if wantE[i] != gotE[i] {
+			t.Fatalf("relaxed log multiset differs at %d: got %s want %s", i, gotE[i], wantE[i])
+		}
+	}
+}
+
+// TestShardedArenaByteIdentical runs the arena clone path (including
+// shards=1, which maps it onto the pooled sequential runner) against
+// the plain sequential output, with and without a reorder window.
+func TestShardedArenaByteIdentical(t *testing.T) {
+	const n, keys = 1100, 9
+	seed := int64(8)
+	for _, reorder := range []int{1, 32} {
+		wantOut, wantLog := runShardedCfg(t, seed, n, keys, reorder, ShardConfig{Shards: 1})
+		for _, shards := range []int{1, 2, 8} {
+			cfg := ShardConfig{Shards: shards, Arena: true}
+			gotOut, gotLog := runShardedCfg(t, seed, n, keys, reorder, cfg)
+			if gotOut != wantOut {
+				t.Errorf("arena shards=%d reorder=%d: output differs from sequential", shards, reorder)
+			}
+			if gotLog != wantLog {
+				t.Errorf("arena shards=%d reorder=%d: log differs from sequential", shards, reorder)
+			}
+		}
+	}
+}
+
+// TestShardedArenaPreservesSource verifies the arena contract: the
+// source's tuples are cloned before pollution, so a shared slice
+// survives the run unmodified (the reason the benchmark can drop its
+// defensive per-tuple Clone stage).
+func TestShardedArenaPreservesSource(t *testing.T) {
+	schema := shardedTestSchema()
+	base := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	const n = 400
+	tuples := make([]stream.Tuple, n)
+	for i := range tuples {
+		tuples[i] = stream.NewTuple(schema, []stream.Value{
+			stream.Time(base.Add(time.Duration(i) * time.Minute)),
+			stream.Str(fmt.Sprintf("sensor-%02d", i%7)),
+			stream.Float(float64(i)),
+		})
+	}
+	factory := keyedStickyTemporalFactory(31)
+	proc := &Process{Pipelines: []*Pipeline{factory(0)}, DisableLog: true}
+	out, _, err := proc.RunStreamSharded(stream.NewSliceSource(schema, tuples), 1,
+		ShardConfig{KeyAttr: "sensor", Shards: 4, NewPipeline: factory, Arena: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Copy(stream.DiscardSink{}, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tuples {
+		if v, _ := tuples[i].At(2).AsFloat(); v != float64(i) {
+			t.Fatalf("source tuple %d mutated: v = %v, want %v", i, v, float64(i))
+		}
+		if tuples[i].Dropped || tuples[i].Quarantined {
+			t.Fatalf("source tuple %d metadata mutated", i)
+		}
+	}
+}
+
+// TestShardedCleanTap verifies the sharded runner feeds CleanTap with
+// every prepared tuple (it used to be silently dropped in sharded
+// mode, breaking icewafld's clean channel at shards > 1).
+func TestShardedCleanTap(t *testing.T) {
+	const n, keys = 300, 4
+	schema := shardedTestSchema()
+	factory := keyedStickyTemporalFactory(12)
+	var clean []stream.Tuple
+	proc := &Process{
+		Pipelines: []*Pipeline{factory(0)},
+		CleanTap:  func(t stream.Tuple) { clean = append(clean, t) },
+	}
+	out, _, err := proc.RunStreamSharded(shardedTestSource(schema, n, keys), 1,
+		ShardConfig{KeyAttr: "sensor", Shards: 3, NewPipeline: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Drain(out); err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != n {
+		t.Fatalf("CleanTap saw %d tuples, want %d", len(clean), n)
+	}
+	for i, tu := range clean {
+		if v, _ := tu.At(2).AsFloat(); v != float64(i%97)/3 {
+			t.Fatalf("CleanTap tuple %d polluted: v = %v", i, v)
+		}
+	}
+}
+
+// TestShardedFailFastDeterministicPrefix verifies that a fatal
+// pipeline error in fail-fast mode truncates the sharded output at
+// exactly the failing tuple's position, regardless of shard count: the
+// first panic hits tuple ID 97 (sequence 96), so every run must emit
+// exactly the 96 preceding tuples and then the same sticky error.
+// (The sequential runner propagates the panic itself, by contract, so
+// the sharded runs are compared against each other and the exact
+// truncation point.)
+func TestShardedFailFastDeterministicPrefix(t *testing.T) {
+	schema := shardedTestSchema()
+	factory := func(int) *Pipeline {
+		perKey := func(key string) Polluter {
+			return &panicEvery{mod: 97, inner: NewStandard("noop", DelayTuple{}, Never{}, "v")}
+		}
+		return NewPipeline(NewKeyedPolluter("keyed", "sensor", perKey))
+	}
+	run := func(shards int) (string, string) {
+		proc := &Process{Pipelines: []*Pipeline{factory(0)}, DisableLog: true}
+		out, _, err := proc.RunStreamSharded(shardedTestSource(schema, 500, 6), 1,
+			ShardConfig{KeyAttr: "sensor", Shards: shards, NewPipeline: factory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []stream.Tuple
+		var ferr error
+		for {
+			tu, err := out.Next()
+			if err != nil {
+				ferr = err
+				break
+			}
+			got = append(got, tu)
+		}
+		if ferr == io.EOF || !strings.Contains(ferr.Error(), "injected fault on tuple 97") {
+			t.Fatalf("shards=%d: fatal error = %v, want injected fault on tuple 97", shards, ferr)
+		}
+		if len(got) != 96 {
+			t.Fatalf("shards=%d: emitted %d tuples before the error, want 96", shards, len(got))
+		}
+		return renderTuples(got), ferr.Error()
+	}
+	wantOut, wantErr := run(2)
+	for _, shards := range []int{4, 8} {
+		gotOut, gotErr := run(shards)
+		if gotOut != wantOut {
+			t.Errorf("shards=%d: fail-fast prefix differs from shards=2", shards)
+		}
+		if gotErr != wantErr {
+			t.Errorf("shards=%d: error %q, want %q", shards, gotErr, wantErr)
+		}
+	}
+}

@@ -34,6 +34,14 @@ type Config struct {
 	NewSource func() (stream.Source, error)
 	// Reorder is the bounded reordering window of the streaming runner.
 	Reorder int
+	// Shards partitions the keyed pollution hot path across this many
+	// parallel workers (<= 1 = sequential). Sharding requires ShardKey
+	// and is incompatible with CheckpointPath.
+	Shards int
+	// ShardKey names the attribute whose value routes tuples to shards.
+	ShardKey string
+	// ShardOrder selects the sharded merge order (strict by default).
+	ShardOrder core.OrderPolicy
 	// Buffer is the per-subscriber send queue capacity (frames).
 	Buffer int
 	// Replay is the number of frames retained per channel for late
@@ -127,6 +135,17 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		if cfg.CheckpointEvery <= 0 {
 			cfg.CheckpointEvery = 256
+		}
+	}
+	if cfg.Shards > 1 {
+		if cfg.ShardKey == "" {
+			return nil, fmt.Errorf("netstream: sharded sessions require a shard key")
+		}
+		if cfg.Schema.Index(cfg.ShardKey) < 0 {
+			return nil, fmt.Errorf("netstream: shard key attribute %q not in schema", cfg.ShardKey)
+		}
+		if cfg.CheckpointPath != "" {
+			return nil, fmt.Errorf("netstream: sharded sessions cannot be checkpointed; checkpoints cover the sequential path only")
 		}
 	}
 	s := &Server{
@@ -302,9 +321,20 @@ func (s *Server) runPipeline(ctx context.Context) error {
 		plog     *core.Log
 		ckr      *core.Checkpointer
 	)
-	if s.cfg.CheckpointPath != "" {
+	switch {
+	case s.cfg.CheckpointPath != "":
 		polluted, plog, ckr, err = proc.RunStreamCheckpointed(stream.WithContext(ctx, src), resume)
-	} else {
+	case s.cfg.Shards > 1:
+		// Arena mode is safe here: the publish loop below fully renders
+		// each tuple into a WireTuple before the next Next call, so no
+		// loaned tuple memory is retained.
+		polluted, plog, err = proc.RunStreamSharded(stream.WithContext(ctx, src), s.cfg.Reorder, core.ShardConfig{
+			KeyAttr: s.cfg.ShardKey,
+			Shards:  s.cfg.Shards,
+			Order:   s.cfg.ShardOrder,
+			Arena:   true,
+		})
+	default:
 		polluted, plog, err = proc.RunStream(stream.WithContext(ctx, src), s.cfg.Reorder)
 	}
 	if err != nil {

@@ -1,0 +1,114 @@
+package netstream
+
+import (
+	"testing"
+	"time"
+
+	"icewafl/internal/core"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// keyedTestProcess builds a fully keyed pipeline: every per-key
+// instance derives its randomness from (seed, key), the precondition
+// for byte-identical sharded execution.
+func keyedTestProcess(seed int64) *core.Process {
+	perKey := func(key string) core.Polluter {
+		return core.NewComposite("per-key", nil,
+			core.NewStandard("noise",
+				&core.GaussianNoise{Stddev: core.Const(2), Rand: rng.Derive(seed, "noise/"+key)},
+				core.NewRandomConst(0.4, rng.Derive(seed, "noise-cond/"+key)), "v"),
+			core.NewStandard("freeze",
+				core.NewFrozenValue(),
+				core.NewSticky(core.NewRandomConst(0.05, rng.Derive(seed, "sticky/"+key)), 30*time.Minute), "v"),
+		)
+	}
+	return &core.Process{
+		Pipelines: []*core.Pipeline{core.NewPipeline(core.NewKeyedPolluter("keyed", "sensor", perKey))},
+		FirstID:   1,
+	}
+}
+
+// TestServerSharded: a sharded server session must stream exactly what
+// the in-process sequential runner produces on every channel — the
+// strict merge order makes sharding invisible on the wire.
+func TestServerSharded(t *testing.T) {
+	const seed, n = 777, 600
+	schema := wireSchema(t)
+
+	// Sequential in-process ground truth.
+	proc := keyedTestProcess(seed)
+	var refClean []stream.Tuple
+	proc.CleanTap = func(tp stream.Tuple) { refClean = append(refClean, tp.Clone()) }
+	src, refLog, err := proc.RunStream(testSource(schema, n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDirty, err := stream.Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		Schema: schema,
+		Proc:   keyedTestProcess(seed),
+		NewSource: func() (stream.Source, error) {
+			return testSource(schema, n), nil
+		},
+		Reorder:  1,
+		Buffer:   64,
+		Replay:   1 << 16,
+		Shards:   4,
+		ShardKey: "sensor",
+	}
+	_, tcpAddr, _ := startServer(t, cfg)
+
+	dirtyC, err := Dial(tcpAddr, ChannelDirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dirtyC.Stop()
+	cleanC, err := Dial(tcpAddr, ChannelClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanC.Stop()
+	sameTuples(t, "dirty", drainClient(t, dirtyC), refDirty)
+	sameTuples(t, "clean", drainClient(t, cleanC), refClean)
+
+	entries := readLogChannel(t, tcpAddr)
+	if len(entries) != len(refLog.Entries) {
+		t.Fatalf("log: got %d entries, want %d", len(entries), len(refLog.Entries))
+	}
+	for i := range entries {
+		if entries[i].TupleID != refLog.Entries[i].TupleID || entries[i].Polluter != refLog.Entries[i].Polluter {
+			t.Fatalf("log entry %d differs: got %+v, want %+v", i, entries[i], refLog.Entries[i])
+		}
+	}
+}
+
+// TestServerShardedRejectsBadConfig: sharded sessions must be rejected
+// at construction when misconfigured, not fail at runtime.
+func TestServerShardedRejectsBadConfig(t *testing.T) {
+	base := serverConfig(t, 1, 10)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"missing key", func(c *Config) { c.Shards = 4 }},
+		{"key not in schema", func(c *Config) { c.Shards = 4; c.ShardKey = "nope" }},
+		{"checkpointed", func(c *Config) {
+			c.Shards = 4
+			c.ShardKey = "sensor"
+			c.WALDir = t.TempDir()
+			c.CheckpointPath = "ck.json"
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("%s: NewServer accepted the config", tc.name)
+		}
+	}
+}

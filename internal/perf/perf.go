@@ -41,10 +41,15 @@ type Result struct {
 
 // Report is one benchmark run rendered machine-readable.
 type Report struct {
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	CPU        string            `json:"cpu,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// Procs is the GOMAXPROCS the benchmarks ran at, recovered from the
+	// -N benchmark-name suffix (1 when the suffix is absent, which is
+	// how go test renders GOMAXPROCS=1). The scaling gate uses it to
+	// scale its speedup floor to the cores actually available.
+	Procs      int               `json:"procs,omitempty"`
 	When       time.Time         `json:"when"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
@@ -65,14 +70,24 @@ func NewReport() *Report {
 // sub-benchmark paths ("BenchmarkFoo/n=10-8" → "BenchmarkFoo/n=10")
 // intact.
 func normalizeName(name string) string {
+	base, _ := splitProcs(name)
+	return base
+}
+
+// splitProcs splits a raw benchmark name into its base name and the
+// GOMAXPROCS encoded in the trailing -N suffix. go test omits the
+// suffix entirely when GOMAXPROCS is 1, so a suffix-less name reports
+// procs=1.
+func splitProcs(name string) (base string, procs int) {
 	i := strings.LastIndex(name, "-")
 	if i < 0 {
-		return name
+		return name, 1
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
 	}
-	return name[:i]
+	return name[:i], n
 }
 
 // sample is one parsed benchmark result line.
@@ -88,22 +103,23 @@ type sample struct {
 }
 
 // parseLine parses one `BenchmarkX-N  iters  123 ns/op ...` line. ok is
-// false for non-benchmark lines.
-func parseLine(line string) (name string, s sample, ok bool) {
+// false for non-benchmark lines. procs is the GOMAXPROCS recovered from
+// the -N name suffix (1 when absent).
+func parseLine(line string) (name string, procs int, s sample, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", sample{}, false
+		return "", 0, sample{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return "", sample{}, false
+		return "", 0, sample{}, false
 	}
 	s.iterations = iters
 	// Remaining fields come in (value, unit) pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return "", sample{}, false
+			return "", 0, sample{}, false
 		}
 		switch fields[i+1] {
 		case "ns/op":
@@ -117,9 +133,10 @@ func parseLine(line string) (name string, s sample, ok bool) {
 		}
 	}
 	if s.nsPerOp == 0 && s.iterations == 0 {
-		return "", sample{}, false
+		return "", 0, sample{}, false
 	}
-	return normalizeName(fields[0]), s, true
+	name, procs = splitProcs(fields[0])
+	return name, procs, s, true
 }
 
 // Parse reads `go test -bench` text output and aggregates it into a
@@ -147,9 +164,12 @@ func Parse(r io.Reader) (*Report, error) {
 			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		}
-		name, s, ok := parseLine(line)
+		name, procs, s, ok := parseLine(line)
 		if !ok {
 			continue
+		}
+		if procs > rep.Procs {
+			rep.Procs = procs
 		}
 		a := aggs[name]
 		if a == nil {
@@ -300,6 +320,102 @@ func Gate(base, cur *Report, maxRegress float64) []Delta {
 		}
 	}
 	return bad
+}
+
+// ScalingPoint is one point of a shard-scaling curve: the measurement
+// of family/shards=N together with its speedup over the family's
+// shards=1 point.
+type ScalingPoint struct {
+	Shards  int
+	NsPerOp float64
+	// Speedup is nsPerOp(shards=1) / nsPerOp(shards=N); >1 means the
+	// sharded run is faster than sequential.
+	Speedup float64
+}
+
+// ShardScaling extracts the scaling curve of a benchmark family from a
+// report: every entry named `family/shards=N`, sorted by N, with
+// speedups computed relative to the shards=1 point. It returns an
+// error when the family or its shards=1 anchor is missing.
+func ShardScaling(rep *Report, family string) ([]ScalingPoint, error) {
+	prefix := family + "/shards="
+	var pts []ScalingPoint
+	for name, res := range rep.Benchmarks {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(name[len(prefix):])
+		if err != nil || n < 1 {
+			continue
+		}
+		pts = append(pts, ScalingPoint{Shards: n, NsPerOp: res.NsPerOp})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("perf: no %s/shards=N benchmarks in report", family)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Shards < pts[j].Shards })
+	if pts[0].Shards != 1 || pts[0].NsPerOp == 0 {
+		return nil, fmt.Errorf("perf: %s has no shards=1 anchor to compute speedups against", family)
+	}
+	base := pts[0].NsPerOp
+	for i := range pts {
+		pts[i].Speedup = base / pts[i].NsPerOp
+	}
+	return pts, nil
+}
+
+// ScalingGate checks the shard-scaling curve of a benchmark family in
+// the CURRENT report (scaling is a property of one run, not a
+// baseline diff — comparing curves across runs would conflate machine
+// noise with scaling regressions). Two checks apply:
+//
+//   - every point's speedup must stay >= minRatio: adding shards must
+//     never make the runner catastrophically slower than sequential,
+//     on any core count (minRatio < 1 tolerates the modest handoff
+//     overhead that parallelism cannot buy back on starved hosts);
+//   - the widest point's speedup must reach floor, prorated by how
+//     many cores the run actually had: the committed floor assumes
+//     maxShards cores, and a host with procs < maxShards is held to
+//     floor*procs/maxShards instead (never below minRatio — on a
+//     single-core host the proration collapses to the first check).
+//
+// Procs <= 0 (reports recorded before the field existed) is treated
+// as 1, the conservative reading.
+func ScalingGate(rep *Report, family string, floor, minRatio float64) error {
+	pts, err := ShardScaling(rep, family)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if p.Speedup < minRatio {
+			return fmt.Errorf("perf: scaling gate: %s/shards=%d speedup %.2fx is below the %.2fx never-slower floor",
+				family, p.Shards, p.Speedup, minRatio)
+		}
+	}
+	procs := rep.Procs
+	if procs <= 0 {
+		procs = 1
+	}
+	max := pts[len(pts)-1]
+	effective := floor * float64(min(procs, max.Shards)) / float64(max.Shards)
+	if effective < minRatio {
+		effective = minRatio
+	}
+	if max.Speedup < effective {
+		return fmt.Errorf("perf: scaling gate: %s/shards=%d speedup %.2fx is below the %.2fx floor (committed %.2fx prorated for %d procs)",
+			family, max.Shards, max.Speedup, effective, floor, procs)
+	}
+	return nil
+}
+
+// FormatScaling renders a scaling curve for gate output.
+func FormatScaling(family string, pts []ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %14s %8s\n", family, "ns/op", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-52s %14.0f %7.2fx\n", fmt.Sprintf("%s/shards=%d", family, p.Shards), p.NsPerOp, p.Speedup)
+	}
+	return b.String()
 }
 
 // FormatTable renders deltas as an aligned text table for gate output.

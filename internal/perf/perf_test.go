@@ -3,6 +3,7 @@ package perf
 import (
 	"math"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -239,5 +240,118 @@ func TestGateZeroAllocGrowth(t *testing.T) {
 	bad = Gate(base, cur, 0.20)
 	if len(bad) != 1 || !strings.Contains(bad[0].Reason, "ns/op") {
 		t.Fatalf("Gate = %+v, want ns/op failure for BenchmarkHotPath", bad)
+	}
+}
+
+func TestParseProcs(t *testing.T) {
+	rep, err := Parse(strings.NewReader(benchFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 8 {
+		t.Errorf("Procs = %d, want 8 (from the -8 name suffix)", rep.Procs)
+	}
+	// GOMAXPROCS=1 output carries no suffix at all.
+	rep, err = Parse(strings.NewReader("BenchmarkSolo   \t100\t1000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 1 {
+		t.Errorf("Procs = %d, want 1 for suffix-less names", rep.Procs)
+	}
+}
+
+func mkScalingReport(procs int, ns map[int]float64) *Report {
+	r := NewReport()
+	r.Procs = procs
+	for shards, v := range ns {
+		name := "BenchmarkShardedKeyed/shards=" + strconv.Itoa(shards)
+		r.Benchmarks[name] = Result{Name: name, NsPerOp: v, Samples: 1}
+	}
+	return r
+}
+
+func TestShardScaling(t *testing.T) {
+	rep := mkScalingReport(8, map[int]float64{1: 8000, 2: 4000, 4: 2500, 8: 2000})
+	pts, err := ShardScaling(rep, "BenchmarkShardedKeyed")
+	if err != nil {
+		t.Fatalf("ShardScaling: %v", err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4: %+v", len(pts), pts)
+	}
+	for i, want := range []struct {
+		shards  int
+		speedup float64
+	}{{1, 1}, {2, 2}, {4, 3.2}, {8, 4}} {
+		if pts[i].Shards != want.shards || math.Abs(pts[i].Speedup-want.speedup) > 1e-9 {
+			t.Errorf("point %d = %+v, want shards=%d speedup=%.2f", i, pts[i], want.shards, want.speedup)
+		}
+	}
+
+	if _, err := ShardScaling(rep, "BenchmarkNoSuchFamily"); err == nil {
+		t.Error("ShardScaling accepted an absent family")
+	}
+	noAnchor := mkScalingReport(8, map[int]float64{2: 4000, 8: 2000})
+	if _, err := ShardScaling(noAnchor, "BenchmarkShardedKeyed"); err == nil {
+		t.Error("ShardScaling accepted a curve without a shards=1 anchor")
+	}
+}
+
+func TestScalingGate(t *testing.T) {
+	family := "BenchmarkShardedKeyed"
+
+	// Healthy multicore curve: 4x at shards=8 on 8 procs passes a 3x floor.
+	healthy := mkScalingReport(8, map[int]float64{1: 8000, 2: 4400, 4: 2700, 8: 2000})
+	if err := ScalingGate(healthy, family, 3.0, 0.45); err != nil {
+		t.Errorf("healthy curve failed: %v", err)
+	}
+
+	// Collapsed curve on the same host: shards=8 barely above sequential.
+	flat := mkScalingReport(8, map[int]float64{1: 8000, 2: 7800, 4: 7500, 8: 7200})
+	if err := ScalingGate(flat, family, 3.0, 0.45); err == nil {
+		t.Error("flat curve passed a 3x floor on 8 procs")
+	}
+
+	// Any point dropping below the never-slower ratio fails, even when
+	// the widest point recovers.
+	dip := mkScalingReport(8, map[int]float64{1: 8000, 2: 20000, 8: 2000})
+	if err := ScalingGate(dip, family, 3.0, 0.45); err == nil {
+		t.Error("mid-curve collapse below minRatio passed")
+	}
+
+	// Single-core host: floor prorates to 3.0*1/8 = 0.375, clamped up to
+	// minRatio — a mild slowdown passes, a collapse fails.
+	oneProcOK := mkScalingReport(1, map[int]float64{1: 8000, 2: 9000, 4: 10000, 8: 11000})
+	if err := ScalingGate(oneProcOK, family, 3.0, 0.45); err != nil {
+		t.Errorf("1-proc mild-overhead curve failed: %v", err)
+	}
+	oneProcBad := mkScalingReport(1, map[int]float64{1: 8000, 8: 20000})
+	if err := ScalingGate(oneProcBad, family, 3.0, 0.45); err == nil {
+		t.Error("1-proc 2.5x slowdown passed the never-slower ratio")
+	}
+
+	// 4-proc CI host, shards=8 curve: effective floor 3.0*4/8 = 1.5.
+	ci := mkScalingReport(4, map[int]float64{1: 8000, 2: 4800, 4: 3600, 8: 4000})
+	if err := ScalingGate(ci, family, 3.0, 0.45); err != nil {
+		t.Errorf("4-proc 2x curve failed the prorated 1.5x floor: %v", err)
+	}
+	ciBad := mkScalingReport(4, map[int]float64{1: 8000, 2: 7000, 4: 6500, 8: 6000})
+	if err := ScalingGate(ciBad, family, 3.0, 0.45); err == nil {
+		t.Error("4-proc 1.33x curve passed the prorated 1.5x floor")
+	}
+
+	// Procs=0 (pre-field baseline) is read as 1 proc.
+	legacy := mkScalingReport(0, map[int]float64{1: 8000, 8: 9000})
+	if err := ScalingGate(legacy, family, 3.0, 0.45); err != nil {
+		t.Errorf("legacy procs=0 report failed: %v", err)
+	}
+
+	out := FormatScaling(family, func() []ScalingPoint {
+		pts, _ := ShardScaling(healthy, family)
+		return pts
+	}())
+	if !strings.Contains(out, "shards=8") || !strings.Contains(out, "4.00x") {
+		t.Errorf("FormatScaling output missing expected content:\n%s", out)
 	}
 }

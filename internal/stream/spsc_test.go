@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{-1, 2}, {0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := NewSPSC[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestSPSCFIFOWraparound(t *testing.T) {
+	q := NewSPSC[int](4)
+	next := 0
+	for round := 0; round < 10; round++ {
+		for q.TryPush(next) {
+			next++
+		}
+		if q.Len() != q.Cap() {
+			t.Fatalf("round %d: Len = %d after filling, want %d", round, q.Len(), q.Cap())
+		}
+		want := next - q.Cap()
+		for {
+			v, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			if v != want {
+				t.Fatalf("round %d: popped %d, want %d", round, v, want)
+			}
+			want++
+		}
+		if want != next {
+			t.Fatalf("round %d: drained up to %d, want %d", round, want, next)
+		}
+	}
+}
+
+// TestSPSCConcurrentOrder streams a million integers through a small
+// ring between two goroutines; CI runs it under -race, which checks
+// the atomics establish the intended happens-before edges.
+func TestSPSCConcurrentOrder(t *testing.T) {
+	const n = 1_000_000
+	q := NewSPSC[int](8)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if !q.Push(i, done) {
+				t.Errorf("push %d aborted", i)
+				return
+			}
+		}
+		q.Close()
+	}()
+	for want := 0; ; want++ {
+		v, ok := q.Pop(done)
+		if !ok {
+			if want != n {
+				t.Fatalf("stream ended at %d, want %d", want, n)
+			}
+			break
+		}
+		if v != want {
+			t.Fatalf("popped %d, want %d", v, want)
+		}
+	}
+	wg.Wait()
+	if !q.Drained() {
+		t.Fatal("queue not drained after consuming everything")
+	}
+}
+
+func TestSPSCCloseDrains(t *testing.T) {
+	q := NewSPSC[string](4)
+	q.TryPush("a")
+	q.TryPush("b")
+	q.Close()
+	if q.Drained() {
+		t.Fatal("Drained true while elements remain")
+	}
+	done := make(chan struct{})
+	if v, ok := q.Pop(done); !ok || v != "a" {
+		t.Fatalf("Pop = %q,%v, want a,true", v, ok)
+	}
+	if v, ok := q.Pop(done); !ok || v != "b" {
+		t.Fatalf("Pop = %q,%v, want b,true", v, ok)
+	}
+	if _, ok := q.Pop(done); ok {
+		t.Fatal("Pop succeeded on a closed empty queue")
+	}
+	if !q.Drained() {
+		t.Fatal("Drained false after close and drain")
+	}
+}
+
+func TestSPSCDoneAbortsBlockedOps(t *testing.T) {
+	q := NewSPSC[int](2)
+	for q.TryPush(0) {
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if q.Push(99, done) {
+			t.Error("Push on a full ring succeeded after done")
+		}
+	}()
+	empty := NewSPSC[int](2)
+	go func() {
+		defer wg.Done()
+		if _, ok := empty.Pop(done); ok {
+			t.Error("Pop on an empty ring succeeded after done")
+		}
+	}()
+	close(done)
+	wg.Wait()
+}
+
+func TestSPSCAbandonFailsPushFast(t *testing.T) {
+	q := NewSPSC[int](2)
+	q.TryPush(1)
+	q.Abandon()
+	if q.TryPush(2) {
+		t.Fatal("TryPush succeeded on an abandoned queue")
+	}
+	if q.Push(2, make(chan struct{})) {
+		t.Fatal("Push succeeded on an abandoned queue")
+	}
+	if !q.Abandoned() {
+		t.Fatal("Abandoned not reported")
+	}
+}

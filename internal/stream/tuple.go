@@ -143,6 +143,21 @@ func (t Tuple) CloneInto(buf []Value) Tuple {
 	return c
 }
 
+// CloneValuesInto rebinds t to a private copy of its values stored in
+// buf (falling back to a fresh allocation when buf is too small) — the
+// in-place counterpart of CloneInto, avoiding the two tuple-struct
+// copies of `t = t.CloneInto(buf)` on hot paths. The caller owns buf
+// and must not alias it with t's current values.
+func (t *Tuple) CloneValuesInto(buf []Value) {
+	if cap(buf) >= len(t.values) {
+		buf = buf[:len(t.values)]
+		copy(buf, t.values)
+		t.values = buf
+		return
+	}
+	t.values = append([]Value(nil), t.values...)
+}
+
 // Values returns the underlying value slice. Callers must not mutate it
 // unless they own the tuple.
 func (t Tuple) Values() []Value { return t.values }
