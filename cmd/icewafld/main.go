@@ -102,10 +102,10 @@ func main() {
 		fatalUsage("-replay must be positive, got %d", *replay)
 	}
 	if *reorder < 0 {
-		fatalUsage("-reorder must be positive, got %d", *reorder)
+		fatalUsage("-reorder must not be negative, got %d", *reorder)
 	}
 	if *shards < 0 {
-		fatalUsage("-shards must be positive, got %d", *shards)
+		fatalUsage("-shards must not be negative, got %d", *shards)
 	}
 	if *drain < 0 {
 		fatalUsage("-drain-timeout must be positive, got %v", *drain)

@@ -67,7 +67,12 @@ const (
 	// deterministic multiset of tuples, log entries and dead letters,
 	// not the same sequence. It removes the sequence-merge stall when
 	// one shard runs long, for callers that key their downstream
-	// processing and don't need byte-identical output.
+	// processing and don't need byte-identical output. Relaxed mode
+	// ignores the reorder window: relaxed output already abandons
+	// global order, so re-sorting an arbitrary shard interleaving by
+	// arrival would neither restore the sequential sequence nor
+	// preserve any other meaningful one (and would let buffered tuples
+	// outlive any bounded arena-recycling margin).
 	OrderRelaxed
 )
 
@@ -140,9 +145,10 @@ type ShardConfig struct {
 // quarantine, a panicking pipeline surfaces as a fatal stream error
 // instead of a panic (a panic must not escape a shard goroutine), and
 // the output is truncated at exactly the failing tuple's position, as
-// the sequential run would truncate it. Checkpointing is not supported
-// in sharded mode; use RunStreamCheckpointed on the sequential path
-// instead.
+// the sequential run would truncate it. reorderWindow applies in
+// strict order only and is ignored under OrderRelaxed (see
+// OrderRelaxed). Checkpointing is not supported in sharded mode; use
+// RunStreamCheckpointed on the sequential path instead.
 func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg ShardConfig) (stream.Source, *Log, error) {
 	if len(pr.Pipelines) != 1 && cfg.NewPipeline == nil {
 		return nil, nil, fmt.Errorf("core: sharded streaming supports exactly one pipeline, got %d", len(pr.Pipelines))
@@ -224,10 +230,10 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 	if pr.CleanTap != nil {
 		prep = &tapSource{src: prep, tap: pr.CleanTap}
 	}
-	window := reorderWindow
-	if window < 1 {
-		window = 1
-	}
+	// The reorder window applies in strict mode only: relaxed output
+	// abandons global order, so partially re-sorting the shard
+	// interleaving by arrival is meaningless (see OrderRelaxed).
+	wrapped := cfg.Order != OrderRelaxed && reorderWindow > 1
 	sh := &shardedSource{
 		src:    prep,
 		schema: src.Schema(),
@@ -239,16 +245,20 @@ func (pr *Process) RunStreamSharded(src stream.Source, reorderWindow int, cfg Sh
 		arena:  cfg.Arena,
 		width:  src.Schema().Len(),
 		// An arena batch may be reused only after the consumer can no
-		// longer reference its tuples: the bounded-reorder window plus
-		// the downstream consumer's one loaned tuple, plus one.
-		margin: uint64(window) + 2,
-		log:    log,
-		fault:  pr.Fault,
-		dlq:    dlq,
-		reg:    pr.Obs,
-		trace:  pr.Obs.TraceEnabled(),
+		// longer reference its tuples. With the merger emitting straight
+		// to the consumer that bound is the one loaned tuple; a bounded
+		// reorder buffer downstream voids any emission-count bound (a
+		// heavily delayed tuple stays buffered while arbitrarily many
+		// later arrivals stream past it), so under a reorder window
+		// retired batches are left to the GC instead of recycled.
+		recycle: !wrapped,
+		log:     log,
+		fault:   pr.Fault,
+		dlq:     dlq,
+		reg:     pr.Obs,
+		trace:   pr.Obs.TraceEnabled(),
 	}
-	if reorderWindow > 1 {
+	if wrapped {
 		return stream.NewBoundedReorder(sh, reorderWindow), log, nil
 	}
 	return sh, log, nil
@@ -328,21 +338,21 @@ type retiredBatch struct {
 // started, stopping promptly on the first fatal error, releasing all
 // goroutines on Stop.
 type shardedSource struct {
-	src    stream.Source
-	schema *stream.Schema
-	pipes  []*Pipeline
-	keyIdx int
-	batch  int
-	depth  int
-	order  OrderPolicy
-	arena  bool
-	width  int
-	margin uint64
-	log    *Log
-	fault  FaultPolicy
-	dlq    *stream.DeadLetterQueue
-	reg    *obs.Registry
-	trace  bool
+	src     stream.Source
+	schema  *stream.Schema
+	pipes   []*Pipeline
+	keyIdx  int
+	batch   int
+	depth   int
+	order   OrderPolicy
+	arena   bool
+	width   int
+	recycle bool // arena batches may be recycled (no reorder buffer downstream)
+	log     *Log
+	fault   FaultPolicy
+	dlq     *stream.DeadLetterQueue
+	reg     *obs.Registry
+	trace   bool
 
 	started  bool
 	done     chan struct{}
@@ -766,17 +776,27 @@ func (s *shardedSource) consume(sh int) (stream.Tuple, bool) {
 	return it.t, true
 }
 
+// arenaMargin is how many merger emissions must pass after an arena
+// batch retires before its value block may be reused: the consumer's
+// one loaned tuple, plus slack for the emission in flight.
+const arenaMargin = 3
+
 // retire hands an exhausted batch back for recycling. Non-arena
 // batches recycle immediately (nothing references them once their
 // entries and dead letters are booked); arena batches wait in a small
 // FIFO until the consumer can no longer hold a loaned tuple backed by
-// their value block.
+// their value block — unless a reorder buffer sits downstream
+// (s.recycle false), in which case tuple lifetimes are unbounded in
+// emissions and the batch is simply dropped to the GC.
 func (s *shardedSource) retire(sh int) {
 	b := s.cur[sh]
 	s.cur[sh] = nil
 	if !s.arena {
 		b.reset(true)
 		s.frees[sh].TryPush(b) // a full free ring drops the batch to the GC
+		return
+	}
+	if !s.recycle {
 		return
 	}
 	s.retired = append(s.retired, retiredBatch{shard: sh, b: b, mark: s.emitted})
@@ -788,7 +808,7 @@ func (s *shardedSource) retire(sh int) {
 func (s *shardedSource) recycleRetired() {
 	n := 0
 	for _, rb := range s.retired {
-		if s.emitted-rb.mark < s.margin {
+		if s.emitted-rb.mark < arenaMargin {
 			break
 		}
 		rb.b.reset(false)

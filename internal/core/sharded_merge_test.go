@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"icewafl/internal/rng"
 	"icewafl/internal/stream"
 )
 
@@ -15,12 +16,11 @@ import (
 // key skew (every tuple on one shard), empty input, one-tuple batches,
 // relaxed-order mode, and the arena clone path.
 
-// runShardedCfg runs the keyed oracle pipeline with an explicit
+// runShardedWith runs a keyed pipeline factory with an explicit
 // ShardConfig and returns the rendered output and log.
-func runShardedCfg(t *testing.T, seed int64, n, keys int, reorder int, cfg ShardConfig) (string, string) {
+func runShardedWith(t *testing.T, factory func(int) *Pipeline, n, keys, reorder int, cfg ShardConfig) (string, string) {
 	t.Helper()
 	schema := shardedTestSchema()
-	factory := keyedStickyTemporalFactory(seed)
 	cfg.KeyAttr = "sensor"
 	cfg.NewPipeline = factory
 	proc := &Process{Pipelines: []*Pipeline{factory(0)}}
@@ -44,6 +44,13 @@ func runShardedCfg(t *testing.T, seed int64, n, keys int, reorder int, cfg Shard
 		tuples = append(tuples, tup)
 	}
 	return renderTuples(tuples), renderLog(log)
+}
+
+// runShardedCfg runs the keyed oracle pipeline with an explicit
+// ShardConfig and returns the rendered output and log.
+func runShardedCfg(t *testing.T, seed int64, n, keys int, reorder int, cfg ShardConfig) (string, string) {
+	t.Helper()
+	return runShardedWith(t, keyedStickyTemporalFactory(seed), n, keys, reorder, cfg)
 }
 
 // TestShardedKeySkew routes every tuple to a single shard (one key):
@@ -101,33 +108,38 @@ func TestShardedSingleTupleBatches(t *testing.T) {
 	}
 }
 
-// TestShardedRelaxedOrderMultiset verifies OrderRelaxed: the emitted
-// tuples and log entries are the same multiset as the sequential run,
-// and each key's subsequence keeps its original relative order.
-func TestShardedRelaxedOrderMultiset(t *testing.T) {
-	const n, keys = 1500, 13
-	seed := int64(42)
+// collectSharded runs the keyed oracle pipeline and collects the
+// emitted tuples (cloned — arena tuples are loans) and the log.
+func collectSharded(t *testing.T, seed int64, n, keys, reorder int, cfg ShardConfig) ([]stream.Tuple, *Log) {
+	t.Helper()
 	schema := shardedTestSchema()
 	factory := keyedStickyTemporalFactory(seed)
-
-	collect := func(cfg ShardConfig) ([]stream.Tuple, *Log) {
-		proc := &Process{Pipelines: []*Pipeline{factory(0)}}
-		cfg.KeyAttr = "sensor"
-		cfg.NewPipeline = factory
-		out, log, err := proc.RunStreamSharded(shardedTestSource(schema, n, keys), 1, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tuples, err := stream.Drain(out)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return tuples, log
+	cfg.KeyAttr = "sensor"
+	cfg.NewPipeline = factory
+	proc := &Process{Pipelines: []*Pipeline{factory(0)}}
+	out, log, err := proc.RunStreamSharded(shardedTestSource(schema, n, keys), reorder, cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
+	var tuples []stream.Tuple
+	for {
+		tup, err := out.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples = append(tuples, tup.Clone())
+	}
+	return tuples, log
+}
 
-	seqTuples, seqLog := collect(ShardConfig{Shards: 1})
-	relTuples, relLog := collect(ShardConfig{Shards: 4, Order: OrderRelaxed})
-
+// assertRelaxedEquivalent asserts a relaxed-order run emitted the same
+// multiset of tuples and log entries as the sequential run, with every
+// key's subsequence keeping its original relative order.
+func assertRelaxedEquivalent(t *testing.T, seqTuples, relTuples []stream.Tuple, seqLog, relLog *Log) {
+	t.Helper()
 	sortedLines := func(ts []stream.Tuple) []string {
 		lines := strings.Split(strings.TrimSuffix(renderTuples(ts), "\n"), "\n")
 		sort.Strings(lines)
@@ -173,6 +185,36 @@ func TestShardedRelaxedOrderMultiset(t *testing.T) {
 	}
 }
 
+// TestShardedRelaxedOrderMultiset verifies OrderRelaxed: the emitted
+// tuples and log entries are the same multiset as the sequential run,
+// and each key's subsequence keeps its original relative order.
+func TestShardedRelaxedOrderMultiset(t *testing.T) {
+	const n, keys = 1500, 13
+	seed := int64(42)
+	seqTuples, seqLog := collectSharded(t, seed, n, keys, 1, ShardConfig{Shards: 1})
+	relTuples, relLog := collectSharded(t, seed, n, keys, 1, ShardConfig{Shards: 4, Order: OrderRelaxed})
+	assertRelaxedEquivalent(t, seqTuples, relTuples, seqLog, relLog)
+}
+
+// TestShardedRelaxedArenaReorderMultiset is the regression test for
+// the relaxed+arena use-after-recycle hazard: a reorder window used to
+// be applied on top of relaxed output, where the arbitrary shard
+// interleaving let buffered tuples outlive the arena recycling margin
+// and alias refilled value blocks. Relaxed mode now ignores the
+// window, so a run with Arena on, tiny batches (maximum recycling
+// pressure) and a large requested window must still emit the exact
+// sequential multiset with per-key order intact. CI runs this under
+// -race, which also catches the worker-overwrites-loaned-values race
+// directly.
+func TestShardedRelaxedArenaReorderMultiset(t *testing.T) {
+	const n, keys = 1500, 13
+	seed := int64(42)
+	seqTuples, seqLog := collectSharded(t, seed, n, keys, 1, ShardConfig{Shards: 1})
+	relTuples, relLog := collectSharded(t, seed, n, keys, 64,
+		ShardConfig{Shards: 4, Order: OrderRelaxed, Arena: true, BatchSize: 8})
+	assertRelaxedEquivalent(t, seqTuples, relTuples, seqLog, relLog)
+}
+
 // TestShardedArenaByteIdentical runs the arena clone path (including
 // shards=1, which maps it onto the pooled sequential runner) against
 // the plain sequential output, with and without a reorder window.
@@ -190,6 +232,53 @@ func TestShardedArenaByteIdentical(t *testing.T) {
 			if gotLog != wantLog {
 				t.Errorf("arena shards=%d reorder=%d: log differs from sequential", shards, reorder)
 			}
+		}
+	}
+}
+
+// keyedHeavyDelayFactory delays a sizeable fraction of tuples by far
+// more than any reorder window under test (3h on a 1-minute cadence
+// displaces a tuple ~180 positions), so delayed tuples dwell in a
+// downstream bounded reorder buffer for arbitrarily many emissions —
+// no fixed emission-count margin covers them.
+func keyedHeavyDelayFactory(seed int64) func(int) *Pipeline {
+	perKey := func(key string) Polluter {
+		return NewComposite("per-key", nil,
+			NewStandard("noise",
+				&GaussianNoise{Stddev: Const(2), Rand: rng.Derive(seed, "noise/"+key)},
+				NewRandomConst(0.4, rng.Derive(seed, "noise-cond/"+key)), "v"),
+			NewStandard("delay",
+				DelayTuple{Delay: 3 * time.Hour},
+				NewRandomConst(0.15, rng.Derive(seed, "delay/"+key)), "v"),
+		)
+	}
+	return func(int) *Pipeline {
+		return NewPipeline(NewKeyedPolluter("keyed", "sensor", perKey))
+	}
+}
+
+// TestShardedArenaReorderHeavyDelay is the strict-mode variant of the
+// arena use-after-recycle regression: a heavily delayed tuple sits in
+// the reorder buffer while far more emissions than any fixed margin
+// stream past it, so with a reorder window in place retired arena
+// batches must fall to the GC instead of recycling. Output must stay
+// byte-identical to the sequential run; under -race the old recycling
+// also surfaces as a worker-write/consumer-read race.
+func TestShardedArenaReorderHeavyDelay(t *testing.T) {
+	const n, keys, window = 1200, 7, 32
+	factory := keyedHeavyDelayFactory(61)
+	wantOut, wantLog := runShardedWith(t, factory, n, keys, window, ShardConfig{Shards: 1})
+	if wantOut == "" {
+		t.Fatal("sequential run produced nothing")
+	}
+	for _, shards := range []int{2, 8} {
+		cfg := ShardConfig{Shards: shards, Arena: true, BatchSize: 16}
+		gotOut, gotLog := runShardedWith(t, factory, n, keys, window, cfg)
+		if gotOut != wantOut {
+			t.Errorf("shards=%d: heavy-delay arena output differs from sequential", shards)
+		}
+		if gotLog != wantLog {
+			t.Errorf("shards=%d: heavy-delay arena log differs from sequential", shards)
 		}
 	}
 }
