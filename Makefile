@@ -40,7 +40,9 @@ race:
 # layer instruments (lock-free counters under sharded workers) plus the
 # service runtime's hub/WAL/supervisor machinery and the chaos harness
 # that hammers it. Runs with -count=2 so the second pass exercises
-# warmed per-worker cells.
+# warmed per-worker cells — and, for the columnar differential suite in
+# internal/core, re-runs the byte-identity properties against recycled
+# batch arenas.
 racehot:
 	$(GO) test -race -count=2 ./internal/obs/ ./internal/core/ ./internal/stream/ ./internal/dq/ ./internal/netstream/ ./internal/chaos/
 
@@ -63,7 +65,7 @@ ci: fmt vet lint race integration
 
 # Coverage floor for the engine packages. The threshold is deliberately
 # conservative; raise it as the suites grow.
-COVER_MIN ?= 82
+COVER_MIN ?= 83
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/stream/ ./internal/core/ ./internal/obs/
@@ -81,9 +83,9 @@ cover:
 # the widest shard count must reach SCALING_FLOOR (prorated by the
 # procs the run actually had), and no shard count may fall below
 # SCALING_MIN of sequential throughput.
-BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead|BenchmarkDQIncremental|BenchmarkDQBatchRevalidate|BenchmarkWALAppend|BenchmarkHubReplayFromWAL
-BENCH_BASELINE ?= BENCH_pr6.json
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_PATTERN ?= BenchmarkPollutionTupleWise|BenchmarkPollutionMicroBatch|BenchmarkPollutionColumnar|BenchmarkFigure8RuntimeOverhead|BenchmarkShardedKeyed|BenchmarkTuplePool|BenchmarkObsOverhead|BenchmarkDQIncremental|BenchmarkDQBatchRevalidate|BenchmarkWALAppend|BenchmarkHubReplayFromWAL
+BENCH_BASELINE ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 MAX_REGRESS ?= 0.20
 SCALING_BENCH ?= BenchmarkShardedKeyed
 SCALING_FLOOR ?= 3.0
@@ -113,6 +115,8 @@ fuzz:
 	$(GO) test ./internal/dq/ -run '^$$' -fuzz FuzzSuiteJSON -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netstream/ -run '^$$' -fuzz FuzzWALRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netstream/ -run '^$$' -fuzz FuzzWALTornTail -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netstream/ -run '^$$' -fuzz FuzzColumnarFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netstream/ -run '^$$' -fuzz FuzzColumnarTornFrame -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -410,6 +410,97 @@ func BenchmarkPollutionMicroBatch(b *testing.B) {
 	b.SetBytes(10000)
 }
 
+// BenchmarkPollutionColumnar measures the columnar end-to-end hot path
+// on the same workload as BenchmarkPollutionTupleWise/MicroBatch:
+// batch-native ingest (the source serves column batches directly),
+// conditions and error functions as vectorised sweeps over column
+// slices with batched RNG draw-ahead, and batch-native emission via the
+// runner's ColumnBatchReader side — no per-tuple materialisation
+// anywhere. The differential suite (core/columnar_diff_test.go) proves
+// the path byte-identical to the tuple-wise runner.
+func BenchmarkPollutionColumnar(b *testing.B) {
+	schema, tuples := benchStream(10000)
+	batches, err := stream.BatchColumnar(stream.NewSliceSource(schema, tuples), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := stream.NewColumnBatch(schema, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc := core.NewProcess(noisePipe(int64(i)))
+		proc.DisableLog = true
+		src, _, err := proc.RunStreamColumnar(stream.NewBatchSliceReader(schema, batches), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cbr := src.(stream.ColumnBatchReader)
+		for {
+			out.Reset()
+			n, rerr := cbr.ReadBatch(out, 256)
+			if rerr != nil {
+				if n == 0 && stream.IsEndOfStream(rerr) {
+					break
+				}
+				b.Fatal(rerr)
+			}
+		}
+	}
+	b.SetBytes(10000)
+}
+
+// BenchmarkPollutionColumnarTuples is the same columnar run consumed
+// through the plain Source interface — per-row materialisation with
+// pooled loaned buffers — to isolate the cost of leaving batch form.
+func BenchmarkPollutionColumnarTuples(b *testing.B) {
+	schema, tuples := benchStream(10000)
+	pool := stream.NewTuplePoolFor(schema)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc := core.NewProcess(noisePipe(int64(i)))
+		proc.DisableLog = true
+		proc.Columnar.Pool = pool
+		out, _, err := proc.RunStreamColumnar(stream.NewSliceSource(schema, tuples), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Loaned buffers are released by the runner itself on the next
+		// Next call, so the sink must not recycle.
+		if _, err := stream.Copy(stream.DiscardSink{}, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(10000)
+}
+
+// TestColumnarHotPathAllocFree pins the columnar hot path to the
+// zero-alloc class: amortised over the stream, steady-state processing
+// must not allocate per tuple — only per-run setup (plan compilation,
+// the first batch, pool warm-up) may.
+func TestColumnarHotPathAllocFree(t *testing.T) {
+	const n = 10000
+	schema, tuples := benchStream(n)
+	pool := stream.NewTuplePoolFor(schema)
+	run := func() {
+		proc := core.NewProcess(noisePipe(7))
+		proc.DisableLog = true
+		proc.Columnar.Pool = pool
+		out, _, err := proc.RunStreamColumnar(stream.NewSliceSource(schema, tuples), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stream.Copy(stream.DiscardSink{}, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool outside the measurement
+	perRun := testing.AllocsPerRun(10, run)
+	if perTuple := perRun / n; perTuple >= 0.05 {
+		t.Fatalf("columnar hot path allocates %.0f times per run (%.3f per tuple); want setup-only (< 0.05/tuple)", perRun, perTuple)
+	}
+}
+
 // BenchmarkMergeSort measures Algorithm 1's sort-at-merge (step 3) over
 // m sub-streams.
 func BenchmarkMergeSort(b *testing.B) {

@@ -66,6 +66,7 @@ func main() {
 	meta := flag.Bool("meta", false, "emit Algorithm 1's (_id, _substream, …) columns in the outputs")
 	reportOut := flag.String("report", "", "optional Markdown report output documenting the run")
 	streaming := flag.Bool("stream", false, "tuple-wise constant-memory execution for unbounded inputs (no -clean-out/-report; bounded reordering)")
+	columnar := flag.Bool("columnar", false, "streaming mode: batch-native columnar execution of the pollution hot path (requires -stream; single pipeline; incompatible with -shards and -checkpoint)")
 	reorder := flag.Int("reorder", 64, "streaming mode: bounded reordering window in tuples")
 	shards := flag.Int("shards", 1, "streaming mode: partition the keyed hot path across N parallel workers (requires -shard-key)")
 	shardKey := flag.String("shard-key", "", "attribute whose value routes tuples to shards (required with -shards > 1)")
@@ -130,6 +131,17 @@ func main() {
 			fatalUsage("-shards requires -shard-key")
 		}
 	}
+	if *columnar {
+		if !*streaming {
+			fatalUsage("-columnar requires -stream")
+		}
+		if *shards > 1 {
+			fatalUsage("-columnar is incompatible with -shards; the columnar engine is sequential")
+		}
+		if *checkpointPath != "" {
+			fatalUsage("-columnar is incompatible with -checkpoint; checkpoints cover the tuple-wise path only")
+		}
+	}
 
 	schema, err := schemafile.Load(*schemaPath)
 	if err != nil {
@@ -170,7 +182,15 @@ func main() {
 		}
 		defer in.Close()
 	}
-	reader, err := csvio.NewReader(in, schema)
+	var reader stream.Source
+	if *columnar {
+		// Batch-native ingest: the columnar runner detects the reader's
+		// ReadBatch face and decodes CSV rows straight into column
+		// batches (unless a retry wrapper intervenes below).
+		reader, err = csvio.NewColumnReader(in, schema)
+	} else {
+		reader, err = csvio.NewReader(in, schema)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -197,7 +217,7 @@ func main() {
 			return
 		}
 		metrics.start()
-		runStreaming(proc, src, schema, *outPath, *logOut, *deadOut, *meta, *reorder,
+		runStreaming(proc, src, schema, *outPath, *logOut, *deadOut, *meta, *columnar, *reorder,
 			core.ShardConfig{KeyAttr: *shardKey, Shards: *shards, Order: order, Arena: true})
 		metrics.finish()
 		return
@@ -375,16 +395,21 @@ func writeDeadLetters(path string, letters []stream.DeadLetter) error {
 // window buffered. With sharding.Shards > 1 the keyed hot path is
 // partitioned across parallel workers; the CLI always runs the sharded
 // path in arena mode, which is safe because the sinks below never hold
-// a tuple across Next calls.
-func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schema, outPath, logOut, deadOut string, meta bool, reorder int, sharding core.ShardConfig) {
+// a tuple across Next calls. With columnar the pollution hot path runs
+// on the columnar engine (batch kernels over column batches), emitting
+// a stream byte-identical to the tuple-wise runner.
+func runStreaming(proc *core.Process, reader stream.Source, schema *stream.Schema, outPath, logOut, deadOut string, meta, columnar bool, reorder int, sharding core.ShardConfig) {
 	var (
 		src  stream.Source
 		plog *core.Log
 		err  error
 	)
-	if sharding.Shards > 1 {
+	switch {
+	case sharding.Shards > 1:
 		src, plog, err = proc.RunStreamSharded(reader, reorder, sharding)
-	} else {
+	case columnar:
+		src, plog, err = proc.RunStreamColumnar(reader, reorder)
+	default:
 		src, plog, err = proc.RunStreamMulti(reader, reorder)
 	}
 	if err != nil {

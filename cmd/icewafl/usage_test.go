@@ -46,6 +46,9 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"shards without shard-key", append(base, "-stream", "-shards", "4"), "-shards requires -shard-key"},
 		{"shards with checkpoint", append(base, "-stream", "-checkpoint", "x.ckpt", "-shards", "4", "-shard-key", "sensor"), "-shards is incompatible with -checkpoint"},
 		{"bad shard-order", append(base, "-stream", "-shards", "4", "-shard-key", "sensor", "-shard-order", "chaotic"), "unknown order policy"},
+		{"columnar without stream", append(base, "-columnar"), "-columnar requires -stream"},
+		{"columnar with shards", append(base, "-stream", "-columnar", "-shards", "4", "-shard-key", "sensor"), "-columnar is incompatible with -shards"},
+		{"columnar with checkpoint", append(base, "-stream", "-columnar", "-checkpoint", "x.ckpt"), "-columnar is incompatible with -checkpoint"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

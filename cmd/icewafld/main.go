@@ -9,7 +9,14 @@
 //	icewafld -schema schema.json -config pollution.json -in clean.csv \
 //	         [-listen :7077] [-http :7078] [-policy block|drop-oldest|disconnect-slow] \
 //	         [-buffer 256] [-replay 65536] [-reorder 64] [-linger 0] \
-//	         [-wal DIR] [-checkpoint PATH] [-supervise]
+//	         [-wal DIR] [-checkpoint PATH] [-supervise] [-columnar]
+//
+// With -columnar the pipeline runs on the columnar engine and the dirty
+// channel carries colbatch frames — column-major micro-batches of up to
+// -columnar-batch rows, one frame per sequence number — which clients
+// (netstream.ClientSource) transparently explode back into tuples. The
+// served stream is byte-identical to tuple-wise serving; only the frame
+// granularity changes. Incompatible with -shards and -checkpoint.
 //
 // With -wal the replay ring is backed by a segmented, checksummed
 // write-ahead log: from_seq resume survives daemon restarts, and a
@@ -76,6 +83,8 @@ func main() {
 	shards := flag.Int("shards", 0, "partition the keyed hot path across N parallel workers (default from serve block, 1)")
 	shardKey := flag.String("shard-key", "", "attribute routing tuples to shards (default from serve block; required with shards > 1)")
 	shardOrder := flag.String("shard-order", "", "sharded merge order: strict or relaxed (default from serve block, strict)")
+	columnar := flag.Bool("columnar", false, "serve the dirty channel as columnar micro-batches (colbatch frames; default from serve block)")
+	columnarBatch := flag.Int("columnar-batch", 0, "rows per colbatch frame (default from serve block, 256)")
 	drain := flag.Duration("drain-timeout", 0, "graceful-drain bound on shutdown (default from serve block)")
 	linger := flag.Duration("linger", 0, "exit this long after the pipeline completes (0 = serve until SIGTERM)")
 	traceSample := flag.Uint64("trace-sample", 0, "deterministically trace 1 in N tuples (0 = off)")
@@ -124,6 +133,9 @@ func main() {
 	}
 	if *walFsyncEvery < 0 {
 		fatalUsage("-wal-fsync-every must be positive, got %d", *walFsyncEvery)
+	}
+	if *columnarBatch < 0 {
+		fatalUsage("-columnar-batch must be positive, got %d", *columnarBatch)
 	}
 	if *checkpointEvery < 0 {
 		fatalUsage("-checkpoint-every must be positive, got %d", *checkpointEvery)
@@ -197,6 +209,12 @@ func main() {
 	if *shardOrder != "" {
 		spec.ShardOrder = *shardOrder
 	}
+	if *columnar {
+		spec.Columnar = true
+	}
+	if *columnarBatch > 0 {
+		spec.ColumnarBatch = *columnarBatch
+	}
 	if *walDir != "" {
 		spec.WALDir = *walDir
 	}
@@ -239,6 +257,12 @@ func main() {
 	if spec.Shards > 1 && spec.Checkpoint != "" {
 		fatalUsage("-shards is incompatible with -checkpoint; checkpoints cover the sequential path only")
 	}
+	if spec.Columnar && spec.Shards > 1 {
+		fatalUsage("-columnar is incompatible with -shards; the columnar engine is sequential")
+	}
+	if spec.Columnar && spec.Checkpoint != "" {
+		fatalUsage("-columnar is incompatible with -checkpoint; checkpoints cover the tuple-wise path only")
+	}
 	policy, err := netstream.ParsePolicy(spec.Policy)
 	if err != nil {
 		fatalUsage("%v", err)
@@ -266,7 +290,15 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		reader, err := csvio.NewReader(f, schema)
+		var reader stream.Source
+		if spec.Columnar {
+			// Batch-native CSV ingest: rows decode straight into column
+			// batches, so the columnar runner never materialises per-row
+			// tuples on the way in (unless a retry wrapper intervenes).
+			reader, err = csvio.NewColumnReader(f, schema)
+		} else {
+			reader, err = csvio.NewReader(f, schema)
+		}
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -275,20 +307,22 @@ func main() {
 	}
 
 	srv, err := netstream.NewServer(netstream.Config{
-		Schema:       schema,
-		Proc:         proc,
-		NewSource:    newSource,
-		Reorder:      spec.Reorder,
-		Shards:       spec.Shards,
-		ShardKey:     spec.ShardKey,
-		ShardOrder:   order,
-		Buffer:       spec.Buffer,
-		Replay:       spec.Replay,
-		Policy:       policy,
-		DrainTimeout: drainTimeout,
-		Reg:          reg,
-		Logf:         log.Printf,
-		WALDir:       spec.WALDir,
+		Schema:        schema,
+		Proc:          proc,
+		NewSource:     newSource,
+		Reorder:       spec.Reorder,
+		Shards:        spec.Shards,
+		ShardKey:      spec.ShardKey,
+		ShardOrder:    order,
+		Columnar:      spec.Columnar,
+		ColumnarBatch: spec.ColumnarBatch,
+		Buffer:        spec.Buffer,
+		Replay:        spec.Replay,
+		Policy:        policy,
+		DrainTimeout:  drainTimeout,
+		Reg:           reg,
+		Logf:          log.Printf,
+		WALDir:        spec.WALDir,
 		WAL: netstream.WALOptions{
 			SegmentBytes: spec.WALSegmentBytes,
 			RetainBytes:  spec.WALRetainBytes,

@@ -73,6 +73,12 @@ type ServeSpec struct {
 	// (byte-identical to sequential, the default) or "relaxed" (per-key
 	// order only).
 	ShardOrder string `json:"shard_order,omitempty"`
+	// Columnar serves the dirty channel as columnar micro-batches: the
+	// pipeline runs through the columnar engine and clients receive
+	// colbatch frames (incompatible with shards > 1 and checkpoint).
+	Columnar bool `json:"columnar,omitempty"`
+	// ColumnarBatch caps the rows per colbatch frame (default 256).
+	ColumnarBatch int `json:"columnar_batch,omitempty"`
 	// DrainTimeout bounds the graceful drain on SIGTERM (Go duration,
 	// default "5s").
 	DrainTimeout string `json:"drain_timeout,omitempty"`
@@ -118,6 +124,7 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 	out := ServeSpec{
 		Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block",
 		Reorder: 64, Shards: 1, ShardOrder: "strict", DrainTimeout: "5s",
+		ColumnarBatch:   256,
 		CheckpointEvery: 256,
 		RestartBudget:   3, RestartWindow: "1m", RestartBackoff: "100ms",
 	}
@@ -170,6 +177,16 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 	if out.Shards > 1 && out.ShardKey == "" {
 		return out, fmt.Errorf("config: serve.shards > 1 requires serve.shard_key")
 	}
+	out.Columnar = s.Columnar
+	if s.ColumnarBatch != 0 {
+		if s.ColumnarBatch < 1 {
+			return out, fmt.Errorf("config: serve.columnar_batch must be positive, got %d", s.ColumnarBatch)
+		}
+		out.ColumnarBatch = s.ColumnarBatch
+	}
+	if out.Columnar && out.Shards > 1 {
+		return out, fmt.Errorf("config: serve.columnar is incompatible with serve.shards > 1")
+	}
 	if s.DrainTimeout != "" {
 		d, err := time.ParseDuration(s.DrainTimeout)
 		if err != nil || d <= 0 {
@@ -209,6 +226,9 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 	}
 	if out.Checkpoint != "" && out.Shards > 1 {
 		return out, fmt.Errorf("config: serve.shards > 1 is incompatible with serve.checkpoint; checkpoints cover the sequential path only")
+	}
+	if out.Checkpoint != "" && out.Columnar {
+		return out, fmt.Errorf("config: serve.columnar is incompatible with serve.checkpoint; checkpoints cover the tuple-wise path only")
 	}
 	if s.CheckpointEvery != 0 {
 		if s.CheckpointEvery < 1 {

@@ -11,6 +11,7 @@ func TestServeSpecDefaults(t *testing.T) {
 	want := ServeSpec{
 		Listen: ":7077", Buffer: 256, Replay: 65536, Policy: "block",
 		Reorder: 64, Shards: 1, ShardOrder: "strict", DrainTimeout: "5s",
+		ColumnarBatch:   256,
 		CheckpointEvery: 256,
 		RestartBudget:   3, RestartWindow: "1m", RestartBackoff: "100ms",
 	}
@@ -53,8 +54,8 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 		Listen: ":9999", HTTP: ":9998", Buffer: 8, Replay: 1024,
 		Policy: "disconnect-slow", Reorder: 1, Shards: 8,
 		ShardKey: "sensor", ShardOrder: "relaxed", DrainTimeout: "250ms",
-		CheckpointEvery: 256, RestartBudget: 3, RestartWindow: "1m",
-		RestartBackoff: "100ms",
+		ColumnarBatch: 256, CheckpointEvery: 256, RestartBudget: 3,
+		RestartWindow: "1m", RestartBackoff: "100ms",
 	}
 	if got != want {
 		t.Errorf("got %+v, want %+v", got, want)
@@ -72,6 +73,9 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 		{ServeSpec{Shards: 4}, "serve.shard_key"},
 		{ServeSpec{Shards: 4, ShardKey: "sensor", ShardOrder: "chaotic"}, "serve.shard_order"},
 		{ServeSpec{Shards: 4, ShardKey: "sensor", WALDir: "d", Checkpoint: "ck.json"}, "sequential path"},
+		{ServeSpec{ColumnarBatch: -1}, "serve.columnar_batch"},
+		{ServeSpec{Columnar: true, Shards: 4, ShardKey: "sensor"}, "serve.columnar"},
+		{ServeSpec{Columnar: true, WALDir: "d", Checkpoint: "ck.json"}, "serve.columnar"},
 		{ServeSpec{DrainTimeout: "fast"}, "serve.drain_timeout"},
 		{ServeSpec{DrainTimeout: "-1s"}, "serve.drain_timeout"},
 		{ServeSpec{WALSegmentBytes: -1}, "serve.wal_segment_bytes"},

@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"icewafl/internal/obs"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// This file implements RunStreamColumnar, the columnar end-to-end hot
+// path: instead of pulling tuples one by one through the pipeline, the
+// runner fills a reused ColumnBatch, executes the pipeline as
+// vectorised sweeps over the column arrays (kernel.go), and emits the
+// surviving rows. The output is byte-identical to RunStream — same
+// tuples, same pollution-log entries in the same order, same dead
+// letters, same observability counter totals — which the differential
+// suite in columnar_diff_test.go asserts over randomised configurations.
+//
+// The compiler is conservative: whenever a pipeline component's
+// semantics could observe the execution order difference between
+// tuple-major and polluter-major traversal (shared RNG streams across
+// sweep phases, cross-step state like cascade/deviation conditions,
+// quarantine fault attribution, or unknown custom types), the whole
+// plan collapses to row-wise execution over the batch — still batched
+// ingest and emission, but per-row pollution through the exact scalar
+// code path. Collapse changes performance, never output.
+//
+// One deliberate divergence: the columnar runner does not emit
+// per-tuple pollute trace spans (obs.StagePollute); only counter totals
+// match the tuple-wise runner. Sampled span tracing is a per-tuple
+// diagnostic at odds with batch execution.
+
+// DefaultColumnarBatch is the micro-batch size when ColumnarOptions
+// does not specify one.
+const DefaultColumnarBatch = 256
+
+// ColumnarOptions tunes the columnar hot path of a Process.
+type ColumnarOptions struct {
+	// Batch is the micro-batch size in rows (default
+	// DefaultColumnarBatch).
+	Batch int
+	// Pool, when set with a reorder window <= 1, lets the runner emit
+	// loaned tuples: the buffer of the previously emitted tuple is
+	// recycled on the following Next call, so steady-state emission
+	// allocates nothing. Consumers must not retain emitted tuples
+	// across pulls (Drain must clone; see stream.FromColumnBatches for
+	// the same contract).
+	Pool *stream.TuplePool
+}
+
+// colStep is one top-level pipeline step of a compiled columnar plan:
+// either a vectorised standard polluter (cond+err kernels) or a
+// row-major shim around an opaque-but-safe polluter (composites).
+type colStep struct {
+	// Vectorised form (shim == nil).
+	cond    condKernel
+	err     errKernel
+	name    string
+	errKind string
+	attrs   []string
+	hits    stream.Selection
+
+	// Row-major shim form.
+	shim Polluter
+
+	// Per-batch log scratch: entries this step recorded, with the batch
+	// row of each entry. Counters tick at Record time (scratch.Obs);
+	// the merge appends entries without recounting, like Log.Merge.
+	scratch *Log
+	rows    []int32
+	cursor  int
+}
+
+// run executes the step over all rows of b.
+func (s *colStep) run(b *stream.ColumnBatch, all stream.Selection, rowBuf *[]stream.Value) {
+	if s.shim != nil {
+		taus := b.EventTimes()
+		for _, r := range all {
+			t := b.RowInto(*rowBuf, int(r))
+			*rowBuf = t.Values()
+			mark := 0
+			if s.scratch != nil {
+				mark = len(s.scratch.Entries)
+			}
+			s.shim.Pollute(&t, taus[r], s.scratch)
+			if s.scratch != nil {
+				for i := mark; i < len(s.scratch.Entries); i++ {
+					s.rows = append(s.rows, r)
+				}
+			}
+			b.SetRow(int(r), t)
+		}
+		return
+	}
+	s.hits = s.cond(b, all, s.hits[:0])
+	if s.scratch != nil && s.scratch.Obs != nil {
+		// Bulk form of the per-tuple condHit/condMiss bookkeeping.
+		s.scratch.Obs.Add(obs.CCondHits, uint64(len(s.hits)))
+		s.scratch.Obs.Add(obs.CCondMisses, uint64(len(all)-len(s.hits)))
+	}
+	s.err(b, s.hits)
+	if s.scratch != nil {
+		ids := b.IDs()
+		taus := b.EventTimes()
+		for _, r := range s.hits {
+			s.scratch.Record(Entry{
+				TupleID:   ids[r],
+				EventTime: taus[r],
+				Polluter:  s.name,
+				Error:     s.errKind,
+				Attrs:     s.attrs,
+			})
+			s.rows = append(s.rows, r)
+		}
+	}
+}
+
+// mergeStepLogs folds the per-step scratch logs into the run log in
+// row-major order — the order the tuple-wise runner records entries —
+// and resets the scratches for the next batch. Entries were already
+// counted at Record time, so the merge appends without recounting.
+func mergeStepLogs(steps []colStep, log *Log, n int) {
+	if log == nil {
+		return
+	}
+	for row := int32(0); row < int32(n); row++ {
+		for si := range steps {
+			st := &steps[si]
+			for st.cursor < len(st.rows) && st.rows[st.cursor] == row {
+				log.Entries = append(log.Entries, st.scratch.Entries[st.cursor])
+				st.cursor++
+			}
+		}
+	}
+	for si := range steps {
+		st := &steps[si]
+		st.scratch.Entries = st.scratch.Entries[:0]
+		st.rows = st.rows[:0]
+		st.cursor = 0
+	}
+}
+
+// compileColumnarPlan compiles p into vectorised steps. A non-empty
+// reason means the plan cannot run polluter-major and the runner must
+// collapse to row-wise execution (reason is diagnostic only).
+func compileColumnarPlan(p *Pipeline, schema *stream.Schema, quarantine bool) (steps []colStep, reason string) {
+	if quarantine {
+		// Quarantine attributes pipeline panics to single rows and rolls
+		// the log back per tuple; only row-at-a-time execution can do
+		// that.
+		return nil, "quarantine requires per-row fault attribution"
+	}
+	var phases [][]*rng.Stream
+	for _, pol := range p.Polluters {
+		switch v := pol.(type) {
+		case *Standard:
+			cp, ok := condPhases(v.Cond)
+			if !ok {
+				return nil, fmt.Sprintf("condition %T requires row-wise execution", v.Cond)
+			}
+			ep, ok := errPhases(v.Err)
+			if !ok {
+				return nil, fmt.Sprintf("error function %T requires row-wise execution", v.Err)
+			}
+			ck, ok := compileCond(v.Cond, schema)
+			if !ok {
+				return nil, fmt.Sprintf("condition %T has no kernel", v.Cond)
+			}
+			ek, ok := compileErr(v.Err, v.Attrs, schema)
+			if !ok {
+				return nil, fmt.Sprintf("error function %T has no kernel", v.Err)
+			}
+			phases = append(phases, cp...)
+			phases = append(phases, ep...)
+			steps = append(steps, colStep{
+				cond:    ck,
+				err:     ek,
+				name:    v.PolluterName,
+				errKind: v.Err.Kind(),
+				attrs:   v.Attrs,
+			})
+		case *Composite:
+			// A composite dispatches per tuple (mode, choice draws,
+			// sequence of children); it runs as one row-major shim step,
+			// so all of its streams form a single phase.
+			ps, ok := polluterStreams(v)
+			if !ok {
+				return nil, fmt.Sprintf("polluter %q contains components that require row-wise execution", v.PolluterName)
+			}
+			if len(ps) > 0 {
+				phases = append(phases, ps)
+			}
+			steps = append(steps, colStep{shim: v})
+		default:
+			// Observers, keyed polluters, custom polluters: cross-step
+			// coupling and RNG usage cannot be enumerated.
+			return nil, fmt.Sprintf("polluter %T requires row-wise execution", pol)
+		}
+	}
+	if sharesStreams(phases) {
+		// The same RNG stream drawn in two sweep phases would consume
+		// draws in a different order than tuple-major execution.
+		return nil, "an rng stream is shared across sweep phases"
+	}
+	return steps, ""
+}
+
+// RunStreamColumnar executes the single-pipeline workflow like
+// RunStream but over columnar micro-batches. The emitted stream, the
+// pollution log, the dead-letter queue and the observability counter
+// totals are byte-identical to RunStream over the same source; only
+// throughput differs. The wrapper chain mirrors RunStream exactly:
+// source observation → optional quarantine → preparation → pollution →
+// optional bounded reorder.
+//
+// When the raw source implements stream.ColumnBatchReader and
+// quarantine is off, ingest is batch-native: rows decode straight into
+// the runner's column buffers and preparation (ID assignment, τ
+// extraction) runs as column sweeps, bypassing per-tuple
+// materialisation entirely.
+//
+// Like RunStream, columnar streaming pollutes in place and supports
+// exactly one pipeline.
+func (pr *Process) RunStreamColumnar(src stream.Source, reorderWindow int) (stream.Source, *Log, error) {
+	if len(pr.Pipelines) != 1 {
+		return nil, nil, fmt.Errorf("core: columnar streaming mode supports exactly one pipeline, got %d", len(pr.Pipelines))
+	}
+	pr.resetPipelines()
+	firstID := pr.FirstID
+	if firstID == 0 {
+		firstID = 1
+	}
+	log := pr.newLog()
+	dlq := pr.instrumentDLQ(pr.Fault.queue())
+	schema := src.Schema()
+	batchSize := pr.Columnar.Batch
+	if batchSize <= 0 {
+		batchSize = DefaultColumnarBatch
+	}
+
+	steps, collapse := compileColumnarPlan(pr.Pipelines[0], schema, pr.Fault.Quarantine)
+	if collapse == "" && log != nil {
+		for i := range steps {
+			steps[i].scratch = &Log{Obs: log.Obs}
+		}
+	}
+
+	runner := &columnarRunner{
+		schema:    schema,
+		steps:     steps,
+		rowWise:   collapse != "",
+		p:         pr.Pipelines[0],
+		log:       log,
+		fault:     pr.Fault,
+		dlq:       dlq,
+		reg:       pr.Obs,
+		tap:       pr.CleanTap,
+		batchSize: batchSize,
+		batch:     stream.NewColumnBatch(schema, batchSize),
+		pool:      pr.Columnar.Pool,
+		loan:      pr.Columnar.Pool != nil && reorderWindow <= 1,
+	}
+
+	var in stream.Source = stream.ObserveSource(src, pr.Obs)
+	if pr.Fault.Quarantine {
+		in = stream.Quarantine(in, dlq, pr.Fault.MaxQuarantined)
+	}
+	runner.src = stream.NewPrepare(in, firstID)
+	if cbr, ok := src.(stream.ColumnBatchReader); ok && !pr.Fault.Quarantine {
+		// Batch-native ingest replicates the wrapper chain's per-row
+		// effects (source counting, ID/τ/arrival assignment) itself.
+		runner.batchSrc = cbr
+		runner.nextID = firstID
+		runner.tsIdx = schema.TimestampIndex()
+	}
+	if reorderWindow > 1 {
+		return stream.NewBoundedReorder(runner, reorderWindow), log, nil
+	}
+	return runner, log, nil
+}
+
+// columnarRunner is the fused batch-fill → pollute → emit operator of
+// columnar streaming mode.
+type columnarRunner struct {
+	schema   *stream.Schema
+	src      *stream.Prepare
+	batchSrc stream.ColumnBatchReader
+	nextID   uint64
+	tsIdx    int
+
+	steps   []colStep
+	rowWise bool
+	p       *Pipeline
+	log     *Log
+	fault   FaultPolicy
+	dlq     *stream.DeadLetterQueue
+	reg     *obs.Registry
+	tap     func(stream.Tuple)
+
+	batchSize int
+	batch     *stream.ColumnBatch
+	all       stream.Selection
+	rowBuf    []stream.Value
+
+	pool *stream.TuplePool
+	loan bool
+	prev stream.Tuple
+	held bool
+
+	// pos..limit are the processed rows still to emit; pendingErr is a
+	// source or fault error stashed until the rows that precede it have
+	// been delivered, preserving the tuple/error order of the scalar
+	// runner.
+	pos, limit int
+	pendingErr error
+	done       bool
+}
+
+// Schema implements stream.Source.
+func (r *columnarRunner) Schema() *stream.Schema { return r.schema }
+
+// Next implements stream.Source.
+func (r *columnarRunner) Next() (stream.Tuple, error) {
+	if r.held {
+		r.pool.ReleaseTuple(r.prev)
+		r.held = false
+		r.prev = stream.Tuple{}
+	}
+	for {
+		for r.pos < r.limit {
+			row := r.pos
+			r.pos++
+			if r.batch.QuarantinedMask()[row] {
+				continue
+			}
+			if r.batch.DroppedMask()[row] {
+				r.reg.Inc(obs.CTuplesDropped)
+				continue
+			}
+			var buf []stream.Value
+			if r.loan {
+				buf = r.pool.Get()
+			}
+			t := r.batch.RowInto(buf, row)
+			r.reg.Inc(obs.CTuplesOut)
+			if r.loan {
+				r.prev = t
+				r.held = true
+			}
+			return t, nil
+		}
+		if r.pendingErr != nil {
+			err := r.pendingErr
+			r.pendingErr = nil
+			return stream.Tuple{}, err
+		}
+		if r.done {
+			return stream.Tuple{}, io.EOF
+		}
+		r.fill()
+		r.process()
+	}
+}
+
+// ReadBatch implements stream.ColumnBatchReader: the runner serves its
+// processed rows batch-at-a-time, so a batch-native consumer (the
+// netstream columnar encoder, batch sinks) never materialises tuples.
+// Emission semantics and counter effects are exactly those of Next —
+// quarantined rows are filtered, dropped rows are filtered and counted
+// — delivered as bulk column copies of the surviving row runs. Note
+// the returned rows are appended to dst, so interleaving ReadBatch and
+// Next is well-defined (each row is delivered exactly once).
+func (r *columnarRunner) ReadBatch(dst *stream.ColumnBatch, max int) (int, error) {
+	if r.held {
+		r.pool.ReleaseTuple(r.prev)
+		r.held = false
+		r.prev = stream.Tuple{}
+	}
+	appended := 0
+	for appended < max {
+		if r.pos < r.limit {
+			quar := r.batch.QuarantinedMask()
+			drop := r.batch.DroppedMask()
+			row := r.pos
+			if quar[row] {
+				r.pos++
+				continue
+			}
+			if drop[row] {
+				r.reg.Inc(obs.CTuplesDropped)
+				r.pos++
+				continue
+			}
+			end := row + 1
+			for end < r.limit && appended+(end-row) < max && !quar[end] && !drop[end] {
+				end++
+			}
+			if err := dst.AppendBatchRows(r.batch, row, end); err != nil {
+				return appended, err
+			}
+			r.reg.Add(obs.CTuplesOut, uint64(end-row))
+			appended += end - row
+			r.pos = end
+			continue
+		}
+		if r.pendingErr != nil {
+			// Rows read before the failure stay appended, per the
+			// ColumnBatchReader contract.
+			err := r.pendingErr
+			r.pendingErr = nil
+			return appended, err
+		}
+		if r.done {
+			if appended == 0 {
+				return 0, io.EOF
+			}
+			return appended, nil
+		}
+		r.fill()
+		r.process()
+	}
+	return appended, nil
+}
+
+// fill pulls the next micro-batch. A mid-batch source error is stashed
+// as pendingErr so the rows read before it still flow — the scalar
+// runner would have delivered them before surfacing the error.
+func (r *columnarRunner) fill() {
+	r.batch.Reset()
+	r.pos, r.limit = 0, 0
+	if r.batchSrc != nil {
+		r.fillNative()
+		return
+	}
+	for r.batch.Len() < r.batchSize {
+		t, err := r.src.Next()
+		if err != nil {
+			if stream.IsEndOfStream(err) {
+				r.done = true
+			} else {
+				r.pendingErr = err
+			}
+			return
+		}
+		if r.tap != nil {
+			r.tap(t.Clone())
+		}
+		r.reg.Inc(obs.CTuplesIn)
+		if aerr := r.batch.AppendTuple(t); aerr != nil {
+			r.pendingErr = aerr
+			return
+		}
+	}
+}
+
+// fillNative is the batch-native ingest path: the source decodes rows
+// directly into the column buffers and the per-row effects of the
+// tuple-wise wrapper chain — ObserveSource counting, Prepare's ID/τ/
+// arrival assignment, the clean tap, the tuples-in counter — are
+// replicated as column sweeps.
+func (r *columnarRunner) fillNative() {
+	_, err := r.batchSrc.ReadBatch(r.batch, r.batchSize)
+	n := r.batch.Len()
+	r.reg.Add(obs.CSourceRows, uint64(n))
+	for row := 0; row < n; row++ {
+		r.batch.SetID(row, r.nextID)
+		r.nextID++
+		tau, ok := r.batch.Value(row, r.tsIdx).AsTime()
+		if !ok {
+			tau = time.Time{}
+		}
+		r.batch.SetEventTime(row, tau)
+		r.batch.SetArrival(row, tau)
+		if r.tap != nil {
+			r.tap(r.batch.Row(row))
+		}
+	}
+	r.reg.Add(obs.CTuplesIn, uint64(n))
+	if err != nil {
+		if stream.IsEndOfStream(err) {
+			r.done = true
+			return
+		}
+		if _, ok := stream.AsTupleError(err); ok {
+			// ObserveSource counts a malformed row as a source row too.
+			r.reg.Inc(obs.CSourceRows)
+			r.reg.Inc(obs.CSourceErrors)
+		}
+		r.pendingErr = err
+	}
+}
+
+// process pollutes the filled batch in place and sets the emission
+// window.
+func (r *columnarRunner) process() {
+	n := r.batch.Len()
+	r.limit = n
+	if n == 0 {
+		return
+	}
+	if r.rowWise {
+		for row := 0; row < n; row++ {
+			t := r.batch.RowInto(r.rowBuf, row)
+			r.rowBuf = t.Values()
+			mark := 0
+			if r.log != nil {
+				mark = len(r.log.Entries)
+			}
+			ok, ferr := applyWithFault(r.p, &t, r.log, r.fault, r.dlq, mark)
+			r.batch.SetRow(row, t)
+			_ = ok // a skipped tuple carries Quarantined and is filtered at emission
+			if ferr != nil {
+				// Fatal (quarantine overflow): deliver the rows before the
+				// failure, then surface the error and stop.
+				r.limit = row
+				r.pendingErr = ferr
+				r.done = true
+				return
+			}
+		}
+		return
+	}
+	r.all = r.all.FillAll(n)
+	for si := range r.steps {
+		r.steps[si].run(r.batch, r.all, &r.rowBuf)
+	}
+	mergeStepLogs(r.steps, r.log, n)
+}

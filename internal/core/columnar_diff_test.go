@@ -1,0 +1,742 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"icewafl/internal/obs"
+	"icewafl/internal/rng"
+	"icewafl/internal/stream"
+)
+
+// Differential suite: RunStreamColumnar must be byte-identical to
+// RunStream — same emitted tuples (values, metadata, order), same
+// pollution-log entries in the same order, same dead letters, and the
+// same observability counter totals — across randomised datasets and
+// polluter configurations, including NULL/NaN/±Inf cells, empty
+// batches, and sticky/temporal state straddling batch boundaries.
+
+// diffSchema is a five-kind schema so every kernel family is exercised.
+func diffSchema() *stream.Schema {
+	return stream.MustSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+		stream.Field{Name: "n", Kind: stream.KindInt},
+		stream.Field{Name: "cat", Kind: stream.KindString},
+		stream.Field{Name: "flag", Kind: stream.KindBool},
+		stream.Field{Name: "aux", Kind: stream.KindFloat},
+	)
+}
+
+// diffSource generates n rows with adversarial cells: NULLs, NaN, ±Inf,
+// denormals, empty strings, and an occasional NULL timestamp (zero τ).
+func diffSource(s *stream.Schema, seed int64, n int) stream.Source {
+	r := rng.Derive(seed, "diff-source")
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	cats := []string{"a", "bb", "ccc", "", "Ω"}
+	return stream.NewGeneratorSource(s, n, func(i int) stream.Tuple {
+		ts := stream.Value(stream.Time(base.Add(time.Duration(i) * 11 * time.Minute)))
+		if r.Intn(29) == 0 {
+			ts = stream.Null()
+		}
+		v := stream.Value(stream.Float(r.Uniform(-100, 100)))
+		switch r.Intn(17) {
+		case 0:
+			v = stream.Null()
+		case 1:
+			v = stream.Float(math.NaN())
+		case 2:
+			v = stream.Float(math.Inf(1))
+		case 3:
+			v = stream.Float(math.Inf(-1))
+		case 4:
+			v = stream.Float(math.SmallestNonzeroFloat64)
+		}
+		nv := stream.Value(stream.Int(int64(r.Intn(1000)) - 500))
+		if r.Intn(13) == 0 {
+			nv = stream.Null()
+		}
+		cv := stream.Value(stream.Str(cats[r.Intn(len(cats))]))
+		if r.Intn(11) == 0 {
+			cv = stream.Null()
+		}
+		return stream.NewTuple(s, []stream.Value{
+			ts, v, nv, cv, stream.Bool(r.Bool()), stream.Float(r.Uniform(0, 1)),
+		})
+	})
+}
+
+// renderTuple renders every byte of a tuple that the engine contract
+// covers: metadata plus the exact kind/textual form of each cell.
+// String comparison is deliberate — it distinguishes -0 from 0, Int(3)
+// from Float(3), and renders NaN stably, which Value.Equal cannot
+// (NaN != NaN).
+func renderTuple(t stream.Tuple) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%d sub=%d tau=%s arr=%s drop=%v quar=%v |",
+		t.ID, t.SubStream, t.EventTime.Format(time.RFC3339Nano),
+		t.Arrival.Format(time.RFC3339Nano), t.Dropped, t.Quarantined)
+	for i := 0; i < t.Len(); i++ {
+		v := t.At(i)
+		fmt.Fprintf(&b, " %d:%s", v.Kind(), v.String())
+	}
+	return b.String()
+}
+
+func renderEntry(e Entry) string {
+	return fmt.Sprintf("id=%d sub=%d tau=%s pol=%s err=%s attrs=%v",
+		e.TupleID, e.SubStream, e.EventTime.Format(time.RFC3339Nano),
+		e.Polluter, e.Error, e.Attrs)
+}
+
+// diffCounters are the totals both runners must agree on.
+var diffCounters = []obs.CounterID{
+	obs.CSourceRows, obs.CSourceErrors, obs.CTuplesIn, obs.CTuplesOut,
+	obs.CTuplesDropped, obs.CDeadLetters, obs.CLogEntries,
+	obs.CCondHits, obs.CCondMisses,
+}
+
+type diffRun struct {
+	tuples  []string
+	entries []string
+	letters []stream.DeadLetter
+	counts  map[obs.CounterID]uint64
+	err     string
+}
+
+// runOne executes one runner variant and renders everything comparable.
+// build must return a fresh Process and source per call (stateful
+// components and RNG streams are consumed by a run).
+func runOne(t *testing.T, build func() (*Process, stream.Source), columnar bool, reorder int) diffRun {
+	t.Helper()
+	proc, src := build()
+	reg := obs.NewRegistry()
+	proc.Obs = reg
+	dlq := stream.NewDeadLetterQueue()
+	if proc.Fault.Quarantine {
+		proc.Fault.DLQ = dlq
+	}
+	var (
+		out  stream.Source
+		log  *Log
+		rerr error
+	)
+	if columnar {
+		out, log, rerr = proc.RunStreamColumnar(src, reorder)
+	} else {
+		out, log, rerr = proc.RunStream(src, reorder)
+	}
+	if rerr != nil {
+		t.Fatalf("run setup (columnar=%v): %v", columnar, rerr)
+	}
+	var run diffRun
+	for {
+		tp, err := out.Next()
+		if err != nil {
+			if !stream.IsEndOfStream(err) {
+				run.err = err.Error()
+			}
+			break
+		}
+		run.tuples = append(run.tuples, renderTuple(tp))
+	}
+	if log != nil {
+		for _, e := range log.Entries {
+			run.entries = append(run.entries, renderEntry(e))
+		}
+	}
+	run.letters = dlq.Letters()
+	run.counts = make(map[obs.CounterID]uint64, len(diffCounters))
+	for _, id := range diffCounters {
+		run.counts[id] = reg.Counter(id)
+	}
+	return run
+}
+
+// assertIdentical runs both engines over fresh builds and compares
+// every observable output byte for byte.
+func assertIdentical(t *testing.T, name string, build func() (*Process, stream.Source), reorder int) {
+	t.Helper()
+	want := runOne(t, build, false, reorder)
+	for _, batch := range []int{1, 3, 7, 256} {
+		got := runOne(t, func() (*Process, stream.Source) {
+			proc, src := build()
+			proc.Columnar.Batch = batch
+			return proc, src
+		}, true, reorder)
+		tag := fmt.Sprintf("%s/batch=%d", name, batch)
+		if len(got.tuples) != len(want.tuples) {
+			t.Fatalf("%s: emitted %d tuples, tuple-wise emitted %d", tag, len(got.tuples), len(want.tuples))
+		}
+		for i := range want.tuples {
+			if got.tuples[i] != want.tuples[i] {
+				t.Fatalf("%s: tuple %d diverged\ncolumnar:   %s\ntuple-wise: %s", tag, i, got.tuples[i], want.tuples[i])
+			}
+		}
+		if len(got.entries) != len(want.entries) {
+			t.Fatalf("%s: log has %d entries, tuple-wise has %d\ncolumnar: %v\ntuple-wise: %v",
+				tag, len(got.entries), len(want.entries), got.entries, want.entries)
+		}
+		for i := range want.entries {
+			if got.entries[i] != want.entries[i] {
+				t.Fatalf("%s: log entry %d diverged\ncolumnar:   %s\ntuple-wise: %s", tag, i, got.entries[i], want.entries[i])
+			}
+		}
+		if len(got.letters) != len(want.letters) {
+			t.Fatalf("%s: %d dead letters, tuple-wise %d", tag, len(got.letters), len(want.letters))
+		}
+		for i := range want.letters {
+			if fmt.Sprintf("%+v", got.letters[i]) != fmt.Sprintf("%+v", want.letters[i]) {
+				t.Fatalf("%s: dead letter %d diverged\ncolumnar:   %+v\ntuple-wise: %+v", tag, i, got.letters[i], want.letters[i])
+			}
+		}
+		for _, id := range diffCounters {
+			if got.counts[id] != want.counts[id] {
+				t.Fatalf("%s: counter %d = %d, tuple-wise %d", tag, id, got.counts[id], want.counts[id])
+			}
+		}
+		if got.err != want.err {
+			t.Fatalf("%s: terminal error %q, tuple-wise %q", tag, got.err, want.err)
+		}
+	}
+}
+
+// vectorisedPipeline covers every kernelised condition and error
+// function, with distinct RNG streams so the plan stays polluter-major.
+func vectorisedPipeline(seed int64) *Pipeline {
+	day1 := time.Date(2021, 6, 1, 6, 0, 0, 0, time.UTC)
+	day2 := time.Date(2021, 6, 2, 0, 0, 0, 0, time.UTC)
+	return NewPipeline(
+		NewStandard("gauss", &GaussianNoise{Stddev: Linear(day1, day2, 0.5, 2), Rand: rng.Derive(seed, "g")},
+			NewRandom(Linear(day1, day2, 0.05, 0.4), rng.Derive(seed, "gc")), "v", "aux"),
+		NewStandard("umn", &UniformMultNoise{Lo: Const(0.05), Hi: Const(0.2), Rand: rng.Derive(seed, "u")},
+			And{TimeInterval{From: day1, To: day2}, NewRandomConst(0.4, rng.Derive(seed, "uc"))}, "v"),
+		NewStandard("outlier", &Outlier{Magnitude: Const(5), Rand: rng.Derive(seed, "o")},
+			NewRandomConst(0.15, rng.Derive(seed, "oc")), "v", "n"),
+		NewStandard("scale", &ScaleByFactor{Factor: Const(0.125)},
+			Compare{Attr: "v", Op: OpGt, Value: stream.Float(20)}, "v"),
+		NewStandard("offset", Offset{Delta: Const(-3)},
+			Compare{Attr: "n", Op: OpLe, Value: stream.Int(0)}, "n"),
+		NewStandard("round", RoundPrecision{Digits: 1},
+			Or{NewRandomConst(0.2, rng.Derive(seed, "rc")), Compare{Attr: "flag", Op: OpEq, Value: stream.Bool(true)}}, "aux"),
+		NewStandard("clamp", Clamp{Lo: -10, Hi: 10}, Always{}, "aux"),
+		NewStandard("null", MissingValue{},
+			NewRandomConst(0.1, rng.Derive(seed, "nc")), "cat"),
+		NewStandard("const", SetConstant{Value: stream.Int(0)},
+			Not{Inner: Compare{Attr: "n", Op: OpNe, Value: stream.Null()}}, "n"),
+		NewStandard("cat", &IncorrectCategory{Categories: []string{"a", "bb", "ccc"}, Rand: rng.Derive(seed, "cat")},
+			NewRandomConst(0.3, rng.Derive(seed, "catc")), "cat"),
+		NewStandard("typo", &StringTypo{Rand: rng.Derive(seed, "t")},
+			NewRandomConst(0.25, rng.Derive(seed, "tc")), "cat"),
+		NewStandard("swap", SwapAttributes{}, NewRandomConst(0.05, rng.Derive(seed, "sc")), "v", "aux"),
+		NewStandard("delay", DelayTuple{Delay: 45 * time.Minute},
+			NewRandomConst(0.1, rng.Derive(seed, "dc")), "v"),
+		NewStandard("drop", DropTuple{}, NewRandomConst(0.05, rng.Derive(seed, "drc")), "v"),
+		NewStandard("shift", TimestampShift{Offset: -2 * time.Hour},
+			NewRandomConst(0.08, rng.Derive(seed, "shc")), "ts"),
+		NewStandard("hold", HoldAndRelease{ReleaseAt: day1.Add(3 * time.Hour)},
+			TimeOfDay{FromHour: 1, ToHour: 5}, "v"),
+		NewStandard("chain", Chain{Offset{Delta: Const(1)}, RoundPrecision{Digits: 0}},
+			NewRandomConst(0.2, rng.Derive(seed, "chc")), "v"),
+	)
+}
+
+func TestColumnarDiffVectorised(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, -99, 123456789} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			build := func() (*Process, stream.Source) {
+				proc := &Process{Pipelines: []*Pipeline{vectorisedPipeline(seed)}}
+				return proc, diffSource(diffSchema(), seed, 300)
+			}
+			// Guard against a vacuous pass: the workload must actually
+			// pollute, drop and log before identity means anything.
+			ref := runOne(t, build, false, 1)
+			if len(ref.entries) == 0 || ref.counts[obs.CCondHits] == 0 ||
+				ref.counts[obs.CTuplesDropped] == 0 {
+				t.Fatalf("reference run is degenerate: %d entries, %d hits, %d drops",
+					len(ref.entries), ref.counts[obs.CCondHits], ref.counts[obs.CTuplesDropped])
+			}
+			assertIdentical(t, "vectorised", build, 1)
+		})
+	}
+}
+
+// TestColumnarDiffVectorisedPlanIsVectorised pins that the config above
+// really compiles polluter-major — otherwise the suite would silently
+// compare row-wise against row-wise.
+func TestColumnarDiffVectorisedPlanIsVectorised(t *testing.T) {
+	steps, reason := compileColumnarPlan(vectorisedPipeline(1), diffSchema(), false)
+	if reason != "" {
+		t.Fatalf("vectorised pipeline collapsed to row-wise: %s", reason)
+	}
+	if len(steps) != 17 {
+		t.Fatalf("compiled %d steps, want 17", len(steps))
+	}
+}
+
+// Stateful conditions (sticky episodes, Markov bursts, budgets, frozen
+// sensors) whose state must straddle batch boundaries — batch sizes 1,
+// 3 and 7 force splits inside hold windows.
+func statefulPipeline(seed int64) *Pipeline {
+	return NewPipeline(
+		NewStandard("episode", &ScaleByFactor{Factor: Const(100)},
+			NewSticky(NewRandomConst(0.05, rng.Derive(seed, "st")), 4*time.Hour), "v"),
+		NewStandard("burst", Offset{Delta: Const(1000)},
+			NewMarkovCondition(0.1, 0.3, rng.Derive(seed, "mk")), "n"),
+		NewStandard("budget", MissingValue{},
+			NewBudgetCondition(NewRandomConst(0.5, rng.Derive(seed, "bd")), 3, 2*time.Hour), "aux"),
+		NewStandard("freeze", NewFrozenValue(),
+			NewSticky(NewRandomConst(0.03, rng.Derive(seed, "fz")), 6*time.Hour), "cat", "v"),
+	)
+}
+
+func TestColumnarDiffStatefulAcrossBatches(t *testing.T) {
+	for _, seed := range []int64{3, 11, 2024} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			assertIdentical(t, "stateful", func() (*Process, stream.Source) {
+				proc := &Process{Pipelines: []*Pipeline{statefulPipeline(seed)}}
+				return proc, diffSource(diffSchema(), seed, 250)
+			}, 1)
+		})
+	}
+}
+
+// Composites execute as row-major shim steps inside an otherwise
+// vectorised plan.
+func TestColumnarDiffComposite(t *testing.T) {
+	build := func() (*Process, stream.Source) {
+		seed := int64(77)
+		choice := NewChoice("pick", NewRandomConst(0.5, rng.Derive(seed, "pc")), rng.Derive(seed, "pr"),
+			NewStandard("pick-null", MissingValue{}, nil, "v"),
+			NewStandard("pick-typo", &StringTypo{Rand: rng.Derive(seed, "pt")}, nil, "cat"),
+		)
+		weighted := &Composite{
+			PolluterName: "weighted",
+			Cond:         NewRandomConst(0.4, rng.Derive(seed, "wc")),
+			Mode:         ModeWeighted,
+			Weights:      []float64{3, 0, 1},
+			Rand:         rng.Derive(seed, "wr"),
+			Children: []Polluter{
+				NewStandard("w-offset", Offset{Delta: Const(9)}, nil, "n"),
+				NewStandard("w-dead", DropTuple{}, nil, "v"),
+				NewStandard("w-clamp", Clamp{Lo: 0, Hi: 1}, nil, "aux"),
+			},
+		}
+		seq := NewComposite("together", Compare{Attr: "flag", Op: OpEq, Value: stream.Bool(true)},
+			NewStandard("s1", &ScaleByFactor{Factor: Const(2)}, nil, "v"),
+			NewStandard("s2", RoundPrecision{Digits: 2}, nil, "v"),
+		)
+		pipe := NewPipeline(
+			NewStandard("pre", &GaussianNoise{Stddev: Const(1), Rand: rng.Derive(seed, "g")},
+				NewRandomConst(0.3, rng.Derive(seed, "gc")), "v"),
+			choice, weighted, seq,
+			NewStandard("post", DropTuple{}, NewRandomConst(0.05, rng.Derive(seed, "dr")), "v"),
+		)
+		return &Process{Pipelines: []*Pipeline{pipe}}, diffSource(diffSchema(), seed, 200)
+	}
+	assertIdentical(t, "composite", build, 1)
+}
+
+// Cascade conditions read the live shared log — the plan must collapse
+// to row-wise and still match.
+func TestColumnarDiffCascadeCollapses(t *testing.T) {
+	seed := int64(5)
+	build := func(log *Log) *Pipeline {
+		return NewPipeline(
+			NewStandard("upstream", MissingValue{}, NewRandomConst(0.2, rng.Derive(seed, "u")), "v"),
+			NewStandard("cascade", SetConstant{Value: stream.Str("X")},
+				&CascadeCondition{Log: log, Upstream: "upstream"}, "cat"),
+		)
+	}
+	// The cascade condition needs the run's own log, which RunStream
+	// creates internally; wire it through a placeholder that the run
+	// fills. Instead, exercise collapse detection directly and compare
+	// through the deviation/observer pairing below, then assert the
+	// compiler's verdict here.
+	_, reason := compileColumnarPlan(build(NewLog()), diffSchema(), false)
+	if reason == "" {
+		t.Fatal("cascade pipeline compiled polluter-major; must collapse to row-wise")
+	}
+}
+
+// Observer + DeviationCondition need tuple-major ordering; the whole
+// plan collapses and output still matches.
+func TestColumnarDiffObserverDeviation(t *testing.T) {
+	build := func() (*Process, stream.Source) {
+		seed := int64(31)
+		state := NewStreamState(16)
+		pipe := NewPipeline(
+			NewObserver(state),
+			NewStandard("dev", SetConstant{Value: stream.Float(0)},
+				DeviationCondition{State: state, Attr: "v", Sigmas: 1.5, MinCount: 10}, "aux"),
+			NewStandard("noise", &GaussianNoise{Stddev: Const(40), Rand: rng.Derive(seed, "g")},
+				NewRandomConst(0.3, rng.Derive(seed, "gc")), "v"),
+		)
+		return &Process{Pipelines: []*Pipeline{pipe}}, diffSource(diffSchema(), seed, 220)
+	}
+	assertIdentical(t, "observer-deviation", build, 1)
+}
+
+// A shared RNG stream across two polluters forces row-wise execution;
+// the compiler must detect it and the outputs must still match.
+func TestColumnarDiffSharedStreamCollapses(t *testing.T) {
+	seed := int64(13)
+	mk := func() *Pipeline {
+		shared := rng.Derive(seed, "shared")
+		return NewPipeline(
+			NewStandard("a", &GaussianNoise{Stddev: Const(2), Rand: shared},
+				NewRandomConst(0.4, rng.Derive(seed, "ac")), "v"),
+			NewStandard("b", &Outlier{Magnitude: Const(3), Rand: shared},
+				NewRandomConst(0.4, rng.Derive(seed, "bc")), "aux"),
+		)
+	}
+	if _, reason := compileColumnarPlan(mk(), diffSchema(), false); reason == "" {
+		t.Fatal("shared-stream pipeline compiled polluter-major; draws would reorder")
+	}
+	assertIdentical(t, "shared-stream", func() (*Process, stream.Source) {
+		return &Process{Pipelines: []*Pipeline{mk()}}, diffSource(diffSchema(), seed, 180)
+	}, 1)
+}
+
+// panicOn is an error function that panics for one attribute value —
+// the quarantine differential: row-wise fault attribution, log
+// rollback and dead letters must match exactly.
+type panicOn struct {
+	threshold float64
+}
+
+func (e panicOn) Apply(t *stream.Tuple, attrs []string, _ time.Time) {
+	for _, a := range attrs {
+		if v, ok := t.Get(a); ok {
+			if f, isNum := v.AsFloat(); isNum && f > e.threshold {
+				panic(fmt.Sprintf("value %g over threshold", f))
+			}
+		}
+	}
+}
+
+func (panicOn) Kind() string { return "panic_on" }
+
+func TestColumnarDiffQuarantine(t *testing.T) {
+	build := func() (*Process, stream.Source) {
+		seed := int64(21)
+		pipe := NewPipeline(
+			NewStandard("noise", &GaussianNoise{Stddev: Const(5), Rand: rng.Derive(seed, "g")},
+				NewRandomConst(0.5, rng.Derive(seed, "gc")), "v"),
+			NewStandard("boom", panicOn{threshold: 95}, Always{}, "v"),
+			NewStandard("drop", DropTuple{}, NewRandomConst(0.05, rng.Derive(seed, "dc")), "v"),
+		)
+		proc := &Process{
+			Pipelines: []*Pipeline{pipe},
+			Fault:     FaultPolicy{Quarantine: true},
+		}
+		return proc, diffSource(diffSchema(), seed, 240)
+	}
+	assertIdentical(t, "quarantine", build, 1)
+}
+
+// Quarantine overflow: the fatal error must surface after the same
+// tuples in both engines.
+func TestColumnarDiffQuarantineOverflow(t *testing.T) {
+	build := func() (*Process, stream.Source) {
+		seed := int64(8)
+		pipe := NewPipeline(NewStandard("boom", panicOn{threshold: 50}, Always{}, "v"))
+		proc := &Process{
+			Pipelines: []*Pipeline{pipe},
+			Fault:     FaultPolicy{Quarantine: true, MaxQuarantined: 5},
+		}
+		return proc, diffSource(diffSchema(), seed, 300)
+	}
+	want := runOne(t, build, false, 1)
+	if want.err == "" {
+		t.Fatal("workload did not overflow the quarantine cap")
+	}
+	got := runOne(t, func() (*Process, stream.Source) {
+		proc, src := build()
+		proc.Columnar.Batch = 7
+		return proc, src
+	}, true, 1)
+	if got.err != want.err {
+		t.Fatalf("overflow error diverged\ncolumnar:   %q\ntuple-wise: %q", got.err, want.err)
+	}
+	if len(got.tuples) != len(want.tuples) {
+		t.Fatalf("emitted %d tuples before overflow, tuple-wise %d", len(got.tuples), len(want.tuples))
+	}
+	for i := range want.tuples {
+		if got.tuples[i] != want.tuples[i] {
+			t.Fatalf("tuple %d diverged before overflow", i)
+		}
+	}
+	if len(got.entries) != len(want.entries) {
+		t.Fatalf("log %d entries, tuple-wise %d", len(got.entries), len(want.entries))
+	}
+}
+
+// Delays plus a bounded reorder window: arrival mutation and resorting
+// must compose identically.
+func TestColumnarDiffWithReorder(t *testing.T) {
+	build := func() (*Process, stream.Source) {
+		seed := int64(63)
+		pipe := NewPipeline(
+			NewStandard("delay", DelayTuple{Delay: 90 * time.Minute},
+				NewRandomConst(0.3, rng.Derive(seed, "dc")), "v"),
+			NewStandard("drop", DropTuple{}, NewRandomConst(0.08, rng.Derive(seed, "drc")), "v"),
+			NewStandard("hold", HoldAndRelease{ReleaseAt: time.Date(2021, 6, 1, 12, 0, 0, 0, time.UTC)},
+				TimeOfDay{FromHour: 3, ToHour: 9}, "v"),
+		)
+		return &Process{Pipelines: []*Pipeline{pipe}}, diffSource(diffSchema(), seed, 200)
+	}
+	assertIdentical(t, "reorder", build, 16)
+}
+
+// Empty input: zero batches, zero output, zero log, identical counters.
+func TestColumnarDiffEmptyInput(t *testing.T) {
+	assertIdentical(t, "empty", func() (*Process, stream.Source) {
+		return &Process{Pipelines: []*Pipeline{vectorisedPipeline(9)}}, diffSource(diffSchema(), 9, 0)
+	}, 1)
+}
+
+// DisableLog: kernels still run, nothing is recorded or counted.
+func TestColumnarDiffDisableLog(t *testing.T) {
+	assertIdentical(t, "nolog", func() (*Process, stream.Source) {
+		proc := &Process{Pipelines: []*Pipeline{vectorisedPipeline(17)}, DisableLog: true}
+		return proc, diffSource(diffSchema(), 17, 150)
+	}, 1)
+}
+
+// tornSource yields tuples then a mid-stream TupleError, then more
+// tuples — the pendingErr ordering contract: rows read before the error
+// flow first, the error surfaces exactly once, the stream continues.
+type tornSource struct {
+	inner  stream.Source
+	failAt int
+	n      int
+}
+
+func (s *tornSource) Schema() *stream.Schema { return s.inner.Schema() }
+
+func (s *tornSource) Next() (stream.Tuple, error) {
+	if s.n == s.failAt {
+		s.n++
+		return stream.Tuple{}, &stream.TupleError{Offset: uint64(s.failAt), Stage: "torn", Err: fmt.Errorf("malformed row")}
+	}
+	s.n++
+	return s.inner.Next()
+}
+
+func TestColumnarDiffMidStreamTupleError(t *testing.T) {
+	build := func() (*Process, stream.Source) {
+		seed := int64(4)
+		pipe := NewPipeline(NewStandard("noise",
+			&GaussianNoise{Stddev: Const(1), Rand: rng.Derive(seed, "g")},
+			NewRandomConst(0.5, rng.Derive(seed, "gc")), "v"))
+		return &Process{Pipelines: []*Pipeline{pipe}},
+			&tornSource{inner: diffSource(diffSchema(), seed, 60), failAt: 23}
+	}
+	// Drain stops at the error; both engines must deliver the same
+	// prefix and the same error text.
+	want := runOne(t, build, false, 1)
+	if want.err == "" {
+		t.Fatal("tuple-wise run did not surface the torn row")
+	}
+	for _, batch := range []int{1, 5, 64} {
+		got := runOne(t, func() (*Process, stream.Source) {
+			proc, src := build()
+			proc.Columnar.Batch = batch
+			return proc, src
+		}, true, 1)
+		if got.err != want.err {
+			t.Fatalf("batch=%d: error %q, tuple-wise %q", batch, got.err, want.err)
+		}
+		if len(got.tuples) != len(want.tuples) {
+			t.Fatalf("batch=%d: %d tuples before error, tuple-wise %d", batch, len(got.tuples), len(want.tuples))
+		}
+		for i := range want.tuples {
+			if got.tuples[i] != want.tuples[i] {
+				t.Fatalf("batch=%d: tuple %d diverged before the error", batch, i)
+			}
+		}
+	}
+}
+
+// Pool-loan emission must produce the same stream as fresh-buffer
+// emission (consumer clones, per the loan contract).
+func TestColumnarDiffPooledEmission(t *testing.T) {
+	seed := int64(55)
+	build := func(pool *stream.TuplePool) (*Process, stream.Source) {
+		proc := &Process{Pipelines: []*Pipeline{vectorisedPipeline(seed)}}
+		proc.Columnar.Pool = pool
+		return proc, diffSource(diffSchema(), seed, 150)
+	}
+	want := runOne(t, func() (*Process, stream.Source) { return build(nil) }, true, 1)
+	got := runOne(t, func() (*Process, stream.Source) {
+		return build(stream.NewTuplePoolFor(diffSchema()))
+	}, true, 1)
+	if len(got.tuples) != len(want.tuples) {
+		t.Fatalf("pooled emitted %d tuples, fresh emitted %d", len(got.tuples), len(want.tuples))
+	}
+	for i := range want.tuples {
+		if got.tuples[i] != want.tuples[i] {
+			t.Fatalf("tuple %d diverged under pool loan\npooled: %s\nfresh:  %s", i, got.tuples[i], want.tuples[i])
+		}
+	}
+}
+
+// CleanTap must observe the same prepared tuples in the same order.
+func TestColumnarDiffCleanTap(t *testing.T) {
+	collect := func(columnar bool) []string {
+		seed := int64(12)
+		proc := &Process{Pipelines: []*Pipeline{vectorisedPipeline(seed)}}
+		var seen []string
+		proc.CleanTap = func(t stream.Tuple) { seen = append(seen, renderTuple(t)) }
+		var (
+			out stream.Source
+			err error
+		)
+		if columnar {
+			out, _, err = proc.RunStreamColumnar(diffSource(diffSchema(), seed, 80), 1)
+		} else {
+			out, _, err = proc.RunStream(diffSource(diffSchema(), seed, 80), 1)
+		}
+		if err != nil {
+			panic(err)
+		}
+		if _, err := stream.Drain(out); err != nil {
+			panic(err)
+		}
+		return seen
+	}
+	want, got := collect(false), collect(true)
+	if len(got) != len(want) {
+		t.Fatalf("tap saw %d tuples, tuple-wise %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tap tuple %d diverged\ncolumnar:   %s\ntuple-wise: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// Batch-native ingest: serving the same rows through a
+// ColumnBatchReader source must be byte-identical to tuple ingest, for
+// both the columnar and the tuple-wise runner.
+func TestColumnarDiffBatchNativeIngest(t *testing.T) {
+	seed := int64(47)
+	batched := func() stream.Source {
+		batches, err := stream.BatchColumnar(diffSource(diffSchema(), seed, 230), 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stream.NewBatchSliceReader(diffSchema(), batches)
+	}
+	mkProc := func() *Process {
+		return &Process{Pipelines: []*Pipeline{vectorisedPipeline(seed)}}
+	}
+	want := runOne(t, func() (*Process, stream.Source) {
+		return mkProc(), diffSource(diffSchema(), seed, 230)
+	}, false, 1)
+	for _, batch := range []int{3, 64, 256} {
+		got := runOne(t, func() (*Process, stream.Source) {
+			proc := mkProc()
+			proc.Columnar.Batch = batch
+			return proc, batched()
+		}, true, 1)
+		tag := fmt.Sprintf("native/batch=%d", batch)
+		if len(got.tuples) != len(want.tuples) {
+			t.Fatalf("%s: %d tuples, want %d", tag, len(got.tuples), len(want.tuples))
+		}
+		for i := range want.tuples {
+			if got.tuples[i] != want.tuples[i] {
+				t.Fatalf("%s: tuple %d diverged\nnative: %s\ntuple:  %s", tag, i, got.tuples[i], want.tuples[i])
+			}
+		}
+		if fmt.Sprint(got.entries) != fmt.Sprint(want.entries) {
+			t.Fatalf("%s: log diverged", tag)
+		}
+		for _, id := range diffCounters {
+			if got.counts[id] != want.counts[id] {
+				t.Fatalf("%s: counter %d = %d, want %d", tag, id, got.counts[id], want.counts[id])
+			}
+		}
+	}
+}
+
+// Batch-native emission: draining the runner through ReadBatch must
+// deliver exactly the rows Next delivers, with the same counter totals.
+func TestColumnarDiffBatchEmission(t *testing.T) {
+	for _, name := range []string{"vectorised", "rowwise-quarantine"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			seed := int64(29)
+			build := func() (*Process, stream.Source) {
+				if name == "vectorised" {
+					return &Process{Pipelines: []*Pipeline{vectorisedPipeline(seed)}},
+						diffSource(diffSchema(), seed, 210)
+				}
+				pipe := NewPipeline(
+					NewStandard("noise", &GaussianNoise{Stddev: Const(5), Rand: rng.Derive(seed, "g")},
+						NewRandomConst(0.5, rng.Derive(seed, "gc")), "v"),
+					NewStandard("boom", panicOn{threshold: 95}, Always{}, "v"),
+				)
+				return &Process{Pipelines: []*Pipeline{pipe}, Fault: FaultPolicy{Quarantine: true}},
+					diffSource(diffSchema(), seed, 210)
+			}
+			want := runOne(t, build, true, 1)
+
+			proc, src := build()
+			reg := obs.NewRegistry()
+			proc.Obs = reg
+			if proc.Fault.Quarantine {
+				proc.Fault.DLQ = stream.NewDeadLetterQueue()
+			}
+			out, _, err := proc.RunStreamColumnar(src, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cbr, ok := out.(stream.ColumnBatchReader)
+			if !ok {
+				t.Fatal("columnar runner does not serve batches")
+			}
+			dst := stream.NewColumnBatch(diffSchema(), 41)
+			var got []string
+			for {
+				dst.Reset()
+				n, rerr := cbr.ReadBatch(dst, 41)
+				for row := 0; row < n; row++ {
+					got = append(got, renderTuple(dst.Row(row)))
+				}
+				if rerr != nil {
+					if !stream.IsEndOfStream(rerr) {
+						t.Fatal(rerr)
+					}
+					break
+				}
+			}
+			if len(got) != len(want.tuples) {
+				t.Fatalf("ReadBatch delivered %d rows, Next delivered %d", len(got), len(want.tuples))
+			}
+			for i := range want.tuples {
+				if got[i] != want.tuples[i] {
+					t.Fatalf("row %d diverged\nReadBatch: %s\nNext:      %s", i, got[i], want.tuples[i])
+				}
+			}
+			for _, id := range diffCounters {
+				if reg.Counter(id) != want.counts[id] {
+					t.Fatalf("counter %d = %d via ReadBatch, %d via Next", id, reg.Counter(id), want.counts[id])
+				}
+			}
+		})
+	}
+}
+
+func TestRunStreamColumnarRejectsMultiPipeline(t *testing.T) {
+	proc := &Process{Pipelines: []*Pipeline{NewPipeline(), NewPipeline()}}
+	if _, _, err := proc.RunStreamColumnar(diffSource(diffSchema(), 1, 1), 1); err == nil {
+		t.Fatal("multi-pipeline columnar run must be rejected")
+	}
+}

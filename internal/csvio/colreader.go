@@ -1,0 +1,163 @@
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"icewafl/internal/stream"
+)
+
+// ColumnReader is the batch-native CSV ingest path: rows decode
+// straight into the typed payload arrays of a caller-provided
+// stream.ColumnBatch, bypassing per-tuple materialisation. The
+// underlying csv.Reader runs with ReuseRecord, so record slices are
+// never allocated per row; numeric, bool and time cells parse directly
+// off the reused record, and only string cells are cloned (they outlive
+// the record, and cloning keeps a one-cell survivor from pinning the
+// whole record buffer).
+//
+// It also implements stream.Source, so the same reader feeds tuple-wise
+// consumers; the columnar runner detects ReadBatch and bypasses Next.
+// Values, row numbering and *stream.TupleError semantics are identical
+// to Reader — the equivalence test in colreader_test.go pins the two
+// paths cell by cell.
+type ColumnReader struct {
+	schema *stream.Schema
+	csv    *csv.Reader
+	row    int
+}
+
+// NewColumnReader wraps r, validating the CSV header against the
+// schema's attribute names in order, like NewReader.
+func NewColumnReader(r io.Reader, schema *stream.Schema) (*ColumnReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Len()
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: read header: %w", err)
+	}
+	names := schema.Names()
+	for i, name := range names {
+		if header[i] != name {
+			return nil, fmt.Errorf("csvio: header column %d is %q, schema expects %q", i, header[i], name)
+		}
+	}
+	return &ColumnReader{schema: schema, csv: cr, row: 1}, nil
+}
+
+// Schema implements stream.ColumnBatchReader and stream.Source.
+func (r *ColumnReader) Schema() *stream.Schema { return r.schema }
+
+// tupleErr wraps a row-level failure exactly like Reader.Next does.
+func (r *ColumnReader) tupleErr(err error) *stream.TupleError {
+	return &stream.TupleError{
+		Offset: uint64(r.row),
+		Stage:  "csv-decode",
+		Err:    err,
+	}
+}
+
+// decodeInto parses rec into row `row` of dst. On a cell parse failure
+// it returns the error with the column name already attached; the
+// caller rolls the row back.
+func (r *ColumnReader) decodeInto(dst *stream.ColumnBatch, row int, rec []string) error {
+	for i, cell := range rec {
+		if cell == "" {
+			continue // KindNull from AppendEmptyRow
+		}
+		switch kind := r.schema.Field(i).Kind; kind {
+		case stream.KindNull:
+			// Stays NULL, like ParseValue.
+		case stream.KindFloat:
+			f, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, fmt.Errorf("stream: parse float %q: %w", cell, err))
+			}
+			payload, kinds := dst.Floats(i)
+			payload[row], kinds[row] = f, stream.KindFloat
+		case stream.KindInt:
+			n, err := strconv.ParseInt(cell, 10, 64)
+			if err != nil {
+				return fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, fmt.Errorf("stream: parse int %q: %w", cell, err))
+			}
+			payload, kinds := dst.Ints(i)
+			payload[row], kinds[row] = n, stream.KindInt
+		case stream.KindString:
+			payload, kinds := dst.Strs(i)
+			payload[row], kinds[row] = strings.Clone(cell), stream.KindString
+		case stream.KindBool:
+			v, err := strconv.ParseBool(cell)
+			if err != nil {
+				return fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, fmt.Errorf("stream: parse bool %q: %w", cell, err))
+			}
+			payload, kinds := dst.Bools(i)
+			payload[row], kinds[row] = v, stream.KindBool
+		case stream.KindTime:
+			ts, err := time.Parse(time.RFC3339, cell)
+			if err != nil {
+				return fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, fmt.Errorf("stream: parse time %q: %w", cell, err))
+			}
+			payload, kinds := dst.Times(i)
+			payload[row], kinds[row] = ts, stream.KindTime
+		default:
+			return fmt.Errorf("csvio: row %d column %q: stream: cannot parse into kind %v", r.row, r.schema.Field(i).Name, kind)
+		}
+	}
+	return nil
+}
+
+// ReadBatch implements stream.ColumnBatchReader: it appends up to max
+// decoded rows to dst. A malformed record or unparseable cell surfaces
+// as a *stream.TupleError with the rows decoded before it staying
+// appended, and the reader continues with the following row on the next
+// call.
+func (r *ColumnReader) ReadBatch(dst *stream.ColumnBatch, max int) (int, error) {
+	appended := 0
+	for appended < max {
+		rec, err := r.csv.Read()
+		if err == io.EOF {
+			if appended == 0 {
+				return 0, io.EOF
+			}
+			return appended, nil
+		}
+		r.row++
+		if err != nil {
+			return appended, r.tupleErr(fmt.Errorf("csvio: row %d: %w", r.row, err))
+		}
+		row := dst.AppendEmptyRow()
+		if derr := r.decodeInto(dst, row, rec); derr != nil {
+			dst.TruncateRows(row)
+			return appended, r.tupleErr(derr)
+		}
+		appended++
+	}
+	return appended, nil
+}
+
+// Next implements stream.Source with the exact semantics of
+// Reader.Next, decoding through the same cell parsers as ReadBatch.
+func (r *ColumnReader) Next() (stream.Tuple, error) {
+	rec, err := r.csv.Read()
+	if err == io.EOF {
+		return stream.Tuple{}, io.EOF
+	}
+	r.row++
+	if err != nil {
+		return stream.Tuple{}, r.tupleErr(fmt.Errorf("csvio: row %d: %w", r.row, err))
+	}
+	values := make([]stream.Value, r.schema.Len())
+	for i := range values {
+		v, perr := stream.ParseValue(rec[i], r.schema.Field(i).Kind)
+		if perr != nil {
+			return stream.Tuple{}, r.tupleErr(fmt.Errorf("csvio: row %d column %q: %w", r.row, r.schema.Field(i).Name, perr))
+		}
+		values[i] = v
+	}
+	return stream.NewTuple(r.schema, values), nil
+}

@@ -1,0 +1,197 @@
+package csvio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"icewafl/internal/stream"
+)
+
+func colSchema(t *testing.T) *stream.Schema {
+	t.Helper()
+	s, err := stream.NewSchema("ts",
+		stream.Field{Name: "ts", Kind: stream.KindTime},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+		stream.Field{Name: "n", Kind: stream.KindInt},
+		stream.Field{Name: "cat", Kind: stream.KindString},
+		stream.Field{Name: "flag", Kind: stream.KindBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const colCSV = `ts,v,n,cat,flag
+2021-06-01T00:00:00Z,1.5,-3,abc,true
+2021-06-01T01:00:00Z,NaN,0,,false
+,,,"quoted, cell",true
+2021-06-01T03:00:00Z,-0,9223372036854775807,Ωλ,false
+2021-06-01T04:00:00Z,1e308,-9223372036854775808,x,true
+`
+
+func renderCells(t stream.Tuple) string {
+	var b strings.Builder
+	for i := 0; i < t.Len(); i++ {
+		fmt.Fprintf(&b, "%d:%s|", t.At(i).Kind(), t.At(i).String())
+	}
+	return b.String()
+}
+
+// TestColumnReaderEquivalence drains the same document through the
+// tuple-wise Reader and the batch-native ColumnReader and compares
+// every cell's kind and textual form.
+func TestColumnReaderEquivalence(t *testing.T) {
+	schema := colSchema(t)
+	tr, err := NewReader(strings.NewReader(colCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stream.Drain(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, max := range []int{1, 2, 100} {
+		cr, err := NewColumnReader(strings.NewReader(colCSV), schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := stream.NewColumnBatch(schema, max)
+		var got []stream.Tuple
+		for {
+			batch.Reset()
+			n, rerr := cr.ReadBatch(batch, max)
+			for row := 0; row < n; row++ {
+				got = append(got, batch.Row(row))
+			}
+			if rerr != nil {
+				if rerr != io.EOF {
+					t.Fatal(rerr)
+				}
+				break
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("max=%d: decoded %d rows, tuple path decoded %d", max, len(got), len(want))
+		}
+		for i := range want {
+			if renderCells(got[i]) != renderCells(want[i]) {
+				t.Fatalf("max=%d row %d diverged\nbatch: %s\ntuple: %s", max, i, renderCells(got[i]), renderCells(want[i]))
+			}
+		}
+	}
+}
+
+// TestColumnReaderNextEquivalence pins the reader's own Source face to
+// the tuple-wise Reader.
+func TestColumnReaderNextEquivalence(t *testing.T) {
+	schema := colSchema(t)
+	tr, _ := NewReader(strings.NewReader(colCSV), schema)
+	cr, err := NewColumnReader(strings.NewReader(colCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		wt, werr := tr.Next()
+		gt, gerr := cr.Next()
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("row %d: err %v vs %v", i, werr, gerr)
+		}
+		if werr != nil {
+			if werr == io.EOF {
+				break
+			}
+			if werr.Error() != gerr.Error() {
+				t.Fatalf("row %d: error text diverged: %q vs %q", i, werr, gerr)
+			}
+			continue
+		}
+		if renderCells(gt) != renderCells(wt) {
+			t.Fatalf("row %d diverged\ncolumn reader: %s\nreader:        %s", i, renderCells(gt), renderCells(wt))
+		}
+	}
+}
+
+// TestColumnReaderTupleErrorParity: a malformed cell and a malformed
+// record must surface as the same *stream.TupleError (offset, stage,
+// message) on both paths, with the reader still usable and the rows
+// decoded before the failure kept.
+func TestColumnReaderTupleErrorParity(t *testing.T) {
+	const bad = `ts,v,n,cat,flag
+2021-06-01T00:00:00Z,1.5,1,a,true
+2021-06-01T01:00:00Z,not-a-float,2,b,false
+2021-06-01T02:00:00Z,2.5,3,c,true
+2021-06-01T03:00:00Z,3.5,4,"unterminated,true
+2021-06-01T04:00:00Z,4.5,5,e,false
+`
+	schema := colSchema(t)
+
+	// Collect the tuple path's full event sequence.
+	type ev struct {
+		cells string
+		err   string
+	}
+	var want []ev
+	tr, _ := NewReader(strings.NewReader(bad), schema)
+	for {
+		tu, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			te, ok := stream.AsTupleError(err)
+			if !ok {
+				t.Fatalf("tuple path returned non-TupleError: %v", err)
+			}
+			want = append(want, ev{err: fmt.Sprintf("off=%d stage=%s msg=%v", te.Offset, te.Stage, te.Err)})
+			continue
+		}
+		want = append(want, ev{cells: renderCells(tu)})
+	}
+
+	cr, err := NewColumnReader(strings.NewReader(bad), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := stream.NewColumnBatch(schema, 8)
+	var got []ev
+	for {
+		batch.Reset()
+		n, rerr := cr.ReadBatch(batch, 8)
+		for row := 0; row < n; row++ {
+			got = append(got, ev{cells: renderCells(batch.Row(row))})
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			te, ok := stream.AsTupleError(rerr)
+			if !ok {
+				t.Fatalf("batch path returned non-TupleError: %v", rerr)
+			}
+			got = append(got, ev{err: fmt.Sprintf("off=%d stage=%s msg=%v", te.Offset, te.Stage, te.Err)})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("event sequences diverged:\nbatch: %+v\ntuple: %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d diverged\nbatch: %+v\ntuple: %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestColumnReaderHeaderValidation mirrors NewReader's header check.
+func TestColumnReaderHeaderValidation(t *testing.T) {
+	schema := colSchema(t)
+	if _, err := NewColumnReader(strings.NewReader("ts,v,n,WRONG,flag\n"), schema); err == nil {
+		t.Fatal("mismatched header accepted")
+	}
+	if _, err := NewColumnReader(strings.NewReader(""), schema); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}

@@ -39,6 +39,10 @@ type ClientSource struct {
 	br      *bufio.Reader
 	nextSeq uint64 // sequence number of the next expected tuple frame
 	eof     bool
+	// pending holds rows of a colbatch frame not yet handed out: a
+	// batch frame consumes one sequence number, so its rows are queued
+	// locally and served by subsequent Next calls.
+	pending []stream.Tuple
 
 	schemaMu sync.Mutex
 	schema   *stream.Schema
@@ -194,6 +198,9 @@ func (c *ClientSource) RestartAt(seq uint64) {
 	c.disconnect()
 	c.nextSeq = seq
 	c.eof = false
+	// Queued colbatch rows belong to an already-acked frame; a restart
+	// re-reads (or skips) that frame, so they must not also be served.
+	c.pending = nil
 }
 
 // disconnect tears the connection down without ending the stream.
@@ -222,6 +229,12 @@ func (c *ClientSource) Next() (stream.Tuple, error) {
 	for {
 		if c.stopped.Load() {
 			return stream.Tuple{}, stream.ErrStopped
+		}
+		if len(c.pending) > 0 {
+			t := c.pending[0]
+			c.pending[0] = stream.Tuple{}
+			c.pending = c.pending[1:]
+			return t, nil
 		}
 		if c.eof {
 			return stream.Tuple{}, io.EOF
@@ -256,6 +269,19 @@ func (c *ClientSource) Next() (stream.Tuple, error) {
 			}
 			c.nextSeq = f.Seq + 1
 			return t, nil
+		case FrameColBatch:
+			if f.Seq < c.nextSeq {
+				continue // duplicate from an overlapping replay
+			}
+			tuples, err := DecodeColumnBatch(f.Batch, c.Schema())
+			if err != nil {
+				c.disconnect()
+				return stream.Tuple{}, err
+			}
+			c.nextSeq = f.Seq + 1
+			// Empty batches are legal on the wire; just keep reading.
+			c.pending = tuples
+			continue
 		case FrameHello:
 			continue
 		case FrameEOF:

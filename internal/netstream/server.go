@@ -42,6 +42,15 @@ type Config struct {
 	ShardKey string
 	// ShardOrder selects the sharded merge order (strict by default).
 	ShardOrder core.OrderPolicy
+	// Columnar serves the dirty channel as columnar micro-batches: the
+	// pipeline runs through the columnar runner
+	// (core.RunStreamColumnar) and dirty tuples are published as
+	// colbatch frames of up to ColumnarBatch rows each (one frame = one
+	// sequence number). The clean and log channels stay tuple-wise.
+	// Incompatible with Shards > 1 and CheckpointPath.
+	Columnar bool
+	// ColumnarBatch caps the rows per colbatch frame (default 256).
+	ColumnarBatch int
 	// Buffer is the per-subscriber send queue capacity (frames).
 	Buffer int
 	// Replay is the number of frames retained per channel for late
@@ -146,6 +155,17 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		if cfg.CheckpointPath != "" {
 			return nil, fmt.Errorf("netstream: sharded sessions cannot be checkpointed; checkpoints cover the sequential path only")
+		}
+	}
+	if cfg.Columnar {
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("netstream: columnar serving is incompatible with sharded execution")
+		}
+		if cfg.CheckpointPath != "" {
+			return nil, fmt.Errorf("netstream: columnar serving is incompatible with checkpointed sessions")
+		}
+		if cfg.ColumnarBatch <= 0 {
+			cfg.ColumnarBatch = core.DefaultColumnarBatch
 		}
 	}
 	s := &Server{
@@ -334,6 +354,8 @@ func (s *Server) runPipeline(ctx context.Context) error {
 			Order:   s.cfg.ShardOrder,
 			Arena:   true,
 		})
+	case s.cfg.Columnar:
+		polluted, plog, err = proc.RunStreamColumnar(stream.WithContext(ctx, src), s.cfg.Reorder)
 	default:
 		polluted, plog, err = proc.RunStream(stream.WithContext(ctx, src), s.cfg.Reorder)
 	}
@@ -354,38 +376,99 @@ func (s *Server) runPipeline(ctx context.Context) error {
 		return nil
 	}
 	emitted := 0
-	for {
-		t, err := polluted.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			if _, ok := stream.AsTupleError(err); ok {
-				// Tuple-level failure without quarantine: skip the tuple,
-				// the stream remains usable (Source error contract).
-				s.logf("tuple error: %v", err)
-				continue
+	if cbr, ok := polluted.(stream.ColumnBatchReader); ok && s.cfg.Columnar {
+		// Batch-native serving: the columnar runner's output batches are
+		// drained directly (no per-row tuple materialisation) and each
+		// becomes one colbatch frame consuming one sequence number. The
+		// log is flushed before each frame, so subscribers see a tuple's
+		// log entries no later than the frame that carries it — the same
+		// ordering guarantee the tuple-wise loop gives, at batch
+		// granularity.
+		out := stream.NewColumnBatch(s.cfg.Schema, s.cfg.ColumnarBatch)
+		for {
+			out.Reset()
+			n, rerr := cbr.ReadBatch(out, s.cfg.ColumnarBatch)
+			if n > 0 {
+				if err := flushLog(); err != nil {
+					return fail(err)
+				}
+				if err := s.hub.Publish(ChannelDirty, &Frame{Type: FrameColBatch, Batch: EncodeColumnBatch(out)}); err != nil {
+					return fail(err)
+				}
+				emitted += n
 			}
-			return fail(err)
-		}
-		// The log trails the polluted stream by at most the reorder
-		// window; flushing per emitted tuple keeps subscribers current
-		// without observing entries that could still be rolled back
-		// (rollback happens inside Next, before the tuple is emitted).
-		if err := flushLog(); err != nil {
-			return fail(err)
-		}
-		if err := s.hub.Publish(ChannelDirty, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
-			return fail(err)
-		}
-		emitted++
-		if ckr != nil && emitted%s.cfg.CheckpointEvery == 0 {
-			// Capture between Next calls, when no tuple is in flight; a
-			// failed capture only widens the replay window of the next
-			// restart, it does not corrupt the run.
-			if cerr := s.captureCheckpoint(ckr); cerr != nil {
-				s.logf("checkpoint: %v", cerr)
+			if rerr == io.EOF {
+				break
 			}
+			if rerr != nil {
+				if _, ok := stream.AsTupleError(rerr); ok {
+					s.logf("tuple error: %v", rerr)
+					continue
+				}
+				return fail(rerr)
+			}
+		}
+	} else {
+		// Tuple-wise drain; in columnar mode with a reorder window > 1
+		// the reorder wrapper hides the runner's batch face, so rows are
+		// re-accumulated into colbatch frames here.
+		var wb *WireColumnBatch
+		if s.cfg.Columnar {
+			wb = NewWireColumnBatch(s.cfg.Schema.Len())
+		}
+		flushBatch := func() error {
+			if wb == nil || wb.Count == 0 {
+				return nil
+			}
+			f := &Frame{Type: FrameColBatch, Batch: wb}
+			// The hub retains published frames (replay ring, WAL), so a
+			// fresh batch is allocated instead of resetting this one.
+			wb = NewWireColumnBatch(s.cfg.Schema.Len())
+			return s.hub.Publish(ChannelDirty, f)
+		}
+		for {
+			t, err := polluted.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if _, ok := stream.AsTupleError(err); ok {
+					// Tuple-level failure without quarantine: skip the tuple,
+					// the stream remains usable (Source error contract).
+					s.logf("tuple error: %v", err)
+					continue
+				}
+				return fail(err)
+			}
+			// The log trails the polluted stream by at most the reorder
+			// window; flushing per emitted tuple keeps subscribers current
+			// without observing entries that could still be rolled back
+			// (rollback happens inside Next, before the tuple is emitted).
+			if err := flushLog(); err != nil {
+				return fail(err)
+			}
+			if wb != nil {
+				wb.AppendTuple(t)
+				if wb.Count >= s.cfg.ColumnarBatch {
+					if err := flushBatch(); err != nil {
+						return fail(err)
+					}
+				}
+			} else if err := s.hub.Publish(ChannelDirty, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
+				return fail(err)
+			}
+			emitted++
+			if ckr != nil && emitted%s.cfg.CheckpointEvery == 0 {
+				// Capture between Next calls, when no tuple is in flight; a
+				// failed capture only widens the replay window of the next
+				// restart, it does not corrupt the run.
+				if cerr := s.captureCheckpoint(ckr); cerr != nil {
+					s.logf("checkpoint: %v", cerr)
+				}
+			}
+		}
+		if err := flushBatch(); err != nil {
+			return fail(err)
 		}
 	}
 	if err := flushLog(); err != nil {

@@ -51,6 +51,11 @@ const (
 	FrameTuple = "tuple"
 	// FrameLog carries one pollution-log entry (log channel).
 	FrameLog = "log"
+	// FrameColBatch carries a columnar micro-batch of tuples (dirty
+	// channel in columnar serving mode). One frame consumes one sequence
+	// number regardless of its row count; clients explode it back into
+	// tuples locally.
+	FrameColBatch = "colbatch"
 	// FrameEOF is terminal: the pipeline completed normally.
 	FrameEOF = "eof"
 	// FrameError is terminal: the pipeline failed or the subscription
@@ -69,6 +74,7 @@ type Frame struct {
 	Seq    uint64               `json:"seq,omitempty"`
 	Schema *schemafile.Document `json:"schema,omitempty"`
 	Tuple  *WireTuple           `json:"tuple,omitempty"`
+	Batch  *WireColumnBatch     `json:"batch,omitempty"`
 	Entry  *core.Entry          `json:"entry,omitempty"`
 	Error  string               `json:"error,omitempty"`
 	// Gap is set on error frames rejecting a subscription whose from_seq
@@ -143,6 +149,143 @@ func DecodeTuple(wt *WireTuple, schema *stream.Schema) (stream.Tuple, error) {
 		return stream.Tuple{}, fmt.Errorf("netstream: tuple %d arrival: %w", wt.ID, err)
 	}
 	return t, nil
+}
+
+// WireColumnBatch is the network rendering of a columnar micro-batch:
+// the payload of a colbatch frame. It is column-major — Columns[c][r]
+// is attribute c of row r — with per-row metadata in parallel arrays,
+// all using the same textual encodings as WireTuple (Value.String for
+// cells, RFC3339Nano UTC for timestamps). Subs is omitted entirely when
+// every row is on sub-stream 0, mirroring WireTuple's omitempty Sub.
+type WireColumnBatch struct {
+	Count    int        `json:"count"`
+	IDs      []uint64   `json:"ids"`
+	Subs     []int      `json:"subs,omitempty"`
+	Events   []string   `json:"events"`
+	Arrivals []string   `json:"arrivals"`
+	Columns  [][]string `json:"columns"`
+}
+
+// NewWireColumnBatch returns an empty batch for a schema of the given
+// width, ready for AppendTuple.
+func NewWireColumnBatch(width int) *WireColumnBatch {
+	return &WireColumnBatch{Columns: make([][]string, width)}
+}
+
+// AppendTuple appends t as one row. The tuple's width must match the
+// batch width the caller constructed it with.
+func (wb *WireColumnBatch) AppendTuple(t stream.Tuple) {
+	wb.IDs = append(wb.IDs, t.ID)
+	if wb.Subs != nil || t.SubStream != 0 {
+		// Backfill zeros for rows appended before the first non-zero sub.
+		for len(wb.Subs) < wb.Count {
+			wb.Subs = append(wb.Subs, 0)
+		}
+		wb.Subs = append(wb.Subs, t.SubStream)
+	}
+	wb.Events = append(wb.Events, t.EventTime.UTC().Format(wireTime))
+	wb.Arrivals = append(wb.Arrivals, t.Arrival.UTC().Format(wireTime))
+	for c := 0; c < t.Len(); c++ {
+		wb.Columns[c] = append(wb.Columns[c], t.At(c).String())
+	}
+	wb.Count++
+}
+
+// Reset empties the batch for reuse, keeping its backing arrays.
+func (wb *WireColumnBatch) Reset() {
+	wb.Count = 0
+	wb.IDs = wb.IDs[:0]
+	wb.Subs = nil
+	wb.Events = wb.Events[:0]
+	wb.Arrivals = wb.Arrivals[:0]
+	for c := range wb.Columns {
+		wb.Columns[c] = wb.Columns[c][:0]
+	}
+}
+
+// EncodeColumnBatch renders every row of b for the wire without
+// materialising per-row tuples: metadata copies straight off the
+// batch's parallel arrays and cells render column-major. The metadata
+// slices are copied, not aliased, so the caller may Reset and reuse b
+// after the frame is published.
+func EncodeColumnBatch(b *stream.ColumnBatch) *WireColumnBatch {
+	n := b.Len()
+	wb := &WireColumnBatch{
+		Count:    n,
+		IDs:      append([]uint64(nil), b.IDs()...),
+		Events:   make([]string, n),
+		Arrivals: make([]string, n),
+		Columns:  make([][]string, b.Schema().Len()),
+	}
+	for _, sub := range b.SubStreams() {
+		if sub != 0 {
+			wb.Subs = make([]int, n)
+			for r, s := range b.SubStreams() {
+				wb.Subs[r] = int(s)
+			}
+			break
+		}
+	}
+	events, arrivals := b.EventTimes(), b.Arrivals()
+	for r := 0; r < n; r++ {
+		wb.Events[r] = events[r].UTC().Format(wireTime)
+		wb.Arrivals[r] = arrivals[r].UTC().Format(wireTime)
+	}
+	for c := range wb.Columns {
+		col := make([]string, n)
+		for r := 0; r < n; r++ {
+			col[r] = b.Value(r, c).String()
+		}
+		wb.Columns[c] = col
+	}
+	return wb
+}
+
+// DecodeColumnBatch rebuilds the batch's rows as tuples against schema,
+// in row order. Each row decodes through the same parsers as
+// DecodeTuple, so a colbatch frame and the equivalent run of tuple
+// frames produce byte-identical tuples.
+func DecodeColumnBatch(wb *WireColumnBatch, schema *stream.Schema) ([]stream.Tuple, error) {
+	if wb == nil {
+		return nil, fmt.Errorf("netstream: nil column batch payload")
+	}
+	if wb.Count < 0 {
+		return nil, fmt.Errorf("netstream: column batch has negative count %d", wb.Count)
+	}
+	if len(wb.IDs) != wb.Count || len(wb.Events) != wb.Count || len(wb.Arrivals) != wb.Count {
+		return nil, fmt.Errorf("netstream: column batch metadata arrays disagree with count %d", wb.Count)
+	}
+	if wb.Subs != nil && len(wb.Subs) != wb.Count {
+		return nil, fmt.Errorf("netstream: column batch has %d subs for %d rows", len(wb.Subs), wb.Count)
+	}
+	if len(wb.Columns) != schema.Len() {
+		return nil, fmt.Errorf("netstream: column batch has %d columns, schema has %d", len(wb.Columns), schema.Len())
+	}
+	for c := range wb.Columns {
+		if len(wb.Columns[c]) != wb.Count {
+			return nil, fmt.Errorf("netstream: column batch column %q has %d rows, count is %d", schema.Field(c).Name, len(wb.Columns[c]), wb.Count)
+		}
+	}
+	tuples := make([]stream.Tuple, 0, wb.Count)
+	wt := WireTuple{Values: make([]string, schema.Len())}
+	for r := 0; r < wb.Count; r++ {
+		wt.ID = wb.IDs[r]
+		wt.Sub = 0
+		if wb.Subs != nil {
+			wt.Sub = wb.Subs[r]
+		}
+		wt.Event = wb.Events[r]
+		wt.Arrival = wb.Arrivals[r]
+		for c := range wb.Columns {
+			wt.Values[c] = wb.Columns[c][r]
+		}
+		t, err := DecodeTuple(&wt, schema)
+		if err != nil {
+			return nil, fmt.Errorf("netstream: column batch row %d: %w", r, err)
+		}
+		tuples = append(tuples, t)
+	}
+	return tuples, nil
 }
 
 // SchemaDocument renders schema as the wire schemafile document carried

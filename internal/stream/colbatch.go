@@ -102,6 +102,44 @@ func (b *ColumnBatch) Reset() {
 	}
 }
 
+// TruncateRows discards every row from index n on, keeping backing
+// arrays. Batch-native decoders use it to roll back a partially decoded
+// row before reporting a *TupleError, so failed rows never surface.
+func (b *ColumnBatch) TruncateRows(n int) {
+	if n < 0 || n >= b.n {
+		return
+	}
+	b.ids = b.ids[:n]
+	b.subStreams = b.subStreams[:n]
+	b.eventTimes = b.eventTimes[:n]
+	b.arrivals = b.arrivals[:n]
+	b.dropped = b.dropped[:n]
+	b.quarantined = b.quarantined[:n]
+	for i := range b.cols {
+		c := &b.cols[i]
+		c.kinds = c.kinds[:n]
+		if len(c.floats) > n {
+			c.floats = c.floats[:n]
+		}
+		if len(c.ints) > n {
+			c.ints = c.ints[:n]
+		}
+		if len(c.strs) > n {
+			for j := n; j < len(c.strs); j++ {
+				c.strs[j] = ""
+			}
+			c.strs = c.strs[:n]
+		}
+		if len(c.bools) > n {
+			c.bools = c.bools[:n]
+		}
+		if len(c.times) > n {
+			c.times = c.times[:n]
+		}
+	}
+	b.n = n
+}
+
 // grow appends one zero row to every payload array a column already
 // carries, keeping the arrays row-aligned.
 func (c *batchColumn) grow(row int) {
@@ -213,6 +251,66 @@ func (b *ColumnBatch) AppendTuple(t Tuple) error {
 	return nil
 }
 
+// padAppend appends src[from:to) to dst keeping dst row-aligned: dst is
+// padded with zero values up to dstRows first (the rows a lazily
+// allocated payload has not materialised yet) and up to the full new
+// row count afterwards (rows the source payload has not materialised).
+// A payload absent on both sides stays absent.
+func padAppend[T any](dst []T, dstRows int, src []T, from, to int) []T {
+	if len(src) == 0 && dst == nil {
+		return nil
+	}
+	var zero T
+	for len(dst) < dstRows {
+		dst = append(dst, zero)
+	}
+	end := to
+	if end > len(src) {
+		end = len(src)
+	}
+	if end > from {
+		dst = append(dst, src[from:end]...)
+	}
+	for want := dstRows + (to - from); len(dst) < want; {
+		dst = append(dst, zero)
+	}
+	return dst
+}
+
+// AppendBatchRows bulk-appends rows [from, to) of src to b — the
+// batch-to-batch fast path of batch-native sources and batch emission.
+// Columns are copied payload-array by payload-array instead of boxing
+// one Value per cell, so the copy is a handful of bulk appends per
+// column.
+func (b *ColumnBatch) AppendBatchRows(src *ColumnBatch, from, to int) error {
+	if src.schema.Len() != b.schema.Len() {
+		return fmt.Errorf("stream: column batch of width %d cannot append rows of width %d", b.schema.Len(), src.schema.Len())
+	}
+	if from < 0 || to > src.n || from > to {
+		return fmt.Errorf("stream: row range [%d, %d) outside batch of %d rows", from, to, src.n)
+	}
+	if from == to {
+		return nil
+	}
+	b.ids = append(b.ids, src.ids[from:to]...)
+	b.subStreams = append(b.subStreams, src.subStreams[from:to]...)
+	b.eventTimes = append(b.eventTimes, src.eventTimes[from:to]...)
+	b.arrivals = append(b.arrivals, src.arrivals[from:to]...)
+	b.dropped = append(b.dropped, src.dropped[from:to]...)
+	b.quarantined = append(b.quarantined, src.quarantined[from:to]...)
+	for i := range b.cols {
+		c, sc := &b.cols[i], &src.cols[i]
+		c.kinds = append(c.kinds, sc.kinds[from:to]...)
+		c.floats = padAppend(c.floats, b.n, sc.floats, from, to)
+		c.ints = padAppend(c.ints, b.n, sc.ints, from, to)
+		c.strs = padAppend(c.strs, b.n, sc.strs, from, to)
+		c.bools = padAppend(c.bools, b.n, sc.bools, from, to)
+		c.times = padAppend(c.times, b.n, sc.times, from, to)
+	}
+	b.n += to - from
+	return nil
+}
+
 // Value returns the cell at (row, col).
 func (b *ColumnBatch) Value(row, col int) Value { return b.cols[col].value(row) }
 
@@ -233,6 +331,256 @@ func (b *ColumnBatch) Floats(col int) (payload []float64, kinds []Kind) {
 	c := &b.cols[col]
 	c.ensure(KindFloat, b.n)
 	return c.floats[:b.n], c.kinds[:b.n]
+}
+
+// Ints returns the dense int payload of column col with the per-row
+// kind tags (valid where kinds[row] == KindInt). The slices alias the
+// batch and are invalidated by Reset.
+func (b *ColumnBatch) Ints(col int) (payload []int64, kinds []Kind) {
+	c := &b.cols[col]
+	c.ensure(KindInt, b.n)
+	return c.ints[:b.n], c.kinds[:b.n]
+}
+
+// Strs returns the dense string payload of column col with the per-row
+// kind tags (valid where kinds[row] == KindString).
+func (b *ColumnBatch) Strs(col int) (payload []string, kinds []Kind) {
+	c := &b.cols[col]
+	c.ensure(KindString, b.n)
+	return c.strs[:b.n], c.kinds[:b.n]
+}
+
+// Bools returns the dense bool payload of column col with the per-row
+// kind tags (valid where kinds[row] == KindBool).
+func (b *ColumnBatch) Bools(col int) (payload []bool, kinds []Kind) {
+	c := &b.cols[col]
+	c.ensure(KindBool, b.n)
+	return c.bools[:b.n], c.kinds[:b.n]
+}
+
+// Times returns the dense time payload of column col with the per-row
+// kind tags (valid where kinds[row] == KindTime).
+func (b *ColumnBatch) Times(col int) (payload []time.Time, kinds []Kind) {
+	c := &b.cols[col]
+	c.ensure(KindTime, b.n)
+	return c.times[:b.n], c.kinds[:b.n]
+}
+
+// Kinds returns the per-row kind tags of column col. Kernels that
+// retag a cell (e.g. MissingValue writing KindNull) mutate this slice
+// directly; payload slices must be obtained through the typed accessors
+// so they are row-aligned first.
+func (b *ColumnBatch) Kinds(col int) []Kind { return b.cols[col].kinds[:b.n] }
+
+// IDs returns the per-row tuple IDs. The slice aliases the batch.
+func (b *ColumnBatch) IDs() []uint64 { return b.ids[:b.n] }
+
+// EventTimes returns the per-row event times τ. The slice aliases the
+// batch; pollution never mutates it (EventTime is pollution-immune).
+func (b *ColumnBatch) EventTimes() []time.Time { return b.eventTimes[:b.n] }
+
+// Arrivals returns the per-row delivery times. Delay kernels mutate the
+// slice in place.
+func (b *ColumnBatch) Arrivals() []time.Time { return b.arrivals[:b.n] }
+
+// DroppedMask returns the per-row dropped flags, mutated in place by
+// drop kernels.
+func (b *ColumnBatch) DroppedMask() []bool { return b.dropped[:b.n] }
+
+// QuarantinedMask returns the per-row quarantined flags.
+func (b *ColumnBatch) QuarantinedMask() []bool { return b.quarantined[:b.n] }
+
+// SubStreams returns the per-row sub-stream indices.
+func (b *ColumnBatch) SubStreams() []int32 { return b.subStreams[:b.n] }
+
+// AppendEmptyRow appends one all-NULL row with zero metadata and
+// returns its index. Batch-native ingest decodes cells directly into
+// the typed payload arrays of the new row.
+func (b *ColumnBatch) AppendEmptyRow() int {
+	row := b.n
+	b.ids = append(b.ids, 0)
+	b.subStreams = append(b.subStreams, 0)
+	b.eventTimes = append(b.eventTimes, time.Time{})
+	b.arrivals = append(b.arrivals, time.Time{})
+	b.dropped = append(b.dropped, false)
+	b.quarantined = append(b.quarantined, false)
+	for i := range b.cols {
+		b.cols[i].grow(row)
+	}
+	b.n++
+	return row
+}
+
+// SetID overwrites the tuple ID of row.
+func (b *ColumnBatch) SetID(row int, id uint64) { b.ids[row] = id }
+
+// SetEventTime overwrites τ of row.
+func (b *ColumnBatch) SetEventTime(row int, tau time.Time) { b.eventTimes[row] = tau }
+
+// SetArrival overwrites the delivery time of row.
+func (b *ColumnBatch) SetArrival(row int, at time.Time) { b.arrivals[row] = at }
+
+// SetRow writes t back into row — the inverse of RowInto, used by
+// per-row fallback shims to fold a materialised tuple's mutations
+// (values, arrival, drop/quarantine flags) back into the batch.
+func (b *ColumnBatch) SetRow(row int, t Tuple) {
+	for i := range b.cols {
+		b.cols[i].set(row, t.At(i))
+	}
+	b.ids[row] = t.ID
+	b.subStreams[row] = int32(t.SubStream)
+	b.eventTimes[row] = t.EventTime
+	b.arrivals[row] = t.Arrival
+	b.dropped[row] = t.Dropped
+	b.quarantined[row] = t.Quarantined
+}
+
+// NullBitmap renders column col's NULL cells as a bitmap (bit r set ⇔
+// row r is NULL), reusing dst when it has capacity. Columnar consumers
+// use it to skip NULL runs without touching the kind tags per cell.
+func (b *ColumnBatch) NullBitmap(col int, dst []uint64) []uint64 {
+	words := (b.n + 63) / 64
+	if cap(dst) < words {
+		dst = make([]uint64, words)
+	}
+	dst = dst[:words]
+	for i := range dst {
+		dst[i] = 0
+	}
+	kinds := b.cols[col].kinds
+	for r := 0; r < b.n; r++ {
+		if kinds[r] == KindNull {
+			dst[r/64] |= 1 << (r % 64)
+		}
+	}
+	return dst
+}
+
+// NullCount counts the NULL cells of column col.
+func (b *ColumnBatch) NullCount(col int) int {
+	n := 0
+	kinds := b.cols[col].kinds
+	for r := 0; r < b.n; r++ {
+		if kinds[r] == KindNull {
+			n++
+		}
+	}
+	return n
+}
+
+// Selection is a selection vector: the row indices (ascending) of a
+// ColumnBatch that a columnar operator applies to. Condition kernels
+// narrow a selection, error kernels sweep one.
+type Selection []int32
+
+// FillAll resets s to select every row of an n-row batch, reusing the
+// backing array.
+func (s Selection) FillAll(n int) Selection {
+	s = s[:0]
+	for i := 0; i < n; i++ {
+		s = append(s, int32(i))
+	}
+	return s
+}
+
+// ColumnBatchReader is a source that decodes rows directly into a
+// caller-provided ColumnBatch — the batch-native ingest fast path.
+// ReadBatch appends up to max rows to dst and returns the number
+// appended. io.EOF (with n == 0) ends the stream; a *TupleError reports
+// a malformed row with the reader still usable, rows decoded before the
+// failure staying appended.
+type ColumnBatchReader interface {
+	Schema() *Schema
+	ReadBatch(dst *ColumnBatch, max int) (int, error)
+}
+
+// BatchSliceReader serves pre-built column batches through the
+// ColumnBatchReader interface — the columnar analogue of SliceSource,
+// used by benchmarks, tests and replay paths that already hold the
+// stream in batched form.
+type BatchSliceReader struct {
+	schema  *Schema
+	batches []*ColumnBatch
+	bi, ri  int
+}
+
+// NewBatchSliceReader returns a reader serving the rows of batches in
+// order. The batches are read, never mutated.
+func NewBatchSliceReader(schema *Schema, batches []*ColumnBatch) *BatchSliceReader {
+	return &BatchSliceReader{schema: schema, batches: batches}
+}
+
+// Schema implements ColumnBatchReader.
+func (r *BatchSliceReader) Schema() *Schema { return r.schema }
+
+// Next implements Source, so the reader can feed tuple-wise consumers
+// too; the columnar runner detects ReadBatch and bypasses it.
+func (r *BatchSliceReader) Next() (Tuple, error) {
+	for r.bi < len(r.batches) && r.ri >= r.batches[r.bi].Len() {
+		r.bi, r.ri = r.bi+1, 0
+	}
+	if r.bi >= len(r.batches) {
+		return Tuple{}, io.EOF
+	}
+	t := r.batches[r.bi].Row(r.ri)
+	r.ri++
+	return t, nil
+}
+
+// ReadBatch implements ColumnBatchReader.
+func (r *BatchSliceReader) ReadBatch(dst *ColumnBatch, max int) (int, error) {
+	for r.bi < len(r.batches) && r.ri >= r.batches[r.bi].Len() {
+		r.bi, r.ri = r.bi+1, 0
+	}
+	if r.bi >= len(r.batches) {
+		return 0, io.EOF
+	}
+	cur := r.batches[r.bi]
+	take := cur.Len() - r.ri
+	if max > 0 && take > max {
+		take = max
+	}
+	if err := dst.AppendBatchRows(cur, r.ri, r.ri+take); err != nil {
+		return 0, err
+	}
+	r.ri += take
+	return take, nil
+}
+
+// ColumnBatchPool recycles ColumnBatches of one schema so steady-state
+// batch processing allocates nothing. It is not safe for concurrent
+// use; pools are per-runner, like TuplePool's single-slot fast path.
+type ColumnBatchPool struct {
+	schema   *Schema
+	capacity int
+	free     []*ColumnBatch
+}
+
+// NewColumnBatchPool returns a pool minting batches over schema with
+// the given row capacity.
+func NewColumnBatchPool(schema *Schema, capacity int) *ColumnBatchPool {
+	return &ColumnBatchPool{schema: schema, capacity: capacity}
+}
+
+// Get returns an empty batch, recycling a previously Put one when
+// available.
+func (p *ColumnBatchPool) Get() *ColumnBatch {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return NewColumnBatch(p.schema, p.capacity)
+}
+
+// Put resets b and returns it to the pool. Slices previously obtained
+// from b are invalidated.
+func (p *ColumnBatchPool) Put(b *ColumnBatch) {
+	if b == nil || b.schema != p.schema {
+		return
+	}
+	b.Reset()
+	p.free = append(p.free, b)
 }
 
 // RowInto materialises row into a Tuple whose values live in buf (grown
