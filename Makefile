@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt lint race racehot integration chaos ci cover bench perfgate fuzz clean
+.PHONY: build test vet fmt lint race racehot integration loadtest chaos ci cover bench perfgate fuzz clean
 
 build:
 	$(GO) build ./...
@@ -50,9 +50,20 @@ racehot:
 # plus the real icewafld binary serving the golden examples/cli pipeline
 # over loopback to concurrent subscribers (one deliberately slow), under
 # the race detector. Asserts byte-identical streams across clients and
-# flow conservation (frames received == frames published).
+# flow conservation (frames received == frames published). The
+# icewafload leg is the scaled-down multi-tenant load run: 8 sessions ×
+# 32 subscribers through the REST control plane, zero gap errors, quota
+# rejections only where configured, every stream byte-identical to a
+# direct in-process run.
 integration:
-	$(GO) test -race -count=1 ./internal/netstream/ ./cmd/icewafld/
+	$(GO) test -race -count=1 ./internal/netstream/ ./cmd/icewafld/ ./cmd/icewafload/
+
+# Multi-tenant load pass: the session-service suite (quota enforcement,
+# subscribe/close races, bounded delete of wedged sessions) plus the
+# icewafload harness driving the real daemon, all under -race.
+loadtest:
+	$(GO) test -race -count=1 ./cmd/icewafload/
+	$(GO) test -race -count=1 ./internal/netstream/ -run 'TestService|TestHubSubscribe|TestSubscriberGauges'
 
 # Chaos pass: the fault-injection suite (proxy faults, disk faults,
 # kill-and-recover e2e) under the race detector with a short schedule —
@@ -61,7 +72,7 @@ integration:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ ./cmd/icewafld/ -run 'Chaos|Proxy|FaultFS|CrashRecovery|WAL'
 
-ci: fmt vet lint race integration
+ci: fmt vet lint race integration loadtest
 
 # Coverage floor for the engine packages. The threshold is deliberately
 # conservative; raise it as the suites grow.

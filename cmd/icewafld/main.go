@@ -38,6 +38,15 @@
 //
 // Remote pipelines consume the service with netstream.ClientSource
 // (wrapped in stream.RetrySource for reconnect-with-backoff).
+//
+// With -sessions the daemon instead hosts the multi-tenant session
+// service: no pipeline flags are needed, and sessions — each a
+// supervised pipeline run with its own <tenant>/<session>/dirty|clean|
+// log channels — are created and stopped over the REST control plane
+// (POST/GET/DELETE /v1/sessions). The -config file's serve block may
+// set the listeners and per-tenant quotas (serve.tenants: max
+// sessions, max subscribers, bytes/sec); quota violations answer with
+// typed errors on the wire. See cmd/icewafload for a load harness.
 package main
 
 import (
@@ -71,6 +80,7 @@ func fatalUsage(format string, args ...any) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("icewafld: ")
+	sessions := flag.Bool("sessions", false, "run the multi-tenant session service: pipelines are created over the REST control plane instead of flags")
 	schemaPath := flag.String("schema", "", "path to the JSON schema file (required)")
 	configPath := flag.String("config", "", "path to the JSON pollution configuration (required)")
 	inPath := flag.String("in", "", "input CSV (required)")
@@ -100,6 +110,20 @@ func main() {
 	restartWindow := flag.Duration("restart-window", 0, "sliding window for the restart budget (default 1m)")
 	restartBackoff := flag.Duration("restart-backoff", 0, "base exponential backoff between restarts (default 100ms)")
 	flag.Parse()
+
+	if *sessions {
+		if *drain < 0 {
+			fatalUsage("-drain-timeout must be positive, got %v", *drain)
+		}
+		runSessions(sessionsOpts{
+			configPath:  *configPath,
+			listen:      *listen,
+			httpAddr:    *httpAddr,
+			drain:       *drain,
+			traceSample: *traceSample,
+		})
+		return
+	}
 
 	if *schemaPath == "" || *configPath == "" || *inPath == "" {
 		fatalUsage("-schema, -config and -in are required")

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"strings"
+	"time"
+
+	"icewafl/internal/config"
+	"icewafl/internal/csvio"
+	"icewafl/internal/netstream"
+	"icewafl/internal/schemafile"
+)
+
+// The harness drives every session with the same deterministic spec:
+// identical schema, pollution configuration (fixed seed) and generated
+// CSV input. Determinism is the point — it makes "every subscriber of
+// every session saw byte-identical output" a checkable invariant.
+
+const loadSchemaJSON = `{
+  "timestamp": "Time",
+  "fields": [
+    {"name": "Time", "kind": "time"},
+    {"name": "V", "kind": "float"},
+    {"name": "K", "kind": "int"}
+  ]
+}`
+
+const loadConfigJSON = `{
+  "seed": 1184372,
+  "pipelines": [
+    {
+      "name": "load",
+      "polluters": [
+        {
+          "name": "scale V",
+          "error": {"type": "scale_by_factor", "factor": 100},
+          "condition": {"type": "random", "p": 0.5},
+          "attrs": ["V"]
+        },
+        {
+          "name": "null V",
+          "error": {"type": "missing_value"},
+          "condition": {"type": "random", "p": 0.1},
+          "attrs": ["V"]
+        }
+      ]
+    }
+  ]
+}`
+
+// loadCSV renders rows input rows, one per second, values a fixed
+// function of the row index.
+func loadCSV(rows int) string {
+	var sb strings.Builder
+	sb.WriteString("Time,V,K\n")
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%s,%d.25,%d\n", base.Add(time.Duration(i)*time.Second).Format(time.RFC3339), i%89, i)
+	}
+	return sb.String()
+}
+
+// sessionSpecJSON renders the POST /v1/sessions spec payload icewafld's
+// session builder consumes: schema + config + inline CSV.
+func sessionSpecJSON(rows int) json.RawMessage {
+	spec := map[string]any{
+		"schema": json.RawMessage(loadSchemaJSON),
+		"config": json.RawMessage(loadConfigJSON),
+		"csv":    loadCSV(rows),
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		panic(err) // static inputs; cannot fail
+	}
+	return raw
+}
+
+// digestTuple folds one wire tuple into the running digest in its
+// canonical JSON rendering.
+func digestTuple(h hash.Hash, wt *netstream.WireTuple) error {
+	b, err := json.Marshal(wt)
+	if err != nil {
+		return err
+	}
+	h.Write(b)
+	h.Write([]byte{'\n'})
+	return nil
+}
+
+// directDigest runs the load spec's pipeline in-process — no service,
+// no wire — and returns the sha256 of the dirty stream in the same
+// canonical rendering the subscribers digest, plus the tuple count.
+// This is the reference the served sessions must be byte-identical to.
+func directDigest(rows int) (string, int, error) {
+	schema, err := schemafile.Parse(strings.NewReader(loadSchemaJSON))
+	if err != nil {
+		return "", 0, err
+	}
+	doc, err := config.Parse(strings.NewReader(loadConfigJSON))
+	if err != nil {
+		return "", 0, err
+	}
+	proc, err := config.Build(doc)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := proc.ValidateAttrs(schema); err != nil {
+		return "", 0, err
+	}
+	proc.KeepClean = false
+	src, err := csvio.NewReader(strings.NewReader(loadCSV(rows)), schema)
+	if err != nil {
+		return "", 0, err
+	}
+	// Reorder matches the serve default the sessions run with.
+	dirty, _, err := proc.RunStream(src, 64)
+	if err != nil {
+		return "", 0, err
+	}
+	h := sha256.New()
+	n := 0
+	for {
+		t, err := dirty.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return "", 0, err
+		}
+		if err := digestTuple(h, netstream.EncodeTuple(t)); err != nil {
+			return "", 0, err
+		}
+		n++
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}

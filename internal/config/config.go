@@ -116,6 +116,28 @@ type ServeSpec struct {
 	// RestartBackoff is the base exponential backoff between restarts
 	// (Go duration, default "100ms").
 	RestartBackoff string `json:"restart_backoff,omitempty"`
+	// Tenants configures per-tenant quotas for session mode
+	// (icewafld -sessions). Tenants not listed get the zero quota
+	// (unlimited). Ignored in single-pipeline mode.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+}
+
+// TenantSpec is one tenant's quota configuration for session mode.
+// Zero fields are unlimited.
+type TenantSpec struct {
+	// Name identifies the tenant ([A-Za-z0-9._-], required).
+	Name string `json:"name"`
+	// MaxSessions caps the tenant's concurrently running sessions.
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// MaxSubscribers caps the tenant's concurrently open subscriptions
+	// across all its sessions.
+	MaxSubscribers int `json:"max_subscribers,omitempty"`
+	// BytesPerSec rate-limits frame delivery to the tenant's
+	// subscribers via a shared token bucket.
+	BytesPerSec int64 `json:"bytes_per_sec,omitempty"`
+	// Burst is the token-bucket depth in bytes (default: one second of
+	// bytes_per_sec).
+	Burst int64 `json:"burst,omitempty"`
 }
 
 // Normalize applies the documented defaults and validates the spec. It
@@ -256,6 +278,23 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 			return out, fmt.Errorf("config: serve.restart_backoff %q is not a positive duration", s.RestartBackoff)
 		}
 		out.RestartBackoff = s.RestartBackoff
+	}
+	seen := make(map[string]bool, len(s.Tenants))
+	for i, t := range s.Tenants {
+		if t.Name == "" {
+			return out, fmt.Errorf("config: serve.tenants[%d] needs a name", i)
+		}
+		if seen[t.Name] {
+			return out, fmt.Errorf("config: serve.tenants has duplicate name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.MaxSessions < 0 || t.MaxSubscribers < 0 || t.BytesPerSec < 0 || t.Burst < 0 {
+			return out, fmt.Errorf("config: serve.tenants[%q] quotas must be non-negative", t.Name)
+		}
+		if t.Burst > 0 && t.BytesPerSec == 0 {
+			return out, fmt.Errorf("config: serve.tenants[%q] sets burst without bytes_per_sec", t.Name)
+		}
+		out.Tenants = append(out.Tenants, t)
 	}
 	return out, nil
 }

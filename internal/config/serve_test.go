@@ -1,6 +1,7 @@
 package config
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -20,14 +21,14 @@ func TestServeSpecDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("nil spec: got %+v, want %+v", got, want)
 	}
 	got, err = (&ServeSpec{}).Normalize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("empty spec: got %+v, want %+v", got, want)
 	}
 }
@@ -57,7 +58,7 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 		ColumnarBatch: 256, CheckpointEvery: 256, RestartBudget: 3,
 		RestartWindow: "1m", RestartBackoff: "100ms",
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("got %+v, want %+v", got, want)
 	}
 
@@ -87,6 +88,10 @@ func TestServeSpecOverridesAndValidation(t *testing.T) {
 		{ServeSpec{RestartBudget: -1}, "serve.restart_budget"},
 		{ServeSpec{RestartWindow: "-1m"}, "serve.restart_window"},
 		{ServeSpec{RestartBackoff: "soon"}, "serve.restart_backoff"},
+		{ServeSpec{Tenants: []TenantSpec{{}}}, "needs a name"},
+		{ServeSpec{Tenants: []TenantSpec{{Name: "a"}, {Name: "a"}}}, "duplicate name"},
+		{ServeSpec{Tenants: []TenantSpec{{Name: "a", MaxSessions: -1}}}, "non-negative"},
+		{ServeSpec{Tenants: []TenantSpec{{Name: "a", Burst: 64}}}, "burst without bytes_per_sec"},
 	}
 	for _, tc := range bad {
 		if _, err := tc.spec.Normalize(); err == nil || !strings.Contains(err.Error(), tc.want) {

@@ -28,10 +28,13 @@ import (
 // ingest and emission, but per-row pollution through the exact scalar
 // code path. Collapse changes performance, never output.
 //
-// One deliberate divergence: the columnar runner does not emit
-// per-tuple pollute trace spans (obs.StagePollute); only counter totals
-// match the tuple-wise runner. Sampled span tracing is a per-tuple
-// diagnostic at odds with batch execution.
+// Span tracing follows the execution shape: the vectorised path emits
+// one batch-granular obs.StagePollute span per kernel invocation —
+// identified by the batch's first tuple ID and tagged with the batch
+// row count (Span.Rows) — while the row-wise collapse path emits the
+// same per-tuple sampled spans as the scalar runner. Span counts
+// therefore differ between the paths by design; span presence and the
+// latency histogram totals do not.
 
 // DefaultColumnarBatch is the micro-batch size when ColumnarOptions
 // does not specify one.
@@ -252,6 +255,7 @@ func (pr *Process) RunStreamColumnar(src stream.Source, reorderWindow int) (stre
 		schema:    schema,
 		steps:     steps,
 		rowWise:   collapse != "",
+		trace:     pr.Obs.TraceEnabled(),
 		p:         pr.Pipelines[0],
 		log:       log,
 		fault:     pr.Fault,
@@ -293,6 +297,7 @@ type columnarRunner struct {
 
 	steps   []colStep
 	rowWise bool
+	trace   bool
 	p       *Pipeline
 	log     *Log
 	fault   FaultPolicy
@@ -509,7 +514,17 @@ func (r *columnarRunner) process() {
 			if r.log != nil {
 				mark = len(r.log.Entries)
 			}
-			ok, ferr := applyWithFault(r.p, &t, r.log, r.fault, r.dlq, mark)
+			// The collapse path runs the exact scalar code per row, so it
+			// traces like the scalar runner: per-tuple sampled spans.
+			var ok bool
+			var ferr error
+			if r.trace && r.reg.Sampled(t.ID) {
+				start := time.Now()
+				ok, ferr = applyWithFault(r.p, &t, r.log, r.fault, r.dlq, mark)
+				r.reg.ObserveSpan(obs.StagePollute, t.ID, time.Since(start))
+			} else {
+				ok, ferr = applyWithFault(r.p, &t, r.log, r.fault, r.dlq, mark)
+			}
 			r.batch.SetRow(row, t)
 			_ = ok // a skipped tuple carries Quarantined and is filtered at emission
 			if ferr != nil {
@@ -524,8 +539,21 @@ func (r *columnarRunner) process() {
 		return
 	}
 	r.all = r.all.FillAll(n)
-	for si := range r.steps {
-		r.steps[si].run(r.batch, r.all, &r.rowBuf)
+	if r.trace {
+		// Batch-granular tracing: one StagePollute span per kernel
+		// invocation, identified by the batch's first tuple ID and tagged
+		// with the batch row count. Clock reads stay off the untraced
+		// path.
+		firstID := r.batch.IDs()[0]
+		for si := range r.steps {
+			start := time.Now()
+			r.steps[si].run(r.batch, r.all, &r.rowBuf)
+			r.reg.ObserveBatchSpan(obs.StagePollute, firstID, n, time.Since(start))
+		}
+	} else {
+		for si := range r.steps {
+			r.steps[si].run(r.batch, r.all, &r.rowBuf)
+		}
 	}
 	mergeStepLogs(r.steps, r.log, n)
 }

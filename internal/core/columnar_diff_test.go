@@ -104,6 +104,7 @@ type diffRun struct {
 	entries []string
 	letters []stream.DeadLetter
 	counts  map[obs.CounterID]uint64
+	spans   []obs.Span
 	err     string
 }
 
@@ -114,6 +115,9 @@ func runOne(t *testing.T, build func() (*Process, stream.Source), columnar bool,
 	t.Helper()
 	proc, src := build()
 	reg := obs.NewRegistry()
+	// Trace every tuple: the suite asserts span presence on both paths
+	// (batch-granular on the vectorised path, per-tuple elsewhere).
+	reg.SetTraceSampling(1, 16384)
 	proc.Obs = reg
 	dlq := stream.NewDeadLetterQueue()
 	if proc.Fault.Quarantine {
@@ -153,7 +157,36 @@ func runOne(t *testing.T, build func() (*Process, stream.Source), columnar bool,
 	for _, id := range diffCounters {
 		run.counts[id] = reg.Counter(id)
 	}
+	run.spans = reg.Spans()
 	return run
+}
+
+// assertPolluteSpans pins the tracing contract of both engines: any
+// non-empty run emits StagePollute spans. Scalar spans are per-tuple
+// (Rows == 0); columnar spans are batch-granular on the vectorised
+// path (1 <= Rows <= batch) and per-tuple on the row-wise collapse
+// path, so a columnar run's rows must sit in [0, batch].
+func assertPolluteSpans(t *testing.T, tag string, run diffRun, batch int) {
+	t.Helper()
+	if run.counts[obs.CTuplesIn] == 0 {
+		return
+	}
+	pollute := 0
+	for _, sp := range run.spans {
+		if sp.Stage != "pollute" {
+			continue
+		}
+		pollute++
+		switch {
+		case batch > 0 && (sp.Rows < 0 || sp.Rows > batch):
+			t.Fatalf("%s: columnar span rows %d outside [0, %d]", tag, sp.Rows, batch)
+		case batch == 0 && sp.Rows != 0:
+			t.Fatalf("%s: per-tuple span carries rows %d", tag, sp.Rows)
+		}
+	}
+	if pollute == 0 {
+		t.Fatalf("%s: no pollute spans recorded", tag)
+	}
 }
 
 // assertIdentical runs both engines over fresh builds and compares
@@ -201,7 +234,9 @@ func assertIdentical(t *testing.T, name string, build func() (*Process, stream.S
 		if got.err != want.err {
 			t.Fatalf("%s: terminal error %q, tuple-wise %q", tag, got.err, want.err)
 		}
+		assertPolluteSpans(t, tag, got, batch)
 	}
+	assertPolluteSpans(t, name+"/tuple-wise", want, 0)
 }
 
 // vectorisedPipeline covers every kernelised condition and error
@@ -275,6 +310,31 @@ func TestColumnarDiffVectorisedPlanIsVectorised(t *testing.T) {
 	}
 	if len(steps) != 17 {
 		t.Fatalf("compiled %d steps, want 17", len(steps))
+	}
+}
+
+// TestColumnarBatchSpanShape pins that the vectorised path traces at
+// batch granularity: every pollute span covers 1..batch rows (one span
+// per kernel invocation), never the per-tuple shape.
+func TestColumnarBatchSpanShape(t *testing.T) {
+	const batch = 7
+	run := runOne(t, func() (*Process, stream.Source) {
+		proc := &Process{Pipelines: []*Pipeline{vectorisedPipeline(42)}}
+		proc.Columnar.Batch = batch
+		return proc, diffSource(diffSchema(), 42, 100)
+	}, true, 1)
+	pollute := 0
+	for _, sp := range run.spans {
+		if sp.Stage != "pollute" {
+			continue
+		}
+		pollute++
+		if sp.Rows < 1 || sp.Rows > batch {
+			t.Fatalf("vectorised span rows = %d, want 1..%d", sp.Rows, batch)
+		}
+	}
+	if pollute == 0 {
+		t.Fatal("vectorised run recorded no batch-granular pollute spans")
 	}
 }
 

@@ -95,11 +95,38 @@ func (e *GapError) Permanent() bool { return true }
 // ErrHubClosed reports that the hub shut down (graceful drain finished).
 var ErrHubClosed = errors.New("netstream: hub closed")
 
+// ErrUnknownChannel reports an operation on a channel the hub does not
+// carry — in the session service this is also the prompt answer for a
+// subscribe addressed at a deleted or never-created session.
+var ErrUnknownChannel = errors.New("netstream: unknown channel")
+
+// UnknownChannelError is the typed form of ErrUnknownChannel. It is
+// permanent — the hub's channel set is fixed at construction, so
+// retrying the same name can never succeed.
+type UnknownChannelError struct {
+	// Channel is the requested channel name.
+	Channel string
+}
+
+func (e *UnknownChannelError) Error() string {
+	return fmt.Sprintf("netstream: unknown channel %q", e.Channel)
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownChannel) hold.
+func (e *UnknownChannelError) Unwrap() error { return ErrUnknownChannel }
+
+// Permanent marks the error non-retryable (stream.PermanentError).
+func (e *UnknownChannelError) Permanent() bool { return true }
+
 // savedFrame is one published, already-encoded frame.
 type savedFrame struct {
 	seq      uint64
 	data     []byte
 	terminal bool
+	// at is the publish time, stamped only when the hub tracks delivery
+	// latency (the session service); zero otherwise so deterministic
+	// single-pipeline runs never read the clock per frame.
+	at time.Time
 }
 
 // channel is one named broadcast stream inside the hub.
@@ -141,6 +168,15 @@ type Hub struct {
 	// consume no sequence number and never mark a channel done, so a
 	// restarted session continues the sequence with no gap.
 	resumable bool
+	// trackDelivery stamps published frames with the publish time and
+	// observes publish→Recv pickup into StageDeliver (the session
+	// service's p50/p99 source). Off by default so deterministic runs
+	// never read the clock per frame.
+	trackDelivery bool
+	// perSubGauges registers per-subscriber queue-depth/dropped gauges
+	// on the registry (the single-pipeline daemon). Session hubs leave
+	// it off: thousands of subscribers would swamp /metrics.
+	perSubGauges bool
 
 	nextSubID atomic.Uint64
 
@@ -159,22 +195,8 @@ type Hub struct {
 // retained per channel for late subscribers and reconnects (minimum
 // buffer).
 func NewHub(buffer, replay int, policy Policy, reg *obs.Registry) *Hub {
-	if buffer < 1 {
-		buffer = 64
-	}
-	if replay < buffer {
-		replay = buffer
-	}
-	h := &Hub{
-		channels: make(map[string]*channel),
-		buffer:   buffer,
-		replay:   replay,
-		policy:   policy,
-		reg:      reg,
-	}
-	for _, name := range Channels() {
-		h.channels[name] = &channel{name: name, subs: make(map[*Subscriber]struct{})}
-	}
+	h := NewHubNamed(Channels(), buffer, replay, policy, reg)
+	h.perSubGauges = true
 	reg.RegisterFunc("net_subscribers", func() uint64 {
 		n := h.subscribers.Load()
 		if n < 0 {
@@ -190,6 +212,48 @@ func NewHub(buffer, replay int, policy Policy, reg *obs.Registry) *Hub {
 	reg.RegisterFunc("net_wal_appends_total", h.walAppends)
 	return h
 }
+
+// NewHubNamed builds a hub carrying exactly the given channels (the
+// session service namespaces them as <tenant>/<session>/<channel>).
+// Unlike NewHub it registers no gauges on reg: session hubs share one
+// registry per daemon process, so a second hub would clobber the
+// first's registrations — the service layer aggregates across hubs
+// under per-tenant families instead.
+func NewHubNamed(channelNames []string, buffer, replay int, policy Policy, reg *obs.Registry) *Hub {
+	if buffer < 1 {
+		buffer = 64
+	}
+	if replay < buffer {
+		replay = buffer
+	}
+	h := &Hub{
+		channels: make(map[string]*channel),
+		buffer:   buffer,
+		replay:   replay,
+		policy:   policy,
+		reg:      reg,
+	}
+	for _, name := range channelNames {
+		h.channels[name] = &channel{name: name, subs: make(map[*Subscriber]struct{})}
+	}
+	return h
+}
+
+// SetDeliveryTracking stamps published frames with the publish time and
+// observes publish→Recv pickup latency into StageDeliver. Set before
+// serving traffic; off by default so deterministic single-pipeline runs
+// never read the clock per frame.
+func (h *Hub) SetDeliveryTracking(v bool) {
+	h.mu.Lock()
+	h.trackDelivery = v
+	h.mu.Unlock()
+}
+
+// FramesSent returns how many frames the hub queued to subscribers.
+func (h *Hub) FramesSent() uint64 { return h.framesSent.Load() }
+
+// SubscriberCount returns the number of open subscriptions.
+func (h *Hub) SubscriberCount() int64 { return h.subscribers.Load() }
 
 // walFsyncs sums fsync counts across the attached channel WALs.
 func (h *Hub) walFsyncs() uint64 {
@@ -231,7 +295,7 @@ func (h *Hub) AttachWAL(channelName string, w *WAL) error {
 	defer h.mu.Unlock()
 	ch, ok := h.channels[channelName]
 	if !ok {
-		return fmt.Errorf("netstream: unknown channel %q", channelName)
+		return &UnknownChannelError{Channel: channelName}
 	}
 	if ch.seq != 0 || ch.wal != nil {
 		return fmt.Errorf("netstream: channel %q already has frames or a wal", channelName)
@@ -288,7 +352,7 @@ func (h *Hub) BeginRecovery(channelName string, cursor uint64) error {
 	defer h.mu.Unlock()
 	ch, ok := h.channels[channelName]
 	if !ok {
-		return fmt.Errorf("netstream: unknown channel %q", channelName)
+		return &UnknownChannelError{Channel: channelName}
 	}
 	if cursor > ch.seq {
 		return fmt.Errorf("netstream: channel %q recovery cursor %d ahead of durable seq %d", channelName, cursor, ch.seq)
@@ -322,7 +386,7 @@ func (h *Hub) SetHello(channelName string, f *Frame) error {
 	defer h.mu.Unlock()
 	ch, ok := h.channels[channelName]
 	if !ok {
-		return fmt.Errorf("netstream: unknown channel %q", channelName)
+		return &UnknownChannelError{Channel: channelName}
 	}
 	ch.hello = data
 	return nil
@@ -342,7 +406,7 @@ func (h *Hub) Publish(channelName string, f *Frame) error {
 	ch, ok := h.channels[channelName]
 	if !ok {
 		h.mu.Unlock()
-		return fmt.Errorf("netstream: unknown channel %q", channelName)
+		return &UnknownChannelError{Channel: channelName}
 	}
 	if f.Type == FrameError && (h.resumable || ch.seq < ch.recoverMax) {
 		// A restartable session failed (or the re-run died inside the
@@ -404,6 +468,9 @@ func (h *Hub) Publish(channelName string, f *Frame) error {
 		}
 	}
 	sf := savedFrame{seq: ch.seq, data: data, terminal: terminal}
+	if h.trackDelivery {
+		sf.at = time.Now()
+	}
 	ch.ring = append(ch.ring, sf)
 	if len(ch.ring) > h.replay {
 		// Never evict the hello-equivalent head beyond capacity; plain
@@ -482,6 +549,9 @@ type Subscriber struct {
 	hello   []byte
 	walIter *WALReader
 	replay  []savedFrame
+	// replayN mirrors len(replay) for the queue-depth gauge, which runs
+	// on the snapshot goroutine while the Recv goroutine pops replay.
+	replayN atomic.Int64
 
 	droppedN atomic.Uint64
 }
@@ -500,7 +570,7 @@ func (h *Hub) Subscribe(channelName string, fromSeq uint64) (*Subscriber, error)
 	}
 	ch, ok := h.channels[channelName]
 	if !ok {
-		return nil, fmt.Errorf("netstream: unknown channel %q", channelName)
+		return nil, &UnknownChannelError{Channel: channelName}
 	}
 	start := fromSeq
 	if start == 0 {
@@ -548,14 +618,20 @@ func (h *Hub) Subscribe(channelName string, fromSeq uint64) (*Subscriber, error)
 			s.replay = append(s.replay, sf)
 		}
 	}
+	s.replayN.Store(int64(len(s.replay)))
 	if !ch.done {
 		ch.subs[s] = struct{}{}
 	}
 	h.subscribers.Add(1)
-	h.reg.RegisterFunc(fmt.Sprintf("net_queue_depth_client_%d", s.id), func() uint64 {
-		return uint64(len(s.ch)) + uint64(len(s.replay))
-	})
-	h.reg.RegisterFunc(fmt.Sprintf("net_dropped_client_%d", s.id), s.droppedN.Load)
+	if h.perSubGauges {
+		// The gauge closure runs on the snapshot goroutine while the Recv
+		// goroutine consumes the replay backlog, so it reads the atomic
+		// replayN mirror, never the replay slice header itself.
+		h.reg.RegisterFunc(s.queueGaugeName(), func() uint64 {
+			return uint64(len(s.ch)) + uint64(s.replayN.Load())
+		})
+		h.reg.RegisterFunc(s.droppedGaugeName(), s.droppedN.Load)
+	}
 	return s, nil
 }
 
@@ -572,6 +648,14 @@ func (h *Hub) unsubscribe(s *Subscriber) {
 
 // ID returns the subscriber's hub-unique identifier.
 func (s *Subscriber) ID() uint64 { return s.id }
+
+func (s *Subscriber) queueGaugeName() string {
+	return fmt.Sprintf("net_queue_depth_client_%d", s.id)
+}
+
+func (s *Subscriber) droppedGaugeName() string {
+	return fmt.Sprintf("net_dropped_client_%d", s.id)
+}
 
 // Dropped returns how many frames the backpressure policy evicted from
 // this subscriber's queue.
@@ -595,6 +679,12 @@ func (s *Subscriber) Close() {
 		if s.walIter != nil {
 			s.walIter.Close()
 			s.walIter = nil
+		}
+		if s.hub.perSubGauges {
+			// Long-lived registries must not accumulate dead per-client
+			// gauges across subscriber lifetimes.
+			s.hub.reg.Unregister(s.queueGaugeName())
+			s.hub.reg.Unregister(s.droppedGaugeName())
 		}
 		s.hub.unsubscribe(s)
 		s.hub.subscribers.Add(-1)
@@ -635,6 +725,8 @@ func (s *Subscriber) pending() (data []byte, terminal bool, ok bool, err error) 
 	if len(s.replay) > 0 {
 		sf := s.replay[0]
 		s.replay = s.replay[1:]
+		s.replayN.Add(-1)
+		s.observeDeliver(sf)
 		return sf.data, sf.terminal, true, nil
 	}
 	return nil, false, false, nil
@@ -651,15 +743,28 @@ func (s *Subscriber) Recv() (data []byte, terminal bool, err error) {
 	}
 	select {
 	case sf := <-s.ch:
+		s.observeDeliver(sf)
 		return sf.data, sf.terminal, nil
 	case <-s.closed:
 		// Drain whatever was queued before the close.
 		select {
 		case sf := <-s.ch:
+			s.observeDeliver(sf)
 			return sf.data, sf.terminal, nil
 		default:
 			return nil, false, s.termErr()
 		}
+	}
+}
+
+// observeDeliver records the publish→pickup latency of a frame when
+// the hub tracks delivery. Replayed frames count too: publish→pickup
+// is the end-to-end delivery latency a subscriber experienced,
+// whichever path the frame took (WAL-recovered frames carry no
+// publish stamp and are skipped).
+func (s *Subscriber) observeDeliver(sf savedFrame) {
+	if !sf.at.IsZero() {
+		s.hub.reg.ObserveStage(obs.StageDeliver, time.Since(sf.at))
 	}
 }
 
@@ -672,10 +777,12 @@ func (s *Subscriber) RecvContext(ctx context.Context) (data []byte, terminal boo
 	}
 	select {
 	case sf := <-s.ch:
+		s.observeDeliver(sf)
 		return sf.data, sf.terminal, nil
 	case <-s.closed:
 		select {
 		case sf := <-s.ch:
+			s.observeDeliver(sf)
 			return sf.data, sf.terminal, nil
 		default:
 			return nil, false, s.termErr()

@@ -1,0 +1,208 @@
+package netstream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQuota reports that a tenant exceeded one of its configured quotas
+// (max sessions, max subscribers, bytes/sec).
+var ErrQuota = errors.New("netstream: tenant quota exceeded")
+
+// QuotaError is the typed form of ErrQuota: which tenant hit which
+// ceiling. Like GapError it is permanent — retrying the identical
+// request against the same configuration cannot succeed — so retry
+// layers surface it instead of hammering the control plane. The wire
+// form is Frame.Quota (TCP/stream subscriptions) or the JSON error body
+// of a 429 (control plane).
+type QuotaError struct {
+	// Tenant is the tenant the quota applies to.
+	Tenant string
+	// Resource names the exhausted resource: "sessions", "subscribers"
+	// or "bytes_per_sec".
+	Resource string
+	// Limit is the configured ceiling; Used the consumption at rejection
+	// time (for bytes_per_sec, Limit is the rate and Used the write the
+	// bucket could never cover).
+	Limit uint64
+	Used  uint64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("netstream: tenant %q over %s quota (limit %d, used %d)", e.Tenant, e.Resource, e.Limit, e.Used)
+}
+
+// Unwrap makes errors.Is(err, ErrQuota) hold.
+func (e *QuotaError) Unwrap() error { return ErrQuota }
+
+// Permanent marks the error non-retryable (stream.PermanentError).
+func (e *QuotaError) Permanent() bool { return true }
+
+// Info renders the machine-readable wire payload.
+func (e *QuotaError) Info() *QuotaInfo {
+	return &QuotaInfo{Tenant: e.Tenant, Resource: e.Resource, Limit: e.Limit, Used: e.Used}
+}
+
+// QuotaFromInfo rebuilds the typed error from its wire payload.
+func QuotaFromInfo(q *QuotaInfo) *QuotaError {
+	return &QuotaError{Tenant: q.Tenant, Resource: q.Resource, Limit: q.Limit, Used: q.Used}
+}
+
+// TenantQuota is one tenant's configured ceilings. Zero fields are
+// unlimited.
+type TenantQuota struct {
+	// MaxSessions caps concurrently running sessions.
+	MaxSessions int
+	// MaxSubscribers caps concurrently open subscriptions across the
+	// tenant's sessions.
+	MaxSubscribers int
+	// BytesPerSec rate-limits frame delivery to the tenant's subscribers
+	// via a token bucket layered on the backpressure policy: a throttled
+	// subscriber simply reads slower, so the policy (block/drop/
+	// disconnect) decides what that does to the pipeline.
+	BytesPerSec int64
+	// Burst is the token-bucket depth in bytes (default: one second of
+	// BytesPerSec). A single frame larger than the burst can never be
+	// delivered and is rejected with a typed QuotaError.
+	Burst int64
+}
+
+// tokenBucket is a monotonic-clock token bucket shared by one tenant's
+// subscriber send loops.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst int64) *tokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &tokenBucket{
+		rate:   float64(rate),
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+}
+
+// reserve takes n tokens, going negative if needed, and returns how
+// long the caller must wait for the balance to return to zero. ok is
+// false when n exceeds the bucket depth entirely (the request can never
+// be served).
+func (b *tokenBucket) reserve(n int) (wait time.Duration, ok bool) {
+	if float64(n) > b.burst {
+		return 0, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= float64(n)
+	if b.tokens >= 0 {
+		return 0, true
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second)), true
+}
+
+// wait blocks until the bucket covers n bytes or ctx ends.
+func (b *tokenBucket) wait(ctx context.Context, n int) error {
+	d, ok := b.reserve(n)
+	if !ok {
+		return fmt.Errorf("netstream: write of %d bytes exceeds token-bucket burst", n)
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tenantState is the live accounting of one tenant inside a Service.
+type tenantState struct {
+	name  string
+	quota TenantQuota
+	// bucket is nil when BytesPerSec is unlimited.
+	bucket *tokenBucket
+
+	mu       sync.Mutex
+	sessions int
+	subs     int
+}
+
+func newTenantState(name string, q TenantQuota) *tenantState {
+	ts := &tenantState{name: name, quota: q}
+	if q.BytesPerSec > 0 {
+		ts.bucket = newTokenBucket(q.BytesPerSec, q.Burst)
+	}
+	return ts
+}
+
+// acquireSession claims one session slot, or fails with a QuotaError.
+func (ts *tenantState) acquireSession() error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.quota.MaxSessions > 0 && ts.sessions >= ts.quota.MaxSessions {
+		return &QuotaError{Tenant: ts.name, Resource: "sessions", Limit: uint64(ts.quota.MaxSessions), Used: uint64(ts.sessions)}
+	}
+	ts.sessions++
+	return nil
+}
+
+func (ts *tenantState) releaseSession() {
+	ts.mu.Lock()
+	if ts.sessions > 0 {
+		ts.sessions--
+	}
+	ts.mu.Unlock()
+}
+
+// acquireSub claims one subscriber slot, or fails with a QuotaError.
+func (ts *tenantState) acquireSub() error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.quota.MaxSubscribers > 0 && ts.subs >= ts.quota.MaxSubscribers {
+		return &QuotaError{Tenant: ts.name, Resource: "subscribers", Limit: uint64(ts.quota.MaxSubscribers), Used: uint64(ts.subs)}
+	}
+	ts.subs++
+	return nil
+}
+
+func (ts *tenantState) releaseSub() {
+	ts.mu.Lock()
+	if ts.subs > 0 {
+		ts.subs--
+	}
+	ts.mu.Unlock()
+}
+
+// throttle waits for the rate limiter to cover n bytes (no-op when the
+// tenant is unlimited). An oversized write fails with a QuotaError.
+func (ts *tenantState) throttle(ctx context.Context, n int) error {
+	if ts.bucket == nil {
+		return nil
+	}
+	if err := ts.bucket.wait(ctx, n); err != nil {
+		if ctx.Err() != nil {
+			return err
+		}
+		return &QuotaError{Tenant: ts.name, Resource: "bytes_per_sec", Limit: uint64(ts.quota.BytesPerSec), Used: uint64(n)}
+	}
+	return nil
+}

@@ -93,10 +93,28 @@ type Config struct {
 	// RestartBackoff is the base restart delay, doubled per consecutive
 	// failure (default 100ms).
 	RestartBackoff time.Duration
+	// Namespace prefixes every channel name (<namespace>/dirty|clean|log)
+	// — the session service sets it to <tenant>/<session> so subscribers
+	// address exactly one session's channels. A namespaced server shares
+	// its registry with sibling sessions, so it skips the global gauge
+	// registrations NewHub performs (the service aggregates per tenant
+	// instead). Empty = the classic single-pipeline channel names.
+	Namespace string
+	// TrackDelivery stamps published frames and observes publish→pickup
+	// latency into StageDeliver (the session service's p50/p99 source).
+	TrackDelivery bool
 	// Reg receives service metrics (nil-safe).
 	Reg *obs.Registry
 	// Logf, when set, receives service diagnostics.
 	Logf func(format string, args ...any)
+}
+
+// chanName pairs a channel's local identity (dirty/clean/log — the WAL
+// sub-directory and checkpoint-offset key) with its full, possibly
+// namespaced wire name.
+type chanName struct {
+	local string
+	full  string
 }
 
 // Server runs one pollution pipeline and streams its outputs to
@@ -106,9 +124,16 @@ type Server struct {
 	hub *Hub
 	sup *Supervisor
 
+	// chans maps the standard channels to their wire names; chDirty,
+	// chClean and chLog are the wire names used on the hot paths.
+	chans   []chanName
+	chDirty string
+	chClean string
+	chLog   string
+
 	mu        sync.Mutex
 	listeners []net.Listener
-	conns     map[net.Conn]struct{}
+	conns     map[io.Closer]struct{}
 
 	drainExpired atomic.Bool
 
@@ -170,17 +195,36 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:          cfg,
-		hub:          NewHub(cfg.Buffer, cfg.Replay, cfg.Policy, cfg.Reg),
-		conns:        make(map[net.Conn]struct{}),
+		conns:        make(map[io.Closer]struct{}),
 		pipelineDone: make(chan struct{}),
 	}
+	for _, local := range Channels() {
+		full := local
+		if cfg.Namespace != "" {
+			full = cfg.Namespace + "/" + local
+		}
+		s.chans = append(s.chans, chanName{local: local, full: full})
+	}
+	s.chDirty, s.chClean, s.chLog = s.chans[0].full, s.chans[1].full, s.chans[2].full
+	if cfg.Namespace != "" {
+		names := make([]string, len(s.chans))
+		for i, cn := range s.chans {
+			names[i] = cn.full
+		}
+		s.hub = NewHubNamed(names, cfg.Buffer, cfg.Replay, cfg.Policy, cfg.Reg)
+	} else {
+		s.hub = NewHub(cfg.Buffer, cfg.Replay, cfg.Policy, cfg.Reg)
+	}
+	if cfg.TrackDelivery {
+		s.hub.SetDeliveryTracking(true)
+	}
 	if cfg.WALDir != "" {
-		for _, name := range Channels() {
-			w, err := OpenWAL(filepath.Join(cfg.WALDir, name), cfg.WAL)
+		for _, cn := range s.chans {
+			w, err := OpenWAL(filepath.Join(cfg.WALDir, cn.local), cfg.WAL)
 			if err != nil {
 				return nil, err
 			}
-			if err := s.hub.AttachWAL(name, w); err != nil {
+			if err := s.hub.AttachWAL(cn.full, w); err != nil {
 				w.Close()
 				return nil, err
 			}
@@ -191,11 +235,15 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.Supervise {
 		s.sup = NewSupervisor(cfg.RestartBudget, cfg.RestartWindow, cfg.RestartBackoff, cfg.Logf)
-		cfg.Reg.RegisterFunc("net_session_restarts", s.sup.Restarts)
+		if cfg.Namespace == "" {
+			// Session servers share one registry; a per-session gauge under
+			// one fixed name would clobber its siblings' registrations.
+			cfg.Reg.RegisterFunc("net_session_restarts", s.sup.Restarts)
+		}
 	}
 	doc := SchemaDocument(cfg.Schema)
-	for _, name := range Channels() {
-		if err := s.hub.SetHello(name, &Frame{Type: FrameHello, Channel: name, Schema: doc}); err != nil {
+	for _, cn := range s.chans {
+		if err := s.hub.SetHello(cn.full, &Frame{Type: FrameHello, Channel: cn.full, Schema: doc}); err != nil {
 			return nil, err
 		}
 	}
@@ -222,8 +270,8 @@ func (s *Server) logf(format string, args ...any) {
 // allTerminal reports whether every channel's durable log ends in a
 // terminal frame (a previous run completed durably — nothing to rerun).
 func (s *Server) allTerminal() bool {
-	for _, name := range Channels() {
-		w := s.hub.WAL(name)
+	for _, cn := range s.chans {
+		w := s.hub.WAL(cn.full)
 		if w == nil || !w.Terminal() {
 			return false
 		}
@@ -236,14 +284,14 @@ func (s *Server) allTerminal() bool {
 // maximum, so the deterministic re-run regenerates the already-durable
 // region without duplicating it.
 func (s *Server) armRecovery(resume *core.Checkpoint) error {
-	for _, name := range Channels() {
+	for _, cn := range s.chans {
 		cursor := uint64(0)
 		if resume != nil {
-			if v := resume.Offsets["net."+name]; v > 0 {
+			if v := resume.Offsets["net."+cn.local]; v > 0 {
 				cursor = uint64(v)
 			}
 		}
-		if err := s.hub.BeginRecovery(name, cursor); err != nil {
+		if err := s.hub.BeginRecovery(cn.full, cursor); err != nil {
 			return err
 		}
 	}
@@ -254,8 +302,8 @@ func (s *Server) armRecovery(resume *core.Checkpoint) error {
 // synced first so the durable checkpoint never runs ahead of the
 // durable frames it references.
 func (s *Server) captureCheckpoint(ckr *core.Checkpointer) error {
-	for _, name := range Channels() {
-		if w := s.hub.WAL(name); w != nil {
+	for _, cn := range s.chans {
+		if w := s.hub.WAL(cn.full); w != nil {
 			if err := w.Sync(); err != nil {
 				return err
 			}
@@ -265,8 +313,8 @@ func (s *Server) captureCheckpoint(ckr *core.Checkpointer) error {
 	if err != nil {
 		return err
 	}
-	for _, name := range Channels() {
-		ck.Offsets["net."+name] = int64(s.hub.Seq(name))
+	for _, cn := range s.chans {
+		ck.Offsets["net."+cn.local] = int64(s.hub.Seq(cn.full))
 	}
 	return core.WriteCheckpoint(s.cfg.CheckpointPath, ck)
 }
@@ -305,7 +353,7 @@ func (s *Server) runPipeline(ctx context.Context) error {
 	}
 
 	proc.CleanTap = func(t stream.Tuple) {
-		if err := s.hub.Publish(ChannelClean, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
+		if err := s.hub.Publish(s.chClean, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
 			s.logf("clean publish: %v", err)
 		}
 	}
@@ -313,9 +361,9 @@ func (s *Server) runPipeline(ctx context.Context) error {
 
 	fail := func(err error) error {
 		msg := err.Error()
-		for _, name := range Channels() {
-			if perr := s.hub.Publish(name, &Frame{Type: FrameError, Error: msg}); perr != nil && !errors.Is(perr, ErrHubClosed) {
-				s.logf("error publish on %s: %v", name, perr)
+		for _, cn := range s.chans {
+			if perr := s.hub.Publish(cn.full, &Frame{Type: FrameError, Error: msg}); perr != nil && !errors.Is(perr, ErrHubClosed) {
+				s.logf("error publish on %s: %v", cn.full, perr)
 			}
 		}
 		return err
@@ -369,7 +417,7 @@ func (s *Server) runPipeline(ctx context.Context) error {
 		}
 		for ; flushed < len(plog.Entries); flushed++ {
 			e := plog.Entries[flushed]
-			if err := s.hub.Publish(ChannelLog, &Frame{Type: FrameLog, Entry: &e}); err != nil {
+			if err := s.hub.Publish(s.chLog, &Frame{Type: FrameLog, Entry: &e}); err != nil {
 				return err
 			}
 		}
@@ -392,7 +440,7 @@ func (s *Server) runPipeline(ctx context.Context) error {
 				if err := flushLog(); err != nil {
 					return fail(err)
 				}
-				if err := s.hub.Publish(ChannelDirty, &Frame{Type: FrameColBatch, Batch: EncodeColumnBatch(out)}); err != nil {
+				if err := s.hub.Publish(s.chDirty, &Frame{Type: FrameColBatch, Batch: EncodeColumnBatch(out)}); err != nil {
 					return fail(err)
 				}
 				emitted += n
@@ -424,7 +472,7 @@ func (s *Server) runPipeline(ctx context.Context) error {
 			// The hub retains published frames (replay ring, WAL), so a
 			// fresh batch is allocated instead of resetting this one.
 			wb = NewWireColumnBatch(s.cfg.Schema.Len())
-			return s.hub.Publish(ChannelDirty, f)
+			return s.hub.Publish(s.chDirty, f)
 		}
 		for {
 			t, err := polluted.Next()
@@ -454,7 +502,7 @@ func (s *Server) runPipeline(ctx context.Context) error {
 						return fail(err)
 					}
 				}
-			} else if err := s.hub.Publish(ChannelDirty, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
+			} else if err := s.hub.Publish(s.chDirty, &Frame{Type: FrameTuple, Tuple: EncodeTuple(t)}); err != nil {
 				return fail(err)
 			}
 			emitted++
@@ -474,8 +522,8 @@ func (s *Server) runPipeline(ctx context.Context) error {
 	if err := flushLog(); err != nil {
 		return fail(err)
 	}
-	for _, name := range Channels() {
-		if err := s.hub.Publish(name, &Frame{Type: FrameEOF}); err != nil && !errors.Is(err, ErrHubClosed) {
+	for _, cn := range s.chans {
+		if err := s.hub.Publish(cn.full, &Frame{Type: FrameEOF}); err != nil && !errors.Is(err, ErrHubClosed) {
 			return err
 		}
 	}
@@ -519,7 +567,18 @@ func (s *Server) Serve(ctx context.Context, tcpLn, httpLn net.Listener) error {
 	// The pipeline runs concurrently with the shutdown watcher: a
 	// publisher wedged on a stuck subscriber (block policy, full TCP
 	// buffer) must not keep Serve from reaching the drain deadline —
-	// hub.Close below is exactly what unblocks it.
+	// hub.Close inside drainAndClose is exactly what unblocks it.
+	pipeRes := s.startPipeline(ctx)
+
+	// Keep serving until the caller cancels, so late clients can still
+	// fetch results from the replay ring after the pipeline completes.
+	<-ctx.Done()
+	return s.drainAndClose(httpSrv, pipeRes)
+}
+
+// startPipeline launches the pollution run (supervised when configured)
+// and returns a one-shot channel carrying its terminal error.
+func (s *Server) startPipeline(ctx context.Context) <-chan error {
 	pipeRes := make(chan error, 1)
 	go func() {
 		var err error
@@ -534,16 +593,16 @@ func (s *Server) Serve(ctx context.Context, tcpLn, httpLn net.Listener) error {
 		close(s.pipelineDone)
 		pipeRes <- err
 	}()
+	return pipeRes
+}
 
-	// Keep serving until the caller cancels, so late clients can still
-	// fetch results from the replay ring after the pipeline completes.
-	<-ctx.Done()
-
-	// Graceful drain: give connected subscribers DrainTimeout to empty
-	// their queues. When the deadline fires (e.g. a stuck slow reader
-	// under the block policy keeping a handler wedged in a TCP write),
-	// force-close the remaining connections — otherwise the handler
-	// goroutines never exit and shutdown hangs.
+// drainAndClose is the bounded shutdown path shared by Serve and the
+// session service's DELETE: give connected subscribers DrainTimeout to
+// empty their queues, then force-close whatever is left — the hub close
+// releases any Publish wedged on a stuck block-policy subscriber, so the
+// pipeline goroutine (and therefore this call) finishes promptly instead
+// of blocking the caller indefinitely. Returns the pipeline's error.
+func (s *Server) drainAndClose(httpSrv *http.Server, pipeRes <-chan error) error {
 	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	for time.Now().Before(deadline) && s.hub.subscribers.Load() > 0 {
 		time.Sleep(10 * time.Millisecond)
@@ -570,14 +629,28 @@ func (s *Server) Serve(ctx context.Context, tcpLn, httpLn net.Listener) error {
 	// hub.Close above released any Publish still blocked on a stuck
 	// subscriber, so the pipeline goroutine finishes promptly.
 	err := <-pipeRes
-	for _, name := range Channels() {
-		if w := s.hub.WAL(name); w != nil {
+	for _, cn := range s.chans {
+		if w := s.hub.WAL(cn.full); w != nil {
 			if cerr := w.Close(); cerr != nil {
-				s.logf("wal close %s: %v", name, cerr)
+				s.logf("wal close %s: %v", cn.full, cerr)
 			}
 		}
 	}
 	return err
+}
+
+// trackConn registers a subscriber connection (or closer) for
+// force-close when the drain deadline expires; untrackConn releases it.
+func (s *Server) trackConn(c io.Closer) {
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrackConn(c io.Closer) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
 }
 
 // PipelineDone reports completion of the pollution run (closed channel)
@@ -617,14 +690,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // stream of length-prefixed frames out until a terminal frame.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
-	s.mu.Lock()
-	s.conns[conn] = struct{}{}
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
+	s.trackConn(conn)
+	defer s.untrackConn(conn)
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	payload, err := ReadFrame(conn)
 	if err != nil {
@@ -637,9 +704,18 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	if req.Channel == "" {
-		req.Channel = ChannelDirty
+		req.Channel = s.chDirty
 	}
-	sub, err := s.hub.Subscribe(req.Channel, req.FromSeq)
+	s.streamTCP(conn, req.Channel, req.FromSeq, nil)
+}
+
+// streamTCP subscribes the connection to channel and streams frames
+// until a terminal frame or disconnect. throttle, when set, is applied
+// before each frame write (the session service's per-tenant rate limit
+// and throughput accounting); a throttle error ends the stream with a
+// terminal error frame.
+func (s *Server) streamTCP(conn net.Conn, channel string, fromSeq uint64, throttle func(n int) error) {
+	sub, err := s.hub.Subscribe(channel, fromSeq)
 	if err != nil {
 		s.writeErrorFrame(conn, err)
 		return
@@ -653,6 +729,12 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.writeErrorFrame(conn, err)
 			}
 			return
+		}
+		if throttle != nil {
+			if terr := throttle(len(data)); terr != nil {
+				s.writeErrorFrame(conn, terr)
+				return
+			}
 		}
 		start := time.Now()
 		if err := WriteFrame(bw, data); err != nil {
@@ -676,6 +758,10 @@ func (s *Server) writeErrorFrame(conn net.Conn, err error) {
 	var gap *GapError
 	if errors.As(err, &gap) {
 		f.Gap = &GapInfo{Requested: gap.Requested, ServerMin: gap.ServerMin}
+	}
+	var quota *QuotaError
+	if errors.As(err, &quota) {
+		f.Quota = quota.Info()
 	}
 	data, merr := EncodeFrame(f)
 	if merr != nil {
@@ -730,7 +816,7 @@ func (s *Server) HTTPHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"state\":%q,\"dirty_seq\":%d,\"clean_seq\":%d,\"log_seq\":%d,\"restarts\":%d,\"recovered\":%d,\"wal\":%t}\n",
-			state, s.hub.Seq(ChannelDirty), s.hub.Seq(ChannelClean), s.hub.Seq(ChannelLog),
+			state, s.hub.Seq(s.chDirty), s.hub.Seq(s.chClean), s.hub.Seq(s.chLog),
 			restarts, s.hub.Recovered(), s.cfg.WALDir != "")
 	})
 	return mux
@@ -741,17 +827,35 @@ func (s *Server) HTTPHandler() http.Handler {
 func (s *Server) serveHTTPStream(w http.ResponseWriter, r *http.Request, sse bool) {
 	channel := r.URL.Query().Get("channel")
 	if channel == "" {
-		channel = ChannelDirty
+		channel = s.chDirty
 	}
-	var fromSeq uint64
-	if raw := r.URL.Query().Get("from_seq"); raw != "" {
-		v, err := strconv.ParseUint(raw, 10, 64)
-		if err != nil {
-			http.Error(w, "bad from_seq", http.StatusBadRequest)
-			return
-		}
-		fromSeq = v
+	fromSeq, ok := parseFromSeq(w, r)
+	if !ok {
+		return
 	}
+	s.streamHTTP(w, r, sse, channel, fromSeq, nil)
+}
+
+// parseFromSeq reads the from_seq query parameter, reporting 400 on a
+// malformed value.
+func parseFromSeq(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	raw := r.URL.Query().Get("from_seq")
+	if raw == "" {
+		return 0, true
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, "bad from_seq", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// streamHTTP subscribes the request to channel and streams frames as
+// NDJSON lines or SSE events. throttle, when set, is applied before
+// each frame write (per-tenant rate limit and accounting); a throttle
+// error terminates the stream with an error frame.
+func (s *Server) streamHTTP(w http.ResponseWriter, r *http.Request, sse bool, channel string, fromSeq uint64, throttle func(n int) error) {
 	sub, err := s.hub.Subscribe(channel, fromSeq)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -770,6 +874,12 @@ func (s *Server) serveHTTPStream(w http.ResponseWriter, r *http.Request, sse boo
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.WriteHeader(http.StatusOK)
+	// Register the response for force-close: when the session's drain
+	// deadline fires with this subscriber wedged mid-write, an immediate
+	// write deadline unblocks the handler.
+	rc := &httpCloser{rc: http.NewResponseController(w)}
+	s.trackConn(rc)
+	defer s.untrackConn(rc)
 	ctx := r.Context()
 	for {
 		data, terminal, err := sub.RecvContext(ctx)
@@ -778,6 +888,14 @@ func (s *Server) serveHTTPStream(w http.ResponseWriter, r *http.Request, sse boo
 				s.writeHTTPFrame(w, flusher, sse, slowClientFrame())
 			}
 			return
+		}
+		if throttle != nil {
+			if terr := throttle(len(data)); terr != nil {
+				if ef, merr := EncodeFrame(errorFrame(terr)); merr == nil {
+					s.writeHTTPFrame(w, flusher, sse, ef)
+				}
+				return
+			}
 		}
 		start := time.Now()
 		if !s.writeHTTPFrame(w, flusher, sse, data) {
@@ -788,6 +906,30 @@ func (s *Server) serveHTTPStream(w http.ResponseWriter, r *http.Request, sse boo
 			return
 		}
 	}
+}
+
+// errorFrame renders err as a terminal error frame with its typed
+// payload (gap/quota) attached.
+func errorFrame(err error) *Frame {
+	f := &Frame{Type: FrameError, Error: err.Error()}
+	var gap *GapError
+	if errors.As(err, &gap) {
+		f.Gap = &GapInfo{Requested: gap.Requested, ServerMin: gap.ServerMin}
+	}
+	var quota *QuotaError
+	if errors.As(err, &quota) {
+		f.Quota = quota.Info()
+	}
+	return f
+}
+
+// httpCloser adapts an HTTP response to the force-close registry: Close
+// sets an immediate write deadline, unblocking a handler wedged on an
+// unread client.
+type httpCloser struct{ rc *http.ResponseController }
+
+func (c *httpCloser) Close() error {
+	return c.rc.SetWriteDeadline(time.Now())
 }
 
 // slowClientFrame renders the disconnect-slow terminal frame.

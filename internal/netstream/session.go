@@ -1,0 +1,650 @@
+package netstream
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"icewafl/internal/obs"
+)
+
+// ErrUnknownSession reports a control-plane operation addressed at a
+// session the service does not (or no longer does) run.
+var ErrUnknownSession = errors.New("netstream: unknown session")
+
+// ErrSessionExists reports a create for a tenant/name pair already
+// running.
+var ErrSessionExists = errors.New("netstream: session already exists")
+
+// ErrServiceClosed reports an operation against a service that shut
+// down.
+var ErrServiceClosed = errors.New("netstream: service closed")
+
+// SessionRequest is the control-plane body of POST /v1/sessions: which
+// tenant, what to call the session, and an opaque pipeline spec the
+// service compiles through its Build hook (the daemon's Build parses
+// schema + pollution config + inline CSV input).
+type SessionRequest struct {
+	Tenant string          `json:"tenant"`
+	Name   string          `json:"name"`
+	Spec   json.RawMessage `json:"spec"`
+}
+
+// SessionStatus is the control-plane rendering of one session.
+type SessionStatus struct {
+	Tenant string `json:"tenant"`
+	Name   string `json:"name"`
+	// State is running, done, failed or quarantined.
+	State    string   `json:"state"`
+	DirtySeq uint64   `json:"dirty_seq"`
+	CleanSeq uint64   `json:"clean_seq"`
+	LogSeq   uint64   `json:"log_seq"`
+	Subs     int64    `json:"subscribers"`
+	Restarts uint64   `json:"restarts"`
+	Error    string   `json:"error,omitempty"`
+	Channels []string `json:"channels"`
+}
+
+// ServiceConfig configures the multi-tenant session service.
+type ServiceConfig struct {
+	// Build compiles a session's opaque spec into a pipeline Config. The
+	// service owns Namespace, Reg, TrackDelivery and Logf — values the
+	// hook sets there are overridden.
+	Build func(spec json.RawMessage) (Config, error)
+	// Quotas are the per-tenant ceilings; tenants not listed fall back
+	// to DefaultQuota.
+	Quotas map[string]TenantQuota
+	// DefaultQuota applies to tenants absent from Quotas (zero value =
+	// unlimited).
+	DefaultQuota TenantQuota
+	// DrainTimeout is the default bounded-drain deadline applied to
+	// sessions whose built Config leaves it zero.
+	DrainTimeout time.Duration
+	// Reg receives service metrics — one registry shared by every
+	// session, with per-tenant counter families (nil-safe).
+	Reg *obs.Registry
+	// Logf, when set, receives service diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Session is one supervised pipeline run inside a Service: a namespaced
+// Server whose channels are <tenant>/<name>/dirty|clean|log.
+type Session struct {
+	tenant string
+	name   string
+	srv    *Server
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	pipeRes <-chan error
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	stopErr  error
+}
+
+// Tenant returns the owning tenant.
+func (sess *Session) Tenant() string { return sess.tenant }
+
+// Name returns the session name.
+func (sess *Session) Name() string { return sess.name }
+
+// ID returns the session's service-unique identifier, tenant/name.
+func (sess *Session) ID() string { return sess.tenant + "/" + sess.name }
+
+// Server exposes the session's underlying server (tests and embedders).
+func (sess *Session) Server() *Server { return sess.srv }
+
+// stop cancels the pipeline and runs the bounded-drain path (the same
+// one Serve uses on SIGTERM): subscribers get DrainTimeout to finish
+// reading, then the hub closes — releasing any Publish wedged on a
+// stuck block-policy subscriber — and remaining connections are
+// force-closed. Idempotent; every caller observes the same result.
+func (sess *Session) stop() error {
+	sess.stopOnce.Do(func() {
+		sess.cancel()
+		sess.stopErr = sess.srv.drainAndClose(nil, sess.pipeRes)
+		close(sess.stopped)
+	})
+	<-sess.stopped
+	return sess.stopErr
+}
+
+// status snapshots the session for the control plane.
+func (sess *Session) status() SessionStatus {
+	srv := sess.srv
+	st := SessionStatus{
+		Tenant:   sess.tenant,
+		Name:     sess.name,
+		State:    "running",
+		DirtySeq: srv.hub.Seq(srv.chDirty),
+		CleanSeq: srv.hub.Seq(srv.chClean),
+		LogSeq:   srv.hub.Seq(srv.chLog),
+		Subs:     srv.hub.SubscriberCount(),
+	}
+	for _, cn := range srv.chans {
+		st.Channels = append(st.Channels, cn.full)
+	}
+	select {
+	case <-srv.PipelineDone():
+		if err := srv.PipelineErr(); err != nil {
+			st.State, st.Error = "failed", err.Error()
+		} else {
+			st.State = "done"
+		}
+	default:
+	}
+	if sup := srv.Supervisor(); sup != nil {
+		st.Restarts = sup.Restarts()
+		if sup.Quarantined() {
+			st.State = "quarantined"
+		}
+	}
+	return st
+}
+
+// Service turns the one-pipeline daemon into a session service: a REST
+// control plane creates and stops named, per-tenant pipeline sessions
+// on demand, subscribers address one session's channels through the
+// <tenant>/<session>/<channel> namespace, and per-tenant quotas (max
+// sessions, max subscribers, bytes/sec token bucket) layer on top of
+// the per-subscriber backpressure policies.
+type Service struct {
+	cfg ServiceConfig
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	tenants  map[string]*tenantState
+	closed   bool
+}
+
+// NewService builds an empty session service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("netstream: service config needs a Build hook")
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	s := &Service{
+		cfg:      cfg,
+		reg:      cfg.Reg,
+		sessions: make(map[string]*Session),
+		tenants:  make(map[string]*tenantState),
+	}
+	s.reg.RegisterFunc("net_sessions", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(len(s.sessions))
+	})
+	s.reg.RegisterFunc("net_subscribers", func() uint64 {
+		var n int64
+		for _, sess := range s.snapshotSessions() {
+			n += sess.srv.hub.SubscriberCount()
+		}
+		if n < 0 {
+			return 0
+		}
+		return uint64(n)
+	})
+	s.reg.RegisterFunc("net_frames_sent_total", func() uint64 {
+		var n uint64
+		for _, sess := range s.snapshotSessions() {
+			n += sess.srv.hub.FramesSent()
+		}
+		return n
+	})
+	return s, nil
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// snapshotSessions copies the live session list.
+func (s *Service) snapshotSessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// tenant returns (creating on first use) the tenant's accounting state.
+func (s *Service) tenant(name string) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenants[name]
+	if ts == nil {
+		q, ok := s.cfg.Quotas[name]
+		if !ok {
+			q = s.cfg.DefaultQuota
+		}
+		ts = newTenantState(name, q)
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+// validName admits DNS-label-ish tenant and session names; the
+// separator characters of the channel namespace are excluded by
+// construction.
+func validName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Create builds, registers and starts a session. Quota violations
+// return a typed *QuotaError (counted in the tenant's rejection
+// family); duplicate names return ErrSessionExists.
+func (s *Service) Create(req SessionRequest) (*Session, error) {
+	if !validName(req.Tenant) || !validName(req.Name) {
+		return nil, fmt.Errorf("netstream: tenant and session names must be non-empty [A-Za-z0-9._-], got %q/%q", req.Tenant, req.Name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	s.mu.Unlock()
+	ts := s.tenant(req.Tenant)
+	if err := ts.acquireSession(); err != nil {
+		s.reg.AddTenantQuotaRejection(req.Tenant)
+		return nil, err
+	}
+	cfg, err := s.cfg.Build(req.Spec)
+	if err != nil {
+		ts.releaseSession()
+		return nil, err
+	}
+	cfg.Namespace = req.Tenant + "/" + req.Name
+	cfg.Reg = s.reg
+	cfg.TrackDelivery = true
+	cfg.Logf = s.cfg.Logf
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = s.cfg.DrainTimeout
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		ts.releaseSession()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &Session{
+		tenant:  req.Tenant,
+		name:    req.Name,
+		srv:     srv,
+		ctx:     ctx,
+		cancel:  cancel,
+		stopped: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		ts.releaseSession()
+		return nil, ErrServiceClosed
+	}
+	if _, dup := s.sessions[sess.ID()]; dup {
+		s.mu.Unlock()
+		cancel()
+		ts.releaseSession()
+		return nil, fmt.Errorf("%w: %s", ErrSessionExists, sess.ID())
+	}
+	s.sessions[sess.ID()] = sess
+	s.mu.Unlock()
+	sess.pipeRes = srv.startPipeline(ctx)
+	s.logf("session %s created", sess.ID())
+	return sess, nil
+}
+
+// Get returns the named session.
+func (s *Service) Get(tenant, name string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[tenant+"/"+name]
+	return sess, ok
+}
+
+// List snapshots every session's status, ordered by ID.
+func (s *Service) List() []SessionStatus {
+	sessions := s.snapshotSessions()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID() < sessions[j].ID() })
+	out := make([]SessionStatus, len(sessions))
+	for i, sess := range sessions {
+		out[i] = sess.status()
+	}
+	return out
+}
+
+// Delete stops the named session through the bounded-drain path and
+// removes it: subscribers get the session's DrainTimeout to finish
+// reading, then are force-closed — a subscriber wedged behind a
+// block-policy stall therefore delays Delete by at most the drain
+// deadline, never indefinitely. Returns the pipeline's terminal error.
+func (s *Service) Delete(tenant, name string) error {
+	id := tenant + "/" + name
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	ts := s.tenants[tenant]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	err := sess.stop()
+	if ts != nil {
+		ts.releaseSession()
+	}
+	s.logf("session %s deleted (drain_expired=%t)", id, sess.srv.DrainExpired())
+	return err
+}
+
+// Close stops every session (in parallel, each through the bounded
+// drain) and rejects further control-plane calls.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[string]*Session)
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, sess := range sessions {
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			_ = sess.stop()
+		}(sess)
+	}
+	wg.Wait()
+}
+
+// resolve maps a namespaced channel (<tenant>/<session>/<channel>) to
+// its session. A missing session — deleted or never created — fails
+// promptly with a typed UnknownChannelError.
+func (s *Service) resolve(channel string) (*Session, error) {
+	parts := strings.Split(channel, "/")
+	if len(parts) != 3 {
+		return nil, &UnknownChannelError{Channel: channel}
+	}
+	sess, ok := s.Get(parts[0], parts[1])
+	if !ok {
+		return nil, &UnknownChannelError{Channel: channel}
+	}
+	return sess, nil
+}
+
+// subscribeGate applies the tenant's subscriber quota and builds the
+// per-frame throttle (rate limit + throughput accounting). release must
+// be called when the subscription ends.
+func (s *Service) subscribeGate(ctx context.Context, tenant string) (throttle func(n int) error, release func(), err error) {
+	ts := s.tenant(tenant)
+	if err := ts.acquireSub(); err != nil {
+		s.reg.AddTenantQuotaRejection(tenant)
+		return nil, nil, err
+	}
+	throttle = func(n int) error {
+		if terr := ts.throttle(ctx, n); terr != nil {
+			if errors.Is(terr, ErrQuota) {
+				s.reg.AddTenantQuotaRejection(tenant)
+			}
+			return terr
+		}
+		s.reg.AddTenantDelivery(tenant, 1, uint64(n))
+		return nil
+	}
+	return throttle, ts.releaseSub, nil
+}
+
+// Serve accepts raw-TCP subscribers on tcpLn and HTTP (control plane +
+// streams) on httpLn until ctx is cancelled, then closes the service:
+// every session drains through its bounded deadline. Either listener
+// may be nil.
+func (s *Service) Serve(ctx context.Context, tcpLn, httpLn net.Listener) error {
+	var wg sync.WaitGroup
+	if tcpLn != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				conn, err := tcpLn.Accept()
+				if err != nil {
+					return
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					s.handleConn(conn)
+				}()
+			}
+		}()
+	}
+	var httpSrv *http.Server
+	if httpLn != nil {
+		httpSrv = &http.Server{Handler: s.HTTPHandler()}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				s.logf("http: %v", err)
+			}
+		}()
+	}
+	<-ctx.Done()
+	if tcpLn != nil {
+		tcpLn.Close()
+	}
+	s.Close()
+	if httpSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shCtx)
+	}
+	wg.Wait()
+	return nil
+}
+
+// handleConn speaks the TCP protocol at the service level: the
+// subscribe request addresses a namespaced channel, the stream then
+// runs under the owning session's server with the tenant's throttle.
+func (s *Service) handleConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	var req SubscribeRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		writeConnError(conn, fmt.Errorf("netstream: bad subscribe request: %w", err))
+		return
+	}
+	sess, err := s.resolve(req.Channel)
+	if err != nil {
+		writeConnError(conn, err)
+		return
+	}
+	throttle, release, err := s.subscribeGate(sess.ctx, sess.tenant)
+	if err != nil {
+		writeConnError(conn, err)
+		return
+	}
+	defer release()
+	sess.srv.trackConn(conn)
+	defer sess.srv.untrackConn(conn)
+	sess.srv.streamTCP(conn, req.Channel, req.FromSeq, throttle)
+}
+
+// writeConnError best-effort reports err as a terminal frame (typed
+// gap/quota payloads included).
+func writeConnError(conn net.Conn, err error) {
+	data, merr := EncodeFrame(errorFrame(err))
+	if merr != nil {
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_ = WriteFrame(conn, data)
+}
+
+// HTTPHandler returns the service's HTTP interface:
+//
+//	POST   /v1/sessions                      — create a session
+//	GET    /v1/sessions                      — list sessions
+//	GET    /v1/sessions/{tenant}/{name}      — one session's status
+//	DELETE /v1/sessions/{tenant}/{name}      — stop a session (bounded drain)
+//	GET    /stream?channel=t/s/dirty&from_seq=N — NDJSON stream
+//	GET    /sse?channel=...                  — Server-Sent Events
+//	GET    /metrics                          — Prometheus text (per-tenant families)
+//	GET    /healthz                          — per-session states
+func (s *Service) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.List()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{tenant}/{name}", func(w http.ResponseWriter, r *http.Request) {
+		sess, ok := s.Get(r.PathValue("tenant"), r.PathValue("name"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": ErrUnknownSession.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, sess.status())
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{tenant}/{name}", func(w http.ResponseWriter, r *http.Request) {
+		tenant, name := r.PathValue("tenant"), r.PathValue("name")
+		sess, ok := s.Get(tenant, name)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": ErrUnknownSession.Error()})
+			return
+		}
+		err := s.Delete(tenant, name)
+		resp := map[string]any{"deleted": sess.ID(), "drain_expired": sess.srv.DrainExpired()}
+		if err != nil && !errors.Is(err, ErrUnknownSession) && !errors.Is(err, context.Canceled) {
+			resp["pipeline_error"] = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /stream", func(w http.ResponseWriter, r *http.Request) {
+		s.serveStream(w, r, false)
+	})
+	mux.HandleFunc("GET /sse", func(w http.ResponseWriter, r *http.Request) {
+		s.serveStream(w, r, true)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.reg.Snapshot()
+		if snap == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WritePrometheus(w); err != nil {
+			s.logf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		statuses := s.List()
+		sessions := make(map[string]SessionStatus, len(statuses))
+		state := "ok"
+		for _, st := range statuses {
+			sessions[st.Tenant+"/"+st.Name] = st
+			if st.State == "failed" || st.State == "quarantined" {
+				state = "degraded"
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"state": state, "sessions": sessions})
+	})
+	return mux
+}
+
+// handleCreate is POST /v1/sessions. Quota violations answer 429 with
+// the typed payload in the body; duplicates 409; bad specs 400.
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad session request: %v", err)})
+		return
+	}
+	sess, err := s.Create(req)
+	if err != nil {
+		var quota *QuotaError
+		switch {
+		case errors.As(err, &quota):
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error(), "quota": quota.Info()})
+		case errors.Is(err, ErrSessionExists):
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+		case errors.Is(err, ErrServiceClosed):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.status())
+}
+
+// serveStream routes /stream and /sse through the namespaced channel's
+// session, with the tenant's quota gate and throttle applied.
+func (s *Service) serveStream(w http.ResponseWriter, r *http.Request, sse bool) {
+	channel := r.URL.Query().Get("channel")
+	sess, err := s.resolve(channel)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fromSeq, ok := parseFromSeq(w, r)
+	if !ok {
+		return
+	}
+	throttle, release, err := s.subscribeGate(sess.ctx, sess.tenant)
+	if err != nil {
+		var quota *QuotaError
+		if errors.As(err, &quota) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "quota": quota.Info()})
+			return
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+	sess.srv.streamHTTP(w, r, sse, channel, fromSeq, throttle)
+}
+
+// writeJSON renders one JSON control-plane response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -81,6 +81,10 @@ type Frame struct {
 	// fell behind retention, so clients can map the rejection to a typed,
 	// non-retryable GapError.
 	Gap *GapInfo `json:"gap,omitempty"`
+	// Quota is set on error frames rejecting a request that exceeded a
+	// tenant quota or rate limit, so clients can map the rejection to a
+	// typed QuotaError.
+	Quota *QuotaInfo `json:"quota,omitempty"`
 }
 
 // GapInfo is the machine-readable payload of a replay-gap rejection.
@@ -90,6 +94,20 @@ type GapInfo struct {
 	// ServerMin is the oldest sequence the server still retains (0 when
 	// it retains nothing).
 	ServerMin uint64 `json:"server_min"`
+}
+
+// QuotaInfo is the machine-readable payload of a quota rejection.
+type QuotaInfo struct {
+	// Tenant is the tenant the quota applies to.
+	Tenant string `json:"tenant"`
+	// Resource names the exhausted resource: "sessions", "subscribers"
+	// or "bytes_per_sec".
+	Resource string `json:"resource"`
+	// Limit is the configured ceiling; Used the consumption at rejection
+	// time (for bytes_per_sec, Limit is the rate and Used the burst the
+	// bucket could not cover).
+	Limit uint64 `json:"limit"`
+	Used  uint64 `json:"used"`
 }
 
 // WireTuple is the network rendering of a stream.Tuple. Values use the

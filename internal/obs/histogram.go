@@ -28,14 +28,19 @@ const (
 	// after StageNetSend for the same golden-stability reason.
 	StageDQWindow
 	// StageWALAppend is one durable append to a channel's write-ahead
-	// log (the icewafld durability layer). Appended last for the same
-	// golden-stability reason.
+	// log (the icewafld durability layer). Appended after StageDQWindow
+	// for the same golden-stability reason.
 	StageWALAppend
+	// StageDeliver is the end-to-end delivery latency of one published
+	// frame: hub Publish to subscriber pickup (the multi-tenant session
+	// service measures p50/p99 from this stage). Appended last for the
+	// same golden-stability reason.
+	StageDeliver
 
 	numStages
 )
 
-var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint", "net_send", "dq_window", "wal_append"}
+var stageNames = [numStages]string{"source", "pollute", "sink", "checkpoint", "net_send", "dq_window", "wal_append", "deliver"}
 
 // StageName returns the exposition name of a stage.
 func StageName(s StageID) string { return stageNames[s] }
@@ -96,4 +101,36 @@ func (h *Histogram) snapshot() HistSnapshot {
 		}
 	}
 	return s
+}
+
+// Quantile returns the upper bound (in nanoseconds) of the log2 bucket
+// containing the q-th quantile observation (0 < q <= 1), i.e. a
+// conservative estimate of the latency quantile: the true value is at
+// most the returned bound and at least half of it. Returns 0 for an
+// empty histogram. This is the p50/p99 source for the load harness —
+// coarse by design, since log2 buckets trade resolution for a
+// lock-free hot path.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based: ceil(q * count).
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= rank {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
 }

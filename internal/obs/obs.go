@@ -160,6 +160,13 @@ type Registry struct {
 	dqUnexp  map[string]*Counter
 	shards   []*Counter
 	funcs    map[string]GaugeFunc
+
+	// Per-tenant families of the session service: frames and payload
+	// bytes delivered to a tenant's subscribers, and quota rejections
+	// issued to the tenant (icewafl_tenant_*_total).
+	tenantFrames map[string]*Counter
+	tenantBytes  map[string]*Counter
+	tenantQuota  map[string]*Counter
 }
 
 // NewRegistry returns an empty registry.
@@ -269,6 +276,51 @@ func (r *Registry) namedCounter(m *map[string]*Counter, name string) *Counter {
 	return c
 }
 
+// AddTenantDelivery accumulates frames/bytes delivered to one tenant's
+// subscribers — the per-tenant throughput families of the session
+// service.
+func (r *Registry) AddTenantDelivery(tenant string, frames, bytes uint64) {
+	if r == nil {
+		return
+	}
+	if frames > 0 {
+		r.namedCounter(&r.tenantFrames, tenant).Add(frames)
+	}
+	if bytes > 0 {
+		r.namedCounter(&r.tenantBytes, tenant).Add(bytes)
+	}
+}
+
+// AddTenantQuotaRejection counts one quota rejection issued to the
+// tenant (session creation, subscribe, or rate limit).
+func (r *Registry) AddTenantQuotaRejection(tenant string) {
+	if r == nil {
+		return
+	}
+	r.namedCounter(&r.tenantQuota, tenant).Add(1)
+}
+
+// TenantCounts returns the per-tenant delivered frame/byte counts and
+// quota rejections.
+func (r *Registry) TenantCounts() (frames, bytes, quota map[string]uint64) {
+	if r == nil {
+		return nil, nil, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	value := func(m map[string]*Counter) map[string]uint64 {
+		if len(m) == 0 {
+			return nil
+		}
+		out := make(map[string]uint64, len(m))
+		for name, c := range m {
+			out[name] = c.Value()
+		}
+		return out
+	}
+	return value(r.tenantFrames), value(r.tenantBytes), value(r.tenantQuota)
+}
+
 // DQCounts returns the per-expectation evaluated and unexpected counts.
 func (r *Registry) DQCounts() (evaluated, unexpected map[string]uint64) {
 	if r == nil {
@@ -362,6 +414,19 @@ func (r *Registry) RegisterFunc(name string, fn GaugeFunc) {
 	r.funcs[name] = fn
 }
 
+// Unregister removes a gauge previously registered under name with
+// RegisterFunc. Components with bounded lifetimes (network subscribers)
+// must unregister on close so a long-lived registry does not accumulate
+// dead gauge closures.
+func (r *Registry) Unregister(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.funcs, name)
+}
+
 // SetTraceSampling enables deterministic 1-in-n trace sampling with a
 // span ring buffer of the given capacity (<=0 selects the default).
 // n = 0 disables sampling, n = 1 samples every tuple. Must be called
@@ -413,6 +478,20 @@ func (r *Registry) ObserveSpan(stage StageID, tupleID uint64, d time.Duration) {
 	r.traces.add(Span{TupleID: tupleID, Stage: stageNames[stage], DurNs: int64(d)})
 }
 
+// ObserveBatchSpan records one batch-granular stage timing: the
+// duration lands in the stage's latency histogram and a Span tagged
+// with the batch row count is appended to the trace ring buffer. This
+// is the columnar runner's span shape — one span per kernel invocation
+// over a batch, identified by the first tuple ID of the batch, instead
+// of one span per tuple.
+func (r *Registry) ObserveBatchSpan(stage StageID, firstTupleID uint64, rows int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.hists[stage].Observe(d)
+	r.traces.add(Span{TupleID: firstTupleID, Stage: stageNames[stage], DurNs: int64(d), Rows: rows})
+}
+
 // ObserveStage records one stage duration in the latency histogram
 // without a trace span (rare, non-per-tuple stages: checkpoints).
 func (r *Registry) ObserveStage(stage StageID, d time.Duration) {
@@ -461,6 +540,11 @@ func (r *Registry) Snapshot() *Snapshot {
 		if len(un) > 0 {
 			s.DQUnexpected = un
 		}
+	}
+	if tf, tb, tq := r.TenantCounts(); len(tf) > 0 || len(tb) > 0 || len(tq) > 0 {
+		s.TenantFrames = tf
+		s.TenantBytes = tb
+		s.TenantQuotaRejections = tq
 	}
 	s.ShardTuples = r.ShardCounts()
 	r.mu.RLock()

@@ -18,6 +18,11 @@ type Span struct {
 	TupleID uint64 `json:"tuple_id"`
 	Stage   string `json:"stage"`
 	DurNs   int64  `json:"dur_ns"`
+	// Rows is the batch row count of a batch-granular span (columnar
+	// kernels time one invocation over many rows); zero — and omitted —
+	// for ordinary per-tuple spans, so existing JSON goldens are
+	// unchanged.
+	Rows int `json:"rows,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a Registry, the
@@ -36,6 +41,12 @@ type Snapshot struct {
 	DQUnexpected map[string]uint64 `json:"dq_unexpected,omitempty"`
 	// ShardTuples counts tuples per shard of a sharded run.
 	ShardTuples []uint64 `json:"shard_tuples,omitempty"`
+	// TenantFrames / TenantBytes count frames and payload bytes
+	// delivered to each tenant's subscribers; TenantQuotaRejections
+	// counts quota errors issued to the tenant (session service).
+	TenantFrames          map[string]uint64 `json:"tenant_frames,omitempty"`
+	TenantBytes           map[string]uint64 `json:"tenant_bytes,omitempty"`
+	TenantQuotaRejections map[string]uint64 `json:"tenant_quota_rejections,omitempty"`
 	// Histograms holds the per-stage latency histograms (sampled).
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 	// Spans is the sampled pollution trace (JSON export only).
@@ -89,11 +100,14 @@ func ParseJSON(data []byte) (*Snapshot, error) {
 // Prometheus text exposition -------------------------------------------
 
 const (
-	pollutedMetric = "icewafl_polluted_tuples_total"
-	dqEvalMetric   = "icewafl_dq_evaluated_total"
-	dqUnexpMetric  = "icewafl_dq_unexpected_total"
-	shardMetric    = "icewafl_shard_tuples_total"
-	latencyMetric  = "icewafl_stage_latency_ns"
+	pollutedMetric    = "icewafl_polluted_tuples_total"
+	dqEvalMetric      = "icewafl_dq_evaluated_total"
+	dqUnexpMetric     = "icewafl_dq_unexpected_total"
+	shardMetric       = "icewafl_shard_tuples_total"
+	latencyMetric     = "icewafl_stage_latency_ns"
+	tenantFrameMetric = "icewafl_tenant_frames_total"
+	tenantByteMetric  = "icewafl_tenant_bytes_total"
+	tenantQuotaMetric = "icewafl_tenant_quota_rejections_total"
 )
 
 // escapeLabel escapes a Prometheus label value (backslash, quote,
@@ -169,6 +183,18 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# TYPE %s counter\n", fam.metric)
 		for _, name := range sortedKeys(fam.counts) {
 			fmt.Fprintf(bw, "%s{expectation=\"%s\"} %d\n", fam.metric, escapeLabel(name), fam.counts[name])
+		}
+	}
+	for _, fam := range []struct {
+		metric string
+		counts map[string]uint64
+	}{{tenantFrameMetric, s.TenantFrames}, {tenantByteMetric, s.TenantBytes}, {tenantQuotaMetric, s.TenantQuotaRejections}} {
+		if len(fam.counts) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# TYPE %s counter\n", fam.metric)
+		for _, name := range sortedKeys(fam.counts) {
+			fmt.Fprintf(bw, "%s{tenant=\"%s\"} %d\n", fam.metric, escapeLabel(name), fam.counts[name])
 		}
 	}
 	if len(s.ShardTuples) > 0 {
@@ -258,6 +284,24 @@ func ParsePrometheus(r io.Reader) (*Snapshot, error) {
 				}
 				s.DQUnexpected[ex] = value
 			}
+		case name == tenantFrameMetric || name == tenantByteMetric || name == tenantQuotaMetric:
+			tn, ok := labels["tenant"]
+			if !ok {
+				return nil, fmt.Errorf("obs: %s sample without tenant label", name)
+			}
+			var m *map[string]uint64
+			switch name {
+			case tenantFrameMetric:
+				m = &s.TenantFrames
+			case tenantByteMetric:
+				m = &s.TenantBytes
+			default:
+				m = &s.TenantQuotaRejections
+			}
+			if *m == nil {
+				*m = map[string]uint64{}
+			}
+			(*m)[tn] = value
 		case name == shardMetric:
 			sh, ok := labels["shard"]
 			if !ok {
