@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt lint race racehot integration loadtest chaos ci cover bench perfgate fuzz clean
+.PHONY: build test vet fmt lint race racehot integration loadtest loadtest-restart chaos ci cover bench perfgate fuzz clean
 
 build:
 	$(GO) build ./...
@@ -59,18 +59,29 @@ integration:
 	$(GO) test -race -count=1 ./internal/netstream/ ./cmd/icewafld/ ./cmd/icewafload/
 
 # Multi-tenant load pass: the session-service suite (quota enforcement,
-# subscribe/close races, bounded delete of wedged sessions) plus the
-# icewafload harness driving the real daemon, all under -race.
+# durable WAL budgets, subscribe/close races, bounded delete of wedged
+# sessions) plus the icewafload harness driving the real daemon, all
+# under -race.
 loadtest:
 	$(GO) test -race -count=1 ./cmd/icewafload/
 	$(GO) test -race -count=1 ./internal/netstream/ -run 'TestService|TestHubSubscribe|TestSubscriberGauges'
 
+# Restart variant of the load pass: icewafload loads a durable
+# (-state-dir) daemon with -keep, the daemon is SIGKILLed and restarted
+# over the same state dir, and a second -attach run must reproduce the
+# exact pre-restart digests with zero gap errors.
+loadtest-restart:
+	$(GO) test -race -count=1 ./cmd/icewafload/ -run 'Restart'
+
 # Chaos pass: the fault-injection suite (proxy faults, disk faults,
-# kill-and-recover e2e) under the race detector with a short schedule —
-# every run crosses real SIGKILLs, torn WAL tails and mid-frame
-# connection kills.
+# kill-and-recover e2e for both the single pipeline and the durable
+# multi-tenant session fleet) under the race detector with a short
+# schedule — every run crosses real SIGKILLs, torn WAL tails and
+# mid-frame connection kills, and the icewafload leg re-verifies a
+# restarted session daemon digest-for-digest.
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ ./cmd/icewafld/ -run 'Chaos|Proxy|FaultFS|CrashRecovery|WAL'
+	$(GO) test -race -count=1 ./cmd/icewafload/ -run 'Restart'
 
 ci: fmt vet lint race integration loadtest
 

@@ -105,6 +105,8 @@ func main() {
 	walFsyncEvery := flag.Int("wal-fsync-every", 0, "batch fsync to one per this many appends (default 64)")
 	checkpointPath := flag.String("checkpoint", "", "durable pipeline checkpoint path for resume-after-crash (requires -wal)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "capture a checkpoint every this many emitted tuples (default 256)")
+	stateDir := flag.String("state-dir", "", "sessions mode: durable multi-tenant store root; every session gets its own WAL+checkpoint under <state-dir>/<tenant>/<session> and is resurrected on restart")
+	archiveDeleted := flag.Bool("archive-deleted", false, "sessions mode: archive deleted sessions' state under <state-dir>/.deleted instead of removing it")
 	supervise := flag.Bool("supervise", false, "restart the pipeline session after a panic or fatal error")
 	restartBudget := flag.Int("restart-budget", 0, "quarantine the session after this many restarts per window (default 3)")
 	restartWindow := flag.Duration("restart-window", 0, "sliding window for the restart budget (default 1m)")
@@ -115,14 +117,35 @@ func main() {
 		if *drain < 0 {
 			fatalUsage("-drain-timeout must be positive, got %v", *drain)
 		}
+		if *walSegment < 0 {
+			fatalUsage("-wal-segment-bytes must be positive, got %d", *walSegment)
+		}
+		if *walRetain < 0 {
+			fatalUsage("-wal-retain-bytes must be positive, got %d", *walRetain)
+		}
+		if *walRetainAge < 0 {
+			fatalUsage("-wal-retain-age must be positive, got %v", *walRetainAge)
+		}
+		if *walFsyncEvery < 0 {
+			fatalUsage("-wal-fsync-every must be positive, got %d", *walFsyncEvery)
+		}
 		runSessions(sessionsOpts{
-			configPath:  *configPath,
-			listen:      *listen,
-			httpAddr:    *httpAddr,
-			drain:       *drain,
-			traceSample: *traceSample,
+			configPath:     *configPath,
+			listen:         *listen,
+			httpAddr:       *httpAddr,
+			drain:          *drain,
+			traceSample:    *traceSample,
+			stateDir:       *stateDir,
+			archiveDeleted: *archiveDeleted,
+			walSegment:     *walSegment,
+			walRetain:      *walRetain,
+			walRetainAge:   *walRetainAge,
+			walFsyncEvery:  *walFsyncEvery,
 		})
 		return
+	}
+	if *stateDir != "" || *archiveDeleted {
+		fatalUsage("-state-dir/-archive-deleted apply to -sessions mode (use -wal/-checkpoint for the single pipeline)")
 	}
 
 	if *schemaPath == "" || *configPath == "" || *inPath == "" {

@@ -75,7 +75,7 @@ func sessionBuilder(reg *obs.Registry) func(raw json.RawMessage) (netstream.Conf
 			return netstream.Config{}, err
 		}
 		if ss.WALDir != "" || ss.Checkpoint != "" {
-			return netstream.Config{}, fmt.Errorf("session mode serves from the in-memory replay ring; wal_dir and checkpoint are not supported per session")
+			return netstream.Config{}, fmt.Errorf("session specs cannot choose wal_dir/checkpoint paths on the daemon's filesystem; run icewafld -sessions -state-dir to give every session its own durable WAL and checkpoint")
 		}
 		policy, err := netstream.ParsePolicy(ss.Policy)
 		if err != nil {
@@ -88,6 +88,7 @@ func sessionBuilder(reg *obs.Registry) func(raw json.RawMessage) (netstream.Conf
 		drainTimeout, _ := time.ParseDuration(ss.DrainTimeout)
 		rWindow, _ := time.ParseDuration(ss.RestartWindow)
 		rBackoff, _ := time.ParseDuration(ss.RestartBackoff)
+		walRetainAge, _ := time.ParseDuration(ss.WALRetainAge)
 		// Surface a broken retry policy at create time, not from inside
 		// the running session's source factory.
 		retryPolicy, retryOK, err := doc.Fault.RetryPolicy()
@@ -115,34 +116,50 @@ func sessionBuilder(reg *obs.Registry) func(raw json.RawMessage) (netstream.Conf
 			return reader, nil
 		}
 		return netstream.Config{
-			Schema:         schema,
-			Proc:           proc,
-			NewSource:      newSource,
-			Reorder:        ss.Reorder,
-			Shards:         ss.Shards,
-			ShardKey:       ss.ShardKey,
-			ShardOrder:     order,
-			Columnar:       columnar,
-			ColumnarBatch:  ss.ColumnarBatch,
-			Buffer:         ss.Buffer,
-			Replay:         ss.Replay,
-			Policy:         policy,
-			DrainTimeout:   drainTimeout,
-			Supervise:      ss.Supervise,
-			RestartBudget:  ss.RestartBudget,
-			RestartWindow:  rWindow,
-			RestartBackoff: rBackoff,
+			Schema:        schema,
+			Proc:          proc,
+			NewSource:     newSource,
+			Reorder:       ss.Reorder,
+			Shards:        ss.Shards,
+			ShardKey:      ss.ShardKey,
+			ShardOrder:    order,
+			Columnar:      columnar,
+			ColumnarBatch: ss.ColumnarBatch,
+			Buffer:        ss.Buffer,
+			Replay:        ss.Replay,
+			Policy:        policy,
+			DrainTimeout:  drainTimeout,
+			// Per-session WAL tuning (not paths): with a service state dir
+			// these override the daemon-wide defaults for this session's
+			// durable logs; without one they are ignored.
+			WAL: netstream.WALOptions{
+				SegmentBytes: ss.WALSegmentBytes,
+				RetainBytes:  ss.WALRetainBytes,
+				RetainAge:    walRetainAge,
+				FsyncEvery:   ss.WALFsyncEvery,
+			},
+			CheckpointEvery: ss.CheckpointEvery,
+			Supervise:       ss.Supervise,
+			RestartBudget:   ss.RestartBudget,
+			RestartWindow:   rWindow,
+			RestartBackoff:  rBackoff,
 		}, nil
 	}
 }
 
 // sessionsOpts carries the flag overrides into session mode.
 type sessionsOpts struct {
-	configPath  string
-	listen      string
-	httpAddr    string
-	drain       time.Duration
-	traceSample uint64
+	configPath     string
+	listen         string
+	httpAddr       string
+	drain          time.Duration
+	traceSample    uint64
+	stateDir       string
+	archiveDeleted bool
+	walSegment     int64
+	walRetain      int64
+	walRetainAge   time.Duration
+	walFsyncEvery  int
 }
 
 // runSessions is the -sessions entry point: instead of running one
@@ -179,10 +196,32 @@ func runSessions(opts sessionsOpts) {
 	if spec.HTTP == "off" {
 		fatalUsage("-sessions requires an HTTP listener (the REST control plane)")
 	}
+	if opts.stateDir != "" {
+		spec.StateDir = opts.stateDir
+	}
+	if opts.archiveDeleted {
+		spec.ArchiveDeleted = true
+	}
+	if opts.walSegment > 0 {
+		spec.WALSegmentBytes = opts.walSegment
+	}
+	if opts.walRetain > 0 {
+		spec.WALRetainBytes = opts.walRetain
+	}
+	if opts.walRetainAge > 0 {
+		spec.WALRetainAge = opts.walRetainAge.String()
+	}
+	if opts.walFsyncEvery > 0 {
+		spec.WALFsyncEvery = opts.walFsyncEvery
+	}
+	if spec.ArchiveDeleted && spec.StateDir == "" {
+		fatalUsage("-archive-deleted requires -state-dir (or serve.state_dir)")
+	}
 	drainTimeout := opts.drain
 	if drainTimeout == 0 {
 		drainTimeout, _ = time.ParseDuration(spec.DrainTimeout)
 	}
+	retainAge, _ := time.ParseDuration(spec.WALRetainAge)
 	quotas := make(map[string]netstream.TenantQuota, len(spec.Tenants))
 	for _, t := range spec.Tenants {
 		quotas[t.Name] = netstream.TenantQuota{
@@ -190,6 +229,7 @@ func runSessions(opts sessionsOpts) {
 			MaxSubscribers: t.MaxSubscribers,
 			BytesPerSec:    t.BytesPerSec,
 			Burst:          t.Burst,
+			MaxWALBytes:    t.MaxWALBytes,
 		}
 	}
 
@@ -203,9 +243,24 @@ func runSessions(opts sessionsOpts) {
 		DrainTimeout: drainTimeout,
 		Reg:          reg,
 		Logf:         log.Printf,
+		StateDir:     spec.StateDir,
+		WAL: netstream.WALOptions{
+			SegmentBytes: spec.WALSegmentBytes,
+			RetainBytes:  spec.WALRetainBytes,
+			RetainAge:    retainAge,
+			FsyncEvery:   spec.WALFsyncEvery,
+		},
+		ArchiveDeleted: spec.ArchiveDeleted,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if spec.StateDir != "" {
+		ids, err := svc.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("state dir %s: recovered %d durable session(s)", spec.StateDir, len(ids))
 	}
 
 	var tcpLn, httpLn net.Listener

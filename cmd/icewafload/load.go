@@ -34,6 +34,13 @@ type Options struct {
 	Rows int
 	// Timeout bounds the whole run.
 	Timeout time.Duration
+	// AttachOnly skips session creation and subscribes to the sessions
+	// the daemon already runs (restart verification: a recovered daemon
+	// must serve the same streams it served before the kill).
+	AttachOnly bool
+	// KeepSessions skips the final DELETE phase so the sessions — and,
+	// on a durable daemon, their state directories — survive the run.
+	KeepSessions bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -136,36 +143,49 @@ func Run(opts Options) (*Result, error) {
 		sem  = make(chan struct{}, 16)
 		live []created
 	)
-	for i := 0; i < opts.Sessions; i++ {
-		tenant := opts.Tenants[i%len(opts.Tenants)]
-		name := fmt.Sprintf("s%04d", i)
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			status, body, err := postJSON(ctx, client, opts.BaseURL+"/v1/sessions", netstream.SessionRequest{
-				Tenant: tenant, Name: name, Spec: spec,
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			switch {
-			case err != nil:
-				res.Errors = append(res.Errors, fmt.Sprintf("create %s/%s: %v", tenant, name, err))
-			case status == http.StatusCreated:
-				live = append(live, created{tenant, name})
-				res.Created = append(res.Created, tenant+"/"+name)
-			case status == http.StatusTooManyRequests:
-				res.CreateRejected++
-			default:
-				res.Errors = append(res.Errors, fmt.Sprintf("create %s/%s: HTTP %d: %s", tenant, name, status, body))
-			}
-		}()
+	if opts.AttachOnly {
+		statuses, err := listSessions(ctx, client, opts.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("list sessions: %w", err)
+		}
+		for _, st := range statuses {
+			live = append(live, created{st.Tenant, st.Name})
+			res.Created = append(res.Created, st.Tenant+"/"+st.Name)
+		}
+		sort.Strings(res.Created)
+		logf("attached to %d existing sessions", len(live))
+	} else {
+		for i := 0; i < opts.Sessions; i++ {
+			tenant := opts.Tenants[i%len(opts.Tenants)]
+			name := fmt.Sprintf("s%04d", i)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				status, body, err := postJSON(ctx, client, opts.BaseURL+"/v1/sessions", netstream.SessionRequest{
+					Tenant: tenant, Name: name, Spec: spec,
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err != nil:
+					res.Errors = append(res.Errors, fmt.Sprintf("create %s/%s: %v", tenant, name, err))
+				case status == http.StatusCreated:
+					live = append(live, created{tenant, name})
+					res.Created = append(res.Created, tenant+"/"+name)
+				case status == http.StatusTooManyRequests:
+					res.CreateRejected++
+				default:
+					res.Errors = append(res.Errors, fmt.Sprintf("create %s/%s: HTTP %d: %s", tenant, name, status, body))
+				}
+			}()
+		}
+		wg.Wait()
+		sort.Strings(res.Created)
+		logf("created %d/%d sessions (%d quota-rejected) across %d tenants",
+			len(res.Created), opts.Sessions, res.CreateRejected, len(opts.Tenants))
 	}
-	wg.Wait()
-	sort.Strings(res.Created)
-	logf("created %d/%d sessions (%d quota-rejected) across %d tenants",
-		len(res.Created), opts.Sessions, res.CreateRejected, len(opts.Tenants))
 
 	// Phase 2: fan out subscribers and drain every stream.
 	start := time.Now()
@@ -206,9 +226,16 @@ func Run(opts Options) (*Result, error) {
 		res.Errors = append(res.Errors, fmt.Sprintf("metrics: %v", err))
 	} else {
 		if h, ok := snap.Histograms["deliver"]; ok {
+			// QuantileOK distinguishes an empty histogram (no deliveries —
+			// reported as n/a by the caller via DeliverCount == 0) from a
+			// genuinely sub-nanosecond-bucket one.
 			res.DeliverCount = h.Count
-			res.P50 = time.Duration(h.Quantile(0.50))
-			res.P99 = time.Duration(h.Quantile(0.99))
+			if p50, ok := h.QuantileOK(0.50); ok {
+				res.P50 = time.Duration(p50)
+			}
+			if p99, ok := h.QuantileOK(0.99); ok {
+				res.P99 = time.Duration(p99)
+			}
 		}
 		for tenant, frames := range snap.TenantFrames {
 			st := res.Tenants[tenant]
@@ -227,7 +254,11 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 
-	// Phase 4: delete every session we created.
+	// Phase 4: delete every session we created (skipped with
+	// KeepSessions, e.g. before a kill-and-restart verification pass).
+	if opts.KeepSessions {
+		return res, nil
+	}
 	for _, c := range live {
 		req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
 			opts.BaseURL+"/v1/sessions/"+url.PathEscape(c.tenant)+"/"+url.PathEscape(c.name), nil)
@@ -246,6 +277,29 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// listSessions fetches the daemon's live session list.
+func listSessions(ctx context.Context, client *http.Client, baseURL string) ([]netstream.SessionStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/sessions", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/sessions: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Sessions []netstream.SessionStatus `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Sessions, nil
 }
 
 // postJSON posts v and returns the status code and body.

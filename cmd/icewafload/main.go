@@ -36,6 +36,8 @@ func main() {
 	tenants := flag.String("tenants", "alpha,beta", "comma-separated tenant names, sessions spread round-robin")
 	rows := flag.Int("rows", 200, "CSV input rows per session")
 	timeout := flag.Duration("timeout", 2*time.Minute, "bound on the whole run")
+	keep := flag.Bool("keep", false, "keep the sessions after the run (skip the DELETE phase; pairs with -attach after a daemon restart)")
+	attach := flag.Bool("attach", false, "attach to the daemon's existing sessions instead of creating new ones (restart verification)")
 	flag.Parse()
 	if *baseURL == "" {
 		fmt.Fprintln(os.Stderr, "icewafload: -url is required")
@@ -50,13 +52,15 @@ func main() {
 		}
 	}
 	res, err := Run(Options{
-		BaseURL:  strings.TrimRight(*baseURL, "/"),
-		Tenants:  names,
-		Sessions: *sessions,
-		Subs:     *subs,
-		Rows:     *rows,
-		Timeout:  *timeout,
-		Logf:     log.Printf,
+		BaseURL:      strings.TrimRight(*baseURL, "/"),
+		Tenants:      names,
+		Sessions:     *sessions,
+		Subs:         *subs,
+		Rows:         *rows,
+		Timeout:      *timeout,
+		AttachOnly:   *attach,
+		KeepSessions: *keep,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,7 +75,13 @@ func main() {
 	log.Printf("sessions: %d created, %d quota-rejected", len(res.Created), res.CreateRejected)
 	log.Printf("subscribers: %d started, %d quota-rejected, %d gap errors", res.SubsStarted, res.SubQuotaRejected, res.GapErrors)
 	log.Printf("delivered: %d frames, %d bytes in %v", res.Frames, res.Bytes, res.Elapsed.Round(time.Millisecond))
-	log.Printf("delivery latency (obs histogram, %d observations): p50=%v p99=%v", res.DeliverCount, res.P50, res.P99)
+	if res.DeliverCount == 0 {
+		// An empty histogram has no quantiles; reporting 0ns would be
+		// indistinguishable from an implausibly fast daemon.
+		log.Printf("delivery latency (obs histogram, 0 observations): p50=n/a p99=n/a")
+	} else {
+		log.Printf("delivery latency (obs histogram, %d observations): p50=%v p99=%v", res.DeliverCount, res.P50, res.P99)
+	}
 	tenantsSorted := make([]string, 0, len(res.Tenants))
 	for t := range res.Tenants {
 		tenantsSorted = append(tenantsSorted, t)

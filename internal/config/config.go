@@ -120,6 +120,15 @@ type ServeSpec struct {
 	// (icewafld -sessions). Tenants not listed get the zero quota
 	// (unlimited). Ignored in single-pipeline mode.
 	Tenants []TenantSpec `json:"tenants,omitempty"`
+	// StateDir enables the durable multi-tenant store in session mode:
+	// every session gets its own WAL + checkpoint directory under
+	// <state_dir>/<tenant>/<session>, persisted specs are resurrected on
+	// daemon start, and per-tenant max_wal_bytes budgets apply. Ignored
+	// in single-pipeline mode (use wal_dir there).
+	StateDir string `json:"state_dir,omitempty"`
+	// ArchiveDeleted moves a deleted session's state directory under
+	// <state_dir>/.deleted instead of removing it (session mode).
+	ArchiveDeleted bool `json:"archive_deleted,omitempty"`
 }
 
 // TenantSpec is one tenant's quota configuration for session mode.
@@ -138,6 +147,11 @@ type TenantSpec struct {
 	// Burst is the token-bucket depth in bytes (default: one second of
 	// bytes_per_sec).
 	Burst int64 `json:"burst,omitempty"`
+	// MaxWALBytes caps the tenant's total durable WAL bytes across its
+	// sessions (session mode with state_dir): the retention sweep drops
+	// the tenant's oldest closed segments over the cap, and creates are
+	// rejected while the tenant is at or over budget.
+	MaxWALBytes int64 `json:"max_wal_bytes,omitempty"`
 }
 
 // Normalize applies the documented defaults and validates the spec. It
@@ -288,7 +302,7 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 			return out, fmt.Errorf("config: serve.tenants has duplicate name %q", t.Name)
 		}
 		seen[t.Name] = true
-		if t.MaxSessions < 0 || t.MaxSubscribers < 0 || t.BytesPerSec < 0 || t.Burst < 0 {
+		if t.MaxSessions < 0 || t.MaxSubscribers < 0 || t.BytesPerSec < 0 || t.Burst < 0 || t.MaxWALBytes < 0 {
 			return out, fmt.Errorf("config: serve.tenants[%q] quotas must be non-negative", t.Name)
 		}
 		if t.Burst > 0 && t.BytesPerSec == 0 {
@@ -296,6 +310,11 @@ func (s *ServeSpec) Normalize() (ServeSpec, error) {
 		}
 		out.Tenants = append(out.Tenants, t)
 	}
+	// archive_deleted-requires-state_dir is validated by the daemon after
+	// flag overrides: a state dir supplied via -state-dir must be able to
+	// combine with a config-file archive_deleted.
+	out.StateDir = s.StateDir
+	out.ArchiveDeleted = s.ArchiveDeleted
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,7 +56,8 @@ type ClientSource struct {
 }
 
 // Dial connects to an icewafld server at addr and subscribes to channel
-// (ChannelDirty or ChannelClean; the log channel carries entries, not
+// (ChannelDirty or ChannelClean, or a session-namespaced
+// <tenant>/<session>/dirty|clean; the log channel carries entries, not
 // tuples, and is read with raw frames instead). The initial connection
 // is made eagerly so the schema is known; see DialTimeout for a bounded
 // variant.
@@ -76,7 +78,9 @@ func DialFrom(addr, channel string, fromSeq uint64, timeout time.Duration) (*Cli
 	if channel == "" {
 		channel = ChannelDirty
 	}
-	if channel != ChannelDirty && channel != ChannelClean {
+	// Session-mode channels are namespaced <tenant>/<session>/<channel>;
+	// only the final segment decides whether tuples flow on it.
+	if base := channel[strings.LastIndexByte(channel, '/')+1:]; base != ChannelDirty && base != ChannelClean {
 		return nil, fmt.Errorf("netstream: ClientSource reads tuple channels (dirty, clean), not %q", channel)
 	}
 	c := &ClientSource{addr: addr, channel: channel, dialTimeout: timeout, nextSeq: fromSeq}

@@ -21,8 +21,8 @@ var ErrQuota = errors.New("netstream: tenant quota exceeded")
 type QuotaError struct {
 	// Tenant is the tenant the quota applies to.
 	Tenant string
-	// Resource names the exhausted resource: "sessions", "subscribers"
-	// or "bytes_per_sec".
+	// Resource names the exhausted resource: "sessions", "subscribers",
+	// "bytes_per_sec" or "wal_bytes".
 	Resource string
 	// Limit is the configured ceiling; Used the consumption at rejection
 	// time (for bytes_per_sec, Limit is the rate and Used the write the
@@ -68,6 +68,12 @@ type TenantQuota struct {
 	// BytesPerSec). A single frame larger than the burst can never be
 	// delivered and is rejected with a typed QuotaError.
 	Burst int64
+	// MaxWALBytes caps the tenant's total durable WAL bytes on disk
+	// across all of its sessions (session service with a state dir): the
+	// retention sweep drops the tenant's oldest closed segments once the
+	// shared total exceeds the cap, and a session create is rejected with
+	// a typed QuotaError while the tenant is already at or over budget.
+	MaxWALBytes int64
 }
 
 // tokenBucket is a monotonic-clock token bucket shared by one tenant's
@@ -140,6 +146,10 @@ type tenantState struct {
 	quota TenantQuota
 	// bucket is nil when BytesPerSec is unlimited.
 	bucket *tokenBucket
+	// walBudget is the shared durable-WAL byte ledger for the tenant's
+	// sessions (always non-nil; a zero MaxWALBytes means unlimited but
+	// the ledger still tracks usage for the /metrics gauge).
+	walBudget *WALBudget
 
 	mu       sync.Mutex
 	sessions int
@@ -151,7 +161,23 @@ func newTenantState(name string, q TenantQuota) *tenantState {
 	if q.BytesPerSec > 0 {
 		ts.bucket = newTokenBucket(q.BytesPerSec, q.Burst)
 	}
+	ts.walBudget = NewWALBudget(q.MaxWALBytes)
 	return ts
+}
+
+// checkWALBudget rejects a durable session create while the tenant is
+// already at or over its WAL-bytes budget. Existing sessions keep
+// running — the retention sweep reclaims space cooperatively — but new
+// durable state cannot be provisioned until usage drops below the cap.
+func (ts *tenantState) checkWALBudget() error {
+	limit := ts.quota.MaxWALBytes
+	if limit <= 0 {
+		return nil
+	}
+	if used := ts.walBudget.Used(); used >= limit {
+		return &QuotaError{Tenant: ts.name, Resource: "wal_bytes", Limit: uint64(limit), Used: uint64(used)}
+	}
+	return nil
 }
 
 // acquireSession claims one session slot, or fails with a QuotaError.

@@ -175,6 +175,9 @@ func NewServer(cfg Config) (*Server, error) {
 		if cfg.ShardKey == "" {
 			return nil, fmt.Errorf("netstream: sharded sessions require a shard key")
 		}
+		if cfg.WALDir != "" && cfg.ShardOrder == core.OrderRelaxed {
+			return nil, fmt.Errorf("netstream: durable sessions require strict shard order; a relaxed-order re-run is not byte-deterministic, so restart recovery cannot suppress replayed frames")
+		}
 		if cfg.Schema.Index(cfg.ShardKey) < 0 {
 			return nil, fmt.Errorf("netstream: shard key attribute %q not in schema", cfg.ShardKey)
 		}
@@ -219,14 +222,24 @@ func NewServer(cfg Config) (*Server, error) {
 		s.hub.SetDeliveryTracking(true)
 	}
 	if cfg.WALDir != "" {
+		var opened []*WAL
+		walFail := func(err error) (*Server, error) {
+			// Detach the already-opened logs from the tenant's byte ledger:
+			// a failed constructor must not leave phantom budget usage.
+			for _, w := range opened {
+				w.ReleaseBudget()
+				w.Close()
+			}
+			return nil, err
+		}
 		for _, cn := range s.chans {
 			w, err := OpenWAL(filepath.Join(cfg.WALDir, cn.local), cfg.WAL)
 			if err != nil {
-				return nil, err
+				return walFail(err)
 			}
+			opened = append(opened, w)
 			if err := s.hub.AttachWAL(cn.full, w); err != nil {
-				w.Close()
-				return nil, err
+				return walFail(err)
 			}
 		}
 	}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -50,6 +52,16 @@ type SessionStatus struct {
 	Restarts uint64   `json:"restarts"`
 	Error    string   `json:"error,omitempty"`
 	Channels []string `json:"channels"`
+	// Durable reports that the session persists WAL (and possibly
+	// checkpoint) state under the service's state dir.
+	Durable bool `json:"durable,omitempty"`
+	// Resumed reports that this incarnation was resurrected from a
+	// persisted spec by Service.Recover rather than created over the
+	// control plane.
+	Resumed bool `json:"resumed,omitempty"`
+	// Recovered counts frames regenerated into the suppressed durable
+	// region since the session started (restart recovery progress).
+	Recovered uint64 `json:"recovered_frames,omitempty"`
 }
 
 // ServiceConfig configures the multi-tenant session service.
@@ -72,6 +84,20 @@ type ServiceConfig struct {
 	Reg *obs.Registry
 	// Logf, when set, receives service diagnostics.
 	Logf func(format string, args ...any)
+	// StateDir enables the durable multi-tenant store: every session gets
+	// its own WAL (and, for checkpointable shapes, checkpoint) directory
+	// under <StateDir>/<tenant>/<session>, its spec is persisted alongside
+	// so Recover can resurrect it after a restart, and per-tenant WAL-byte
+	// budgets (TenantQuota.MaxWALBytes) are enforced across the tenant's
+	// logs. Empty = memory-only sessions (the replay ring).
+	StateDir string
+	// WAL sets the service-wide durable-log tuning defaults (segment
+	// size, retention, fsync cadence); a session's built Config may
+	// override field-wise. Only meaningful with StateDir.
+	WAL WALOptions
+	// ArchiveDeleted moves a deleted session's state directory under
+	// <StateDir>/.deleted/<tenant>/<session> instead of removing it.
+	ArchiveDeleted bool
 }
 
 // Session is one supervised pipeline run inside a Service: a namespaced
@@ -80,6 +106,12 @@ type Session struct {
 	tenant string
 	name   string
 	srv    *Server
+
+	// stateDir is the session's durable state directory (empty for
+	// memory-only sessions); resumed marks incarnations resurrected by
+	// Service.Recover.
+	stateDir string
+	resumed  bool
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -132,6 +164,9 @@ func (sess *Session) status() SessionStatus {
 	for _, cn := range srv.chans {
 		st.Channels = append(st.Channels, cn.full)
 	}
+	st.Durable = sess.stateDir != ""
+	st.Resumed = sess.resumed
+	st.Recovered = srv.hub.Recovered()
 	select {
 	case <-srv.PipelineDone():
 		if err := srv.PipelineErr(); err != nil {
@@ -163,6 +198,10 @@ type Service struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
 	tenants  map[string]*tenantState
+	// deleting serializes durable delete → recreate: while a durable
+	// session's state directory is being torn down, a create of the same
+	// ID waits on its channel instead of racing the removal.
+	deleting map[string]chan struct{}
 	closed   bool
 }
 
@@ -174,11 +213,17 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("netstream: state dir: %w", err)
+		}
+	}
 	s := &Service{
 		cfg:      cfg,
 		reg:      cfg.Reg,
 		sessions: make(map[string]*Session),
 		tenants:  make(map[string]*tenantState),
+		deleting: make(map[string]chan struct{}),
 	}
 	s.reg.RegisterFunc("net_sessions", func() uint64 {
 		s.mu.Lock()
@@ -234,6 +279,15 @@ func (s *Service) tenant(name string) *tenantState {
 		}
 		ts = newTenantState(name, q)
 		s.tenants[name] = ts
+		if s.cfg.StateDir != "" {
+			b := ts.walBudget
+			s.reg.RegisterTenantWALBytes(name, func() uint64 {
+				if u := b.Used(); u > 0 {
+					return uint64(u)
+				}
+				return 0
+			})
+		}
 	}
 	return ts
 }
@@ -257,8 +311,17 @@ func validName(name string) bool {
 
 // Create builds, registers and starts a session. Quota violations
 // return a typed *QuotaError (counted in the tenant's rejection
-// family); duplicate names return ErrSessionExists.
+// family); duplicate names return ErrSessionExists. With a state dir
+// the session is durable: its WAL/checkpoint live under
+// <StateDir>/<tenant>/<name> and its spec is persisted for Recover.
 func (s *Service) Create(req SessionRequest) (*Session, error) {
+	return s.create(req, false)
+}
+
+// create is Create plus the resumed flag Recover uses: a resumed
+// session reuses its existing state directory (spec already persisted)
+// instead of provisioning a fresh one.
+func (s *Service) create(req SessionRequest, resumed bool) (*Session, error) {
 	if !validName(req.Tenant) || !validName(req.Name) {
 		return nil, fmt.Errorf("netstream: tenant and session names must be non-empty [A-Za-z0-9._-], got %q/%q", req.Tenant, req.Name)
 	}
@@ -268,10 +331,19 @@ func (s *Service) Create(req SessionRequest) (*Session, error) {
 		return nil, ErrServiceClosed
 	}
 	s.mu.Unlock()
+	s.waitPendingDelete(req.Tenant + "/" + req.Name)
 	ts := s.tenant(req.Tenant)
 	if err := ts.acquireSession(); err != nil {
 		s.reg.AddTenantQuotaRejection(req.Tenant)
 		return nil, err
+	}
+	durable := s.cfg.StateDir != ""
+	if durable {
+		if err := ts.checkWALBudget(); err != nil {
+			ts.releaseSession()
+			s.reg.AddTenantQuotaRejection(req.Tenant)
+			return nil, err
+		}
 	}
 	cfg, err := s.cfg.Build(req.Spec)
 	if err != nil {
@@ -285,38 +357,157 @@ func (s *Service) Create(req SessionRequest) (*Session, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = s.cfg.DrainTimeout
 	}
+	var stateDir string
+	if durable {
+		stateDir = filepath.Join(s.cfg.StateDir, req.Tenant, req.Name)
+		if err := s.wireDurable(&cfg, ts, stateDir); err != nil {
+			ts.releaseSession()
+			return nil, err
+		}
+		if !resumed {
+			if err := writeSpecFile(filepath.Join(stateDir, "spec.json"), req); err != nil {
+				ts.releaseSession()
+				return nil, err
+			}
+		}
+	}
 	srv, err := NewServer(cfg)
 	if err != nil {
 		ts.releaseSession()
+		if durable && !resumed {
+			// A fresh durable create that never produced a server leaves no
+			// state behind (the spec file was just written above).
+			os.RemoveAll(stateDir)
+		}
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sess := &Session{
-		tenant:  req.Tenant,
-		name:    req.Name,
-		srv:     srv,
-		ctx:     ctx,
-		cancel:  cancel,
-		stopped: make(chan struct{}),
+		tenant:   req.Tenant,
+		name:     req.Name,
+		srv:      srv,
+		stateDir: stateDir,
+		resumed:  resumed,
+		ctx:      ctx,
+		cancel:   cancel,
+		stopped:  make(chan struct{}),
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		cancel()
+		s.releaseWALs(sess, false)
 		ts.releaseSession()
 		return nil, ErrServiceClosed
 	}
 	if _, dup := s.sessions[sess.ID()]; dup {
 		s.mu.Unlock()
 		cancel()
+		s.releaseWALs(sess, false)
 		ts.releaseSession()
 		return nil, fmt.Errorf("%w: %s", ErrSessionExists, sess.ID())
 	}
 	s.sessions[sess.ID()] = sess
 	s.mu.Unlock()
 	sess.pipeRes = srv.startPipeline(ctx)
-	s.logf("session %s created", sess.ID())
+	s.logf("session %s created (durable=%t resumed=%t)", sess.ID(), durable, resumed)
 	return sess, nil
+}
+
+// wireDurable points cfg's WAL (and, for checkpointable shapes, the
+// checkpoint) into the session's state directory and attaches the
+// tenant's byte budget. Service-wide WAL tuning applies as defaults
+// beneath whatever the built config already set field-wise.
+func (s *Service) wireDurable(cfg *Config, ts *tenantState, stateDir string) error {
+	w := s.cfg.WAL
+	if cfg.WAL.SegmentBytes > 0 {
+		w.SegmentBytes = cfg.WAL.SegmentBytes
+	}
+	if cfg.WAL.RetainBytes > 0 {
+		w.RetainBytes = cfg.WAL.RetainBytes
+	}
+	if cfg.WAL.RetainAge > 0 {
+		w.RetainAge = cfg.WAL.RetainAge
+	}
+	if cfg.WAL.FsyncEvery > 0 {
+		w.FsyncEvery = cfg.WAL.FsyncEvery
+	}
+	w.Budget = ts.walBudget
+	cfg.WAL = w
+	cfg.WALDir = filepath.Join(stateDir, "wal")
+	// Checkpointed resume only covers the sequential tuple-wise path;
+	// everything else is WAL-only (deterministic re-run + suppression).
+	if cfg.Reorder <= 1 && cfg.Shards <= 1 && !cfg.Columnar {
+		ckDir := filepath.Join(stateDir, "checkpoint")
+		if err := os.MkdirAll(ckDir, 0o755); err != nil {
+			return fmt.Errorf("netstream: checkpoint dir: %w", err)
+		}
+		cfg.CheckpointPath = filepath.Join(ckDir, "ck.json")
+	}
+	return nil
+}
+
+// releaseWALs detaches a session's logs from the tenant byte ledger and
+// closes them (close errors only logged when wantLog).
+func (s *Service) releaseWALs(sess *Session, wantLog bool) {
+	for _, cn := range sess.srv.chans {
+		if w := sess.srv.hub.WAL(cn.full); w != nil {
+			w.ReleaseBudget()
+			if err := w.Close(); err != nil && wantLog {
+				s.logf("wal close %s: %v", cn.full, err)
+			}
+		}
+	}
+}
+
+// writeSpecFile atomically persists the session request next to its WAL
+// so Recover can resurrect the session after a daemon restart.
+func writeSpecFile(path string, req SessionRequest) error {
+	data, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		return fmt.Errorf("netstream: marshal session spec: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("netstream: session state dir: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("netstream: persist session spec: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("netstream: persist session spec: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("netstream: persist session spec: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("netstream: persist session spec: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("netstream: persist session spec: %w", err)
+	}
+	return nil
+}
+
+// waitPendingDelete blocks while the identified session's durable state
+// is still being torn down by a concurrent Delete.
+func (s *Service) waitPendingDelete(id string) {
+	for {
+		s.mu.Lock()
+		ch := s.deleting[id]
+		s.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		<-ch
+	}
 }
 
 // Get returns the named session.
@@ -342,7 +533,11 @@ func (s *Service) List() []SessionStatus {
 // removes it: subscribers get the session's DrainTimeout to finish
 // reading, then are force-closed — a subscriber wedged behind a
 // block-policy stall therefore delays Delete by at most the drain
-// deadline, never indefinitely. Returns the pipeline's terminal error.
+// deadline, never indefinitely. A durable session's WAL bytes are
+// released from the tenant's budget and its state directory removed
+// (or archived under <StateDir>/.deleted when ArchiveDeleted); a
+// concurrent create of the same ID waits for the teardown to finish.
+// Returns the pipeline's terminal error.
 func (s *Service) Delete(tenant, name string) error {
 	id := tenant + "/" + name
 	s.mu.Lock()
@@ -351,16 +546,125 @@ func (s *Service) Delete(tenant, name string) error {
 		delete(s.sessions, id)
 	}
 	ts := s.tenants[tenant]
+	var pending chan struct{}
+	if ok && sess.stateDir != "" {
+		pending = make(chan struct{})
+		s.deleting[id] = pending
+	}
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
 	err := sess.stop()
+	if sess.stateDir != "" {
+		// stop() already closed the logs through drainAndClose; releasing
+		// the budget afterwards detaches their bytes from the tenant ledger
+		// before the files go away.
+		s.releaseWALs(sess, true)
+		if rerr := s.removeState(sess); rerr != nil {
+			s.logf("session %s state teardown: %v", id, rerr)
+		}
+	}
 	if ts != nil {
 		ts.releaseSession()
 	}
+	if pending != nil {
+		s.mu.Lock()
+		delete(s.deleting, id)
+		s.mu.Unlock()
+		close(pending)
+	}
 	s.logf("session %s deleted (drain_expired=%t)", id, sess.srv.DrainExpired())
 	return err
+}
+
+// removeState deletes (or archives) a durable session's state
+// directory.
+func (s *Service) removeState(sess *Session) error {
+	if !s.cfg.ArchiveDeleted {
+		return os.RemoveAll(sess.stateDir)
+	}
+	dst := filepath.Join(s.cfg.StateDir, ".deleted", sess.tenant, sess.name)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	// A session deleted and recreated repeatedly archives under numbered
+	// suffixes rather than clobbering the earlier archive.
+	candidate := dst
+	for i := 1; ; i++ {
+		if _, err := os.Stat(candidate); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		candidate = fmt.Sprintf("%s.%d", dst, i)
+	}
+	return os.Rename(sess.stateDir, candidate)
+}
+
+// Recover scans the state directory and resurrects every persisted
+// session: each <StateDir>/<tenant>/<session>/spec.json is re-created
+// through the normal create path (quotas enforced, WAL budgets settled
+// from the bytes already on disk), where the attached WAL supplies the
+// durable high-water mark and the deterministic re-run regenerates the
+// suppressed region — restart recovery per session. Individual broken
+// sessions are logged and skipped, never fatal; returns the recovered
+// session IDs, sorted. No-op without a state dir.
+func (s *Service) Recover() ([]string, error) {
+	if s.cfg.StateDir == "" {
+		return nil, nil
+	}
+	tenants, err := os.ReadDir(s.cfg.StateDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("netstream: scan state dir: %w", err)
+	}
+	var recovered []string
+	for _, td := range tenants {
+		// Dot-prefixed entries (.deleted archives) are not tenants.
+		if !td.IsDir() || strings.HasPrefix(td.Name(), ".") {
+			continue
+		}
+		tenantDir := filepath.Join(s.cfg.StateDir, td.Name())
+		names, err := os.ReadDir(tenantDir)
+		if err != nil {
+			s.logf("recover: tenant %s: %v", td.Name(), err)
+			continue
+		}
+		for _, nd := range names {
+			if !nd.IsDir() || strings.HasPrefix(nd.Name(), ".") {
+				continue
+			}
+			id := td.Name() + "/" + nd.Name()
+			specPath := filepath.Join(tenantDir, nd.Name(), "spec.json")
+			data, err := os.ReadFile(specPath)
+			if errors.Is(err, os.ErrNotExist) {
+				// A directory without a spec is a half-provisioned create or
+				// foreign debris; leave it alone.
+				continue
+			}
+			if err != nil {
+				s.logf("recover: session %s: %v", id, err)
+				continue
+			}
+			var req SessionRequest
+			if err := json.Unmarshal(data, &req); err != nil {
+				s.logf("recover: session %s: bad spec: %v", id, err)
+				continue
+			}
+			if req.Tenant != td.Name() || req.Name != nd.Name() {
+				s.logf("recover: session %s: spec names %s/%s; skipping", id, req.Tenant, req.Name)
+				continue
+			}
+			if _, err := s.create(req, true); err != nil {
+				s.logf("recover: session %s: %v", id, err)
+				continue
+			}
+			recovered = append(recovered, id)
+		}
+	}
+	sort.Strings(recovered)
+	return recovered, nil
 }
 
 // Close stops every session (in parallel, each through the bounded

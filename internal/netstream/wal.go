@@ -115,6 +115,55 @@ type WALOptions struct {
 	FS FS
 	// Now is the clock used for retention decisions (default time.Now).
 	Now func() time.Time
+	// Budget, when set, shares a byte ledger across several WALs — the
+	// session service gives every tenant one budget spanning all of its
+	// sessions' logs. The WAL keeps the ledger in step with its on-disk
+	// segment bytes, and the retention sweep additionally drops closed
+	// segments, oldest first, while the shared total exceeds the budget's
+	// limit — so one tenant's sessions compete with each other for
+	// retention instead of with the whole daemon.
+	Budget *WALBudget
+}
+
+// WALBudget is a byte ledger shared by the WALs of one tenant's durable
+// sessions. Each WAL settles its on-disk size into the ledger as it
+// appends, rotates and retains; NewWALBudget's limit is the tenant's
+// max_wal_bytes quota (0 = track usage without enforcing a ceiling).
+type WALBudget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewWALBudget returns a budget enforcing the given byte limit across
+// every WAL attached to it (0 or negative = unlimited, usage still
+// tracked).
+func NewWALBudget(limit int64) *WALBudget {
+	if limit < 0 {
+		limit = 0
+	}
+	return &WALBudget{limit: limit}
+}
+
+// Limit returns the configured ceiling (0 = unlimited).
+func (b *WALBudget) Limit() int64 { return b.limit }
+
+// Used returns the bytes currently accounted against the budget.
+func (b *WALBudget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+func (b *WALBudget) add(n int64) {
+	if b != nil && n != 0 {
+		b.used.Add(n)
+	}
+}
+
+// over reports whether the shared total exceeds the limit.
+func (b *WALBudget) over() bool {
+	return b != nil && b.limit > 0 && b.used.Load() > b.limit
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -211,7 +260,8 @@ type WAL struct {
 	segments  []segment // closed segments plus the active one (last)
 	active    File      // handle of segments[len-1]
 	sinceSync int
-	broken    bool // active handle is suspect; recover before next append
+	broken    bool  // active handle is suspect; recover before next append
+	accounted int64 // bytes this log has settled into opts.Budget
 
 	encBuf []byte // reusable append encoding buffer
 
@@ -232,7 +282,40 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 	if err := w.load(); err != nil {
 		return nil, err
 	}
+	// Credit recovered segments against the shared budget immediately, so
+	// a restarted tenant's usage is accurate before the first append.
+	w.settleBudgetLocked()
 	return w, nil
+}
+
+// settleBudgetLocked reconciles the shared budget with this log's
+// current on-disk size; called after any mutation of the segment index.
+// Callers hold w.mu (or own the WAL exclusively during open).
+func (w *WAL) settleBudgetLocked() {
+	if w.opts.Budget == nil {
+		return
+	}
+	var total int64
+	for i := range w.segments {
+		total += w.segments[i].bytes
+	}
+	w.opts.Budget.add(total - w.accounted)
+	w.accounted = total
+}
+
+// ReleaseBudget returns this log's accounted bytes to the shared budget
+// and detaches from it. The durable delete path calls it just before
+// removing the session's state directory, so the tenant's budget
+// reflects the reclaimed disk immediately.
+func (w *WAL) ReleaseBudget() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.opts.Budget == nil {
+		return
+	}
+	w.opts.Budget.add(-w.accounted)
+	w.accounted = 0
+	w.opts.Budget = nil
 }
 
 // load scans the directory, indexes segments and truncates the torn
@@ -284,11 +367,13 @@ func (w *WAL) load() error {
 // scanSegment validates one segment. For the last segment a torn tail is
 // truncated away; for earlier segments any invalid record is corruption.
 func (w *WAL) scanSegment(s *segment, last bool) error {
-	fi, err := w.opts.FS.Stat(s.path)
-	if err != nil {
-		return fmt.Errorf("netstream: wal stat %s: %w", s.path, err)
-	}
-	s.newest = fi.ModTime()
+	// The retention-age clock for recovered segments starts at open time,
+	// not at the file's mtime: segments inherited from a previous process
+	// are exactly the replay window a resuming subscriber depends on, and
+	// aging them by mtime would let a long-idle session's first
+	// post-restart rotation mass-drop the whole log before anyone could
+	// resume. They age out RetainAge after the reopen instead.
+	s.newest = w.opts.Now()
 	f, err := w.opts.FS.OpenFile(s.path, os.O_RDONLY, 0)
 	if err != nil {
 		return fmt.Errorf("netstream: wal open %s: %w", s.path, err)
@@ -462,6 +547,10 @@ func (w *WAL) Segments() int {
 func (w *WAL) Append(seq uint64, terminal bool, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Settle whatever this append did to the on-disk size — record bytes,
+	// rotation, retention, torn-tail rollback — into the shared budget on
+	// every exit path.
+	defer w.settleBudgetLocked()
 	if w.active == nil || len(w.segments) == 0 {
 		return fmt.Errorf("netstream: wal closed")
 	}
@@ -606,11 +695,20 @@ func (w *WAL) rotateLocked() error {
 }
 
 // retainLocked deletes the oldest closed segments past the byte and age
-// budgets. The active segment is never deleted.
+// budgets — and, when a shared tenant budget is attached, while the
+// tenant's total across all of its logs exceeds that budget. The active
+// segment is never deleted.
 func (w *WAL) retainLocked() {
 	var total int64
 	for i := range w.segments {
 		total += w.segments[i].bytes
+	}
+	// Settle before consulting the shared budget, so the sweep sees the
+	// rotation that triggered it; decrement per dropped segment so
+	// sibling logs sweeping concurrently observe the reclaimed space.
+	if w.opts.Budget != nil {
+		w.opts.Budget.add(total - w.accounted)
+		w.accounted = total
 	}
 	now := w.opts.Now()
 	drop := 0
@@ -618,13 +716,17 @@ func (w *WAL) retainLocked() {
 		s := &w.segments[drop]
 		overBytes := total > w.opts.RetainBytes
 		overAge := w.opts.RetainAge > 0 && now.Sub(s.newest) > w.opts.RetainAge
-		if !overBytes && !overAge {
+		if !overBytes && !overAge && !w.opts.Budget.over() {
 			break
 		}
 		if err := w.opts.FS.Remove(s.path); err != nil {
 			break // retry on the next rotation
 		}
 		total -= s.bytes
+		if w.opts.Budget != nil {
+			w.opts.Budget.add(-s.bytes)
+			w.accounted -= s.bytes
+		}
 		drop++
 	}
 	if drop > 0 {

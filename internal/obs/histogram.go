@@ -134,3 +134,13 @@ func (s HistSnapshot) Quantile(q float64) uint64 {
 	}
 	return s.Buckets[len(s.Buckets)-1].Le
 }
+
+// QuantileOK is Quantile with an explicit emptiness signal: ok is false
+// when the histogram recorded nothing, so consumers can render "n/a"
+// instead of a 0 indistinguishable from a genuinely fast stage.
+func (s HistSnapshot) QuantileOK(q float64) (uint64, bool) {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0, false
+	}
+	return s.Quantile(q), true
+}

@@ -167,6 +167,11 @@ type Registry struct {
 	tenantFrames map[string]*Counter
 	tenantBytes  map[string]*Counter
 	tenantQuota  map[string]*Counter
+
+	// tenantWAL gauges each tenant's durable WAL bytes on disk
+	// (icewafl_tenant_wal_bytes) — read at snapshot time like funcs, but
+	// keyed per tenant.
+	tenantWAL map[string]GaugeFunc
 }
 
 // NewRegistry returns an empty registry.
@@ -298,6 +303,43 @@ func (r *Registry) AddTenantQuotaRejection(tenant string) {
 		return
 	}
 	r.namedCounter(&r.tenantQuota, tenant).Add(1)
+}
+
+// RegisterTenantWALBytes registers the gauge reporting one tenant's
+// durable WAL bytes (read at snapshot time). Later registrations for
+// the same tenant replace earlier ones.
+func (r *Registry) RegisterTenantWALBytes(tenant string, fn GaugeFunc) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tenantWAL == nil {
+		r.tenantWAL = make(map[string]GaugeFunc)
+	}
+	r.tenantWAL[tenant] = fn
+}
+
+// TenantWALBytes evaluates the per-tenant WAL-byte gauges (nil when no
+// tenant registered one).
+func (r *Registry) TenantWALBytes() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fns := make(map[string]GaugeFunc, len(r.tenantWAL))
+	for name, fn := range r.tenantWAL {
+		fns[name] = fn
+	}
+	r.mu.RUnlock()
+	if len(fns) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
 }
 
 // TenantCounts returns the per-tenant delivered frame/byte counts and
@@ -545,6 +587,9 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.TenantFrames = tf
 		s.TenantBytes = tb
 		s.TenantQuotaRejections = tq
+	}
+	if tw := r.TenantWALBytes(); len(tw) > 0 {
+		s.TenantWALBytes = tw
 	}
 	s.ShardTuples = r.ShardCounts()
 	r.mu.RLock()

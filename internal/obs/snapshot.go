@@ -47,6 +47,9 @@ type Snapshot struct {
 	TenantFrames          map[string]uint64 `json:"tenant_frames,omitempty"`
 	TenantBytes           map[string]uint64 `json:"tenant_bytes,omitempty"`
 	TenantQuotaRejections map[string]uint64 `json:"tenant_quota_rejections,omitempty"`
+	// TenantWALBytes gauges each tenant's durable WAL bytes on disk
+	// (the session service's per-tenant retention budgets).
+	TenantWALBytes map[string]uint64 `json:"tenant_wal_bytes,omitempty"`
 	// Histograms holds the per-stage latency histograms (sampled).
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 	// Spans is the sampled pollution trace (JSON export only).
@@ -108,6 +111,7 @@ const (
 	tenantFrameMetric = "icewafl_tenant_frames_total"
 	tenantByteMetric  = "icewafl_tenant_bytes_total"
 	tenantQuotaMetric = "icewafl_tenant_quota_rejections_total"
+	tenantWALMetric   = "icewafl_tenant_wal_bytes"
 )
 
 // escapeLabel escapes a Prometheus label value (backslash, quote,
@@ -195,6 +199,12 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# TYPE %s counter\n", fam.metric)
 		for _, name := range sortedKeys(fam.counts) {
 			fmt.Fprintf(bw, "%s{tenant=\"%s\"} %d\n", fam.metric, escapeLabel(name), fam.counts[name])
+		}
+	}
+	if len(s.TenantWALBytes) > 0 {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", tenantWALMetric)
+		for _, name := range sortedKeys(s.TenantWALBytes) {
+			fmt.Fprintf(bw, "%s{tenant=\"%s\"} %d\n", tenantWALMetric, escapeLabel(name), s.TenantWALBytes[name])
 		}
 	}
 	if len(s.ShardTuples) > 0 {
@@ -302,6 +312,17 @@ func ParsePrometheus(r io.Reader) (*Snapshot, error) {
 				*m = map[string]uint64{}
 			}
 			(*m)[tn] = value
+		case name == tenantWALMetric:
+			// Must precede the generic icewafl_ prefix case: this family is
+			// labeled per tenant, and the generic case drops labels.
+			tn, ok := labels["tenant"]
+			if !ok {
+				return nil, fmt.Errorf("obs: %s sample without tenant label", name)
+			}
+			if s.TenantWALBytes == nil {
+				s.TenantWALBytes = map[string]uint64{}
+			}
+			s.TenantWALBytes[tn] = value
 		case name == shardMetric:
 			sh, ok := labels["shard"]
 			if !ok {
